@@ -1,0 +1,57 @@
+// Ablation (§III-C): variants of the push/pull decision heuristic.
+//   1. fixed push / fixed pull (no decision at all),
+//   2. volume-only decision (the paper's first heuristic, wrong on ~15% of
+//      cases because it ignores load imbalance),
+//   3. volume + load term (the paper's final heuristic),
+//   4. exact vs expectation request estimators.
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+int main() {
+  using namespace parsssp;
+
+  struct Variant {
+    const char* name;
+    PruneMode mode;
+    double lambda;
+    EstimatorKind estimator;
+  };
+  const Variant variants[] = {
+      {"push-only", PruneMode::kPushOnly, 0.0, EstimatorKind::kExact},
+      {"pull-only", PruneMode::kPullOnly, 0.0, EstimatorKind::kExact},
+      {"volume-only", PruneMode::kHeuristic, 0.0, EstimatorKind::kExact},
+      {"volume+load", PruneMode::kHeuristic, 1.0, EstimatorKind::kExact},
+      {"volume+load, E[req]", PruneMode::kHeuristic, 1.0,
+       EstimatorKind::kExpectation},
+  };
+
+  for (const RmatFamily family : {RmatFamily::kRmat1, RmatFamily::kRmat2}) {
+    const CsrGraph g = build_rmat_graph(family, 13);
+    Solver solver(g, {.machine = {.num_ranks = 8}});
+    const auto roots = sample_roots(g, 4, 11);
+
+    TextTable t(std::string("decision-heuristic ablation, ") +
+                family_name(family) + " scale 13, Prune-25");
+    t.set_header({"variant", "relaxations", "model-ms", "GTEPS(model)"});
+    for (const Variant& v : variants) {
+      SsspOptions o = SsspOptions::prune(25);
+      o.prune_mode = v.mode;
+      o.load_lambda = v.lambda;
+      o.estimator = v.estimator;
+      const RunSummary s = run_roots(solver, o, roots);
+      t.add_row({v.name, TextTable::num(s.mean_relaxations, 0),
+                 TextTable::num(s.mean_model_time_s * 1e3, 3),
+                 TextTable::num(s.mean_model_gteps, 4)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  print_paper_note(std::cout,
+                   "the adaptive heuristic beats both fixed modes; the load "
+                   "term protects against volume-cheap but skew-heavy pull "
+                   "buckets; the closed-form estimator tracks the exact one");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation (§III-A): the inner/outer-short (IOS) heuristic. The paper
+// reports ~10% fewer short-edge relaxations on the benchmark graphs; this
+// bench measures the reduction per family and Delta.
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+int main() {
+  using namespace parsssp;
+
+  TextTable t("IOS ablation: short-edge relaxations with and without IOS");
+  t.set_header({"family", "delta", "short relax (no IOS)",
+                "short relax (IOS)", "reduction"});
+
+  for (const RmatFamily family : {RmatFamily::kRmat1, RmatFamily::kRmat2}) {
+    const CsrGraph g = build_rmat_graph(family, 13);
+    Solver solver(g, {.machine = {.num_ranks = 8}});
+    const auto roots = sample_roots(g, 4, 3);
+    for (const std::uint32_t delta : {25u, 40u, 100u}) {
+      SsspOptions base = SsspOptions::prune(delta);
+      base.prune_mode = PruneMode::kPushOnly;  // isolate the short phases
+      SsspOptions no_ios = base;
+      no_ios.ios = false;
+
+      double with_ios = 0;
+      double without = 0;
+      for (const vid_t root : roots) {
+        with_ios += static_cast<double>(
+            solver.solve(root, base).stats.short_relaxations);
+        without += static_cast<double>(
+            solver.solve(root, no_ios).stats.short_relaxations);
+      }
+      t.add_row({family_name(family), std::to_string(delta),
+                 TextTable::num(without / roots.size(), 0),
+                 TextTable::num(with_ios / roots.size(), 0),
+                 TextTable::num(100.0 * (1.0 - with_ios / without), 1) +
+                     "%"});
+    }
+  }
+  t.print(std::cout);
+  print_paper_note(std::cout,
+                   "IOS only ever removes short-edge relaxations (paper: "
+                   "~10% at scale 30+; the effect is larger here because at "
+                   "small scale a bucket's width is a big fraction of the "
+                   "distance range, so many short relaxations are outer)");
+  return 0;
+}

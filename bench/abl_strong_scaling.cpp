@@ -1,0 +1,60 @@
+// Ablation: strong scaling. The paper evaluates weak scaling (fixed
+// vertices per node); operators usually also care about speeding up a
+// *fixed* problem. This bench holds the graph constant and grows the
+// machine, showing where per-rank work stops amortizing the per-phase
+// synchronization — and that OPT (fewer phases) keeps scaling after Del
+// (more phases) flattens.
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+int main() {
+  using namespace parsssp;
+
+  for (const RmatFamily family : {RmatFamily::kRmat1, RmatFamily::kRmat2}) {
+    const std::uint32_t scale = 13;
+    const CsrGraph g = build_rmat_graph(family, scale);
+    const auto roots = sample_roots(g, 2, 1);
+
+    TextTable t(std::string("strong scaling, ") + family_name(family) +
+                " scale " + std::to_string(scale) + " (fixed graph)");
+    std::vector<std::string> header{"algorithm"};
+    const std::vector<rank_t> rank_counts{1, 2, 4, 8, 16, 32, 64};
+    for (const auto r : rank_counts) {
+      header.push_back(std::to_string(r) + "r");
+    }
+    t.set_header(header);
+
+    struct Algo {
+      const char* name;
+      SsspOptions options;
+    };
+    for (const Algo& a : {Algo{"Del-25", SsspOptions::del(25)},
+                          Algo{"OPT-25", SsspOptions::opt(25)}}) {
+      std::vector<std::string> row{a.name};
+      double base_time = 0;
+      double last_time = 0;
+      for (const rank_t ranks : rank_counts) {
+        Solver solver(g, {.machine = {.num_ranks = ranks}});
+        const RunSummary s = run_roots(solver, a.options, roots);
+        if (ranks == 1) base_time = s.mean_model_time_s;
+        last_time = s.mean_model_time_s;
+        row.push_back(TextTable::num(base_time / s.mean_model_time_s, 2) +
+                      "x");
+      }
+      row.back() += " (" + TextTable::num(last_time * 1e3, 3) + "ms)";
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  print_paper_note(std::cout,
+                   "speedup over 1 rank; the fast algorithm has less work "
+                   "to amortize per phase, so its *relative* speedup "
+                   "saturates earlier, while its absolute time (last "
+                   "column) stays well ahead — the classic strong-scaling "
+                   "trade-off behind the paper's weak-scaling methodology");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared driver for the Fig 10 (RMAT-1) and Fig 11 (RMAT-2) analysis
+// benches: sub-figures (a) GTEPS of Del/Prune/OPT, (b) time breakdown,
+// (c) relaxations per rank, (d) bucket counts, (e) OPT for several Deltas,
+// (f) the load-balanced variant. Each weak-scaling point's graph is
+// generated once and shared by every algorithm variant.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace parsssp::bench {
+
+struct FamilyAnalysisConfig {
+  RmatFamily family = RmatFamily::kRmat1;
+  std::uint32_t delta = 25;
+  std::vector<rank_t> rank_counts = {2, 4, 8, 16, 32, 64};
+  std::uint32_t log2_vertices_per_rank = 9;
+  std::size_t num_roots = 2;
+  std::size_t lb_heavy_threshold = 64;
+};
+
+inline void run_family_analysis(const FamilyAnalysisConfig& cfg) {
+  const std::string fam = family_name(cfg.family);
+  const std::string delta_s = std::to_string(cfg.delta);
+
+  struct Algo {
+    std::string name;
+    SsspOptions options;
+    unsigned lanes;
+  };
+  // Rows 0-2 drive (a)-(d); rows 3-5 are (e); rows 6-8 are (f).
+  std::vector<Algo> algos = {
+      {"Del-" + delta_s, SsspOptions::del(cfg.delta), 1},
+      {"Prune-" + delta_s, SsspOptions::prune(cfg.delta), 1},
+      {"OPT-" + delta_s, SsspOptions::opt(cfg.delta), 1},
+  };
+  for (const std::uint32_t d : {10u, 25u, 40u}) {
+    algos.push_back({"OPT-" + std::to_string(d), SsspOptions::opt(d), 4});
+  }
+  for (const std::uint32_t d : {10u, 25u, 40u}) {
+    algos.push_back({"LB-OPT-" + std::to_string(d),
+                     SsspOptions::lb_opt(d, cfg.lb_heavy_threshold), 4});
+  }
+
+  // One sweep: outer loop over scaling points (graph generated once),
+  // inner loop over algorithm variants.
+  std::vector<std::vector<RunSummary>> results(algos.size());
+  for (const rank_t ranks : cfg.rank_counts) {
+    std::uint32_t log2_ranks = 0;
+    while ((rank_t{1} << log2_ranks) < ranks) ++log2_ranks;
+    const std::uint32_t scale = cfg.log2_vertices_per_rank + log2_ranks;
+    const CsrGraph g = build_rmat_graph(cfg.family, scale);
+    const auto roots = sample_roots(g, cfg.num_roots, 1);
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      Solver solver(g, {.machine = {.num_ranks = ranks,
+                                    .lanes_per_rank = algos[i].lanes}});
+      results[i].push_back(run_roots(solver, algos[i].options, roots));
+    }
+  }
+
+  auto rank_header = [&] {
+    std::vector<std::string> h{"algorithm"};
+    for (const auto r : cfg.rank_counts) {
+      h.push_back(std::to_string(r) + " ranks");
+    }
+    return h;
+  };
+  auto print_rows = [&](const std::string& title, std::size_t first,
+                        std::size_t count, auto cell) {
+    TextTable t(title);
+    t.set_header(rank_header());
+    for (std::size_t i = first; i < first + count; ++i) {
+      std::vector<std::string> row{algos[i].name};
+      for (const RunSummary& s : results[i]) row.push_back(cell(s));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  };
+
+  print_rows("(" + fam + ", a) GTEPS(model), weak scaling", 0, 3,
+             [](const RunSummary& s) {
+               return TextTable::num(s.mean_model_gteps, 4);
+             });
+
+  {  // (b) time breakdown at the largest configuration
+    TextTable t("(" + fam + ", b) modeled time breakdown at " +
+                std::to_string(cfg.rank_counts.back()) + " ranks (ms)");
+    t.set_header({"algorithm", "BktTime", "OtherTime", "total"});
+    for (std::size_t i = 0; i < 3; ++i) {
+      const RunSummary& s = results[i].back();
+      t.add_row({algos[i].name,
+                 TextTable::num(s.mean_model_bkt_s * 1e3, 3),
+                 TextTable::num(s.mean_model_other_s * 1e3, 3),
+                 TextTable::num(s.mean_model_time_s * 1e3, 3)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  print_rows("(" + fam + ", c) relaxations per rank (mean over roots)", 0, 3,
+             [](const RunSummary& s) {
+               return TextTable::num(s.mean_relax_per_rank, 0);
+             });
+  print_rows("(" + fam + ", d) number of buckets", 0, 3,
+             [](const RunSummary& s) {
+               return TextTable::num(s.mean_buckets, 1);
+             });
+  print_rows("(" + fam + ", e) OPT GTEPS(model), 4 lanes/rank, no load "
+             "balancing",
+             3, 3, [](const RunSummary& s) {
+               return TextTable::num(s.mean_model_gteps, 4);
+             });
+  print_rows("(" + fam + ", f) LB-OPT GTEPS(model), 4 lanes/rank, heavy "
+             "threshold " + std::to_string(cfg.lb_heavy_threshold),
+             6, 3, [](const RunSummary& s) {
+               return TextTable::num(s.mean_model_gteps, 4);
+             });
+}
+
+}  // namespace parsssp::bench

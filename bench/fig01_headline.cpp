@@ -1,0 +1,89 @@
+// Fig 1 (headline comparison table): the paper's performance summary,
+// reproduced at laptop scale on the simulated machine. The literature rows
+// are reprinted verbatim for context; the "this repo" rows are measured on
+// the largest configuration this harness runs by default.
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "core/bfs_engine.hpp"
+#include "graph/graph_algos.hpp"
+
+int main() {
+  using namespace parsssp;
+
+  TextTable paper("Fig 1 (paper, for reference): published results");
+  paper.set_header({"reference", "problem", "vertices", "edges", "GTEPS",
+                    "system"});
+  paper.add_row({"Bader/Madduri'06", "BFS", "200M", "1B", "0.5",
+                 "Cray MTA-2 (40)"});
+  paper.add_row({"Checconi'12", "BFS", "2^32", "2^36", "254",
+                 "BG/Q 4096 nodes"});
+  paper.add_row({"Graph500 Nov'13", "BFS", "2^40", "2^44", "15363",
+                 "BG/Q 65536 nodes"});
+  paper.add_row({"Madduri'07", "SSSP", "2^28", "2^30", "0.1",
+                 "Cray MTA-2 (40)"});
+  paper.add_row({"paper (OPT)", "SSSP", "2^35", "2^39", "650",
+                 "BG/Q 4096 nodes"});
+  paper.add_row({"paper (OPT)", "SSSP", "2^38", "2^42", "3100",
+                 "BG/Q 32768 nodes"});
+  paper.print(std::cout);
+  std::cout << '\n';
+
+  TextTable ours("This repo: OPT on the simulated machine (modeled GTEPS)");
+  ours.set_header({"family", "scale", "ranks", "edges", "GTEPS(model)",
+                   "GTEPS(wall)", "relaxations", "buckets"});
+  struct Cfg {
+    RmatFamily family;
+    std::uint32_t delta;
+  };
+  for (const Cfg cfg : {Cfg{RmatFamily::kRmat1, 25u},
+                        Cfg{RmatFamily::kRmat2, 40u}}) {
+    const std::uint32_t scale = 14;
+    const rank_t ranks = 16;
+    const CsrGraph g = build_rmat_graph(cfg.family, scale);
+    Solver solver(g, {.machine = {.num_ranks = ranks}});
+    const auto roots = sample_roots(g, 4, 1);
+    const RunSummary s =
+        run_roots(solver, SsspOptions::opt(cfg.delta), roots);
+    ours.add_row({family_name(cfg.family), std::to_string(scale),
+                  std::to_string(ranks), std::to_string(s.edges),
+                  TextTable::num(s.mean_model_gteps, 3),
+                  TextTable::num(s.edges / s.mean_wall_time_s / 1e9, 3),
+                  TextTable::num(s.mean_relaxations, 0),
+                  TextTable::num(s.mean_buckets, 1)});
+  }
+  ours.print(std::cout);
+  std::cout << '\n';
+
+  // The paper's Fig 1 observation: "SSSP is only two to five times slower
+  // than BFS on the same machine configuration". Reproduce with this
+  // repo's direction-optimizing BFS on the identical graph and machine.
+  TextTable ratio("BFS vs SSSP on the same machine (modeled GTEPS)");
+  ratio.set_header({"family", "BFS", "SSSP (OPT)", "BFS/SSSP"});
+  for (const Cfg cfg : {Cfg{RmatFamily::kRmat1, 25u},
+                        Cfg{RmatFamily::kRmat2, 40u}}) {
+    const CsrGraph g = build_rmat_graph(cfg.family, 14);
+    const auto roots = sample_roots(g, 4, 1);
+    BfsSolver bfs(g, {.num_ranks = 16});
+    Solver sssp(g, {.machine = {.num_ranks = 16}});
+    double bfs_gteps = 0;
+    double sssp_gteps = 0;
+    for (const vid_t root : roots) {
+      bfs_gteps += bfs.solve(root).stats.gteps(g.num_undirected_edges());
+      sssp_gteps += sssp.solve(root, SsspOptions::opt(cfg.delta))
+                        .stats.gteps(g.num_undirected_edges());
+    }
+    bfs_gteps /= static_cast<double>(roots.size());
+    sssp_gteps /= static_cast<double>(roots.size());
+    ratio.add_row({family_name(cfg.family), TextTable::num(bfs_gteps, 3),
+                   TextTable::num(sssp_gteps, 3),
+                   TextTable::num(bfs_gteps / sssp_gteps, 2) + "x"});
+  }
+  ratio.print(std::cout);
+  print_paper_note(std::cout,
+                   "SSSP lands within roughly 2-5x of BFS (paper: 650 vs "
+                   "1427 GTEPS at 4096 nodes); absolute GTEPS are "
+                   "machine-bound — the algorithmic claims are Figs 3-12");
+  return 0;
+}

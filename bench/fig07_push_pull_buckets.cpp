@@ -1,0 +1,46 @@
+// Fig 7: per-bucket push/pull statistics on an R-MAT graph. For each
+// bucket the paper reports the long-edge categories under push (self /
+// backward / forward — only forward relaxations are useful) and the number
+// of requests the pull model would send; some buckets are cheaper pushed,
+// others pulled.
+#include <iostream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+int main() {
+  using namespace parsssp;
+
+  const CsrGraph g = build_rmat_graph(RmatFamily::kRmat1, 13);
+  Solver solver(g, {.machine = {.num_ranks = 8}});
+  const auto roots = sample_roots(g, 1, 1);
+
+  // Run with forced push so the receiver-side category counters cover every
+  // long-phase relaxation; the pull columns are the heuristic's estimates.
+  SsspOptions o = SsspOptions::prune(25);
+  o.prune_mode = PruneMode::kPushOnly;
+  o.collect_bucket_details = true;
+  const SsspResult r = solver.solve(roots[0], o);
+
+  TextTable t("Fig 7: per-bucket push vs pull statistics (Prune-25, forced "
+              "push, RMAT-1 scale 13)");
+  t.set_header({"bucket", "self", "backward", "forward", "push-vol",
+                "pull-requests(est)", "cheaper"});
+  for (const BucketDetail& b : r.stats.bucket_details) {
+    const std::uint64_t push_vol =
+        b.self_edges + b.backward_edges + b.forward_edges;
+    const std::uint64_t pull_vol = b.pull_volume_estimate;
+    t.add_row({std::to_string(b.bucket), TextTable::num(b.self_edges),
+               TextTable::num(b.backward_edges),
+               TextTable::num(b.forward_edges), TextTable::num(push_vol),
+               TextTable::num(pull_vol / 2),
+               pull_vol < push_vol ? "pull" : "push"});
+  }
+  t.print(std::cout);
+  print_paper_note(std::cout,
+                   "early dense buckets favour push; later buckets (most "
+                   "long edges already redundant: self/backward) favour "
+                   "pull — no single mode wins everywhere");
+  return 0;
+}

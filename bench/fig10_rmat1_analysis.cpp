@@ -1,0 +1,23 @@
+// Fig 10: RMAT-1 analysis — (a) GTEPS of Del/Prune/OPT, (b) BktTime vs
+// OtherTime breakdown, (c) relaxations per rank, (d) bucket counts,
+// (e) OPT across Deltas without load balancing, (f) LB-OPT.
+//
+// Paper shapes on RMAT-1: pruning gives ~5x on relaxation time; hybrid
+// removes the bucket overhead; OPT without LB scales poorly (degree skew);
+// LB restores near-perfect weak scaling (2-8x gain).
+#include <iostream>
+
+#include "family_analysis.hpp"
+
+int main() {
+  parsssp::bench::FamilyAnalysisConfig cfg;
+  cfg.family = parsssp::RmatFamily::kRmat1;
+  cfg.delta = 25;
+  parsssp::bench::run_family_analysis(cfg);
+  parsssp::print_paper_note(
+      std::cout,
+      "RMAT-1: Prune ~5-7x fewer relaxations than Del; OPT collapses "
+      "buckets to a handful; LB-OPT beats OPT thanks to heavy-hub lane "
+      "splitting");
+  return 0;
+}

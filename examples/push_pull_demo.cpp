@@ -1,0 +1,54 @@
+// Walk-through of the paper's Fig. 6 example: why the pull model beats the
+// push model on a bucket holding a dense clique. Builds the exact example
+// graph (root -> clique -> isolated vertices), runs Delta-stepping with
+// Delta=5 under forced push, forced pull and the decision heuristic, and
+// prints the relaxation cost of each strategy.
+//
+//   ./example_push_pull_demo
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "graph/builders.hpp"
+
+int main() {
+  using namespace parsssp;
+  // Paper Fig. 6: root -> 5-clique (weight-10 spokes, weight-5 clique
+  // edges) -> one weight-10 tail vertex per clique vertex. With Delta=5 the
+  // clique settles in bucket B_2 and the tails in B_4; B_2's long phase
+  // costs 30 relaxations pushed but only 10 pulled.
+  const CsrGraph graph = CsrGraph::from_edges(make_fig6_example());
+  std::printf(
+      "Fig 6 example graph: root + 5-clique + 5 tail vertices, Delta=5\n"
+      "epochs: B_2 settles the clique; its long phase is where push and "
+      "pull differ.\n\n");
+
+  Solver solver(graph, {.machine = {.num_ranks = 2}});
+
+  struct Mode {
+    const char* name;
+    PruneMode mode;
+  };
+  const Mode modes[] = {
+      {"push-only", PruneMode::kPushOnly},
+      {"pull-only", PruneMode::kPullOnly},
+      {"heuristic", PruneMode::kHeuristic},
+  };
+  std::printf("%-10s %12s %10s %10s %10s\n", "mode", "total-relax",
+              "long-push", "requests", "responses");
+  for (const auto& m : modes) {
+    SsspOptions o = SsspOptions::prune(5);
+    o.ios = false;  // keep the example as simple as the paper's figure
+    o.prune_mode = m.mode;
+    const SsspResult r = solver.solve(0, o);
+    std::printf("%-10s %12llu %10llu %10llu %10llu\n", m.name,
+                static_cast<unsigned long long>(r.stats.total_relaxations()),
+                static_cast<unsigned long long>(
+                    r.stats.long_push_relaxations),
+                static_cast<unsigned long long>(r.stats.pull_requests),
+                static_cast<unsigned long long>(r.stats.pull_responses));
+  }
+  std::printf(
+      "\nThe clique bucket relaxes far fewer edges under pull: requests come"
+      "\nonly from the small tail, while push floods every clique edge.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Full reproduction pipeline: configure, build, test, run every
+# figure/table bench and the three CLI demos, writing the canonical output
+# files the repository documents (test_output.txt, bench_output.txt).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ ! -d "$b" ]; then
+      echo "===== $b ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "=== examples smoke ==="
+./build/examples/example_quickstart
+./build/examples/example_push_pull_demo
+./build/tools/graph500_sssp 11 16 8 8
+
+echo
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

@@ -1,0 +1,90 @@
+#include "bench_util/runner.hpp"
+
+#include "graph/graph_algos.hpp"
+
+namespace parsssp {
+
+const char* family_name(RmatFamily family) {
+  return family == RmatFamily::kRmat1 ? "RMAT-1" : "RMAT-2";
+}
+
+RmatConfig family_config(RmatFamily family, std::uint32_t scale,
+                         std::uint64_t seed) {
+  RmatConfig cfg;
+  cfg.params = family == RmatFamily::kRmat1 ? RmatParams::rmat1()
+                                            : RmatParams::rmat2();
+  cfg.scale = scale;
+  cfg.edge_factor = 16;
+  cfg.seed = seed + (family == RmatFamily::kRmat1 ? 0 : 0x10000);
+  cfg.min_weight = 1;
+  cfg.max_weight = 255;
+  return cfg;
+}
+
+CsrGraph build_rmat_graph(RmatFamily family, std::uint32_t scale,
+                          std::uint64_t seed) {
+  return CsrGraph::from_edges(generate_rmat(family_config(family, scale, seed)));
+}
+
+RunSummary run_roots(Solver& solver, const SsspOptions& options,
+                     std::span<const vid_t> roots) {
+  RunSummary summary;
+  summary.edges = solver.graph().num_undirected_edges();
+  summary.roots = roots.size();
+  const double ranks =
+      static_cast<double>(solver.machine().config().num_ranks);
+  for (const vid_t root : roots) {
+    SsspResult r = solver.solve(root, options);
+    const SsspStats& s = r.stats;
+    summary.mean_model_gteps += s.gteps(summary.edges, /*modeled=*/true);
+    summary.mean_model_time_s += s.model_time_s;
+    summary.mean_model_bkt_s += s.model_bucket_time_s;
+    summary.mean_model_other_s += s.model_other_time_s;
+    summary.mean_wall_time_s += s.wall_time_s;
+    summary.mean_relaxations += static_cast<double>(s.total_relaxations());
+    summary.mean_relax_per_rank +=
+        static_cast<double>(s.total_relaxations()) / ranks;
+    summary.mean_buckets += static_cast<double>(s.buckets);
+    summary.mean_phases += static_cast<double>(s.phases);
+    summary.last_stats = std::move(r.stats);
+  }
+  if (!roots.empty()) {
+    const double n = static_cast<double>(roots.size());
+    summary.mean_model_gteps /= n;
+    summary.mean_model_time_s /= n;
+    summary.mean_model_bkt_s /= n;
+    summary.mean_model_other_s /= n;
+    summary.mean_wall_time_s /= n;
+    summary.mean_relaxations /= n;
+    summary.mean_relax_per_rank /= n;
+    summary.mean_buckets /= n;
+    summary.mean_phases /= n;
+  }
+  return summary;
+}
+
+std::vector<WeakScalingPoint> weak_scaling(const WeakScalingConfig& config,
+                                           const SsspOptions& options) {
+  std::vector<WeakScalingPoint> points;
+  for (const rank_t ranks : config.rank_counts) {
+    std::uint32_t log2_ranks = 0;
+    while ((rank_t{1} << log2_ranks) < ranks) ++log2_ranks;
+    WeakScalingPoint point;
+    point.ranks = ranks;
+    point.scale = config.log2_vertices_per_rank + log2_ranks;
+
+    const CsrGraph g =
+        build_rmat_graph(config.family, point.scale, config.seed);
+    SolverConfig sc;
+    sc.machine.num_ranks = ranks;
+    sc.machine.lanes_per_rank = config.lanes_per_rank;
+    Solver solver(g, sc);
+    const std::vector<vid_t> roots =
+        sample_roots(g, config.num_roots, config.seed ^ 0x700075ULL);
+    point.summary = run_roots(solver, options, roots);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,70 @@
+// Shared harness for the figure-reproduction benches: graph family presets,
+// multi-root averaging, and weak-scaling sweeps (the paper's methodology:
+// fixed vertices per node, 16 random roots per configuration).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/solver.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+
+/// The paper's two synthetic graph families (§IV-B).
+enum class RmatFamily { kRmat1, kRmat2 };
+
+const char* family_name(RmatFamily family);
+
+/// Generator configuration for a family at a given scale.
+RmatConfig family_config(RmatFamily family, std::uint32_t scale,
+                         std::uint64_t seed = 1);
+
+/// Generates and builds the CSR in one step.
+CsrGraph build_rmat_graph(RmatFamily family, std::uint32_t scale,
+                          std::uint64_t seed = 1);
+
+/// Averages over roots of one (graph, machine, options) configuration.
+struct RunSummary {
+  std::uint64_t edges = 0;         ///< undirected edge count of the graph
+  std::size_t roots = 0;
+  double mean_model_gteps = 0;     ///< GTEPS under the machine cost model
+  double mean_model_time_s = 0;
+  double mean_model_bkt_s = 0;     ///< modeled BktTime
+  double mean_model_other_s = 0;   ///< modeled OtherTime
+  double mean_wall_time_s = 0;     ///< measured wall clock (host-serialized)
+  double mean_relaxations = 0;     ///< paper counting rule (pull edges 2x)
+  double mean_relax_per_rank = 0;  ///< Fig 10(c)'s per-thread average
+  double mean_buckets = 0;
+  double mean_phases = 0;
+  SsspStats last_stats;            ///< full stats of the last root
+};
+
+/// Runs `options` from every root and averages.
+RunSummary run_roots(Solver& solver, const SsspOptions& options,
+                     std::span<const vid_t> roots);
+
+/// One weak-scaling configuration: scale = log2(vertices_per_rank * ranks).
+struct WeakScalingPoint {
+  rank_t ranks = 0;
+  std::uint32_t scale = 0;
+  RunSummary summary;
+};
+
+struct WeakScalingConfig {
+  RmatFamily family = RmatFamily::kRmat1;
+  std::uint32_t log2_vertices_per_rank = 10;
+  std::vector<rank_t> rank_counts = {1, 2, 4, 8, 16};
+  std::size_t num_roots = 4;
+  unsigned lanes_per_rank = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the sweep for one algorithm configuration.
+std::vector<WeakScalingPoint> weak_scaling(const WeakScalingConfig& config,
+                                           const SsspOptions& options);
+
+}  // namespace parsssp

@@ -1,0 +1,151 @@
+#include "bench_util/stats_io.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace parsssp {
+
+void JsonWriter::comma() {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ << ",";
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::quote(std::string_view s) {
+  out_ << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out_ << '\\';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ << '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ << '}';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  comma();
+  quote(key);
+  out_ << ":[";
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ << ']';
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object_in_array() { return begin_object(); }
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  comma();
+  quote(key);
+  out_ << ':' << std::setprecision(12) << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t value) {
+  comma();
+  quote(key);
+  out_ << ':' << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  comma();
+  quote(key);
+  out_ << ':' << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  comma();
+  quote(key);
+  out_ << ':';
+  quote(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ << std::setprecision(12) << v;
+  return *this;
+}
+
+namespace {
+
+void write_stats_fields(JsonWriter& w, const SsspStats& s,
+                        std::uint64_t num_edges) {
+  w.field("edges", num_edges);
+  w.field("relaxations", s.total_relaxations());
+  w.field("short_relaxations", s.short_relaxations);
+  w.field("long_push_relaxations", s.long_push_relaxations);
+  w.field("pull_requests", s.pull_requests);
+  w.field("pull_responses", s.pull_responses);
+  w.field("bf_relaxations", s.bf_relaxations);
+  w.field("phases", s.phases);
+  w.field("buckets", s.buckets);
+  w.field("switched_to_bf", s.switched_to_bf);
+  w.field("model_time_s", s.model_time_s);
+  w.field("model_bucket_time_s", s.model_bucket_time_s);
+  w.field("model_other_time_s", s.model_other_time_s);
+  w.field("wall_time_s", s.wall_time_s);
+  w.field("gteps_model", s.gteps(num_edges, true));
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const SsspStats& stats,
+                std::uint64_t num_edges) {
+  JsonWriter w(out);
+  w.begin_object();
+  write_stats_fields(w, stats, num_edges);
+  w.begin_array("pull_decisions");
+  for (const bool pull : stats.pull_decisions) w.value(pull);
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void write_json(std::ostream& out, const BatchSummary& summary) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("num_roots", static_cast<std::uint64_t>(summary.num_roots));
+  w.field("edges", summary.edges);
+  w.field("harmonic_mean_gteps", summary.harmonic_mean_gteps);
+  w.field("mean_gteps", summary.mean_gteps);
+  w.field("min_gteps", summary.min_gteps);
+  w.field("max_gteps", summary.max_gteps);
+  w.field("mean_time_s", summary.mean_time_s);
+  w.field("mean_relaxations", summary.mean_relaxations);
+  w.begin_array("per_root");
+  for (const SsspStats& s : summary.per_root) {
+    w.begin_object_in_array();
+    write_stats_fields(w, s, summary.edges);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace parsssp

@@ -1,0 +1,54 @@
+// Machine-readable export of run statistics: JSON for SsspStats /
+// BatchSummary (for plotting pipelines downstream of the benches) and a
+// tiny composable writer so benches can emit custom documents without a
+// JSON dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "core/solver.hpp"
+
+namespace parsssp {
+
+/// Minimal JSON object writer: flat or nested objects/arrays of numbers,
+/// strings and booleans. Produces deterministic key order (insertion).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+  /// Begins an object inside an array.
+  JsonWriter& begin_object_in_array();
+
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+  JsonWriter& field(std::string_view key, std::string_view value);
+
+  /// Bare scalar elements inside an array.
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+
+ private:
+  void comma();
+  void quote(std::string_view s);
+
+  std::ostream& out_;
+  std::vector<bool> first_in_scope_{};
+};
+
+/// Serializes one run's statistics.
+void write_json(std::ostream& out, const SsspStats& stats,
+                std::uint64_t num_edges);
+
+/// Serializes a multi-root batch (Graph 500-style report).
+void write_json(std::ostream& out, const BatchSummary& summary);
+
+}  // namespace parsssp

@@ -1,0 +1,40 @@
+// Plain-text table / CSV printers used by every figure-reproduction bench
+// to print rows in the shape of the paper's tables and plots.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parsssp {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric helpers format with sensible precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `digits` significant decimals, trimming zeros.
+  static std::string num(double value, int digits = 2);
+  static std::string num(std::uint64_t value);
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a one-line "paper shape" annotation under a table: the qualitative
+/// expectation from the paper that the rows above should exhibit.
+void print_paper_note(std::ostream& out, const std::string& note);
+
+}  // namespace parsssp

@@ -1,0 +1,26 @@
+#include "core/delta_choice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parsssp {
+
+DeltaSuggestion suggest_delta(const CsrGraph& g, double calibration) {
+  DeltaSuggestion s;
+  s.max_weight = g.max_weight();
+  const vid_t n = g.num_vertices();
+  if (n == 0 || g.num_arcs() == 0 || s.max_weight == 0) {
+    s.delta = 1;
+    return s;
+  }
+  s.mean_degree =
+      static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+  const double raw =
+      calibration * static_cast<double>(s.max_weight) /
+      std::max(1.0, s.mean_degree);
+  s.delta = static_cast<std::uint32_t>(std::clamp(
+      std::llround(raw), 1LL, static_cast<long long>(s.max_weight)));
+  return s;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,613 @@
+#include "core/delta_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "core/hybrid.hpp"
+#include "core/load_balance.hpp"
+#include "core/push_pull.hpp"
+
+namespace parsssp {
+namespace {
+
+/// RAII accumulator for wall-clock sections.
+class Stopwatch {
+ public:
+  explicit Stopwatch(double& acc)
+      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
+  ~Stopwatch() {
+    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0_)
+                .count();
+  }
+  Stopwatch(const Stopwatch&) = delete;
+  Stopwatch& operator=(const Stopwatch&) = delete;
+
+ private:
+  double& acc_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Reduction payload for the push/pull decision heuristic.
+struct PpReduce {
+  std::uint64_t push_sum = 0;
+  std::uint64_t pull_sum = 0;
+  std::uint64_t push_max = 0;
+  std::uint64_t pull_max = 0;
+};
+struct PpReduceOp {
+  PpReduce operator()(const PpReduce& a, const PpReduce& b) const {
+    return {a.push_sum + b.push_sum, a.pull_sum + b.pull_sum,
+            std::max(a.push_max, b.push_max), std::max(a.pull_max, b.pull_max)};
+  }
+};
+
+/// Reduction payload for receiver-side long-edge classification (Fig 7).
+struct CatReduce {
+  std::uint64_t self = 0;
+  std::uint64_t backward = 0;
+  std::uint64_t forward = 0;
+};
+struct CatReduceOp {
+  CatReduce operator()(const CatReduce& a, const CatReduce& b) const {
+    return {a.self + b.self, a.backward + b.backward, a.forward + b.forward};
+  }
+};
+
+}  // namespace
+
+DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
+    : ctx_(ctx),
+      sh_(shared),
+      view_((*shared.views)[ctx.rank()]),
+      begin_(shared.part.begin(ctx.rank())),
+      nloc_(shared.part.count(ctx.rank())),
+      cost_(shared.options->cost_model) {
+  dist_ = std::span<dist_t>(sh_.dist->data() + begin_, nloc_);
+  if (sh_.parent != nullptr) {
+    parent_ = std::span<vid_t>(sh_.parent->data() + begin_, nloc_);
+  }
+  settled_.assign(nloc_, 0);
+  member_stamp_.assign(nloc_, kInfBucket);
+  in_frontier_.assign(nloc_, 0);
+}
+
+bool DeltaEngine::any_active_globally(bool local_active) {
+  Stopwatch sw(counters_.wall_bucket_time_s);
+  const bool any =
+      ctx_.allreduce(static_cast<std::uint64_t>(local_active), OrOp{}) != 0;
+  model_bkt_ns_ += cost_.scan_cost(0);
+  return any;
+}
+
+DeltaEngine::StepReduce DeltaEngine::account_step(std::uint64_t work,
+                                                  std::uint64_t bytes,
+                                                  std::uint64_t relax) {
+  const StepReduce red =
+      ctx_.allreduce(StepReduce{0, work, bytes, relax}, StepReduceOp{});
+  model_other_ns_ += cost_.step_cost(red.max_work, red.max_bytes);
+  return red;
+}
+
+std::uint64_t DeltaEngine::next_bucket(std::int64_t after) {
+  Stopwatch sw(counters_.wall_bucket_time_s);
+  const std::uint64_t local = min_unsettled_bucket_above(
+      dist_, settled_, after, sh_.options->delta);
+  model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
+  return ctx_.allreduce(local, MinOp{});
+}
+
+std::uint64_t DeltaEngine::apply_relaxations(
+    const std::vector<std::vector<RelaxMsg>>& batches,
+    std::uint64_t frontier_k) {
+  const std::uint32_t delta = sh_.options->delta;
+  std::uint64_t applied = 0;
+  for (const auto& batch : batches) {
+    applied += batch.size();
+    for (const RelaxMsg& m : batch) {
+      const vid_t local = to_local(m.v);
+      assert(local < nloc_);
+      if (m.nd >= dist_[local]) continue;
+      assert(!settled_[local] && "relaxation improved a settled vertex");
+      dist_[local] = m.nd;
+      if (!parent_.empty()) parent_[local] = m.pred;
+      if (frontier_k != kInfBucket && !in_frontier_[local] &&
+          bucket_of(m.nd, delta) == frontier_k) {
+        in_frontier_[local] = 1;
+        frontier_.push_back(local);
+      }
+    }
+  }
+  return applied;
+}
+
+void DeltaEngine::short_phases(std::uint64_t k) {
+  const bool classify = classification_active();
+  const bool ios = classify && sh_.options->ios;
+  const dist_t limit = classify ? bucket_end(k) : 0;
+  const rank_t ranks = ctx_.num_ranks();
+  // With Delta = infinity these "short phases" over all arcs *are* the
+  // Bellman-Ford algorithm; attribute the work accordingly.
+  const bool bf_regime = sh_.options->bellman_ford_regime();
+  std::uint64_t& relax_counter =
+      bf_regime ? counters_.bf_relaxations : counters_.short_relaxations;
+  const PhaseDetail::Kind detail_kind =
+      bf_regime ? PhaseDetail::Kind::kBellmanFord : PhaseDetail::Kind::kShort;
+
+  while (any_active_globally(!frontier_.empty())) {
+    ++phases_;
+    // Pop the frontier: stamp epoch membership, clear flags.
+    std::vector<vid_t> active = std::move(frontier_);
+    frontier_.clear();
+    for (const vid_t u : active) {
+      in_frontier_[u] = 0;
+      if (member_stamp_[u] != epoch_) {
+        member_stamp_[u] = epoch_;
+        members_.push_back(u);
+      }
+    }
+
+    // Generate relaxations. With classification on, only short arcs are
+    // relaxed here; IOS additionally skips arcs whose proposed distance
+    // falls outside the current bucket (those are outer-short edges,
+    // deferred to the long phase).
+    const unsigned lanes = ctx_.pool().lanes();
+    std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
+        lanes, std::vector<std::vector<RelaxMsg>>(ranks));
+    std::vector<std::uint64_t> lane_emitted(lanes, 0);
+    auto arcs_of = [&](vid_t u) {
+      return classify ? view_.short_arcs(u) : view_.all_arcs(u);
+    };
+    lane_parallel_arcs(
+        ctx_.pool(), active, view_, sh_.options->heavy_degree_threshold,
+        arcs_of, [&](unsigned lane, vid_t u, const Arc& a) {
+          const dist_t nd = dist_[u] + a.w;
+          if (ios && nd > limit) return;
+          lane_out[lane][sh_.part.owner(a.to)].push_back(
+              {a.to, nd, to_global(u)});
+          ++lane_emitted[lane];
+        });
+    std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
+    for (unsigned l = 1; l < lanes; ++l) {
+      for (rank_t d = 0; d < ranks; ++d) {
+        out[d].insert(out[d].end(), lane_out[l][d].begin(),
+                      lane_out[l][d].end());
+      }
+    }
+    std::uint64_t emitted = 0;
+    std::uint64_t max_lane = 0;
+    for (const auto e : lane_emitted) {
+      emitted += e;
+      max_lane = std::max(max_lane, e);
+    }
+    relax_counter += emitted;
+
+    const auto in = ctx_.exchange(
+        std::move(out),
+        bf_regime ? PhaseKind::kBellmanFord : PhaseKind::kShortPhase);
+    const std::uint64_t applied = apply_relaxations(in, k);
+
+    // Modeled rank time is bottlenecked by the busiest lane: generation by
+    // the worst lane's emissions, application spread over all lanes (the
+    // paper's L2-atomic relaxations).
+    const StepReduce red = account_step(max_lane + applied / lanes,
+                                        emitted * sizeof(RelaxMsg), emitted);
+    if (sh_.options->collect_phase_details) {
+      phase_details_.push_back({k, detail_kind, red.sum_relax});
+    }
+  }
+}
+
+bool DeltaEngine::decide_long_mode(std::uint64_t k) {
+  const SsspOptions& o = *sh_.options;
+  if (!o.pruning && !o.collect_bucket_details) return false;
+
+  bool pull = false;
+  bool need_estimates = o.collect_bucket_details;
+  switch (o.prune_mode) {
+    case PruneMode::kPushOnly:
+      pull = false;
+      break;
+    case PruneMode::kPullOnly:
+      pull = o.pruning;
+      break;
+    case PruneMode::kForcedSequence: {
+      const std::size_t i = pull_decisions_.size();
+      pull = o.pruning && i < o.forced_pull.size() && o.forced_pull[i];
+      break;
+    }
+    case PruneMode::kHeuristic:
+      need_estimates = true;
+      break;
+  }
+  if (!need_estimates) return pull;
+
+  const PushPullLocal local = estimate_push_pull_local(
+      view_, dist_, settled_, members_, k, o.delta, o.estimator,
+      sh_.graph->max_weight(), o.ios);
+  const PpReduce global = ctx_.allreduce(
+      PpReduce{local.push_volume, local.pull_requests, local.push_volume,
+               local.pull_requests},
+      PpReduceOp{});
+  model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
+
+  PushPullGlobal g;
+  g.push_volume = global.push_sum;
+  g.pull_requests = global.pull_sum;
+  g.push_max_rank = global.push_max;
+  g.pull_max_rank = global.pull_max;
+  const PushPullDecision decision =
+      decide_push_pull(g, ctx_.num_ranks(), o.load_lambda);
+  if (o.prune_mode == PruneMode::kHeuristic && o.pruning) {
+    pull = decision.pull;
+  }
+
+  if (o.collect_bucket_details) {
+    BucketDetail detail;
+    detail.bucket = k;
+    detail.push_volume_estimate = g.push_volume;
+    detail.pull_volume_estimate = 2 * g.pull_requests;
+    detail.push_max_rank = g.push_max_rank;
+    detail.pull_max_rank = g.pull_max_rank;
+    detail.used_pull = pull;
+    bucket_details_.push_back(detail);
+  }
+  return pull;
+}
+
+void DeltaEngine::long_phase_push(std::uint64_t k) {
+  const SsspOptions& o = *sh_.options;
+  const bool ios = o.ios;
+  const dist_t limit = bucket_end(k);
+  const rank_t ranks = ctx_.num_ranks();
+  const unsigned lanes = ctx_.pool().lanes();
+
+  std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
+      lanes, std::vector<std::vector<RelaxMsg>>(ranks));
+  std::vector<std::uint64_t> lane_emitted(lanes, 0);
+
+  // Long arcs of every settled member; under IOS also the outer-short arcs
+  // (short arcs whose proposed distance falls beyond the current bucket).
+  lane_parallel_arcs(
+      ctx_.pool(), members_, view_, o.heavy_degree_threshold,
+      [&](vid_t u) { return view_.all_arcs(u); },
+      [&](unsigned lane, vid_t u, const Arc& a) {
+        const dist_t nd = dist_[u] + a.w;
+        if (a.w < o.delta) {               // short arc
+          if (!ios || nd <= limit) return;  // inner-short: already relaxed
+        }
+        lane_out[lane][sh_.part.owner(a.to)].push_back(
+            {a.to, nd, to_global(u)});
+        ++lane_emitted[lane];
+      });
+  std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
+  for (unsigned l = 1; l < lanes; ++l) {
+    for (rank_t d = 0; d < ranks; ++d) {
+      out[d].insert(out[d].end(), lane_out[l][d].begin(), lane_out[l][d].end());
+    }
+  }
+  std::uint64_t emitted = 0;
+  std::uint64_t max_lane = 0;
+  for (const auto e : lane_emitted) {
+    emitted += e;
+    max_lane = std::max(max_lane, e);
+  }
+  counters_.long_push_relaxations += emitted;
+
+  const auto in = ctx_.exchange(std::move(out), PhaseKind::kLongPush);
+
+  // Receiver-side edge classification (Fig 7): destination bucket relative
+  // to k, *before* applying the batch.
+  if (o.collect_bucket_details) {
+    CatReduce cat;
+    for (const auto& batch : in) {
+      for (const RelaxMsg& m : batch) {
+        const std::uint64_t b = bucket_of(dist_[to_local(m.v)], o.delta);
+        if (b == k) {
+          ++cat.self;
+        } else if (b < k) {
+          ++cat.backward;
+        } else {
+          ++cat.forward;
+        }
+      }
+    }
+    const CatReduce total = ctx_.allreduce(cat, CatReduceOp{});
+    if (!bucket_details_.empty() && bucket_details_.back().bucket == k) {
+      bucket_details_.back().self_edges = total.self;
+      bucket_details_.back().backward_edges = total.backward;
+      bucket_details_.back().forward_edges = total.forward;
+    }
+  }
+
+  const std::uint64_t applied = apply_relaxations(in, kInfBucket);
+  ++phases_;
+  const StepReduce red =
+      account_step(max_lane + applied / lanes, emitted * sizeof(RelaxMsg),
+                   emitted);
+  if (o.collect_phase_details) {
+    phase_details_.push_back({k, PhaseDetail::Kind::kLongPush, red.sum_relax});
+  }
+}
+
+void DeltaEngine::long_phase_pull(std::uint64_t k) {
+  const SsspOptions& o = *sh_.options;
+  const rank_t ranks = ctx_.num_ranks();
+  const dist_t kdelta = k * static_cast<dist_t>(o.delta);
+  const unsigned lanes = ctx_.pool().lanes();
+
+  // Modeled lane loads. Pull work is attributed to each vertex's owner
+  // lane (the paper's fixed thread ownership); with load balancing on,
+  // heavy vertices' work is spread round-robin over all lanes instead.
+  std::vector<std::uint64_t> lane_load(lanes, 0);
+  std::uint64_t spread_cursor = 0;
+  auto charge = [&](vid_t local, std::uint64_t units) {
+    if (units == 0) return;
+    if (o.heavy_degree_threshold != 0 &&
+        view_.degree(local) > o.heavy_degree_threshold) {
+      for (std::uint64_t i = 0; i < units; ++i) {
+        ++lane_load[spread_cursor++ % lanes];
+      }
+    } else {
+      lane_load[local % lanes] += units;
+    }
+  };
+  auto take_max_load = [&] {
+    std::uint64_t best = 0;
+    for (auto& l : lane_load) {
+      best = std::max(best, l);
+      l = 0;
+    }
+    return best;
+  };
+
+  // Request side: every owned vertex in a later bucket asks the owners of
+  // qualifying neighbours for their distance. Long arcs are weight-sorted,
+  // so the qualifying prefix (w < d(v) - k*Delta, eq. (1)) is a range scan;
+  // under IOS the short arcs also qualify wholesale (w < Delta <= bound).
+  std::vector<std::vector<PullReqMsg>> req_out(ranks);
+  std::uint64_t requests = 0;
+  for (vid_t v = 0; v < nloc_; ++v) {
+    if (settled_[v]) continue;
+    const dist_t dv = dist_[v];
+    if (bucket_of(dv, o.delta) <= k) continue;
+    const dist_t bound = dv == kInfDist ? kInfDist : dv - kdelta;
+    const vid_t gv = to_global(v);
+    std::uint64_t sent = 0;
+    for (const Arc& a : view_.long_arcs(v)) {
+      if (static_cast<dist_t>(a.w) >= bound) break;  // weight-sorted
+      req_out[sh_.part.owner(a.to)].push_back({a.to, gv, a.w});
+      ++sent;
+    }
+    if (o.ios) {
+      for (const Arc& a : view_.short_arcs(v)) {
+        if (static_cast<dist_t>(a.w) >= bound) continue;
+        req_out[sh_.part.owner(a.to)].push_back({a.to, gv, a.w});
+        ++sent;
+      }
+    }
+    requests += sent;
+    charge(v, sent);
+  }
+  counters_.pull_requests += requests;
+  const auto req_in = ctx_.exchange(std::move(req_out),
+                                    PhaseKind::kPullRequest);
+  std::uint64_t req_received = 0;
+  for (const auto& b : req_in) req_received += b.size();
+  const StepReduce red_req = account_step(
+      take_max_load() + req_received / lanes + 1,
+      requests * sizeof(PullReqMsg), requests);
+
+  // Response side: answer only for sources settled in the current bucket.
+  std::vector<std::vector<RelaxMsg>> resp_out(ranks);
+  std::uint64_t responses = 0;
+  for (const auto& batch : req_in) {
+    for (const PullReqMsg& m : batch) {
+      const vid_t lu = to_local(m.u);
+      assert(lu < nloc_);
+      // Answering a request is work done by u's owner lane; heavy hubs
+      // attract request floods, the very imbalance §III-E addresses.
+      charge(lu, 1);
+      if (member_stamp_[lu] != epoch_) continue;  // u not in B_k
+      resp_out[sh_.part.owner(m.v)].push_back({m.v, dist_[lu] + m.w, m.u});
+      ++responses;
+    }
+  }
+  counters_.pull_responses += responses;
+  const auto resp_in =
+      ctx_.exchange(std::move(resp_out), PhaseKind::kPullResponse);
+  const std::uint64_t applied = apply_relaxations(resp_in, kInfBucket);
+  ++phases_;
+  const StepReduce red_resp = account_step(
+      take_max_load() + applied / lanes + 1, responses * sizeof(RelaxMsg),
+      responses);
+
+  if (o.collect_bucket_details && !bucket_details_.empty() &&
+      bucket_details_.back().bucket == k) {
+    bucket_details_.back().pull_requests = red_req.sum_relax;
+    bucket_details_.back().pull_responses = red_resp.sum_relax;
+  }
+  if (o.collect_phase_details) {
+    phase_details_.push_back({k, PhaseDetail::Kind::kLongPull,
+                              red_req.sum_relax + red_resp.sum_relax});
+  }
+}
+
+void DeltaEngine::process_epoch(std::uint64_t k) {
+  ++epoch_;
+  members_.clear();
+  {
+    Stopwatch sw(counters_.wall_bucket_time_s);
+    frontier_ = collect_bucket_members(dist_, settled_, k, sh_.options->delta);
+    for (const vid_t u : frontier_) in_frontier_[u] = 1;
+    model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
+  }
+  ++buckets_;
+
+  short_phases(k);
+
+  if (classification_active()) {
+    const bool pull = decide_long_mode(k);
+    if (pull) {
+      long_phase_pull(k);
+    } else {
+      long_phase_push(k);
+    }
+    pull_decisions_.push_back(pull);
+  }
+
+  for (const vid_t u : members_) settled_[u] = 1;
+  settled_local_cum_ += members_.size();
+}
+
+void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
+  switched_ = true;
+  switch_bucket_ = from_bucket;
+  const rank_t ranks = ctx_.num_ranks();
+
+  {
+    Stopwatch sw(counters_.wall_bucket_time_s);
+    frontier_ = collect_unsettled_reached(dist_, settled_);
+    for (const vid_t u : frontier_) in_frontier_[u] = 1;
+    model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
+  }
+  ++buckets_;  // the grouped bucket "B"
+
+  while (any_active_globally(!frontier_.empty())) {
+    ++phases_;
+    std::vector<vid_t> active = std::move(frontier_);
+    frontier_.clear();
+    for (const vid_t u : active) in_frontier_[u] = 0;
+
+    const unsigned lanes = ctx_.pool().lanes();
+    std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
+        lanes, std::vector<std::vector<RelaxMsg>>(ranks));
+    std::vector<std::uint64_t> lane_emitted(lanes, 0);
+    lane_parallel_arcs(
+        ctx_.pool(), active, view_, sh_.options->heavy_degree_threshold,
+        [&](vid_t u) { return view_.all_arcs(u); },
+        [&](unsigned lane, vid_t u, const Arc& a) {
+          lane_out[lane][sh_.part.owner(a.to)].push_back(
+              {a.to, dist_[u] + a.w, to_global(u)});
+          ++lane_emitted[lane];
+        });
+    std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
+    for (unsigned l = 1; l < lanes; ++l) {
+      for (rank_t d = 0; d < ranks; ++d) {
+        out[d].insert(out[d].end(), lane_out[l][d].begin(),
+                      lane_out[l][d].end());
+      }
+    }
+    std::uint64_t emitted = 0;
+    std::uint64_t max_lane = 0;
+    for (const auto e : lane_emitted) {
+      emitted += e;
+      max_lane = std::max(max_lane, e);
+    }
+    counters_.bf_relaxations += emitted;
+
+    const auto in = ctx_.exchange(std::move(out), PhaseKind::kBellmanFord);
+    // Any improved vertex becomes active next round, bucket-agnostic.
+    std::uint64_t applied = 0;
+    for (const auto& batch : in) {
+      applied += batch.size();
+      for (const RelaxMsg& m : batch) {
+        const vid_t local = to_local(m.v);
+        if (m.nd >= dist_[local]) continue;
+        assert(!settled_[local]);
+        dist_[local] = m.nd;
+        if (!parent_.empty()) parent_[local] = m.pred;
+        if (!in_frontier_[local]) {
+          in_frontier_[local] = 1;
+          frontier_.push_back(local);
+        }
+      }
+    }
+    const StepReduce red = account_step(max_lane + applied / lanes,
+                                        emitted * sizeof(RelaxMsg), emitted);
+    if (sh_.options->collect_phase_details) {
+      phase_details_.push_back(
+          {from_bucket, PhaseDetail::Kind::kBellmanFord, red.sum_relax});
+    }
+  }
+}
+
+void DeltaEngine::run() {
+  double total_wall = 0;
+  {
+    Stopwatch total(total_wall);
+    std::fill(dist_.begin(), dist_.end(), kInfDist);
+    if (!parent_.empty()) {
+      std::fill(parent_.begin(), parent_.end(), kInvalidVid);
+    }
+    if (sh_.part.owner(sh_.root) == ctx_.rank()) {
+      dist_[to_local(sh_.root)] = 0;
+      if (!parent_.empty()) parent_[to_local(sh_.root)] = sh_.root;
+    }
+    ctx_.barrier();
+
+    std::uint64_t k = next_bucket(kBeforeFirst);
+    while (k != kInfBucket) {
+      process_epoch(k);
+      k = next_bucket(static_cast<std::int64_t>(k));
+      if (k == kInfBucket) break;
+      if (sh_.options->hybrid_tau >= 0.0) {
+        Stopwatch sw(counters_.wall_bucket_time_s);
+        const std::uint64_t settled_total =
+            ctx_.allreduce(settled_local_cum_, SumOp{});
+        model_bkt_ns_ += cost_.scan_cost(0);
+        if (should_switch_to_bellman_ford(
+                settled_total, sh_.part.num_vertices(),
+                sh_.options->hybrid_tau)) {
+          bellman_ford_tail(k);
+          break;
+        }
+      }
+    }
+  }
+  counters_.wall_other_time_s = total_wall - counters_.wall_bucket_time_s;
+  finalize();
+}
+
+void DeltaEngine::finalize() {
+  (*sh_.rank_counters)[ctx_.rank()] = counters_;
+  // Wall time of the run: bottleneck across ranks.
+  const double wall =
+      counters_.wall_bucket_time_s + counters_.wall_other_time_s;
+  struct WallReduce {
+    double total;
+    double bucket;
+  };
+  struct WallReduceOp {
+    WallReduce operator()(const WallReduce& a, const WallReduce& b) const {
+      return {std::max(a.total, b.total), std::max(a.bucket, b.bucket)};
+    }
+  };
+  const WallReduce wr = ctx_.allreduce(
+      WallReduce{wall, counters_.wall_bucket_time_s}, WallReduceOp{});
+
+  if (ctx_.rank() == 0) {
+    SsspStats& s = *sh_.stats;
+    s.phases = phases_;
+    s.buckets = buckets_;
+    s.switched_to_bf = switched_;
+    s.bf_switch_bucket = switch_bucket_;
+    s.pull_decisions = pull_decisions_;
+    s.phase_details = std::move(phase_details_);
+    s.bucket_details = std::move(bucket_details_);
+    s.model_bucket_time_s = model_bkt_ns_ * 1e-9;
+    s.model_other_time_s = model_other_ns_ * 1e-9;
+    s.model_time_s = (model_bkt_ns_ + model_other_ns_) * 1e-9;
+    s.wall_time_s = wr.total;
+    s.wall_bucket_time_s = wr.bucket;
+    s.wall_other_time_s = wr.total - wr.bucket;
+  }
+}
+
+void run_sssp_job(RankCtx& ctx, const EngineShared& shared) {
+  DeltaEngine engine(ctx, shared);
+  engine.run();
+}
+
+}  // namespace parsssp

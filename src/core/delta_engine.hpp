@@ -1,0 +1,146 @@
+// The distributed bucket-synchronous SSSP engine: the paper's Delta-stepping
+// with edge classification, IOS, push/pull pruning, hybridization and
+// intra-rank load balancing — all switchable through SsspOptions, so the
+// same engine realizes Dijkstra (Delta=1), Bellman-Ford (one bucket), Del-D,
+// Prune-D, OPT-D and LB-OPT-D.
+//
+// One DeltaEngine instance runs per rank inside a Machine job. All
+// cross-rank interaction goes through RankCtx: relax/request/response
+// message exchanges plus Allreduce-based termination and bucket-advance
+// checks, exactly the communication structure described in §II
+// ("Distributed Implementation").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/buckets.hpp"
+#include "core/dist_graph.hpp"
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/types.hpp"
+#include "runtime/machine.hpp"
+
+namespace parsssp {
+
+/// Push-model relaxation / pull-model response payload.
+struct RelaxMsg {
+  vid_t v;     ///< destination vertex (global id, owned by receiver)
+  dist_t nd;   ///< proposed tentative distance d(u) + w(e)
+  vid_t pred;  ///< relaxing vertex u (shortest-path tree parent candidate)
+};
+
+/// Pull-model request payload: "if u is settled in the current bucket, send
+/// me d(u) + w" (paper §III-B, Fig. 5(b)).
+struct PullReqMsg {
+  vid_t u;     ///< source vertex (owned by receiver of the request)
+  vid_t v;     ///< requesting vertex (for the response address)
+  weight_t w;  ///< weight of edge <u, v>
+};
+
+/// Inputs and output slots shared by all ranks of one solve.
+struct EngineShared {
+  const CsrGraph* graph = nullptr;
+  BlockPartition part;
+  const std::vector<LocalEdgeView>* views = nullptr;
+  std::vector<dist_t>* dist = nullptr;  ///< global; rank writes its slice
+  /// Shortest-path-tree parents (optional; null disables tracking).
+  std::vector<vid_t>* parent = nullptr;
+  vid_t root = 0;
+  const SsspOptions* options = nullptr;
+  std::vector<RankCounters>* rank_counters = nullptr;  ///< one slot per rank
+  SsspStats* stats = nullptr;  ///< structure fields written by rank 0
+};
+
+class DeltaEngine {
+ public:
+  DeltaEngine(RankCtx& ctx, const EngineShared& shared);
+
+  /// Executes the full SSSP. Collective: all ranks run this together.
+  void run();
+
+ private:
+  // -- epoch structure ----------------------------------------------------
+  std::uint64_t next_bucket(std::int64_t after);
+  void process_epoch(std::uint64_t k);
+  void short_phases(std::uint64_t k);
+  bool decide_long_mode(std::uint64_t k);
+  void long_phase_push(std::uint64_t k);
+  void long_phase_pull(std::uint64_t k);
+  void bellman_ford_tail(std::uint64_t from_bucket);
+  void finalize();
+
+  // -- helpers ------------------------------------------------------------
+  struct StepReduce {
+    std::uint64_t any = 0;
+    std::uint64_t max_work = 0;
+    std::uint64_t max_bytes = 0;
+    std::uint64_t sum_relax = 0;
+  };
+  struct StepReduceOp {
+    StepReduce operator()(const StepReduce& a, const StepReduce& b) const {
+      return {a.any | b.any, std::max(a.max_work, b.max_work),
+              std::max(a.max_bytes, b.max_bytes), a.sum_relax + b.sum_relax};
+    }
+  };
+
+  /// Collective per-superstep accounting: advances the modeled clock and
+  /// returns the reduced values (notably sum_relax for phase details).
+  StepReduce account_step(std::uint64_t work, std::uint64_t bytes,
+                          std::uint64_t relax);
+
+  /// Collective frontier-emptiness check, charged to bucket overhead.
+  bool any_active_globally(bool local_active);
+
+  /// Applies a batch of incoming relaxations to owned vertices. When
+  /// `frontier_k` is not kInfBucket, vertices landing in that bucket join
+  /// the frontier. Returns the number of messages applied.
+  std::uint64_t apply_relaxations(
+      const std::vector<std::vector<RelaxMsg>>& batches,
+      std::uint64_t frontier_k);
+
+  bool classification_active() const {
+    return sh_.options->edge_classification &&
+           !sh_.options->bellman_ford_regime();
+  }
+  dist_t bucket_end(std::uint64_t k) const {  // inclusive upper limit of B_k
+    return (k + 1) * static_cast<dist_t>(sh_.options->delta) - 1;
+  }
+  vid_t to_local(vid_t global) const { return global - begin_; }
+  vid_t to_global(vid_t local) const { return begin_ + local; }
+
+  RankCtx& ctx_;
+  EngineShared sh_;
+  const LocalEdgeView& view_;
+  std::span<dist_t> dist_;  ///< owned slice of the global distance array
+  std::span<vid_t> parent_;  ///< owned slice of the parent array (optional)
+  vid_t begin_ = 0;
+  vid_t nloc_ = 0;
+
+  std::vector<char> settled_;
+  std::vector<std::uint64_t> member_stamp_;  ///< epoch when vertex joined B_k
+  std::vector<vid_t> members_;               ///< settled set of current epoch
+  std::vector<char> in_frontier_;
+  std::vector<vid_t> frontier_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t settled_local_cum_ = 0;
+
+  RankCounters counters_;
+  CostModel cost_;
+  // Rank-identical accumulators (derived from collective reductions).
+  double model_other_ns_ = 0;
+  double model_bkt_ns_ = 0;
+  std::uint64_t phases_ = 0;
+  std::uint64_t buckets_ = 0;
+  std::vector<bool> pull_decisions_;
+  std::vector<PhaseDetail> phase_details_;
+  std::vector<BucketDetail> bucket_details_;
+  bool switched_ = false;
+  std::uint64_t switch_bucket_ = 0;
+};
+
+/// Convenience entry point: the Machine job body for one solve.
+void run_sssp_job(RankCtx& ctx, const EngineShared& shared);
+
+}  // namespace parsssp

@@ -1,0 +1,55 @@
+#include "core/dist_builder.hpp"
+
+namespace parsssp {
+namespace {
+
+/// Wire format of one arc during the scatter: destination-owned vertex
+/// (global id) plus the arc out of it.
+struct ArcMsg {
+  vid_t owner_vertex;
+  vid_t to;
+  weight_t w;
+};
+
+}  // namespace
+
+std::vector<LocalEdgeView> build_views_distributed(const EdgeList& edges,
+                                                   Machine& machine,
+                                                   const BlockPartition& part,
+                                                   std::uint32_t delta) {
+  const rank_t ranks = machine.num_ranks();
+  std::vector<LocalEdgeView> views(ranks);
+  const auto& list = edges.edges();
+  const std::size_t m = list.size();
+
+  machine.run([&](RankCtx& ctx) {
+    const rank_t r = ctx.rank();
+    // This rank's chunk of the (conceptually distributed) edge input.
+    const std::size_t chunk = (m + ranks - 1) / ranks;
+    const std::size_t begin = std::min(m, chunk * r);
+    const std::size_t end = std::min(m, begin + chunk);
+
+    std::vector<std::vector<ArcMsg>> out(ranks);
+    for (std::size_t i = begin; i < end; ++i) {
+      const WeightedEdge& e = list[i];
+      out[part.owner(e.u)].push_back({e.u, e.v, e.w});
+      if (e.u != e.v) {
+        out[part.owner(e.v)].push_back({e.v, e.u, e.w});
+      }
+    }
+    const auto in = ctx.exchange(std::move(out), PhaseKind::kControl);
+
+    std::vector<std::pair<vid_t, Arc>> arcs;
+    for (const auto& batch : in) {
+      for (const ArcMsg& msg : batch) {
+        arcs.emplace_back(part.local_id(msg.owner_vertex),
+                          Arc{msg.to, msg.w});
+      }
+    }
+    views[r] = LocalEdgeView::from_arcs(part.count(r), std::move(arcs),
+                                        delta);
+  });
+  return views;
+}
+
+}  // namespace parsssp

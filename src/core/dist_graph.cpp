@@ -1,0 +1,166 @@
+#include "core/dist_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parsssp {
+
+LocalEdgeView LocalEdgeView::build(const CsrGraph& g,
+                                   const BlockPartition& part, rank_t rank,
+                                   std::uint32_t delta) {
+  LocalEdgeView view;
+  view.delta_ = delta;
+  const vid_t begin = part.begin(rank);
+  const vid_t end = part.end(rank);
+  view.num_local_ = end - begin;
+
+  view.off_.assign(view.num_local_ + 1, 0);
+  view.mid_.assign(view.num_local_, 0);
+  std::size_t total = 0;
+  for (vid_t v = begin; v < end; ++v) total += g.degree(v);
+  view.arcs_.reserve(total);
+
+  for (vid_t v = begin; v < end; ++v) {
+    const vid_t local = v - begin;
+    view.off_[local] = view.arcs_.size();
+    const auto nbrs = g.neighbors(v);
+    // Short arcs first (original order), then long arcs sorted by weight.
+    for (const Arc& a : nbrs) {
+      if (a.w < delta) view.arcs_.push_back(a);
+    }
+    view.mid_[local] = view.arcs_.size();
+    for (const Arc& a : nbrs) {
+      if (a.w >= delta) view.arcs_.push_back(a);
+    }
+    std::sort(view.arcs_.begin() +
+                  static_cast<std::ptrdiff_t>(view.mid_[local]),
+              view.arcs_.end(), [](const Arc& a, const Arc& b) {
+                if (a.w != b.w) return a.w < b.w;
+                return a.to < b.to;
+              });
+    view.total_long_ += view.arcs_.size() - view.mid_[local];
+  }
+  view.off_[view.num_local_] = view.arcs_.size();
+  view.build_histograms();
+  return view;
+}
+
+LocalEdgeView LocalEdgeView::from_arcs(
+    vid_t num_local, std::vector<std::pair<vid_t, Arc>> arcs,
+    std::uint32_t delta) {
+  LocalEdgeView view;
+  view.delta_ = delta;
+  view.num_local_ = num_local;
+  view.off_.assign(num_local + 1, 0);
+  view.mid_.assign(num_local, 0);
+  view.arcs_.resize(arcs.size());
+
+  // Counting sort by (local vertex, short/long class), then weight-sort
+  // each long range. Deterministic regardless of arrival order.
+  std::vector<std::uint64_t> counts(num_local, 0);
+  for (const auto& [local, arc] : arcs) ++counts[local];
+  for (vid_t v = 0; v < num_local; ++v) {
+    view.off_[v + 1] = view.off_[v] + counts[v];
+  }
+  // First pass: shorts from the front, longs from the back of each range.
+  std::vector<std::uint64_t> head(view.off_.begin(), view.off_.end() - 1);
+  std::vector<std::uint64_t> tail(view.off_.begin() + 1, view.off_.end());
+  for (const auto& [local, arc] : arcs) {
+    if (arc.w < delta) {
+      view.arcs_[head[local]++] = arc;
+    } else {
+      view.arcs_[--tail[local]] = arc;
+    }
+  }
+  for (vid_t v = 0; v < num_local; ++v) {
+    view.mid_[v] = head[v];  // == tail[v]: boundary between short and long
+    const auto begin =
+        view.arcs_.begin() + static_cast<std::ptrdiff_t>(view.mid_[v]);
+    const auto end =
+        view.arcs_.begin() + static_cast<std::ptrdiff_t>(view.off_[v + 1]);
+    std::sort(begin, end, [](const Arc& a, const Arc& b) {
+      if (a.w != b.w) return a.w < b.w;
+      return a.to < b.to;
+    });
+    // Short arcs get the deterministic (to, w) order build() produces.
+    std::sort(view.arcs_.begin() + static_cast<std::ptrdiff_t>(view.off_[v]),
+              begin, [](const Arc& a, const Arc& b) {
+                if (a.to != b.to) return a.to < b.to;
+                return a.w < b.w;
+              });
+    view.total_long_ += view.off_[v + 1] - view.mid_[v];
+  }
+  view.build_histograms();
+  return view;
+}
+
+void LocalEdgeView::build_histograms() {
+  max_long_weight_ = delta_;
+  for (const Arc& a : arcs_) {
+    max_long_weight_ = std::max(max_long_weight_, a.w);
+  }
+  hist_.assign(static_cast<std::size_t>(num_local_) * kHistogramBins, 0);
+  const double width = bin_width();
+  for (vid_t local = 0; local < num_local_; ++local) {
+    for (const Arc& a : long_arcs(local)) {
+      auto bin = static_cast<std::uint32_t>(
+          (static_cast<double>(a.w) - delta_) / width);
+      bin = std::min(bin, kHistogramBins - 1);
+      ++hist_[static_cast<std::size_t>(local) * kHistogramBins + bin];
+    }
+  }
+}
+
+double LocalEdgeView::bin_width() const {
+  const double span = static_cast<double>(max_long_weight_) -
+                      static_cast<double>(delta_) + 1.0;
+  return std::max(1.0, span / kHistogramBins);
+}
+
+double LocalEdgeView::count_long_below_histogram(vid_t local,
+                                                 dist_t bound) const {
+  if (bound == kInfDist) return static_cast<double>(long_degree(local));
+  if (bound <= delta_) return 0.0;
+  const double width = bin_width();
+  const double position =
+      (static_cast<double>(bound) - static_cast<double>(delta_)) / width;
+  const auto full_bins = static_cast<std::uint32_t>(position);
+  const std::uint32_t* bins =
+      hist_.data() + static_cast<std::size_t>(local) * kHistogramBins;
+  double count = 0;
+  for (std::uint32_t b = 0; b < std::min(full_bins, kHistogramBins); ++b) {
+    count += bins[b];
+  }
+  if (full_bins < kHistogramBins) {
+    count += bins[full_bins] * (position - full_bins);
+  }
+  return count;
+}
+
+std::uint64_t LocalEdgeView::count_long_below(vid_t local, dist_t bound) const {
+  const auto range = long_arcs(local);
+  if (bound == kInfDist) return range.size();
+  const weight_t w_bound = bound > std::numeric_limits<weight_t>::max()
+                               ? std::numeric_limits<weight_t>::max()
+                               : static_cast<weight_t>(bound);
+  // Long arcs are weight-sorted; find the first arc with w >= bound.
+  const auto it = std::lower_bound(
+      range.begin(), range.end(), w_bound,
+      [](const Arc& a, weight_t b) { return a.w < b; });
+  std::uint64_t count = static_cast<std::uint64_t>(it - range.begin());
+  // bound may exceed weight_t range (huge d(v)); then every long arc counts.
+  if (bound > std::numeric_limits<weight_t>::max()) count = range.size();
+  return count;
+}
+
+std::vector<LocalEdgeView> build_all_views(const CsrGraph& g,
+                                           const BlockPartition& part,
+                                           std::uint32_t delta) {
+  std::vector<LocalEdgeView> views(part.num_ranks());
+  for (rank_t r = 0; r < part.num_ranks(); ++r) {
+    views[r] = LocalEdgeView::build(g, part, r, delta);
+  }
+  return views;
+}
+
+}  // namespace parsssp

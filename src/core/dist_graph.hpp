@@ -1,0 +1,105 @@
+// Per-rank view of the distributed graph.
+//
+// Vertices are block-distributed (runtime/partition.hpp). Each rank holds,
+// for every vertex it owns, the vertex's full adjacency re-laid-out for the
+// engine: short arcs (w < Delta) first, then long arcs (w >= Delta) sorted
+// by ascending weight. The weight-sorted long range is what makes the pull
+// request count computable by binary search (paper §III-C: "assuming that
+// the edge list of each vertex is sorted according to weights, the quantity
+// can be computed via a binary search").
+//
+// This is the paper's Delta-dependent preprocessing stage; Solver caches one
+// view set per Delta and reuses it across roots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+class LocalEdgeView {
+ public:
+  LocalEdgeView() = default;
+
+  /// Builds rank `rank`'s view for bucket width `delta`. Only the owned
+  /// slice of `g` is touched.
+  static LocalEdgeView build(const CsrGraph& g, const BlockPartition& part,
+                             rank_t rank, std::uint32_t delta);
+
+  /// Builds a view directly from (local vertex, arc) pairs — the receive
+  /// side of the distributed construction kernel (core/dist_builder.hpp),
+  /// where no global CSR ever exists. The pairs may arrive in any order.
+  static LocalEdgeView from_arcs(vid_t num_local,
+                                 std::vector<std::pair<vid_t, Arc>> arcs,
+                                 std::uint32_t delta);
+
+  vid_t num_local() const { return num_local_; }
+  std::uint32_t delta() const { return delta_; }
+
+  std::size_t degree(vid_t local) const {
+    return static_cast<std::size_t>(off_[local + 1] - off_[local]);
+  }
+  std::size_t short_degree(vid_t local) const {
+    return static_cast<std::size_t>(mid_[local] - off_[local]);
+  }
+  std::size_t long_degree(vid_t local) const {
+    return static_cast<std::size_t>(off_[local + 1] - mid_[local]);
+  }
+
+  /// Arcs with w < delta.
+  std::span<const Arc> short_arcs(vid_t local) const {
+    return {arcs_.data() + off_[local], arcs_.data() + mid_[local]};
+  }
+  /// Arcs with w >= delta, sorted by ascending weight.
+  std::span<const Arc> long_arcs(vid_t local) const {
+    return {arcs_.data() + mid_[local], arcs_.data() + off_[local + 1]};
+  }
+  /// Every arc of the vertex (short range followed by long range).
+  std::span<const Arc> all_arcs(vid_t local) const {
+    return {arcs_.data() + off_[local], arcs_.data() + off_[local + 1]};
+  }
+
+  /// Number of long arcs with w < bound (exact, via binary search).
+  std::uint64_t count_long_below(vid_t local, dist_t bound) const;
+
+  /// Approximate count of long arcs with w < bound, using the per-vertex
+  /// weight histogram (the paper's alternative to binary search: cheaper to
+  /// maintain when edge lists are not weight-sorted). Full bins below the
+  /// bound count exactly; the partial bin is linearly interpolated.
+  double count_long_below_histogram(vid_t local, dist_t bound) const;
+
+  /// Sum of long degrees over all owned vertices.
+  std::uint64_t total_long_degree() const { return total_long_; }
+
+  /// Number of histogram bins per vertex.
+  static constexpr std::uint32_t kHistogramBins = 16;
+
+ private:
+  // Bin geometry over the long-weight range [delta_, max_long_weight_].
+  double bin_width() const;
+  // Fills hist_ / max_long_weight_ from the laid-out arcs.
+  void build_histograms();
+
+  vid_t num_local_ = 0;
+  std::uint32_t delta_ = 0;
+  weight_t max_long_weight_ = 0;
+  std::vector<std::uint64_t> off_;  // size num_local_+1
+  std::vector<std::uint64_t> mid_;  // size num_local_: short/long boundary
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> hist_;  // num_local_ * kHistogramBins
+  std::uint64_t total_long_ = 0;
+};
+
+/// Builds the views of all ranks (each rank builds its own when called from
+/// inside a machine job; this sequential helper exists for tests).
+std::vector<LocalEdgeView> build_all_views(const CsrGraph& g,
+                                           const BlockPartition& part,
+                                           std::uint32_t delta);
+
+}  // namespace parsssp

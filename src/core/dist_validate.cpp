@@ -1,0 +1,140 @@
+#include "core/dist_validate.hpp"
+
+#include <sstream>
+
+namespace parsssp {
+namespace {
+
+/// Triangle-check payload: "I propose d(u) + w for your vertex v."
+struct TriMsg {
+  vid_t v;
+  dist_t bound;
+};
+
+/// Parent-edge query: "is d(p) + w == expected for your vertex p?"
+struct ParentReq {
+  vid_t p;         ///< parent (owned by receiver)
+  vid_t child;     ///< for the response address
+  dist_t expected; ///< d(child)
+  weight_t w;      ///< candidate tree-edge weight
+};
+
+/// Response: one confirmed tree edge for `child`.
+struct ParentOk {
+  vid_t child;
+};
+
+struct Violations {
+  std::uint64_t bad_root = 0;
+  std::uint64_t triangle = 0;
+  std::uint64_t parent = 0;
+};
+struct ViolationsOp {
+  Violations operator()(const Violations& a, const Violations& b) const {
+    return {a.bad_root + b.bad_root, a.triangle + b.triangle,
+            a.parent + b.parent};
+  }
+};
+
+}  // namespace
+
+ValidationReport validate_distributed(const CsrGraph& g, Machine& machine,
+                                      const BlockPartition& part, vid_t root,
+                                      const std::vector<dist_t>& dist,
+                                      const std::vector<vid_t>& parent) {
+  const bool check_parents = !parent.empty();
+  Violations total;
+
+  machine.run([&](RankCtx& ctx) {
+    const rank_t r = ctx.rank();
+    const rank_t ranks = ctx.num_ranks();
+    const vid_t begin = part.begin(r);
+    const vid_t end = part.end(r);
+    Violations local;
+
+    // Check 1: the root's owner validates d(root).
+    if (part.owner(root) == r && dist[root] != 0) ++local.bad_root;
+
+    // Check 2: propose d(u)+w over every owned arc; receivers verify.
+    std::vector<std::vector<TriMsg>> tri_out(ranks);
+    for (vid_t u = begin; u < end; ++u) {
+      if (dist[u] == kInfDist) continue;
+      for (const Arc& a : g.neighbors(u)) {
+        tri_out[part.owner(a.to)].push_back({a.to, dist[u] + a.w});
+      }
+    }
+    const auto tri_in = ctx.exchange(std::move(tri_out),
+                                     PhaseKind::kControl);
+    for (const auto& batch : tri_in) {
+      for (const TriMsg& m : batch) {
+        if (dist[m.v] > m.bound) ++local.triangle;
+      }
+    }
+
+    if (check_parents) {
+      // Checks 3-4: candidate tree edges of every owned reached vertex.
+      std::vector<std::vector<ParentReq>> req_out(ranks);
+      std::vector<char> confirmed(end - begin, 0);
+      for (vid_t v = begin; v < end; ++v) {
+        const vid_t p = parent[v];
+        if (dist[v] == kInfDist) {
+          if (p != kInvalidVid) ++local.parent;  // ghost parent
+          continue;
+        }
+        if (v == root) {
+          if (p != root) ++local.parent;
+          confirmed[v - begin] = 1;
+          continue;
+        }
+        if (p >= g.num_vertices()) {
+          ++local.parent;
+          confirmed[v - begin] = 1;  // counted; don't double-report below
+          continue;
+        }
+        for (const Arc& a : g.neighbors(v)) {
+          if (a.to == p) {
+            req_out[part.owner(p)].push_back({p, v, dist[v], a.w});
+          }
+        }
+      }
+      const auto req_in = ctx.exchange(std::move(req_out),
+                                       PhaseKind::kControl);
+      std::vector<std::vector<ParentOk>> ok_out(ranks);
+      for (const auto& batch : req_in) {
+        for (const ParentReq& m : batch) {
+          if (dist[m.p] != kInfDist && dist[m.p] + m.w == m.expected) {
+            ok_out[part.owner(m.child)].push_back({m.child});
+          }
+        }
+      }
+      const auto ok_in = ctx.exchange(std::move(ok_out),
+                                      PhaseKind::kControl);
+      for (const auto& batch : ok_in) {
+        for (const ParentOk& m : batch) confirmed[m.child - begin] = 1;
+      }
+      for (vid_t v = begin; v < end; ++v) {
+        if (dist[v] != kInfDist && !confirmed[v - begin]) ++local.parent;
+      }
+    }
+
+    const Violations reduced = ctx.allreduce(local, ViolationsOp{});
+    if (ctx.rank() == 0) total = reduced;  // identical on all ranks
+  });
+
+  ValidationReport report;
+  report.bad_root = total.bad_root;
+  report.violated_edges = total.triangle;
+  report.parent_violations = total.parent;
+  report.ok = total.bad_root == 0 && total.triangle == 0 &&
+              total.parent == 0;
+  if (!report.ok) {
+    std::ostringstream os;
+    os << "distributed validation: " << total.bad_root << " root, "
+       << total.triangle << " triangle, " << total.parent
+       << " parent violations";
+    report.message = os.str();
+  }
+  return report;
+}
+
+}  // namespace parsssp

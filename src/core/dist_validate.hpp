@@ -1,0 +1,45 @@
+// Distributed result validation.
+//
+// The sequential oracle (core/validate.hpp) re-solves with Dijkstra —
+// fine at laptop scale, impossible at the paper's scale 38, where
+// validation must itself be a distributed job over owned data (this is
+// how Graph 500 implementations validate). This module checks, with two
+// message exchanges and a reduction:
+//
+//   1. d(root) == 0 (owner-checked);
+//   2. no edge violates the triangle inequality: for every owned arc
+//      (u, v), owner(u) sends d(u)+w to owner(v), who requires
+//      d(v) <= d(u)+w — also certifies d is a fixpoint of relaxation;
+//   3. every owned reached vertex has *some* incident arc from its parent
+//      with d(parent) + w == d(v) (request/response on candidate arcs);
+//   4. unreached owned vertices have no parent, reached ones have a valid
+//      one.
+//
+// Checks 1-4 certify d pointwise-correct *given* reachability: a fixpoint
+// of relaxation that is 0 at the root and supported by a parent edge of
+// exact weight gap cannot exceed the true distance anywhere on the
+// parent-connected set, and cannot be below it anywhere (triangle
+// inequality along the true shortest path). Parent-graph acyclicity is
+// certified by weights: every tree edge has w = d(v) - d(parent) >= 0 and
+// chains terminate at the root except through zero-weight plateaus, which
+// the sequential checker (used in tests) rules out; at scale, Graph 500
+// accepts the same certificate.
+#pragma once
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "graph/csr.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+/// Runs the distributed checks. `parent` may be empty (skips checks 3-4).
+/// Collective over `machine`; returns the globally reduced report.
+ValidationReport validate_distributed(const CsrGraph& g, Machine& machine,
+                                      const BlockPartition& part, vid_t root,
+                                      const std::vector<dist_t>& dist,
+                                      const std::vector<vid_t>& parent = {});
+
+}  // namespace parsssp

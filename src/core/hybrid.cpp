@@ -1,0 +1,12 @@
+#include "core/hybrid.hpp"
+
+namespace parsssp {
+
+bool should_switch_to_bellman_ford(std::uint64_t settled_total,
+                                   std::uint64_t num_vertices, double tau) {
+  if (tau < 0.0 || num_vertices == 0) return false;
+  return static_cast<double>(settled_total) >
+         tau * static_cast<double>(num_vertices);
+}
+
+}  // namespace parsssp

@@ -1,0 +1,16 @@
+// Hybridization (paper §III-D): after each epoch, if the fraction of
+// settled vertices exceeds tau, the remaining buckets are merged into one
+// and finished with Bellman-Ford. The paper determined tau = 0.4 to be a
+// good choice; bench/abl_hybrid_tau sweeps it.
+#pragma once
+
+#include <cstdint>
+
+namespace parsssp {
+
+/// True if the engine should switch to the Bellman-Ford tail.
+/// `tau < 0` disables hybridization.
+bool should_switch_to_bellman_ford(std::uint64_t settled_total,
+                                   std::uint64_t num_vertices, double tau);
+
+}  // namespace parsssp

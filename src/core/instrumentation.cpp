@@ -1,0 +1,6 @@
+#include "core/instrumentation.hpp"
+
+// SsspStats and CostModel are header-only; this anchors the target.
+namespace parsssp {
+static_assert(sizeof(SsspStats) > 0);
+}  // namespace parsssp

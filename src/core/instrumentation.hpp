@@ -1,0 +1,125 @@
+// Counters, timers and the machine cost model. Everything the paper's
+// figures plot comes out of this module: relaxation counts by phase kind,
+// phase/bucket counts, the BktTime/OtherTime breakdown, modeled execution
+// time, and TEPS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// Per-phase record for Fig. 4 (dominance of long phases).
+struct PhaseDetail {
+  std::uint64_t bucket = 0;
+  enum class Kind : std::uint8_t { kShort, kLongPush, kLongPull, kBellmanFord };
+  Kind kind = Kind::kShort;
+  std::uint64_t relaxations = 0;  ///< relax ops (pull: requests + responses)
+};
+
+/// Per-bucket record for Fig. 7 (push vs pull statistics) and §IV-G.
+struct BucketDetail {
+  std::uint64_t bucket = 0;
+  /// Long edges of settled bucket vertices by destination category
+  /// (receiver-side classification; filled only when the bucket ran push).
+  std::uint64_t self_edges = 0;
+  std::uint64_t backward_edges = 0;
+  std::uint64_t forward_edges = 0;
+  /// Pull-side counters (actual when the bucket ran pull).
+  std::uint64_t pull_requests = 0;
+  std::uint64_t pull_responses = 0;
+  /// Decision-heuristic inputs (always computed when pruning is on).
+  std::uint64_t push_volume_estimate = 0;
+  std::uint64_t pull_volume_estimate = 0;
+  std::uint64_t push_max_rank = 0;
+  std::uint64_t pull_max_rank = 0;
+  bool used_pull = false;
+};
+
+/// Aggregated result statistics of one SSSP run.
+struct SsspStats {
+  // Work (paper metric: number of relax operations; pull-relaxed edges
+  // count twice, once for the request and once for the response).
+  std::uint64_t short_relaxations = 0;
+  std::uint64_t long_push_relaxations = 0;
+  std::uint64_t pull_requests = 0;
+  std::uint64_t pull_responses = 0;
+  std::uint64_t bf_relaxations = 0;
+  std::uint64_t total_relaxations() const {
+    return short_relaxations + long_push_relaxations + pull_requests +
+           pull_responses + bf_relaxations;
+  }
+
+  // Structure.
+  std::uint64_t phases = 0;
+  std::uint64_t buckets = 0;
+  bool switched_to_bf = false;
+  std::uint64_t bf_switch_bucket = 0;
+  std::vector<bool> pull_decisions;  ///< one entry per processed bucket
+
+  // Measured wall-clock (seconds), bottleneck (max) across ranks.
+  double wall_time_s = 0;
+  double wall_bucket_time_s = 0;  ///< bucket bookkeeping ("BktTime")
+  double wall_other_time_s = 0;   ///< relax processing + comm ("OtherTime")
+
+  // Modeled machine time (seconds) under CostModelParams; this is what the
+  // scaling figures plot, since wall clock on a shared host measures total
+  // work, not the simulated machine's critical path.
+  double model_time_s = 0;
+  double model_bucket_time_s = 0;
+  double model_other_time_s = 0;
+
+  // Optional details.
+  std::vector<PhaseDetail> phase_details;
+  std::vector<BucketDetail> bucket_details;
+
+  /// Traversed edges per second, Graph 500 style: m / t.
+  double teps(std::uint64_t num_edges, bool modeled = true) const {
+    const double t = modeled ? model_time_s : wall_time_s;
+    return t > 0 ? static_cast<double>(num_edges) / t : 0.0;
+  }
+  double gteps(std::uint64_t num_edges, bool modeled = true) const {
+    return teps(num_edges, modeled) / 1e9;
+  }
+};
+
+/// Per-rank accumulator used inside the engine; merged into SsspStats after
+/// a run. Ranks only ever touch their own accumulator.
+struct RankCounters {
+  std::uint64_t short_relaxations = 0;
+  std::uint64_t long_push_relaxations = 0;
+  std::uint64_t pull_requests = 0;
+  std::uint64_t pull_responses = 0;
+  std::uint64_t bf_relaxations = 0;
+  double wall_bucket_time_s = 0;
+  double wall_other_time_s = 0;
+};
+
+/// The modeled clock. Each rank advances a shared view of modeled time via
+/// collective max-reductions, so the value is identical on every rank.
+/// See CostModelParams for the semantics of each term.
+class CostModel {
+ public:
+  explicit CostModel(const CostModelParams& params) : p_(params) {}
+
+  /// One bulk-synchronous step: latency plus the bottleneck rank's relax
+  /// work and injected bytes. Returns modeled nanoseconds.
+  double step_cost(std::uint64_t max_work, std::uint64_t max_bytes) const {
+    return p_.t_step_ns + p_.t_relax_ns * static_cast<double>(max_work) +
+           p_.t_byte_ns * static_cast<double>(max_bytes);
+  }
+
+  /// Bucket bookkeeping: scanning `max_scanned` owned vertices plus the
+  /// next-bucket Allreduce.
+  double scan_cost(std::uint64_t max_scanned) const {
+    return p_.t_step_ns + p_.t_scan_ns * static_cast<double>(max_scanned);
+  }
+
+ private:
+  CostModelParams p_;
+};
+
+}  // namespace parsssp

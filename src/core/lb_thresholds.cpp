@@ -1,0 +1,38 @@
+#include "core/lb_thresholds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/degree_stats.hpp"
+
+namespace parsssp {
+namespace {
+
+// Below this degree, lane-splitting a vertex costs more in coordination
+// than it saves; keeps pi sane on tiny test graphs.
+constexpr std::size_t kMinHeavy = 16;
+
+}  // namespace
+
+LbThresholds suggest_lb_thresholds(const CsrGraph& g,
+                                   const MachineConfig& machine,
+                                   double split_fraction) {
+  LbThresholds t;
+  const rank_t ranks = std::max<rank_t>(1, machine.num_ranks);
+  const unsigned lanes = std::max(1u, machine.lanes_per_rank);
+  t.arcs_per_rank =
+      static_cast<double>(g.num_arcs()) / static_cast<double>(ranks);
+  t.max_degree = max_degree(g);
+
+  t.heavy_pi = std::max<std::size_t>(
+      kMinHeavy,
+      static_cast<std::size_t>(std::llround(t.arcs_per_rank / lanes)));
+  t.split_pi = std::max<std::size_t>(
+      t.heavy_pi,
+      static_cast<std::size_t>(std::llround(split_fraction *
+                                            t.arcs_per_rank)));
+  t.splitting_recommended = t.max_degree > t.split_pi;
+  return t;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,43 @@
+// Load-balancing threshold selection (paper §III-E: "We have determined
+// robust heuristics to determine the thresholds pi and pi', and the number
+// of proxies... The details are omitted for brevity.").
+//
+// This module supplies one concrete, documented instantiation of those
+// heuristics, derived from the load model the paper states (a thread's
+// load is the aggregate degree of its owned vertices):
+//
+//   pi  (intra-rank, heavy)   — a vertex is heavy when relaxing its
+//        adjacency alone exceeds one lane's fair share of the rank's arcs:
+//        pi = max(kMinHeavy, arcs_per_rank / lanes).
+//   pi' (inter-rank, extreme) — a vertex is extreme when its adjacency is
+//        a large fraction of an *entire rank's* arc budget, so intra-rank
+//        lane splitting cannot absorb it:
+//        pi' = max(pi, split_fraction * arcs_per_rank).
+//
+// The proxies-per-split-vertex count follows from pi' (ceil(deg / pi')),
+// which graph/vertex_split.hpp already implements.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/csr.hpp"
+#include "runtime/machine.hpp"
+
+namespace parsssp {
+
+struct LbThresholds {
+  std::size_t heavy_pi = 0;    ///< intra-rank heavy-vertex threshold
+  std::size_t split_pi = 0;    ///< inter-rank vertex-splitting threshold
+  bool splitting_recommended = false;  ///< max degree exceeds split_pi
+  std::size_t max_degree = 0;
+  double arcs_per_rank = 0;
+};
+
+/// Computes both tiers' thresholds for running `g` on `machine`-shaped
+/// hardware. `split_fraction` is the share of a rank's arc budget beyond
+/// which a single vertex warrants inter-node splitting (default 1/2).
+LbThresholds suggest_lb_thresholds(const CsrGraph& g,
+                                   const MachineConfig& machine,
+                                   double split_fraction = 0.5);
+
+}  // namespace parsssp

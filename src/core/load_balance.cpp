@@ -1,0 +1,23 @@
+#include "core/load_balance.hpp"
+
+namespace parsssp {
+
+HeavyLightSplit split_by_degree(std::span<const vid_t> sources,
+                                const LocalEdgeView& view,
+                                std::size_t threshold) {
+  HeavyLightSplit split;
+  if (threshold == 0) {
+    split.light.assign(sources.begin(), sources.end());
+    return split;
+  }
+  for (const vid_t u : sources) {
+    if (view.degree(u) > threshold) {
+      split.heavy.push_back(u);
+    } else {
+      split.light.push_back(u);
+    }
+  }
+  return split;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,72 @@
+// Intra-rank thread-level load balancing (paper §III-E, first tier).
+//
+// Relax-message generation over a set of source vertices is spread across
+// the rank's worker lanes. Light vertices (degree <= pi) are chunked by
+// vertex; each *heavy* vertex's arc range is itself partitioned across all
+// lanes, so one million-degree hub no longer serializes on its owner lane.
+// (The second tier — inter-node vertex splitting — is a graph transform in
+// graph/vertex_split.hpp.)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/types.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace parsssp {
+
+struct HeavyLightSplit {
+  std::vector<vid_t> light;
+  std::vector<vid_t> heavy;
+};
+
+/// Partitions `sources` (locals) by degree threshold pi. threshold == 0
+/// means the feature is off: everything is light.
+HeavyLightSplit split_by_degree(std::span<const vid_t> sources,
+                                const LocalEdgeView& view,
+                                std::size_t threshold);
+
+/// Runs `visit(lane, local_u, arc)` for every arc that `arcs_of(local_u)`
+/// yields for every source vertex, distributing work across the pool's
+/// lanes with the paper's threading model:
+///   * every vertex is *owned* by a fixed lane (local id modulo lanes) and
+///     light vertices are relaxed entirely by their owner lane — this is
+///     the baseline, whose per-lane load is the aggregate degree of the
+///     owned vertices and therefore suffers from degree skew;
+///   * with load balancing on (threshold > 0), a heavy vertex's arc range
+///     is instead partitioned across *all* lanes (paper §III-E).
+/// `visit` may be invoked concurrently for different lanes; calls with the
+/// same lane are sequential.
+template <typename ArcsOf, typename Visit>
+void lane_parallel_arcs(ThreadPool& pool, std::span<const vid_t> sources,
+                        const LocalEdgeView& view, std::size_t heavy_threshold,
+                        ArcsOf arcs_of, Visit visit) {
+  const unsigned lanes = pool.lanes();
+  if (lanes == 1) {
+    for (const vid_t u : sources) {
+      for (const Arc& a : arcs_of(u)) visit(0u, u, a);
+    }
+    return;
+  }
+  const HeavyLightSplit split = split_by_degree(sources, view, heavy_threshold);
+  pool.run_on_lanes([&](unsigned lane) {
+    for (const vid_t u : split.light) {
+      if (u % lanes != lane) continue;  // fixed lane ownership
+      for (const Arc& a : arcs_of(u)) visit(lane, u, a);
+    }
+  });
+  for (const vid_t u : split.heavy) {
+    const std::span<const Arc> arcs = arcs_of(u);
+    pool.parallel_for(arcs.size(),
+                      [&](unsigned lane, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          visit(lane, u, arcs[i]);
+                        }
+                      });
+  }
+}
+
+}  // namespace parsssp

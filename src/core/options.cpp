@@ -1,0 +1,56 @@
+#include "core/options.hpp"
+
+namespace parsssp {
+
+SsspOptions SsspOptions::dijkstra() {
+  SsspOptions o;
+  o.delta = 1;
+  o.edge_classification = true;  // with Delta=1 every edge is long
+  o.ios = false;
+  o.pruning = false;
+  o.hybrid_tau = -1.0;
+  return o;
+}
+
+SsspOptions SsspOptions::bellman_ford() {
+  SsspOptions o;
+  o.delta = kInfDelta;
+  o.edge_classification = false;
+  o.ios = false;
+  o.pruning = false;
+  o.hybrid_tau = -1.0;
+  return o;
+}
+
+SsspOptions SsspOptions::del(std::uint32_t delta) {
+  SsspOptions o;
+  o.delta = delta;
+  o.edge_classification = true;
+  o.ios = false;
+  o.pruning = false;
+  o.hybrid_tau = -1.0;
+  return o;
+}
+
+SsspOptions SsspOptions::prune(std::uint32_t delta) {
+  SsspOptions o = del(delta);
+  o.ios = true;
+  o.pruning = true;
+  o.prune_mode = PruneMode::kHeuristic;
+  return o;
+}
+
+SsspOptions SsspOptions::opt(std::uint32_t delta) {
+  SsspOptions o = prune(delta);
+  o.hybrid_tau = 0.4;
+  return o;
+}
+
+SsspOptions SsspOptions::lb_opt(std::uint32_t delta,
+                                std::size_t heavy_threshold) {
+  SsspOptions o = opt(delta);
+  o.heavy_degree_threshold = heavy_threshold;
+  return o;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,108 @@
+// Configuration of the distributed SSSP engine: which of the paper's
+// optimizations are enabled and with what parameters. Factory functions
+// build the named algorithm variants of the evaluation section
+// (Del-D, Prune-D, OPT-D, LB-OPT-D, Dijkstra, Bellman-Ford).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// How the long-edge phase of each bucket is executed (paper §III-B/C).
+enum class PruneMode : std::uint8_t {
+  kPushOnly,        ///< classic push relaxations for every bucket
+  kPullOnly,        ///< pull (request/response) for every bucket
+  kHeuristic,       ///< per-bucket decision heuristic (the paper's default)
+  kForcedSequence,  ///< per-bucket decisions supplied by the caller (§IV-G)
+};
+
+/// How the pull-request volume is estimated by the decision heuristic.
+/// The paper discusses all three: binary search over weight-sorted lists,
+/// histograms for "approximate estimates", and (what its implementation
+/// uses) the closed-form expectation under uniform weights.
+enum class EstimatorKind : std::uint8_t {
+  kExact,        ///< binary search over weight-sorted long-edge lists
+  kExpectation,  ///< closed-form expectation under uniform weights (paper)
+  kHistogram,    ///< per-vertex weight histograms, interpolated
+};
+
+/// Cost model of the simulated machine, used to convert the exact per-step
+/// work/traffic counters into a modeled execution time. The absolute scale
+/// is arbitrary (units are nanoseconds of a nominal node); the *ratios*
+/// decide the trade-offs the paper studies: t_step penalizes phase/bucket
+/// counts (Dijkstra's weakness), t_relax and t_byte penalize work and
+/// communication volume (Bellman-Ford's weakness), and the max-over-ranks
+/// aggregation exposes load imbalance (§III-E).
+/// Defaults calibrated so that, at this library's laptop scales (2^10-2^13
+/// vertices per rank), the work:latency ratio lands in the same regime the
+/// paper measures at 2^23 vertices per node: relax work dominates, per-epoch
+/// scans are visible, and superstep latency only hurts algorithms with very
+/// many phases (Dijkstra).
+struct CostModelParams {
+  double t_step_ns = 1000.0;  ///< latency per bulk-synchronous superstep
+  double t_relax_ns = 4.0;    ///< per relax / request / response operation
+  double t_byte_ns = 0.25;    ///< per byte injected into the network
+  double t_scan_ns = 1.0;     ///< per vertex scanned in bucket bookkeeping
+};
+
+struct SsspOptions {
+  /// Bucket width. kInfDelta selects the Bellman-Ford regime (one bucket).
+  static constexpr std::uint32_t kInfDelta = 0xffffffffu;
+  std::uint32_t delta = 25;
+
+  /// Meyer-Sanders short/long edge classification (§III-A).
+  bool edge_classification = true;
+  /// Inner/outer short refinement on top of classification (§III-A).
+  bool ios = true;
+  /// Direction-optimized long phases (§III-B). Requires classification.
+  bool pruning = true;
+  PruneMode prune_mode = PruneMode::kHeuristic;
+  /// Per-epoch decisions for kForcedSequence: true = pull. Buckets beyond
+  /// the vector fall back to push.
+  std::vector<bool> forced_pull;
+  EstimatorKind estimator = EstimatorKind::kExact;
+  /// Weight of the load-imbalance term in the decision heuristic:
+  /// cost = volume + load_lambda * ranks * max_per_rank_traffic.
+  double load_lambda = 1.0;
+
+  /// Hybridization threshold tau (§III-D): switch to Bellman-Ford once the
+  /// settled fraction exceeds tau. Negative disables hybridization.
+  double hybrid_tau = -1.0;
+
+  /// Intra-rank load balancing (§III-E): vertices with degree > threshold
+  /// have their adjacency relaxed cooperatively by all lanes. 0 disables.
+  std::size_t heavy_degree_threshold = 0;
+
+  /// Also build the shortest-path tree (Graph 500 SSSP output): relax
+  /// messages carry their source vertex and SsspResult::parent is filled.
+  bool track_parents = false;
+
+  /// Diagnostics for the figure benches.
+  bool collect_phase_details = false;   ///< per-phase relax counts (Fig 4)
+  bool collect_bucket_details = false;  ///< per-bucket push/pull stats (Fig 7)
+
+  CostModelParams cost_model;
+
+  bool bellman_ford_regime() const { return delta == kInfDelta; }
+
+  // --- Named variants of the paper's evaluation -------------------------
+
+  /// Dijkstra = Delta-stepping with Delta=1 (Dial's variant).
+  static SsspOptions dijkstra();
+  /// Bellman-Ford = Delta-stepping with a single unbounded bucket.
+  static SsspOptions bellman_ford();
+  /// Del-D: baseline Delta-stepping with short/long classification.
+  static SsspOptions del(std::uint32_t delta);
+  /// Prune-D: Del-D + IOS + push/pull pruning with the decision heuristic.
+  static SsspOptions prune(std::uint32_t delta);
+  /// OPT-D: Prune-D + hybridization (tau = 0.4).
+  static SsspOptions opt(std::uint32_t delta);
+  /// LB-OPT-D: OPT-D + intra-rank heavy-vertex load balancing.
+  static SsspOptions lb_opt(std::uint32_t delta,
+                            std::size_t heavy_threshold = 256);
+};
+
+}  // namespace parsssp

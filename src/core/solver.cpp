@@ -1,0 +1,100 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+namespace parsssp {
+
+Solver::Solver(const CsrGraph& graph, SolverConfig config)
+    : graph_(graph),
+      config_(config),
+      machine_(config.machine),
+      part_(graph.num_vertices(), config.machine.num_ranks) {}
+
+void Solver::ensure_views(std::uint32_t delta) {
+  if (views_ready_ && views_delta_ == delta) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  views_.assign(machine_.num_ranks(), LocalEdgeView{});
+  // Each rank builds its own view, in parallel on the simulated machine.
+  machine_.run([&](RankCtx& ctx) {
+    views_[ctx.rank()] =
+        LocalEdgeView::build(graph_, part_, ctx.rank(), delta);
+  });
+  preprocess_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  views_delta_ = delta;
+  views_ready_ = true;
+}
+
+SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
+  if (root >= graph_.num_vertices()) {
+    throw std::invalid_argument("Solver::solve: root out of range");
+  }
+  if (options.delta == 0) {
+    throw std::invalid_argument("Solver::solve: delta must be >= 1");
+  }
+  ensure_views(options.delta);
+
+  SsspResult result;
+  result.dist.assign(graph_.num_vertices(), kInfDist);
+  if (options.track_parents) {
+    result.parent.assign(graph_.num_vertices(), kInvalidVid);
+  }
+  std::vector<RankCounters> rank_counters(machine_.num_ranks());
+
+  EngineShared shared;
+  shared.graph = &graph_;
+  shared.part = part_;
+  shared.views = &views_;
+  shared.dist = &result.dist;
+  shared.parent = options.track_parents ? &result.parent : nullptr;
+  shared.root = root;
+  shared.options = &options;
+  shared.rank_counters = &rank_counters;
+  shared.stats = &result.stats;
+
+  machine_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+
+  for (const RankCounters& c : rank_counters) {
+    result.stats.short_relaxations += c.short_relaxations;
+    result.stats.long_push_relaxations += c.long_push_relaxations;
+    result.stats.pull_requests += c.pull_requests;
+    result.stats.pull_responses += c.pull_responses;
+    result.stats.bf_relaxations += c.bf_relaxations;
+  }
+  return result;
+}
+
+BatchSummary Solver::solve_batch(std::span<const vid_t> roots,
+                                 const SsspOptions& options) {
+  BatchSummary summary;
+  summary.num_roots = roots.size();
+  summary.edges = graph_.num_undirected_edges();
+  if (roots.empty()) return summary;
+
+  double inv_sum = 0;
+  summary.min_gteps = std::numeric_limits<double>::max();
+  for (const vid_t root : roots) {
+    SsspResult r = solve(root, options);
+    const double gteps = r.stats.gteps(summary.edges, /*modeled=*/true);
+    inv_sum += gteps > 0 ? 1.0 / gteps : 0.0;
+    summary.mean_gteps += gteps;
+    summary.min_gteps = std::min(summary.min_gteps, gteps);
+    summary.max_gteps = std::max(summary.max_gteps, gteps);
+    summary.mean_time_s += r.stats.model_time_s;
+    summary.mean_relaxations +=
+        static_cast<double>(r.stats.total_relaxations());
+    summary.per_root.push_back(std::move(r.stats));
+  }
+  const double n = static_cast<double>(roots.size());
+  summary.harmonic_mean_gteps = inv_sum > 0 ? n / inv_sum : 0.0;
+  summary.mean_gteps /= n;
+  summary.mean_time_s /= n;
+  summary.mean_relaxations /= n;
+  return summary;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,89 @@
+// Public facade of the library.
+//
+//   CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+//   Solver solver(g, {.machine = {.num_ranks = 16}});
+//   SsspResult r = solver.solve(root, SsspOptions::opt(25));
+//   // r.dist[v], r.stats.gteps(g.num_undirected_edges()), ...
+//
+// A Solver owns the simulated machine and the Delta-dependent edge views;
+// views are cached so that solving many roots at the same Delta (the
+// Graph 500 methodology: 16-64 random roots per configuration) pays the
+// preprocessing once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/delta_engine.hpp"
+#include "core/dist_graph.hpp"
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "graph/csr.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+struct SolverConfig {
+  MachineConfig machine;
+};
+
+struct SsspResult {
+  std::vector<dist_t> dist;  ///< shortest distance per vertex (kInfDist =
+                             ///< unreachable)
+  /// Shortest-path-tree parents; parent[root] == root, kInvalidVid for
+  /// unreachable vertices. Empty unless SsspOptions::track_parents.
+  std::vector<vid_t> parent;
+  SsspStats stats;
+};
+
+/// Aggregate of a multi-root run, following the Graph 500 reporting
+/// methodology (64 search keys; harmonic-mean TEPS across them).
+struct BatchSummary {
+  std::size_t num_roots = 0;
+  std::uint64_t edges = 0;
+  double harmonic_mean_gteps = 0;  ///< Graph 500's headline statistic
+  double mean_gteps = 0;
+  double min_gteps = 0;
+  double max_gteps = 0;
+  double mean_time_s = 0;          ///< modeled machine time
+  double mean_relaxations = 0;
+  std::vector<SsspStats> per_root;
+};
+
+class Solver {
+ public:
+  /// `graph` must outlive the Solver.
+  Solver(const CsrGraph& graph, SolverConfig config);
+
+  /// Runs one SSSP from `root`. Thread-compatible (one solve at a time).
+  SsspResult solve(vid_t root, const SsspOptions& options);
+
+  /// Runs SSSP from every root and aggregates (Graph 500 methodology).
+  /// Distances are validated to be produced but not retained.
+  BatchSummary solve_batch(std::span<const vid_t> roots,
+                           const SsspOptions& options);
+
+  const CsrGraph& graph() const { return graph_; }
+  const BlockPartition& partition() const { return part_; }
+  Machine& machine() { return machine_; }
+
+  /// Seconds spent building the current edge views (the paper's
+  /// preprocessing stage; excluded from the TEPS timing, as in Graph 500).
+  double last_preprocess_seconds() const { return preprocess_s_; }
+
+ private:
+  void ensure_views(std::uint32_t delta);
+
+  const CsrGraph& graph_;
+  SolverConfig config_;
+  Machine machine_;
+  BlockPartition part_;
+  std::vector<LocalEdgeView> views_;
+  std::uint32_t views_delta_ = 0;
+  bool views_ready_ = false;
+  double preprocess_s_ = 0;
+};
+
+}  // namespace parsssp

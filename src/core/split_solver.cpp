@@ -1,0 +1,76 @@
+#include "core/split_solver.hpp"
+
+#include <cmath>
+
+namespace parsssp {
+
+SplitSolver::SplitSolver(const EdgeList& list, SplitSolverConfig config) {
+  const CsrGraph original = CsrGraph::from_edges(list);
+  threshold_ = config.degree_threshold;
+  if (threshold_ == 0) {
+    const double mean =
+        original.num_vertices() == 0
+            ? 0.0
+            : static_cast<double>(original.num_arcs()) /
+                  static_cast<double>(original.num_vertices());
+    threshold_ = static_cast<std::size_t>(std::llround(8.0 * mean)) + 1;
+  }
+
+  SplitConfig sc;
+  sc.degree_threshold = threshold_;
+  sc.scatter_ids = true;
+  sc.seed = config.scatter_seed;
+  split_ = split_heavy_vertices(list, original, sc);
+  transformed_ = CsrGraph::from_edges(split_.graph);
+
+  // Reverse mapping; proxies fold back onto their hub. Proxy ids are those
+  // transformed ids no original vertex maps to; recover hubs by walking the
+  // zero-weight spokes (each proxy has exactly one zero-weight edge to its
+  // hub by construction, and hubs never connect to hubs with weight zero).
+  new_to_orig_.assign(transformed_.num_vertices(), kInvalidVid);
+  for (vid_t v = 0; v < split_.num_original; ++v) {
+    new_to_orig_[split_.orig_to_new[v]] = v;
+  }
+  for (vid_t t = 0; t < transformed_.num_vertices(); ++t) {
+    if (new_to_orig_[t] != kInvalidVid) continue;  // an original vertex
+    for (const Arc& a : transformed_.neighbors(t)) {
+      if (a.w == 0 && new_to_orig_[a.to] != kInvalidVid) {
+        new_to_orig_[t] = new_to_orig_[a.to];
+        break;
+      }
+    }
+  }
+
+  solver_ = std::make_unique<Solver>(transformed_, config.solver);
+}
+
+SsspResult SplitSolver::solve(vid_t original_root,
+                              const SsspOptions& options) {
+  const vid_t root_t = split_.orig_to_new.at(original_root);
+  SsspResult inner = solver_->solve(root_t, options);
+
+  SsspResult out;
+  out.stats = std::move(inner.stats);
+  out.dist = split_.project_distances(inner.dist);
+
+  if (options.track_parents) {
+    out.parent.assign(split_.num_original, kInvalidVid);
+    for (vid_t v = 0; v < split_.num_original; ++v) {
+      if (v == original_root) {
+        out.parent[v] = v;
+        continue;
+      }
+      if (out.dist[v] == kInfDist) continue;
+      // Walk out of this vertex's own proxy chain (a hub's transformed
+      // parent is one of its proxies, which folds back onto the hub).
+      vid_t p = inner.parent[split_.orig_to_new[v]];
+      while (p != kInvalidVid && new_to_orig_[p] == v) {
+        p = inner.parent[p];
+      }
+      out.parent[v] = p == kInvalidVid ? kInvalidVid : new_to_orig_[p];
+    }
+  }
+  return out;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,43 @@
+// Fundamental scalar types shared by every module of the library.
+//
+// The paper targets graphs with up to 2^38 vertices, so vertex identifiers
+// are 64-bit throughout. Distances are 64-bit because a shortest distance is
+// a sum of up to |V|-1 edge weights and must never overflow silently.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parsssp {
+
+/// Vertex identifier. Global (graph-wide) unless a name says "local".
+using vid_t = std::uint64_t;
+
+/// Edge weight. The SSSP benchmark draws integer weights from [0, 255]; we
+/// require w > 0 for input edges (per the paper's problem statement) and
+/// reserve w == 0 for proxy edges introduced by vertex splitting.
+using weight_t = std::uint32_t;
+
+/// Tentative / final shortest distance.
+using dist_t = std::uint64_t;
+
+/// Rank (logical processing node) index inside the simulated machine.
+using rank_t = std::uint32_t;
+
+/// "Not reachable" marker; also the initial tentative distance.
+inline constexpr dist_t kInfDist = std::numeric_limits<dist_t>::max();
+
+/// "No vertex" marker (parent of unreachable vertices, etc.).
+inline constexpr vid_t kInvalidVid = std::numeric_limits<vid_t>::max();
+
+/// Bucket index for an unreached vertex (the paper's B-infinity).
+inline constexpr std::uint64_t kInfBucket =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Bucket index of a tentative distance under bucket width delta.
+/// Unreached vertices live in the conceptual bucket B-infinity.
+constexpr std::uint64_t bucket_of(dist_t d, std::uint32_t delta) {
+  return d == kInfDist ? kInfBucket : d / delta;
+}
+
+}  // namespace parsssp

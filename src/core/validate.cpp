@@ -1,0 +1,156 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+#include "graph/graph_algos.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+
+ValidationReport compare_distances(const std::vector<dist_t>& got,
+                                   const std::vector<dist_t>& expected) {
+  ValidationReport report;
+  if (got.size() != expected.size()) {
+    report.ok = false;
+    report.message = "distance vector size mismatch";
+    return report;
+  }
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    if (got[v] != expected[v]) {
+      if (report.mismatches == 0) {
+        std::ostringstream os;
+        os << "vertex " << v << ": got "
+           << (got[v] == kInfDist ? -1.0 : static_cast<double>(got[v]))
+           << ", expected "
+           << (expected[v] == kInfDist ? -1.0
+                                       : static_cast<double>(expected[v]));
+        report.message = os.str();
+      }
+      ++report.mismatches;
+    }
+  }
+  report.ok = report.mismatches == 0;
+  return report;
+}
+
+ValidationReport check_sssp_invariants(const CsrGraph& g, vid_t root,
+                                       const std::vector<dist_t>& dist) {
+  ValidationReport report;
+  if (dist.size() != g.num_vertices()) {
+    report.ok = false;
+    report.message = "distance vector size mismatch";
+    return report;
+  }
+  if (root < g.num_vertices() && dist[root] != 0) {
+    report.bad_root = 1;
+    report.ok = false;
+    report.message = "d(root) != 0";
+  }
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] == kInfDist) continue;
+    for (const Arc& a : g.neighbors(u)) {
+      if (dist[a.to] > dist[u] + a.w) {
+        if (report.violated_edges == 0 && report.message.empty()) {
+          std::ostringstream os;
+          os << "edge (" << u << "," << a.to << ",w=" << a.w
+             << ") violates triangle inequality";
+          report.message = os.str();
+        }
+        ++report.violated_edges;
+      }
+    }
+  }
+  const auto levels = bfs_levels(g, root);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const bool reached_bfs = levels[v] != kInfDist;
+    const bool reached_sssp = dist[v] != kInfDist;
+    if (reached_bfs != reached_sssp) {
+      if (report.reach_mismatch == 0 && report.message.empty()) {
+        std::ostringstream os;
+        os << "vertex " << v << " reachability mismatch (bfs="
+           << reached_bfs << ", sssp=" << reached_sssp << ")";
+        report.message = os.str();
+      }
+      ++report.reach_mismatch;
+    }
+  }
+  report.ok = report.bad_root == 0 && report.violated_edges == 0 &&
+              report.reach_mismatch == 0;
+  return report;
+}
+
+ValidationReport validate_against_dijkstra(const CsrGraph& g, vid_t root,
+                                           const std::vector<dist_t>& dist) {
+  ValidationReport invariants = check_sssp_invariants(g, root, dist);
+  if (!invariants.ok) return invariants;
+  return compare_distances(dist, dijkstra_distances(g, root));
+}
+
+ValidationReport check_parent_tree(const CsrGraph& g, vid_t root,
+                                   const std::vector<dist_t>& dist,
+                                   const std::vector<vid_t>& parent) {
+  ValidationReport report;
+  auto fail = [&report](std::string message) {
+    report.ok = false;
+    if (report.message.empty()) report.message = std::move(message);
+  };
+  const vid_t n = g.num_vertices();
+  if (parent.size() != n || dist.size() != n) {
+    fail("parent/dist vector size mismatch");
+    return report;
+  }
+  if (parent[root] != root) fail("parent[root] != root");
+  if (dist[root] != 0) fail("d(root) != 0");
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (dist[v] == kInfDist) {
+      if (parent[v] != kInvalidVid) {
+        fail("unreachable vertex " + std::to_string(v) + " has a parent");
+      }
+      continue;
+    }
+    if (v == root) continue;
+    const vid_t p = parent[v];
+    if (p >= n) {
+      fail("vertex " + std::to_string(v) + " has invalid parent");
+      continue;
+    }
+    // The tree edge must exist with exactly the distance gap as weight.
+    bool found = false;
+    for (const Arc& a : g.neighbors(v)) {
+      if (a.to == p && dist[p] + a.w == dist[v]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      fail("tree edge (" + std::to_string(p) + "," + std::to_string(v) +
+           ") missing or weight-inconsistent");
+    }
+  }
+  if (!report.ok) return report;
+
+  // Cycle check: climbing parents must reach the root. States: 0 unknown,
+  // 1 verified, 2 on the current climb (seen twice -> cycle).
+  std::vector<char> state(n, 0);
+  state[root] = 1;
+  std::vector<vid_t> path;
+  for (vid_t v = 0; v < n; ++v) {
+    if (dist[v] == kInfDist || state[v] != 0) continue;
+    path.clear();
+    vid_t x = v;
+    while (state[x] == 0) {
+      state[x] = 2;
+      path.push_back(x);
+      x = parent[x];
+    }
+    if (state[x] == 2) {
+      fail("parent cycle through vertex " + std::to_string(x));
+      return report;
+    }
+    for (const vid_t y : path) state[y] = 1;
+  }
+  return report;
+}
+
+}  // namespace parsssp

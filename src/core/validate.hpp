@@ -1,0 +1,47 @@
+// Validation of SSSP outputs against the sequential Dijkstra oracle plus
+// structural self-checks that do not need an oracle (triangle inequality
+// over every edge, root distance, reachability agreement with BFS).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+struct ValidationReport {
+  bool ok = true;
+  std::size_t mismatches = 0;      ///< vs. oracle (when provided)
+  std::size_t violated_edges = 0;  ///< d(v) > d(u) + w(u,v) cases
+  std::size_t bad_root = 0;        ///< d(root) != 0
+  std::size_t reach_mismatch = 0;  ///< finite d on BFS-unreachable or v.v.
+  std::size_t parent_violations = 0;  ///< bad/missing tree edges
+                                      ///< (distributed validator)
+  std::string message;             ///< first failure, human readable
+};
+
+/// Exact comparison with a reference distance vector.
+ValidationReport compare_distances(const std::vector<dist_t>& got,
+                                   const std::vector<dist_t>& expected);
+
+/// Oracle-free invariants: d(root)==0, no edge violates the triangle
+/// inequality, and the set of reached vertices equals BFS reachability.
+ValidationReport check_sssp_invariants(const CsrGraph& g, vid_t root,
+                                       const std::vector<dist_t>& dist);
+
+/// Both checks, computing the Dijkstra oracle internally.
+ValidationReport validate_against_dijkstra(const CsrGraph& g, vid_t root,
+                                           const std::vector<dist_t>& dist);
+
+/// Shortest-path-tree validation (Graph 500 SSSP style):
+///  * parent[root] == root and d(root) == 0;
+///  * unreachable vertices have parent kInvalidVid;
+///  * every reached vertex v != root has a parent p that is a neighbour via
+///    an edge of weight d(v) - d(p);
+///  * following parents always terminates at the root (no cycles).
+ValidationReport check_parent_tree(const CsrGraph& g, vid_t root,
+                                   const std::vector<dist_t>& dist,
+                                   const std::vector<vid_t>& parent);
+
+}  // namespace parsssp

@@ -1,0 +1,78 @@
+#include "graph/builders.hpp"
+
+namespace parsssp {
+
+EdgeList make_path(vid_t n, weight_t w) {
+  EdgeList list(n);
+  for (vid_t i = 0; i + 1 < n; ++i) list.add_edge(i, i + 1, w);
+  return list;
+}
+
+EdgeList make_cycle(vid_t n, weight_t w) {
+  EdgeList list(n);
+  for (vid_t i = 0; i < n; ++i) list.add_edge(i, (i + 1) % n, w);
+  return list;
+}
+
+EdgeList make_star(vid_t leaves, weight_t w) {
+  EdgeList list(leaves + 1);
+  for (vid_t leaf = 1; leaf <= leaves; ++leaf) list.add_edge(0, leaf, w);
+  return list;
+}
+
+EdgeList make_clique(vid_t n,
+                     const std::function<weight_t(vid_t, vid_t)>& weight_of) {
+  EdgeList list(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) {
+      list.add_edge(u, v, weight_of ? weight_of(u, v) : 1);
+    }
+  }
+  return list;
+}
+
+EdgeList make_grid(vid_t side,
+                   const std::function<weight_t(vid_t, vid_t)>& weight_of) {
+  EdgeList list(side * side);
+  auto id = [side](vid_t x, vid_t y) { return y * side + x; };
+  auto w = [&weight_of](vid_t a, vid_t b) {
+    return weight_of ? weight_of(a, b) : weight_t{1};
+  };
+  for (vid_t y = 0; y < side; ++y) {
+    for (vid_t x = 0; x < side; ++x) {
+      if (x + 1 < side) {
+        list.add_edge(id(x, y), id(x + 1, y), w(id(x, y), id(x + 1, y)));
+      }
+      if (y + 1 < side) {
+        list.add_edge(id(x, y), id(x, y + 1), w(id(x, y), id(x, y + 1)));
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList make_binary_tree(vid_t n,
+                          const std::function<weight_t(vid_t)>& weight_of) {
+  EdgeList list(n);
+  for (vid_t v = 1; v < n; ++v) {
+    list.add_edge((v - 1) / 2, v, weight_of ? weight_of(v) : 1);
+  }
+  return list;
+}
+
+EdgeList make_fig6_example(vid_t clique_size, weight_t clique_w,
+                           weight_t hop_w) {
+  EdgeList list(1 + 2 * clique_size);
+  const vid_t clique_begin = 1;
+  const vid_t tail_begin = 1 + clique_size;
+  for (vid_t c = 0; c < clique_size; ++c) {
+    list.add_edge(0, clique_begin + c, hop_w);
+    for (vid_t d = c + 1; d < clique_size; ++d) {
+      list.add_edge(clique_begin + c, clique_begin + d, clique_w);
+    }
+    list.add_edge(clique_begin + c, tail_begin + c, hop_w);
+  }
+  return list;
+}
+
+}  // namespace parsssp

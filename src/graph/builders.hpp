@@ -1,0 +1,46 @@
+// Canonical graph builders used across tests, examples and benches:
+// paths, cycles, stars, cliques, grids, complete binary trees and the
+// paper's Fig 6 example graph. All weights are explicit parameters so the
+// same topology can be generated in the short-edge, long-edge or mixed
+// regime of a given Delta.
+#pragma once
+
+#include <functional>
+
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+/// 0-1-2-...-(n-1) path; n >= 1.
+EdgeList make_path(vid_t n, weight_t w = 1);
+
+/// n-cycle; n >= 3.
+EdgeList make_cycle(vid_t n, weight_t w = 1);
+
+/// Star: hub 0 with `leaves` leaves (vertices 1..leaves).
+EdgeList make_star(vid_t leaves, weight_t w = 1);
+
+/// Complete graph on n vertices. `weight_of(u, v)` supplies each edge's
+/// weight (defaults to constant 1).
+EdgeList make_clique(
+    vid_t n, const std::function<weight_t(vid_t, vid_t)>& weight_of = {});
+
+/// side x side 4-neighbour grid. `weight_of(a, b)` supplies segment
+/// weights (defaults to constant 1).
+EdgeList make_grid(
+    vid_t side, const std::function<weight_t(vid_t, vid_t)>& weight_of = {});
+
+/// Complete binary tree with n vertices (vertex 0 is the root; vertex v's
+/// parent is (v-1)/2). `weight_of(child)` supplies edge weights.
+EdgeList make_binary_tree(
+    vid_t n, const std::function<weight_t(vid_t)>& weight_of = {});
+
+/// The paper's Fig 6 push-vs-pull example: root 0 connected to a
+/// `clique_size`-clique by weight `hop_w` edges; clique vertices pairwise
+/// connected with weight `clique_w`; each clique vertex has one tail vertex
+/// at weight `hop_w`. With Delta = clique_w the clique settles in bucket
+/// 2*hop_w/Delta and the pull model wins its long phase.
+EdgeList make_fig6_example(vid_t clique_size = 5, weight_t clique_w = 5,
+                           weight_t hop_w = 10);
+
+}  // namespace parsssp

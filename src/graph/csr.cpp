@@ -1,0 +1,42 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace parsssp {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& list) {
+  CsrGraph g;
+  const vid_t n = list.num_vertices();
+  g.offsets_.assign(n + 1, 0);
+
+  // Counting pass: each non-loop edge contributes one arc per endpoint;
+  // a self loop contributes a single arc.
+  for (const auto& e : list.edges()) {
+    ++g.offsets_[e.u + 1];
+    if (e.u != e.v) ++g.offsets_[e.v + 1];
+  }
+  for (vid_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.arcs_.resize(g.offsets_[n]);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : list.edges()) {
+    g.arcs_[cursor[e.u]++] = {e.v, e.w};
+    if (e.u != e.v) g.arcs_[cursor[e.v]++] = {e.u, e.w};
+    g.max_weight_ = std::max(g.max_weight_, e.w);
+  }
+  g.num_undirected_ = list.num_edges();
+
+  // Sort each adjacency range by (to, w): deterministic layout, and it lets
+  // neighbor scans and tests binary-search within a range.
+  for (vid_t v = 0; v < n; ++v) {
+    std::sort(g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const Arc& a, const Arc& b) {
+                if (a.to != b.to) return a.to < b.to;
+                return a.w < b.w;
+              });
+  }
+  return g;
+}
+
+}  // namespace parsssp

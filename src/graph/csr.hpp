@@ -1,0 +1,68 @@
+// Compressed-sparse-row representation of a weighted undirected graph.
+//
+// An undirected edge {u, v} is stored twice, once in each endpoint's
+// adjacency range, so deg(v) counts edge *endpoints* at v (the convention the
+// paper uses when it speaks of "degree" and of relaxing an edge "once along
+// each direction").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+/// Destination + weight of one directed arc in an adjacency range.
+struct Arc {
+  vid_t to = 0;
+  weight_t w = 1;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Immutable CSR graph. Build once from an EdgeList, then share freely
+/// (all accessors are const and thread-safe).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds the symmetric CSR from an undirected edge list. Self loops are
+  /// kept if present (callers normally strip them first); each non-loop edge
+  /// contributes two arcs.
+  static CsrGraph from_edges(const EdgeList& list);
+
+  vid_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+  }
+
+  /// Number of stored arcs (2x the number of undirected edges).
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  /// Number of undirected edges (num_arcs() / 2 when no self loops exist).
+  std::size_t num_undirected_edges() const { return num_undirected_; }
+
+  std::size_t degree(vid_t v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const Arc> neighbors(vid_t v) const {
+    return {arcs_.data() + offsets_[v],
+            arcs_.data() + offsets_[v + 1]};
+  }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  weight_t max_weight() const { return max_weight_; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size num_vertices()+1
+  std::vector<Arc> arcs_;
+  std::size_t num_undirected_ = 0;
+  weight_t max_weight_ = 0;
+};
+
+}  // namespace parsssp

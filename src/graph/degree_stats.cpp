@@ -1,0 +1,49 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace parsssp {
+
+std::size_t DegreeStats::percentile(const CsrGraph& g, double p) const {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return 0;
+  std::vector<std::size_t> degrees(n);
+  for (vid_t v = 0; v < n; ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  const double idx = (p / 100.0) * static_cast<double>(n - 1);
+  return degrees[static_cast<std::size_t>(std::llround(idx))];
+}
+
+DegreeStats compute_degree_stats(const CsrGraph& g,
+                                 std::size_t heavy_threshold) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+  std::size_t total = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    total += d;
+    if (d > s.max_degree) {
+      s.max_degree = d;
+      s.argmax_vertex = v;
+    }
+    if (d == 0) {
+      ++s.num_isolated;
+    } else {
+      const unsigned bucket = std::bit_width(d) - 1;  // floor(log2(d))
+      if (s.log2_histogram.size() <= bucket) s.log2_histogram.resize(bucket + 1);
+      ++s.log2_histogram[bucket];
+    }
+    if (heavy_threshold != 0 && d > heavy_threshold) ++s.num_heavy;
+  }
+  s.mean_degree = static_cast<double>(total) / static_cast<double>(n);
+  return s;
+}
+
+std::size_t max_degree(const CsrGraph& g) {
+  return compute_degree_stats(g).max_degree;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,37 @@
+// Degree-distribution statistics: the quantities behind Fig. 8 of the paper
+// (maximum degree vs. scale for the two R-MAT families) and the heavy-vertex
+// thresholds used by the load balancer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+struct DegreeStats {
+  std::size_t max_degree = 0;
+  vid_t argmax_vertex = 0;
+  double mean_degree = 0.0;
+  std::size_t num_isolated = 0;
+  /// log2 degree histogram: hist[k] = #vertices with degree in [2^k, 2^(k+1)).
+  /// hist[0] counts degree 1 (isolated vertices are tracked separately).
+  std::vector<std::size_t> log2_histogram;
+  /// Number of vertices with degree strictly greater than the given
+  /// thresholds (filled by compute_degree_stats for the query thresholds).
+  std::size_t num_heavy = 0;
+
+  /// p-th percentile of the (sorted) degree sequence, p in [0, 100].
+  std::size_t percentile(const CsrGraph& g, double p) const;
+};
+
+/// Single pass over the CSR computing all DegreeStats fields.
+/// `heavy_threshold` feeds `num_heavy` (vertices with degree > threshold).
+DegreeStats compute_degree_stats(const CsrGraph& g,
+                                 std::size_t heavy_threshold = 0);
+
+/// Convenience: maximum degree only.
+std::size_t max_degree(const CsrGraph& g);
+
+}  // namespace parsssp

@@ -1,0 +1,43 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace parsssp {
+
+void EdgeList::ensure_vertices(vid_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void EdgeList::add_edge(vid_t u, vid_t v, weight_t w) {
+  edges_.push_back({u, v, w});
+  ensure_vertices(std::max(u, v) + 1);
+}
+
+void EdgeList::canonicalize() {
+  for (auto& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.w < b.w;
+            });
+}
+
+void EdgeList::dedup_and_strip_self_loops() {
+  canonicalize();
+  std::vector<WeightedEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (e.u == e.v) continue;
+    // After canonicalize(), duplicates are adjacent and the first instance
+    // carries the smallest weight.
+    if (!out.empty() && out.back().u == e.u && out.back().v == e.v) continue;
+    out.push_back(e);
+  }
+  edges_ = std::move(out);
+}
+
+}  // namespace parsssp

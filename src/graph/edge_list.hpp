@@ -1,0 +1,58 @@
+// A weighted undirected edge list: the exchange format between generators,
+// file I/O and the CSR builder.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// One undirected edge. The pair (u, v) is unordered; canonicalize() sorts
+/// endpoints so that u <= v.
+struct WeightedEdge {
+  vid_t u = 0;
+  vid_t v = 0;
+  weight_t w = 1;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Growable container of undirected edges plus the vertex-count bound.
+///
+/// Invariant: every endpoint is < num_vertices().
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(vid_t num_vertices) : num_vertices_(num_vertices) {}
+
+  vid_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<WeightedEdge>& edges() const { return edges_; }
+  std::vector<WeightedEdge>& mutable_edges() { return edges_; }
+
+  /// Raises the vertex-count bound (never shrinks it).
+  void ensure_vertices(vid_t n);
+
+  /// Appends an edge; extends the vertex bound to cover its endpoints.
+  void add_edge(vid_t u, vid_t v, weight_t w);
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Sorts each edge's endpoints (u <= v), then sorts the list
+  /// lexicographically. Deterministic normal form used by tests and dedup.
+  void canonicalize();
+
+  /// Removes self loops and duplicate (u, v) pairs, keeping the smallest
+  /// weight among duplicates. Implies canonicalize().
+  void dedup_and_strip_self_loops();
+
+ private:
+  std::vector<WeightedEdge> edges_;
+  vid_t num_vertices_ = 0;
+};
+
+}  // namespace parsssp

@@ -1,0 +1,108 @@
+#include "graph/graph_algos.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+
+std::vector<dist_t> bfs_levels(const CsrGraph& g, vid_t root) {
+  const vid_t n = g.num_vertices();
+  std::vector<dist_t> level(n, kInfDist);
+  if (root >= n) return level;
+  std::deque<vid_t> frontier{root};
+  level[root] = 0;
+  while (!frontier.empty()) {
+    const vid_t u = frontier.front();
+    frontier.pop_front();
+    for (const Arc& a : g.neighbors(u)) {
+      if (level[a.to] == kInfDist) {
+        level[a.to] = level[u] + 1;
+        frontier.push_back(a.to);
+      }
+    }
+  }
+  return level;
+}
+
+std::size_t reachable_count(const CsrGraph& g, vid_t root) {
+  const auto levels = bfs_levels(g, root);
+  return static_cast<std::size_t>(
+      std::count_if(levels.begin(), levels.end(),
+                    [](dist_t d) { return d != kInfDist; }));
+}
+
+Components connected_components(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  Components c;
+  c.label.assign(n, n);  // n = unlabeled sentinel
+  std::vector<std::size_t> sizes;
+  std::deque<vid_t> queue;
+  for (vid_t start = 0; start < n; ++start) {
+    if (c.label[start] != n) continue;
+    const vid_t id = c.num_components++;
+    sizes.push_back(0);
+    c.label[start] = id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const vid_t u = queue.front();
+      queue.pop_front();
+      ++sizes[id];
+      for (const Arc& a : g.neighbors(u)) {
+        if (c.label[a.to] == n) {
+          c.label[a.to] = id;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t s = sizes[c.label[v]];
+    if (s > c.giant_size) {
+      c.giant_size = s;
+      c.giant_member = v;
+    }
+  }
+  return c;
+}
+
+std::size_t bfs_depth(const CsrGraph& g, vid_t root) {
+  const auto levels = bfs_levels(g, root);
+  std::size_t depth = 0;
+  for (dist_t l : levels) {
+    if (l != kInfDist) depth = std::max(depth, static_cast<std::size_t>(l));
+  }
+  return depth;
+}
+
+std::vector<vid_t> sample_roots(const CsrGraph& g, std::size_t count,
+                                std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> roots;
+  if (n == 0) return roots;
+  // Prefer members of the giant component so SSSP runs traverse real work.
+  const Components comps = connected_components(g);
+  const vid_t giant = comps.label[comps.giant_member];
+  std::uint64_t i = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64 * (count + 1) + 4 * n;
+  while (roots.size() < count && attempts < max_attempts) {
+    const vid_t v = static_cast<vid_t>(rmat_hash(seed, i++) % n);
+    ++attempts;
+    if (g.degree(v) == 0) continue;
+    if (comps.giant_size >= n / 2 && comps.label[v] != giant) continue;
+    if (std::find(roots.begin(), roots.end(), v) != roots.end()) continue;
+    roots.push_back(v);
+  }
+  // Fallback: deterministic scan (tiny/degenerate graphs).
+  for (vid_t v = 0; roots.size() < count && v < n; ++v) {
+    if (g.degree(v) != 0 &&
+        std::find(roots.begin(), roots.end(), v) == roots.end()) {
+      roots.push_back(v);
+    }
+  }
+  return roots;
+}
+
+}  // namespace parsssp

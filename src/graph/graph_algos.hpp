@@ -1,0 +1,37 @@
+// Small graph utilities used for validation, statistics and example apps:
+// BFS levels/hops, connected components, reachable-set size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+/// Unweighted BFS from `root`. Returns hop counts (kInfDist = unreachable).
+std::vector<dist_t> bfs_levels(const CsrGraph& g, vid_t root);
+
+/// Number of vertices reachable from `root` (including the root).
+std::size_t reachable_count(const CsrGraph& g, vid_t root);
+
+/// Connected-component labels in [0, num_components).
+struct Components {
+  std::vector<vid_t> label;
+  vid_t num_components = 0;
+  /// Size of the largest component and one member of it.
+  std::size_t giant_size = 0;
+  vid_t giant_member = 0;
+};
+Components connected_components(const CsrGraph& g);
+
+/// Depth (number of levels) of the BFS tree from root; 0 if root isolated.
+std::size_t bfs_depth(const CsrGraph& g, vid_t root);
+
+/// Picks `count` deterministic sample roots with degree >= 1, spread over
+/// the giant component when possible (mirrors the Graph 500 root-sampling
+/// requirement that roots must not be isolated).
+std::vector<vid_t> sample_roots(const CsrGraph& g, std::size_t count,
+                                std::uint64_t seed);
+
+}  // namespace parsssp

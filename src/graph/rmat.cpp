@@ -1,0 +1,96 @@
+#include "graph/rmat.hpp"
+
+#include <cmath>
+
+namespace parsssp {
+namespace {
+
+// splitmix64: tiny, high-quality, stateless mixing function. Each call site
+// derives an independent stream by combining seed and index first.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Converts 64 random bits into a double in [0, 1).
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// Feistel-style pseudo-random permutation over [0, 2^scale). Bijective for
+// any scale, deterministic in the seed, cheap — exactly what Graph 500 uses
+// vertex permutation for: destroying the correlation between vertex id and
+// degree that raw R-MAT bit-fixing introduces.
+vid_t permute_vertex(vid_t v, std::uint32_t scale, std::uint64_t seed) {
+  const std::uint32_t half = (scale + 1) / 2;
+  const vid_t half_mask = (vid_t{1} << half) - 1;
+  const vid_t full_mask = (vid_t{1} << scale) - 1;
+  vid_t x = v;
+  // Cycle-walking Feistel: iterate until the image lands back in range
+  // (needed when scale is odd and the Feistel domain is 2^(2*half)).
+  do {
+    vid_t left = x >> half;
+    vid_t right = x & half_mask;
+    for (int round = 0; round < 4; ++round) {
+      vid_t f = splitmix64(seed ^ (right + (static_cast<vid_t>(round) << 60))) &
+                half_mask;
+      vid_t new_left = right;
+      right = (left ^ f) & half_mask;
+      left = new_left;
+    }
+    x = (left << half) | right;
+  } while (x > full_mask);
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t rmat_hash(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(splitmix64(seed) ^ index);
+}
+
+EdgeList generate_rmat(const RmatConfig& config) {
+  const vid_t n = vid_t{1} << config.scale;
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(config.edge_factor) * n;
+
+  EdgeList list(n);
+  list.reserve(m);
+
+  const double ab = config.params.a + config.params.b;
+  const double a_norm = config.params.a / ab;
+  const double c_norm =
+      config.params.c / (config.params.c + config.params.d);
+
+  for (std::uint64_t i = 0; i < m; ++i) {
+    vid_t u = 0;
+    vid_t v = 0;
+    // One hash per recursion level, derived from (seed, edge index, level).
+    for (std::uint32_t level = 0; level < config.scale; ++level) {
+      const std::uint64_t h =
+          rmat_hash(config.seed + 0x51ed0003ULL * (level + 1), i);
+      const double r_row = to_unit(h);
+      const double r_col = to_unit(splitmix64(h));
+      // Standard Graph 500 noise-free quadrant selection.
+      const bool down = r_row > ab;
+      const bool right = r_col > (down ? c_norm : a_norm);
+      u = (u << 1) | static_cast<vid_t>(down);
+      v = (v << 1) | static_cast<vid_t>(right);
+    }
+    if (config.permute_labels) {
+      u = permute_vertex(u, config.scale, config.seed ^ 0xabcdef12345ULL);
+      v = permute_vertex(v, config.scale, config.seed ^ 0xabcdef12345ULL);
+    }
+    const weight_t span =
+        static_cast<weight_t>(config.max_weight - config.min_weight + 1);
+    const weight_t w = static_cast<weight_t>(
+        config.min_weight +
+        rmat_hash(config.seed ^ 0x77eedd11ULL, i) % span);
+    list.add_edge(u, v, w);
+  }
+  return list;
+}
+
+}  // namespace parsssp

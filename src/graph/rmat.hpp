@@ -1,0 +1,55 @@
+// Graph500-style R-MAT (Recursive MATrix) generator.
+//
+// The paper evaluates two R-MAT families:
+//   RMAT-1: Graph 500 BFS spec,  A=0.57, B=C=0.19, D=0.05
+//   RMAT-2: Graph 500 SSSP spec, A=0.50, B=C=0.10, D=0.30
+// both with edge factor 16 (m = 16 N undirected edges) and integer weights
+// drawn uniformly from [0, 255] (we use [1, 255]; see DESIGN.md).
+//
+// Generation is hash-based and stateless per edge: edge i of a (scale, seed)
+// configuration is a pure function of (seed, i), so the same graph can be
+// reproduced — or generated in parallel — on any machine layout.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+/// R-MAT quadrant probabilities. A+B+C+D must be ~1.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+
+  /// Graph 500 BFS benchmark parameters (the paper's RMAT-1 family).
+  static RmatParams rmat1() { return {0.57, 0.19, 0.19, 0.05}; }
+  /// Proposed Graph 500 SSSP benchmark parameters (the paper's RMAT-2).
+  static RmatParams rmat2() { return {0.50, 0.10, 0.10, 0.30}; }
+};
+
+/// Full generator configuration.
+struct RmatConfig {
+  RmatParams params;
+  std::uint32_t scale = 14;       ///< log2(num vertices)
+  std::uint32_t edge_factor = 16; ///< undirected edges per vertex
+  std::uint64_t seed = 1;
+  weight_t min_weight = 1;
+  weight_t max_weight = 255;
+  /// Graph 500 permutes vertex labels so vertex id carries no degree
+  /// information; we keep that behaviour switchable for tests.
+  bool permute_labels = true;
+};
+
+/// Generates the edge list of an R-MAT graph. Self loops and duplicate edges
+/// are kept, exactly as the Graph 500 generator does (the CSR builder simply
+/// stores them; SSSP is insensitive to both).
+EdgeList generate_rmat(const RmatConfig& config);
+
+/// Deterministic hash of (seed, index) used for all sampling decisions.
+/// Exposed for tests of distribution properties.
+std::uint64_t rmat_hash(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace parsssp

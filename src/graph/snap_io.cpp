@@ -1,0 +1,119 @@
+#include "graph/snap_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace parsssp {
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x53535350'42494E31ULL;  // "SSSPBIN1"
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("snap_io: truncated binary input");
+  return value;
+}
+
+}  // namespace
+
+EdgeList read_snap_text(std::istream& in, weight_t default_weight) {
+  EdgeList list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    vid_t u = 0;
+    vid_t v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("snap_io: malformed line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    weight_t w = default_weight;
+    std::uint64_t w_field = 0;
+    if (fields >> w_field) w = static_cast<weight_t>(w_field);
+    list.add_edge(u, v, w);
+  }
+  return list;
+}
+
+EdgeList load_snap_file(const std::string& path, weight_t default_weight) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("snap_io: cannot open " + path);
+  return read_snap_text(in, default_weight);
+}
+
+void write_snap_text(std::ostream& out, const EdgeList& list) {
+  out << "# Undirected graph, " << list.num_vertices() << " vertices, "
+      << list.num_edges() << " edges\n# FromNodeId\tToNodeId\tWeight\n";
+  for (const auto& e : list.edges()) {
+    out << e.u << '\t' << e.v << '\t' << e.w << '\n';
+  }
+}
+
+void write_binary(std::ostream& out, const EdgeList& list) {
+  write_pod(out, kBinaryMagic);
+  write_pod(out, kBinaryVersion);
+  write_pod(out, static_cast<std::uint64_t>(list.num_vertices()));
+  write_pod(out, static_cast<std::uint64_t>(list.num_edges()));
+  for (const auto& e : list.edges()) {
+    write_pod(out, e.u);
+    write_pod(out, e.v);
+    write_pod(out, e.w);
+  }
+}
+
+EdgeList read_binary(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != kBinaryMagic) {
+    throw std::runtime_error("snap_io: bad magic in binary input");
+  }
+  if (read_pod<std::uint32_t>(in) != kBinaryVersion) {
+    throw std::runtime_error("snap_io: unsupported binary version");
+  }
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto m = read_pod<std::uint64_t>(in);
+  EdgeList list(n);
+  list.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = read_pod<vid_t>(in);
+    const auto v = read_pod<vid_t>(in);
+    const auto w = read_pod<weight_t>(in);
+    list.add_edge(u, v, w);
+  }
+  return list;
+}
+
+EdgeList compact_vertex_ids(const EdgeList& list) {
+  std::unordered_map<vid_t, vid_t> remap;
+  remap.reserve(list.num_vertices());
+  EdgeList out;
+  out.reserve(list.num_edges());
+  auto id_of = [&remap](vid_t v) {
+    auto [it, inserted] = remap.emplace(v, remap.size());
+    (void)inserted;
+    return it->second;
+  };
+  for (const auto& e : list.edges()) {
+    const vid_t u = id_of(e.u);
+    const vid_t v = id_of(e.v);
+    out.add_edge(u, v, e.w);
+  }
+  return out;
+}
+
+}  // namespace parsssp

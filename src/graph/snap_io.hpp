@@ -1,0 +1,41 @@
+// SNAP-format edge-list I/O.
+//
+// The paper's "real life graphs" section uses Friendster, Orkut and
+// LiveJournal from snap.stanford.edu. Those files are plain text edge lists
+// ("u<TAB>v" per line, '#' comments). This module reads/writes that format
+// (optionally with a third weight column) plus a compact binary format for
+// fast reload, so the harness can run on real SNAP dumps when they are
+// available locally. When they are not, graph/social_gen.hpp provides the
+// synthetic stand-ins documented in DESIGN.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+/// Parses a SNAP text edge list from a stream. Lines starting with '#' are
+/// skipped. Each data line is "u v" or "u v w" (whitespace separated).
+/// Vertex ids are used as-is (the caller may compact them). Edges without a
+/// weight column get weight `default_weight`.
+/// Throws std::runtime_error on malformed input.
+EdgeList read_snap_text(std::istream& in, weight_t default_weight = 1);
+
+/// Loads a SNAP text file from disk. Throws on I/O failure.
+EdgeList load_snap_file(const std::string& path, weight_t default_weight = 1);
+
+/// Writes the canonical SNAP text form ("u\tv\tw" lines with a '#' header).
+void write_snap_text(std::ostream& out, const EdgeList& list);
+
+/// Compact little-endian binary format: header (magic, version, vertex
+/// count, edge count) followed by (u, v, w) triples.
+void write_binary(std::ostream& out, const EdgeList& list);
+EdgeList read_binary(std::istream& in);
+
+/// Remaps vertex ids to a dense [0, n) range preserving first-appearance
+/// order. Returns the remapped list (SNAP files often have sparse ids).
+EdgeList compact_vertex_ids(const EdgeList& list);
+
+}  // namespace parsssp

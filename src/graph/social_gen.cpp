@@ -1,0 +1,86 @@
+#include "graph/social_gen.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "graph/rmat.hpp"
+#include "graph/weights.hpp"
+
+namespace parsssp {
+namespace {
+
+struct OriginalStats {
+  const char* name;
+  std::uint64_t vertices;
+  std::uint64_t edges;
+  double del40;
+  double opt40;
+  // R-MAT parameters tuned per graph: Friendster is the most skewed of the
+  // three; LiveJournal the least dense.
+  RmatParams params;
+};
+
+OriginalStats original(SocialGraphKind kind) {
+  switch (kind) {
+    case SocialGraphKind::kFriendster:
+      return {"Friendster", 63'000'000ULL, 1'800'000'000ULL, 1.8, 4.3,
+              {0.57, 0.19, 0.19, 0.05}};
+    case SocialGraphKind::kOrkut:
+      return {"Orkut", 3'000'000ULL, 117'000'000ULL, 2.1, 4.6,
+              {0.55, 0.18, 0.18, 0.09}};
+    case SocialGraphKind::kLiveJournal:
+      return {"LiveJournal", 4'800'000ULL, 68'000'000ULL, 1.1, 2.2,
+              {0.52, 0.20, 0.20, 0.08}};
+  }
+  return {"?", 0, 0, 0, 0, {}};
+}
+
+// Scale/edge-factor for a spec, preserving the original average degree.
+std::pair<std::uint32_t, std::uint32_t> scaled_shape(
+    const SocialGraphSpec& spec) {
+  const OriginalStats o = original(spec.kind);
+  const std::uint64_t target_vertices =
+      std::max<std::uint64_t>(o.vertices >> spec.scale_down_log2, 1ULL << 12);
+  const auto scale =
+      static_cast<std::uint32_t>(std::bit_width(target_vertices) - 1);
+  const auto edge_factor = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      1, o.edges / std::max<std::uint64_t>(1, o.vertices)));
+  return {scale, edge_factor};
+}
+
+}  // namespace
+
+EdgeList generate_social_graph(const SocialGraphSpec& spec) {
+  const OriginalStats o = original(spec.kind);
+  const auto [scale, edge_factor] = scaled_shape(spec);
+  RmatConfig cfg;
+  cfg.params = o.params;
+  cfg.scale = scale;
+  cfg.edge_factor = edge_factor;
+  cfg.seed = spec.seed ^ (static_cast<std::uint64_t>(spec.kind) << 32);
+  cfg.min_weight = spec.min_weight;
+  cfg.max_weight = spec.max_weight;
+  EdgeList list = generate_rmat(cfg);
+  list.dedup_and_strip_self_loops();
+  return list;
+}
+
+SocialGraphInfo social_graph_info(const SocialGraphSpec& spec) {
+  const OriginalStats o = original(spec.kind);
+  const auto [scale, edge_factor] = scaled_shape(spec);
+  SocialGraphInfo info;
+  info.name = o.name;
+  info.num_vertices = vid_t{1} << scale;
+  info.num_edges = static_cast<std::uint64_t>(edge_factor) * info.num_vertices;
+  info.paper_gteps_del40 = o.del40;
+  info.paper_gteps_opt40 = o.opt40;
+  return info;
+}
+
+std::vector<SocialGraphKind> all_social_graph_kinds() {
+  return {SocialGraphKind::kFriendster, SocialGraphKind::kOrkut,
+          SocialGraphKind::kLiveJournal};
+}
+
+}  // namespace parsssp

@@ -1,0 +1,52 @@
+// Synthetic stand-ins for the paper's "real life graphs" study (§IV-H).
+//
+// The paper evaluates Friendster (63 M vertices / 1.8 B edges), Orkut
+// (3 M / 117 M) and LiveJournal (4.8 M / 68 M) from snap.stanford.edu.
+// Those dumps are not redistributable here, so we generate graphs with the
+// same *character* — heavy-tailed degree distribution, low effective
+// diameter, a giant connected component — at a configurable scale, keeping
+// the relative vertex/edge ratios of the originals. The substitution
+// preserves the behaviour §IV-H measures: a skew-driven gap between the
+// baseline Del-Δ and the pruned+hybridized OPT-Δ algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+/// Which real-world graph the synthetic instance imitates.
+enum class SocialGraphKind { kFriendster, kOrkut, kLiveJournal };
+
+struct SocialGraphSpec {
+  SocialGraphKind kind = SocialGraphKind::kOrkut;
+  /// Downscaling: vertices = original_vertices >> scale_down_log2 (clamped
+  /// to at least 2^12), keeping the original average degree.
+  std::uint32_t scale_down_log2 = 10;
+  std::uint64_t seed = 42;
+  weight_t min_weight = 1;
+  weight_t max_weight = 255;
+};
+
+struct SocialGraphInfo {
+  std::string name;
+  vid_t num_vertices = 0;
+  std::uint64_t num_edges = 0;   ///< undirected edges generated
+  double paper_gteps_del40 = 0;  ///< Del-40 GTEPS reported in the paper
+  double paper_gteps_opt40 = 0;  ///< Opt-40 GTEPS reported in the paper
+};
+
+/// Generates the synthetic stand-in. Duplicate edges and self loops are
+/// stripped (SNAP graphs are simple graphs).
+EdgeList generate_social_graph(const SocialGraphSpec& spec);
+
+/// Metadata for reporting: the name, the size actually generated for `spec`,
+/// and the paper's reference numbers for the original graph.
+SocialGraphInfo social_graph_info(const SocialGraphSpec& spec);
+
+/// All three kinds, for sweep-style benches.
+std::vector<SocialGraphKind> all_social_graph_kinds();
+
+}  // namespace parsssp

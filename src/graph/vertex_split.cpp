@@ -1,0 +1,104 @@
+#include "graph/vertex_split.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+// Deterministic Fisher-Yates driven by the stateless hash. Fine at library
+// scale (permutation is O(n) memory either way).
+std::vector<vid_t> random_permutation(vid_t n, std::uint64_t seed) {
+  std::vector<vid_t> perm(n);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  for (vid_t i = n; i > 1; --i) {
+    const vid_t j = static_cast<vid_t>(rmat_hash(seed, i) % i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+std::vector<dist_t> SplitResult::project_distances(
+    const std::vector<dist_t>& transformed) const {
+  std::vector<dist_t> out(num_original, kInfDist);
+  for (vid_t v = 0; v < num_original; ++v) {
+    out[v] = transformed[orig_to_new[v]];
+  }
+  return out;
+}
+
+SplitResult split_heavy_vertices(const EdgeList& list, const CsrGraph& g,
+                                 const SplitConfig& config) {
+  const vid_t n = list.num_vertices();
+  const std::size_t epp = config.edges_per_proxy == 0
+                              ? config.degree_threshold
+                              : config.edges_per_proxy;
+
+  SplitResult result;
+  result.num_original = n;
+
+  // Endpoint occurrences per vertex in the edge list. This differs from the
+  // CSR degree for self loops (two slots, one arc); proxies are allocated
+  // against occurrences so the dealing below can never overflow a range.
+  std::vector<vid_t> occurrences(n, 0);
+  for (const auto& e : list.edges()) {
+    ++occurrences[e.u];
+    ++occurrences[e.v];
+  }
+
+  // Plan: per heavy vertex, the range of proxy ids allocated to it.
+  std::vector<vid_t> first_proxy(n, 0);
+  std::vector<vid_t> proxy_count(n, 0);
+  vid_t next_proxy = n;
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.degree(v) > config.degree_threshold) {
+      const vid_t l =
+          static_cast<vid_t>((occurrences[v] + epp - 1) / epp);
+      first_proxy[v] = next_proxy;
+      proxy_count[v] = l;
+      next_proxy += l;
+      ++result.num_split_vertices;
+    }
+  }
+  result.num_proxies = next_proxy - n;
+
+  // Rewire: endpoint occurrences of a split vertex are dealt to its proxies
+  // in contiguous groups of `epp` (the paper's E_1..E_l partition).
+  EdgeList out(next_proxy);
+  out.reserve(list.num_edges() + result.num_proxies);
+  std::vector<vid_t> dealt(n, 0);  // endpoint slots assigned so far
+  auto redirect = [&](vid_t v) -> vid_t {
+    if (proxy_count[v] == 0) return v;
+    const vid_t slot = dealt[v]++;
+    return first_proxy[v] + slot / static_cast<vid_t>(epp);
+  };
+  for (const auto& e : list.edges()) {
+    out.add_edge(redirect(e.u), redirect(e.v), e.w);
+  }
+  // Hub spokes: zero-weight edges keep the split exact for SSSP.
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t i = 0; i < proxy_count[v]; ++i) {
+      out.add_edge(v, first_proxy[v] + i, 0);
+    }
+  }
+
+  result.orig_to_new.resize(n);
+  if (config.scatter_ids) {
+    const std::vector<vid_t> perm = random_permutation(next_proxy, config.seed);
+    for (auto& e : out.mutable_edges()) {
+      e.u = perm[e.u];
+      e.v = perm[e.v];
+    }
+    for (vid_t v = 0; v < n; ++v) result.orig_to_new[v] = perm[v];
+  } else {
+    std::iota(result.orig_to_new.begin(), result.orig_to_new.end(), vid_t{0});
+  }
+  result.graph = std::move(out);
+  return result;
+}
+
+}  // namespace parsssp

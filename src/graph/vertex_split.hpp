@@ -1,0 +1,60 @@
+// Inter-node load balancing by vertex splitting (paper §III-E).
+//
+// Vertices of extreme degree (deg > pi') are split: for each such vertex u
+// we create ceil(deg(u)/pi') proxies u_1..u_l, connect every proxy to u with
+// a zero-weight edge, and move u's original adjacency onto the proxies in
+// contiguous groups. Shortest distances are preserved exactly (any path
+// through an original edge now pays one extra zero-weight hop).
+//
+// For the split to balance load, the proxies must land on *different* ranks
+// under the block vertex partition. We achieve that the same way Graph 500
+// does for degree/id correlation: after splitting, all vertex ids (original
+// and proxy) are scattered by a deterministic pseudo-random permutation. The
+// returned mapping lets callers translate roots and read back distances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+struct SplitConfig {
+  /// Degree threshold pi': vertices with degree > threshold are split.
+  std::size_t degree_threshold = 1024;
+  /// Edges per proxy (defaults to the threshold itself when 0).
+  std::size_t edges_per_proxy = 0;
+  /// Scatter all ids with a pseudo-random permutation so proxies spread
+  /// across ranks under block partitioning.
+  bool scatter_ids = true;
+  std::uint64_t seed = 99;
+};
+
+struct SplitResult {
+  /// The transformed graph (original edges rewired to proxies, plus
+  /// zero-weight proxy-to-hub edges).
+  EdgeList graph;
+  /// orig_to_new[v] = id of original vertex v in the transformed graph.
+  std::vector<vid_t> orig_to_new;
+  /// Number of vertices in the original graph.
+  vid_t num_original = 0;
+  /// Number of proxies created.
+  vid_t num_proxies = 0;
+  /// Number of vertices that were split.
+  vid_t num_split_vertices = 0;
+
+  /// Extracts the distances of the original vertices (in original id order)
+  /// from a distance vector over the transformed graph.
+  std::vector<dist_t> project_distances(
+      const std::vector<dist_t>& transformed) const;
+};
+
+/// Splits all vertices whose degree in `g` exceeds the threshold.
+/// `list` must be the edge list `g` was built from (the transform rewrites
+/// edge endpoints; using the CSR only for degree lookups).
+SplitResult split_heavy_vertices(const EdgeList& list, const CsrGraph& g,
+                                 const SplitConfig& config);
+
+}  // namespace parsssp

@@ -1,0 +1,18 @@
+#include "graph/weights.hpp"
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+
+void assign_uniform_weights(EdgeList& list, const WeightConfig& config) {
+  const weight_t span =
+      static_cast<weight_t>(config.max_weight - config.min_weight + 1);
+  std::uint64_t i = 0;
+  for (auto& e : list.mutable_edges()) {
+    e.w = static_cast<weight_t>(config.min_weight +
+                                rmat_hash(config.seed, i) % span);
+    ++i;
+  }
+}
+
+}  // namespace parsssp

@@ -1,0 +1,21 @@
+// Deterministic weight assignment for unweighted edge lists, matching the
+// proposed Graph 500 SSSP benchmark (uniform integers, independent per edge).
+#pragma once
+
+#include "core/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace parsssp {
+
+struct WeightConfig {
+  weight_t min_weight = 1;
+  weight_t max_weight = 255;
+  std::uint64_t seed = 7;
+};
+
+/// Overwrites every edge weight with a deterministic pseudo-uniform draw
+/// from [min_weight, max_weight]. The draw depends only on (seed, edge
+/// index), so the assignment is stable under reruns.
+void assign_uniform_weights(EdgeList& list, const WeightConfig& config);
+
+}  // namespace parsssp

@@ -1,0 +1,6 @@
+#include "runtime/collectives.hpp"
+
+// CollectiveContext is header-only; this translation unit anchors the target.
+namespace parsssp {
+static_assert(sizeof(CollectiveContext) > 0);
+}  // namespace parsssp

@@ -1,0 +1,120 @@
+// Collective operations over the simulated machine: barrier, allreduce,
+// broadcast, allgather. These model the Allreduce/termination-check traffic
+// the paper's bulk-synchronous epochs rely on.
+//
+// Protocol: every rank deposits its contribution into a cache-line-sized
+// scratch slot, a barrier separates writes from reads, every rank folds all
+// slots *in rank order* (so each rank computes bit-identical results), and a
+// second barrier releases the slots for reuse.
+#pragma once
+
+#include <array>
+#include <barrier>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+class CollectiveContext {
+ public:
+  explicit CollectiveContext(rank_t num_ranks)
+      : num_ranks_(num_ranks),
+        barrier_(static_cast<std::ptrdiff_t>(num_ranks)),
+        scratch_(num_ranks) {}
+
+  rank_t num_ranks() const { return num_ranks_; }
+
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  template <typename T, typename Op>
+  T allreduce(rank_t rank, T value, Op op) {
+    store(rank, value);
+    barrier();
+    T acc = load<T>(0);
+    for (rank_t r = 1; r < num_ranks_; ++r) acc = op(acc, load<T>(r));
+    barrier();
+    return acc;
+  }
+
+  template <typename T>
+  T broadcast(rank_t rank, T value, rank_t root) {
+    if (rank == root) store(rank, value);
+    barrier();
+    T result = load<T>(root);
+    barrier();
+    return result;
+  }
+
+  template <typename T>
+  std::vector<T> allgather(rank_t rank, T value) {
+    store(rank, value);
+    barrier();
+    std::vector<T> result(num_ranks_);
+    for (rank_t r = 0; r < num_ranks_; ++r) result[r] = load<T>(r);
+    barrier();
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kSlotBytes = 64;
+  struct alignas(64) Slot {
+    std::array<std::byte, kSlotBytes> bytes;
+  };
+
+  template <typename T>
+  void store(rank_t rank, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) <= kSlotBytes, "collective payload too large");
+    std::memcpy(scratch_[rank].bytes.data(), &value, sizeof(T));
+  }
+
+  template <typename T>
+  T load(rank_t rank) const {
+    T value;
+    std::memcpy(&value, scratch_[rank].bytes.data(), sizeof(T));
+    return value;
+  }
+
+  rank_t num_ranks_;
+  std::barrier<> barrier_;
+  std::vector<Slot> scratch_;
+};
+
+/// Reduction functors with the value semantics of MPI_SUM / MPI_MIN / ...
+struct SumOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+struct MinOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return b < a ? b : a;
+  }
+};
+struct MaxOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? b : a;
+  }
+};
+struct OrOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a || b;
+  }
+};
+struct AndOp {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a && b;
+  }
+};
+
+}  // namespace parsssp

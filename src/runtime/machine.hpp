@@ -1,0 +1,164 @@
+// The simulated massively-parallel machine.
+//
+// Machine::run(job) executes `job` on R logical ranks, one std::thread per
+// rank (our stand-in for a Blue Gene/Q partition). Each rank receives a
+// RankCtx giving it:
+//   * its identity (rank(), num_ranks()),
+//   * bulk-synchronous point-to-point exchange() over the ExchangeBoard
+//     (the "SPI" substitute),
+//   * typed collectives (allreduce / broadcast / allgather / barrier),
+//   * an intra-rank ThreadPool of worker lanes (the "64 threads per node"),
+//   * per-rank traffic accounting.
+//
+// Algorithms written against RankCtx are bulk-synchronous programs in the
+// exact shape of the paper's distributed Delta-stepping: they would port to
+// MPI by replacing exchange() with MPI_Alltoallv and the collectives with
+// their MPI counterparts.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/collectives.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/traffic_stats.hpp"
+
+namespace parsssp {
+
+struct MachineConfig {
+  rank_t num_ranks = 4;
+  unsigned lanes_per_rank = 1;
+  /// Record the full (source rank, destination rank) message-count matrix
+  /// of each run — the input to topology analyses (runtime/topology.hpp).
+  bool record_pair_traffic = false;
+};
+
+class Machine;
+
+/// Per-rank execution context handed to a job. Valid only for the duration
+/// of the job invocation; not copyable.
+class RankCtx {
+ public:
+  rank_t rank() const { return rank_; }
+  rank_t num_ranks() const { return board_.num_ranks(); }
+  ThreadPool& pool() { return pool_; }
+  TrafficCounters& traffic() { return traffic_; }
+
+  void barrier() { collectives_.barrier(); }
+
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    count_control<T>();
+    return collectives_.allreduce(rank_, value, op);
+  }
+
+  template <typename T>
+  T broadcast(T value, rank_t root) {
+    count_control<T>();
+    return collectives_.broadcast(rank_, value, root);
+  }
+
+  template <typename T>
+  std::vector<T> allgather(T value) {
+    count_control<T>();
+    return collectives_.allgather(rank_, value);
+  }
+
+  /// Bulk-synchronous all-to-all: out[d] holds this rank's messages for rank
+  /// d; the returned vector holds in[s], the messages rank s sent here.
+  /// Self-addressed messages are delivered without touching the board (they
+  /// model intra-node work, not network traffic). Collective: every rank
+  /// must call exchange() the same number of times.
+  template <typename T>
+  std::vector<std::vector<T>> exchange(std::vector<std::vector<T>> out,
+                                       PhaseKind kind) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const rank_t r = rank_;
+    const rank_t ranks = num_ranks();
+    out.resize(ranks);
+    for (rank_t d = 0; d < ranks; ++d) {
+      if (d == r) continue;
+      traffic_.add(kind, out[d].size(), out[d].size() * sizeof(T));
+      if (pair_messages_ != nullptr) {
+        // Row r is written only by rank r: no synchronization needed.
+        (*pair_messages_)[static_cast<std::size_t>(r) * ranks + d] +=
+            out[d].size();
+      }
+      board_.post(r, d,
+                  ExchangeBoard::pack(std::span<const T>(out[d])));
+    }
+    collectives_.barrier();
+    std::vector<std::vector<T>> in(ranks);
+    for (rank_t s = 0; s < ranks; ++s) {
+      if (s == r) {
+        in[s] = std::move(out[s]);
+      } else {
+        in[s] = ExchangeBoard::unpack<T>(board_.take(s, r));
+      }
+    }
+    collectives_.barrier();
+    return in;
+  }
+
+ private:
+  friend class Machine;
+  RankCtx(rank_t rank, ExchangeBoard& board, CollectiveContext& collectives,
+          TrafficCounters& traffic, unsigned lanes,
+          std::vector<std::uint64_t>* pair_messages)
+      : rank_(rank),
+        board_(board),
+        collectives_(collectives),
+        traffic_(traffic),
+        pair_messages_(pair_messages),
+        pool_(lanes) {}
+
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  template <typename T>
+  void count_control() {
+    traffic_.add(PhaseKind::kControl, num_ranks() - 1,
+                 (num_ranks() - 1) * sizeof(T));
+  }
+
+  rank_t rank_;
+  ExchangeBoard& board_;
+  CollectiveContext& collectives_;
+  TrafficCounters& traffic_;
+  std::vector<std::uint64_t>* pair_messages_;
+  ThreadPool pool_;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  const MachineConfig& config() const { return config_; }
+  rank_t num_ranks() const { return config_.num_ranks; }
+
+  /// Runs `job` on every rank and waits for completion. Traffic counters are
+  /// reset at the start of each run. The first exception thrown by any rank
+  /// is rethrown here after all ranks finished or aborted at a barrier.
+  void run(const std::function<void(RankCtx&)>& job);
+
+  /// Traffic of the most recent run.
+  const TrafficStats& traffic() const { return traffic_; }
+
+  /// Per-(source, destination) message counts of the most recent run,
+  /// row-major num_ranks x num_ranks. Empty unless
+  /// MachineConfig::record_pair_traffic.
+  const std::vector<std::uint64_t>& pair_messages() const {
+    return pair_messages_;
+  }
+
+ private:
+  MachineConfig config_;
+  TrafficStats traffic_;
+  std::vector<std::uint64_t> pair_messages_;
+};
+
+}  // namespace parsssp

@@ -1,0 +1,7 @@
+#include "runtime/mailbox.hpp"
+
+// ExchangeBoard is header-only; this translation unit anchors the target and
+// hosts compile-time checks on the message contract.
+namespace parsssp {
+static_assert(std::is_trivially_copyable_v<std::byte>);
+}  // namespace parsssp

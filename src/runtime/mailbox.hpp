@@ -1,0 +1,69 @@
+// The message substrate of the simulated machine: an R x R board of byte
+// buffers, our stand-in for Blue Gene/Q's per-thread SPI injection and
+// reception queues. Each (source, destination) slot is written by exactly
+// one rank and read by exactly one rank, with a barrier separating the two
+// sides — so the board needs no locks, mirroring the paper's lock-free SPI
+// usage.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+class ExchangeBoard {
+ public:
+  explicit ExchangeBoard(rank_t num_ranks)
+      : num_ranks_(num_ranks),
+        slots_(static_cast<std::size_t>(num_ranks) * num_ranks) {}
+
+  rank_t num_ranks() const { return num_ranks_; }
+
+  /// Deposits `source`'s outgoing bytes for `dest`. Must be called between
+  /// the barriers of an exchange round, once per destination at most.
+  void post(rank_t source, rank_t dest, std::vector<std::byte> data) {
+    slots_[index(source, dest)] = std::move(data);
+  }
+
+  /// Takes (moves out) the bytes `source` sent to `dest`, leaving the slot
+  /// empty for the next round.
+  std::vector<std::byte> take(rank_t source, rank_t dest) {
+    return std::exchange(slots_[index(source, dest)], {});
+  }
+
+  /// Serialization helpers for trivially copyable message types.
+  template <typename T>
+  static std::vector<std::byte> pack(std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(items.size_bytes());
+    if (!items.empty()) {
+      std::memcpy(bytes.data(), items.data(), items.size_bytes());
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  static std::vector<T> unpack(const std::vector<std::byte>& bytes) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> items(bytes.size() / sizeof(T));
+    if (!items.empty()) {
+      std::memcpy(items.data(), bytes.data(), items.size() * sizeof(T));
+    }
+    return items;
+  }
+
+ private:
+  std::size_t index(rank_t source, rank_t dest) const {
+    return static_cast<std::size_t>(source) * num_ranks_ + dest;
+  }
+
+  rank_t num_ranks_;
+  std::vector<std::vector<std::byte>> slots_;
+};
+
+}  // namespace parsssp

@@ -1,0 +1,6 @@
+#include "runtime/partition.hpp"
+
+// BlockPartition is header-only; this translation unit anchors the target.
+namespace parsssp {
+static_assert(sizeof(BlockPartition) > 0);
+}  // namespace parsssp

@@ -1,0 +1,47 @@
+// Block distribution of vertices over ranks (paper §II: "the vertices are
+// equally distributed among the processors using block distribution").
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// Maps global vertex ids to (owner rank, local id) and back. Blocks are
+/// ceil(n/R) wide; the last rank's block may be short.
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+  BlockPartition(vid_t num_vertices, rank_t num_ranks)
+      : n_(num_vertices),
+        ranks_(num_ranks),
+        block_((num_vertices + num_ranks - 1) / num_ranks) {
+    assert(num_ranks > 0);
+    if (block_ == 0) block_ = 1;  // empty graph corner case
+  }
+
+  vid_t num_vertices() const { return n_; }
+  rank_t num_ranks() const { return ranks_; }
+  vid_t block_size() const { return block_; }
+
+  rank_t owner(vid_t v) const { return static_cast<rank_t>(v / block_); }
+  vid_t local_id(vid_t v) const { return v % block_; }
+
+  /// First global id owned by `r`.
+  vid_t begin(rank_t r) const { return std::min<vid_t>(n_, block_ * r); }
+  /// One past the last global id owned by `r`.
+  vid_t end(rank_t r) const { return std::min<vid_t>(n_, block_ * (r + 1)); }
+  /// Number of vertices owned by `r`.
+  vid_t count(rank_t r) const { return end(r) - begin(r); }
+
+  vid_t global_id(rank_t r, vid_t local) const { return begin(r) + local; }
+
+ private:
+  vid_t n_ = 0;
+  rank_t ranks_ = 1;
+  vid_t block_ = 1;
+};
+
+}  // namespace parsssp

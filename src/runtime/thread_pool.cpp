@@ -1,0 +1,77 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace parsssp {
+
+ThreadPool::ThreadPool(unsigned lanes) : lanes_(std::max(1u, lanes)) {
+  workers_.reserve(lanes_ - 1);
+  for (unsigned lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen;
+      });
+      if (shutting_down_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(lane);
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_lanes(const std::function<void(unsigned)>& fn) {
+  if (lanes_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    pending_ = lanes_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // lane 0 runs on the caller
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
+  if (lanes_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t chunk = (n + lanes_ - 1) / lanes_;
+  run_on_lanes([&](unsigned lane) {
+    const std::size_t begin = std::min(n, chunk * lane);
+    const std::size_t end = std::min(n, begin + chunk);
+    fn(lane, begin, end);
+  });
+}
+
+}  // namespace parsssp

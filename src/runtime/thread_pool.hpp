@@ -1,0 +1,53 @@
+// Intra-rank worker lanes: the stand-in for the paper's 64 Pthreads per
+// Blue Gene/Q node. A pool with L lanes runs lane 0 on the calling (rank)
+// thread and lanes 1..L-1 on persistent workers; parallel_for chunks an
+// index range across lanes. With L == 1 everything runs inline with zero
+// synchronization, which is the default on this single-core harness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsssp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `lanes` lanes (clamped to >= 1).
+  explicit ThreadPool(unsigned lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned lanes() const { return lanes_; }
+
+  /// Runs fn(lane) once on every lane; returns when all lanes finished.
+  void run_on_lanes(const std::function<void(unsigned)>& fn);
+
+  /// Splits [0, n) into contiguous chunks, one per lane, and runs
+  /// fn(lane, begin, end) on each. Empty chunks still invoke fn so lanes can
+  /// participate in shared epilogues.
+  void parallel_for(std::size_t n,
+                    const std::function<void(unsigned, std::size_t,
+                                             std::size_t)>& fn);
+
+ private:
+  void worker_loop(unsigned lane);
+
+  unsigned lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace parsssp

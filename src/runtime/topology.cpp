@@ -1,0 +1,79 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+
+namespace parsssp {
+
+TorusTopology::TorusTopology(std::vector<std::uint32_t> dims)
+    : dims_(std::move(dims)) {
+  if (dims_.empty()) throw std::invalid_argument("torus needs >= 1 dim");
+  for (const auto d : dims_) {
+    if (d == 0) throw std::invalid_argument("torus dimension of extent 0");
+    capacity_ *= d;
+  }
+}
+
+TorusTopology TorusTopology::balanced(rank_t ranks, std::uint32_t dimensions) {
+  if (dimensions == 0) dimensions = 1;
+  std::vector<std::uint32_t> dims(dimensions, 1);
+  // Grow the smallest dimension until the torus covers every rank.
+  while (std::accumulate(dims.begin(), dims.end(), std::uint64_t{1},
+                         std::multiplies<>()) < ranks) {
+    *std::min_element(dims.begin(), dims.end()) += 1;
+  }
+  return TorusTopology(dims);
+}
+
+std::vector<std::uint32_t> TorusTopology::coordinates(rank_t r) const {
+  std::vector<std::uint32_t> coords(dims_.size());
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    coords[d] = r % dims_[d];
+    r /= dims_[d];
+  }
+  return coords;
+}
+
+std::uint32_t TorusTopology::hops(rank_t a, rank_t b) const {
+  const auto ca = coordinates(a);
+  const auto cb = coordinates(b);
+  std::uint32_t total = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const std::uint32_t direct =
+        ca[d] > cb[d] ? ca[d] - cb[d] : cb[d] - ca[d];
+    total += std::min(direct, dims_[d] - direct);
+  }
+  return total;
+}
+
+std::uint32_t TorusTopology::diameter() const {
+  std::uint32_t total = 0;
+  for (const auto d : dims_) total += d / 2;
+  return total;
+}
+
+double TorusTopology::mean_hops() const {
+  if (capacity_ <= 1) return 0.0;
+  double sum = 0;
+  for (rank_t b = 1; b < capacity_; ++b) {
+    sum += hops(0, b);  // vertex-transitive: rank 0 is representative
+  }
+  return sum / static_cast<double>(capacity_ - 1);
+}
+
+double TorusTopology::weighted_volume(
+    const std::vector<std::uint64_t>& matrix, rank_t ranks) const {
+  double total = 0;
+  for (rank_t s = 0; s < ranks; ++s) {
+    for (rank_t d = 0; d < ranks; ++d) {
+      const std::uint64_t v = matrix[static_cast<std::size_t>(s) * ranks + d];
+      if (v != 0) total += static_cast<double>(v) * hops(s, d);
+    }
+  }
+  return total;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,57 @@
+// Torus network topology model.
+//
+// Blue Gene/Q connects nodes in a 5D torus; a message between two nodes
+// traverses one link per hop of Manhattan-with-wraparound distance. This
+// module maps logical ranks onto a k-dimensional torus and computes hop
+// distances and hop-weighted communication volumes — used by the topology
+// ablation bench to show how the push and pull models differ not just in
+// message counts but in the link traffic they induce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+class TorusTopology {
+ public:
+  /// `dims` are the per-dimension extents; their product must cover every
+  /// rank that will be queried (ranks are laid out row-major).
+  explicit TorusTopology(std::vector<std::uint32_t> dims);
+
+  /// Builds a near-cubic torus for `ranks` ranks in `dimensions` dims.
+  static TorusTopology balanced(rank_t ranks, std::uint32_t dimensions = 3);
+
+  std::uint32_t dimensions() const {
+    return static_cast<std::uint32_t>(dims_.size());
+  }
+  const std::vector<std::uint32_t>& dims() const { return dims_; }
+  rank_t capacity() const { return capacity_; }
+
+  /// Torus coordinates of a rank (row-major layout).
+  std::vector<std::uint32_t> coordinates(rank_t r) const;
+
+  /// Minimal hop count between two ranks (sum over dimensions of the
+  /// shorter way around each ring).
+  std::uint32_t hops(rank_t a, rank_t b) const;
+
+  /// Network diameter (maximum hop distance between any two ranks).
+  std::uint32_t diameter() const;
+
+  /// Mean hop distance from a rank to all others (uniform-traffic average).
+  double mean_hops() const;
+
+  /// Hop-weighted volume of a traffic matrix: sum over (src, dst) of
+  /// matrix[src * ranks + dst] * hops(src, dst). The matrix may be message
+  /// counts or bytes.
+  double weighted_volume(const std::vector<std::uint64_t>& matrix,
+                         rank_t ranks) const;
+
+ private:
+  std::vector<std::uint32_t> dims_;
+  rank_t capacity_ = 1;
+};
+
+}  // namespace parsssp

@@ -1,0 +1,60 @@
+#include "runtime/traffic_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace parsssp {
+
+std::string_view phase_kind_name(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kShortPhase:
+      return "short";
+    case PhaseKind::kLongPush:
+      return "long-push";
+    case PhaseKind::kPullRequest:
+      return "pull-request";
+    case PhaseKind::kPullResponse:
+      return "pull-response";
+    case PhaseKind::kBellmanFord:
+      return "bellman-ford";
+    case PhaseKind::kControl:
+      return "control";
+    case PhaseKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::uint64_t TrafficCounters::total_messages() const {
+  return std::accumulate(messages.begin(), messages.end(), std::uint64_t{0});
+}
+
+std::uint64_t TrafficCounters::total_bytes() const {
+  return std::accumulate(bytes.begin(), bytes.end(), std::uint64_t{0});
+}
+
+TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& other) {
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    messages[i] += other.messages[i];
+    bytes[i] += other.bytes[i];
+  }
+  return *this;
+}
+
+TrafficCounters TrafficStats::merged() const {
+  TrafficCounters sum;
+  for (const auto& c : per_rank_) sum += c;
+  return sum;
+}
+
+std::uint64_t TrafficStats::max_rank_messages() const {
+  std::uint64_t best = 0;
+  for (const auto& c : per_rank_) best = std::max(best, c.total_messages());
+  return best;
+}
+
+void TrafficStats::reset() {
+  for (auto& c : per_rank_) c = TrafficCounters{};
+}
+
+}  // namespace parsssp

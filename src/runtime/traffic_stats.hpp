@@ -1,0 +1,65 @@
+// Communication accounting for the simulated machine. Counters are kept
+// per rank (each written only by its owning rank thread, so no atomics are
+// needed) and merged after a job completes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace parsssp {
+
+/// What kind of algorithm step a message exchange belongs to. Mirrors the
+/// phase taxonomy of the paper (short phases, long push phase, pull
+/// request/response, Bellman-Ford tail, control collectives).
+enum class PhaseKind : std::uint8_t {
+  kShortPhase = 0,
+  kLongPush,
+  kPullRequest,
+  kPullResponse,
+  kBellmanFord,
+  kControl,
+  kCount  // sentinel
+};
+
+std::string_view phase_kind_name(PhaseKind kind);
+
+/// Per-kind message/byte totals.
+struct TrafficCounters {
+  std::array<std::uint64_t, static_cast<std::size_t>(PhaseKind::kCount)>
+      messages{};
+  std::array<std::uint64_t, static_cast<std::size_t>(PhaseKind::kCount)>
+      bytes{};
+
+  void add(PhaseKind kind, std::uint64_t msg_count, std::uint64_t byte_count) {
+    messages[static_cast<std::size_t>(kind)] += msg_count;
+    bytes[static_cast<std::size_t>(kind)] += byte_count;
+  }
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+  TrafficCounters& operator+=(const TrafficCounters& other);
+};
+
+/// One slot per rank plus a merged view.
+class TrafficStats {
+ public:
+  explicit TrafficStats(std::size_t num_ranks) : per_rank_(num_ranks) {}
+
+  TrafficCounters& rank(std::size_t r) { return per_rank_[r]; }
+  const TrafficCounters& rank(std::size_t r) const { return per_rank_[r]; }
+
+  TrafficCounters merged() const;
+
+  /// Largest per-rank message total: the load-imbalance signal the push/pull
+  /// heuristic cares about.
+  std::uint64_t max_rank_messages() const;
+
+  void reset();
+
+ private:
+  std::vector<TrafficCounters> per_rank_;
+};
+
+}  // namespace parsssp

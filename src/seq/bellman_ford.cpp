@@ -1,0 +1,41 @@
+#include "seq/bellman_ford.hpp"
+
+#include <vector>
+
+namespace parsssp {
+
+SeqSsspResult bellman_ford(const CsrGraph& g, vid_t root) {
+  SeqSsspResult result;
+  const vid_t n = g.num_vertices();
+  result.dist.assign(n, kInfDist);
+  result.buckets = 1;
+  if (root >= n) return result;
+
+  result.dist[root] = 0;
+  std::vector<vid_t> active{root};
+  std::vector<char> in_next(n, 0);
+
+  while (!active.empty()) {
+    ++result.phases;
+    std::vector<vid_t> next;
+    for (const vid_t u : active) {
+      const dist_t du = result.dist[u];
+      for (const Arc& a : g.neighbors(u)) {
+        ++result.relaxations;
+        const dist_t nd = du + a.w;
+        if (nd < result.dist[a.to]) {
+          result.dist[a.to] = nd;
+          if (!in_next[a.to]) {
+            in_next[a.to] = 1;
+            next.push_back(a.to);
+          }
+        }
+      }
+    }
+    for (const vid_t v : next) in_next[v] = 0;
+    active = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace parsssp

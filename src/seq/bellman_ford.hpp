@@ -1,0 +1,12 @@
+// Sequential Bellman-Ford in the paper's "active vertex" formulation: each
+// round relaxes all edges incident on vertices whose tentative distance
+// changed in the previous round. Rounds = depth of the shortest-path tree.
+#pragma once
+
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+
+SeqSsspResult bellman_ford(const CsrGraph& g, vid_t root);
+
+}  // namespace parsssp

@@ -1,0 +1,92 @@
+#include "seq/delta_stepping.hpp"
+
+#include <map>
+#include <vector>
+
+namespace parsssp {
+
+SeqSsspResult delta_stepping(const CsrGraph& g, vid_t root,
+                             const SeqDeltaOptions& options) {
+  SeqSsspResult result;
+  const vid_t n = g.num_vertices();
+  result.dist.assign(n, kInfDist);
+  if (root >= n) return result;
+  const std::uint32_t delta = options.delta == 0 ? 1 : options.delta;
+
+  auto& dist = result.dist;
+  dist[root] = 0;
+
+  // Lazy bucket queues: vertices may appear under stale indices; entries
+  // are validated against bucket_of(dist[v]) on extraction.
+  std::map<std::uint64_t, std::vector<vid_t>> buckets;
+  buckets[0].push_back(root);
+
+  std::vector<char> in_frontier(n, 0);
+  std::vector<char> settled_mark(n, 0);
+
+  while (!buckets.empty()) {
+    // Advance to the next non-empty bucket (Allreduce-free here, but the
+    // same lazy-min the distributed engine computes collectively).
+    const std::uint64_t k = buckets.begin()->first;
+    std::vector<vid_t> stale = std::move(buckets.begin()->second);
+    buckets.erase(buckets.begin());
+
+    std::vector<vid_t> frontier;
+    for (const vid_t v : stale) {
+      if (bucket_of(dist[v], delta) == k && !in_frontier[v]) {
+        in_frontier[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+    if (frontier.empty()) continue;
+    ++result.buckets;
+
+    std::vector<vid_t> epoch_members;  // for the long phase
+    auto relax = [&](vid_t v, dist_t nd, std::vector<vid_t>* next) {
+      ++result.relaxations;
+      if (nd >= dist[v]) return;
+      dist[v] = nd;
+      const std::uint64_t j = bucket_of(nd, delta);
+      if (j == k) {
+        if (next != nullptr && !in_frontier[v]) {
+          in_frontier[v] = 1;
+          next->push_back(v);
+        }
+      } else {
+        buckets[j].push_back(v);
+      }
+    };
+
+    while (!frontier.empty()) {
+      ++result.phases;
+      std::vector<vid_t> next;
+      for (const vid_t u : frontier) {
+        in_frontier[u] = 0;
+        if (options.edge_classification && !settled_mark[u]) {
+          settled_mark[u] = 1;
+          epoch_members.push_back(u);
+        }
+        const dist_t du = dist[u];
+        for (const Arc& a : g.neighbors(u)) {
+          if (options.edge_classification && a.w >= delta) continue;
+          relax(a.to, du + a.w, &next);
+        }
+      }
+      frontier = std::move(next);
+    }
+
+    if (options.edge_classification && !epoch_members.empty()) {
+      ++result.phases;  // the single long-edge phase of this epoch
+      for (const vid_t u : epoch_members) {
+        const dist_t du = dist[u];
+        for (const Arc& a : g.neighbors(u)) {
+          if (a.w < delta) continue;
+          relax(a.to, du + a.w, nullptr);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace parsssp

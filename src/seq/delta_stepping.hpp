@@ -1,0 +1,22 @@
+// Sequential Delta-stepping, a direct transcription of the paper's Fig. 2
+// pseudocode with optional Meyer-Sanders short/long edge classification.
+// Delta = 1 recovers Dial's variant of Dijkstra; a huge Delta recovers
+// Bellman-Ford. Used as a readable reference and to cross-check the phase /
+// bucket / relaxation counters of the distributed engine.
+#pragma once
+
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+
+struct SeqDeltaOptions {
+  std::uint32_t delta = 25;
+  /// Meyer-Sanders refinement: relax short edges (w < delta) in the inner
+  /// phases and long edges once per settled vertex at epoch end.
+  bool edge_classification = true;
+};
+
+SeqSsspResult delta_stepping(const CsrGraph& g, vid_t root,
+                             const SeqDeltaOptions& options = {});
+
+}  // namespace parsssp

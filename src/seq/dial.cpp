@@ -1,0 +1,45 @@
+#include "seq/dial.hpp"
+
+#include <vector>
+
+namespace parsssp {
+
+SeqSsspResult dial(const CsrGraph& g, vid_t root) {
+  SeqSsspResult result;
+  const vid_t n = g.num_vertices();
+  result.dist.assign(n, kInfDist);
+  if (root >= n) return result;
+  result.dist[root] = 0;
+
+  // Circular bucket array would bound memory to max_weight+1 slots; a flat
+  // lazily-grown array keeps the code obvious and is fine at library scale.
+  std::vector<std::vector<vid_t>> buckets(1);
+  buckets[0].push_back(root);
+
+  for (std::size_t d = 0; d < buckets.size(); ++d) {
+    bool settled_any = false;
+    // Iterate by index: relaxations may append to the *current* bucket when
+    // zero-weight edges exist.
+    for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+      const vid_t u = buckets[d][i];
+      if (result.dist[u] != d) continue;  // stale entry
+      settled_any = true;
+      ++result.phases;
+      for (const Arc& a : g.neighbors(u)) {
+        ++result.relaxations;
+        const dist_t nd = static_cast<dist_t>(d) + a.w;
+        if (nd < result.dist[a.to]) {
+          result.dist[a.to] = nd;
+          if (nd >= buckets.size()) buckets.resize(nd + 1);
+          buckets[nd].push_back(a.to);
+        }
+      }
+    }
+    if (settled_any) ++result.buckets;
+    buckets[d].clear();
+    buckets[d].shrink_to_fit();
+  }
+  return result;
+}
+
+}  // namespace parsssp

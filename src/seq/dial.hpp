@@ -1,0 +1,17 @@
+// Dial's algorithm (Dial et al. 1979): Dijkstra with an array of buckets
+// indexed by tentative distance, exploiting small integer weights. This is
+// the algorithm the paper identifies with Delta-stepping at Delta = 1; the
+// sequential form here serves as an additional oracle and as the natural
+// baseline for bucket-array data-structure comparisons.
+#pragma once
+
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+
+/// Requires non-negative integer weights; the bucket array is sized
+/// max_weight * |V| in the worst case but grows lazily with the current
+/// distance horizon.
+SeqSsspResult dial(const CsrGraph& g, vid_t root);
+
+}  // namespace parsssp

@@ -1,0 +1,40 @@
+#include "seq/dijkstra.hpp"
+
+#include <queue>
+#include <utility>
+
+namespace parsssp {
+
+SeqSsspResult dijkstra(const CsrGraph& g, vid_t root) {
+  SeqSsspResult result;
+  const vid_t n = g.num_vertices();
+  result.dist.assign(n, kInfDist);
+  if (root >= n) return result;
+
+  using Entry = std::pair<dist_t, vid_t>;  // (tentative distance, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  result.dist[root] = 0;
+  heap.push({0, root});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != result.dist[u]) continue;  // stale entry (lazy deletion)
+    ++result.phases;
+    for (const Arc& a : g.neighbors(u)) {
+      ++result.relaxations;
+      const dist_t nd = d + a.w;
+      if (nd < result.dist[a.to]) {
+        result.dist[a.to] = nd;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<dist_t> dijkstra_distances(const CsrGraph& g, vid_t root) {
+  return dijkstra(g, root).dist;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,30 @@
+// Sequential binary-heap Dijkstra: the correctness oracle for every other
+// SSSP implementation in this library, plus per-run statistics used by the
+// algorithm-comparison experiments (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+struct SeqSsspResult {
+  std::vector<dist_t> dist;
+  /// Total Relax(u, v) operations executed.
+  std::uint64_t relaxations = 0;
+  /// Number of outer iterations (heap pops for Dijkstra, rounds for
+  /// Bellman-Ford, phases for Delta-stepping).
+  std::uint64_t phases = 0;
+  /// Buckets processed (Delta-stepping only; 1 for Bellman-Ford).
+  std::uint64_t buckets = 0;
+};
+
+/// Classic Dijkstra with a binary heap and lazy deletion.
+SeqSsspResult dijkstra(const CsrGraph& g, vid_t root);
+
+/// Distances only (convenience for validation call sites).
+std::vector<dist_t> dijkstra_distances(const CsrGraph& g, vid_t root);
+
+}  // namespace parsssp

@@ -1,0 +1,96 @@
+// Solver::solve_batch (Graph 500 multi-root methodology) and Dial's
+// bucket-array Dijkstra.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dial.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(SolveBatch, AggregatesOverRoots) {
+  const auto g = rmat_graph(9);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto roots = sample_roots(g, 5, 1);
+  const BatchSummary s = solver.solve_batch(roots, SsspOptions::opt(25));
+  EXPECT_EQ(s.num_roots, 5u);
+  EXPECT_EQ(s.per_root.size(), 5u);
+  EXPECT_EQ(s.edges, g.num_undirected_edges());
+  EXPECT_GT(s.harmonic_mean_gteps, 0.0);
+  EXPECT_LE(s.min_gteps, s.harmonic_mean_gteps);
+  EXPECT_LE(s.harmonic_mean_gteps, s.mean_gteps + 1e-12);
+  EXPECT_LE(s.mean_gteps, s.max_gteps);
+}
+
+TEST(SolveBatch, EmptyRoots) {
+  const auto g = rmat_graph(8);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const BatchSummary s = solver.solve_batch({}, SsspOptions::opt(25));
+  EXPECT_EQ(s.num_roots, 0u);
+  EXPECT_EQ(s.harmonic_mean_gteps, 0.0);
+}
+
+TEST(SolveBatch, SingleRootMatchesSolve) {
+  const auto g = rmat_graph(8);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  const std::vector<vid_t> roots{root};
+  const BatchSummary s = solver.solve_batch(roots, SsspOptions::del(25));
+  const SsspResult r = solver.solve(root, SsspOptions::del(25));
+  EXPECT_EQ(s.per_root[0].total_relaxations(),
+            r.stats.total_relaxations());
+  EXPECT_DOUBLE_EQ(s.mean_gteps, s.max_gteps);
+}
+
+TEST(Dial, MatchesDijkstraOnRmat) {
+  for (const std::uint64_t seed : {1ULL, 4ULL}) {
+    const auto g = rmat_graph(9, seed);
+    for (const vid_t root : sample_roots(g, 2, seed)) {
+      EXPECT_EQ(dial(g, root).dist, dijkstra_distances(g, root))
+          << "seed=" << seed << " root=" << root;
+    }
+  }
+}
+
+TEST(Dial, ZeroWeightEdges) {
+  EdgeList list;
+  list.add_edge(0, 1, 0);
+  list.add_edge(1, 2, 5);
+  list.add_edge(2, 3, 0);
+  const auto g = CsrGraph::from_edges(list);
+  EXPECT_EQ(dial(g, 0).dist, (std::vector<dist_t>{0, 0, 5, 5}));
+}
+
+TEST(Dial, BucketCountEqualsDistinctDistances) {
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 2, 2);
+  list.add_edge(0, 2, 10);
+  const auto g = CsrGraph::from_edges(list);
+  const auto r = dial(g, 0);
+  // Distinct distances: 0, 2, 4 -> 3 non-empty buckets.
+  EXPECT_EQ(r.buckets, 3u);
+}
+
+TEST(Dial, DisconnectedAndOutOfRange) {
+  EdgeList list(4);
+  list.add_edge(0, 1, 1);
+  const auto g = CsrGraph::from_edges(list);
+  EXPECT_EQ(dial(g, 0).dist[3], kInfDist);
+  const auto r = dial(g, 99);
+  for (const auto d : r.dist) EXPECT_EQ(d, kInfDist);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t("demo");
+  t.set_header({"a", "long-column"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(1.0), "1");
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(PaperNote, Printed) {
+  std::ostringstream os;
+  print_paper_note(os, "pull wins on skewed buckets");
+  EXPECT_EQ(os.str(), "paper-shape: pull wins on skewed buckets\n");
+}
+
+TEST(Runner, FamilyConfigsMatchPaperParameters) {
+  const auto c1 = family_config(RmatFamily::kRmat1, 10);
+  EXPECT_DOUBLE_EQ(c1.params.a, 0.57);
+  EXPECT_DOUBLE_EQ(c1.params.b, 0.19);
+  EXPECT_DOUBLE_EQ(c1.params.d, 0.05);
+  EXPECT_EQ(c1.edge_factor, 16u);
+  const auto c2 = family_config(RmatFamily::kRmat2, 10);
+  EXPECT_DOUBLE_EQ(c2.params.a, 0.50);
+  EXPECT_DOUBLE_EQ(c2.params.b, 0.10);
+  EXPECT_DOUBLE_EQ(c2.params.d, 0.30);
+}
+
+TEST(Runner, FamilyNames) {
+  EXPECT_STREQ(family_name(RmatFamily::kRmat1), "RMAT-1");
+  EXPECT_STREQ(family_name(RmatFamily::kRmat2), "RMAT-2");
+}
+
+TEST(Runner, RunRootsAverages) {
+  const auto g = build_rmat_graph(RmatFamily::kRmat1, 8);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto roots = sample_roots(g, 3, 1);
+  const RunSummary s = run_roots(solver, SsspOptions::del(25), roots);
+  EXPECT_EQ(s.roots, 3u);
+  EXPECT_EQ(s.edges, g.num_undirected_edges());
+  EXPECT_GT(s.mean_model_gteps, 0.0);
+  EXPECT_GT(s.mean_relaxations, 0.0);
+  EXPECT_GT(s.mean_buckets, 0.0);
+  EXPECT_NEAR(s.mean_relax_per_rank, s.mean_relaxations / 2.0, 1e-6);
+}
+
+TEST(Runner, WeakScalingScalesGraphWithRanks) {
+  WeakScalingConfig cfg;
+  cfg.family = RmatFamily::kRmat2;
+  cfg.log2_vertices_per_rank = 8;
+  cfg.rank_counts = {1, 2, 4};
+  cfg.num_roots = 1;
+  const auto points = weak_scaling(cfg, SsspOptions::opt(25));
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].scale, 8u);
+  EXPECT_EQ(points[1].scale, 9u);
+  EXPECT_EQ(points[2].scale, 10u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.summary.mean_model_gteps, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

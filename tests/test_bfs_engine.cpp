@@ -1,0 +1,123 @@
+// Distributed direction-optimizing BFS against the sequential BFS oracle.
+#include <gtest/gtest.h>
+
+#include "core/bfs_engine.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(BfsEngine, MatchesSequentialBfs) {
+  const auto g = rmat_graph(9);
+  BfsSolver solver(g, {.num_ranks = 4});
+  for (const vid_t root : sample_roots(g, 3, 1)) {
+    const BfsResult r = solver.solve(root);
+    EXPECT_EQ(r.level, bfs_levels(g, root)) << "root=" << root;
+  }
+}
+
+TEST(BfsEngine, TopDownOnlyMatchesToo) {
+  const auto g = rmat_graph(9, 3);
+  BfsSolver solver(g, {.num_ranks = 4});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  BfsOptions o;
+  o.direction_optimize = false;
+  const BfsResult r = solver.solve(root, o);
+  EXPECT_EQ(r.level, bfs_levels(g, root));
+  EXPECT_EQ(r.stats.bottom_up_steps, 0u);
+}
+
+TEST(BfsEngine, DirectionOptimizationUsesBottomUp) {
+  // A dense scale-free graph with a well-connected root triggers the
+  // bottom-up regime in the middle levels.
+  const auto g = rmat_graph(10, 5);
+  BfsSolver solver(g, {.num_ranks = 4});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  const BfsResult r = solver.solve(root);
+  EXPECT_GT(r.stats.bottom_up_steps, 0u);
+  EXPECT_GT(r.stats.top_down_steps, 0u);
+  EXPECT_EQ(r.level, bfs_levels(g, root));
+}
+
+TEST(BfsEngine, BottomUpExaminesFewerEdgesThanTopDown) {
+  const auto g = rmat_graph(10, 5);
+  BfsSolver solver(g, {.num_ranks = 4});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  BfsOptions topdown;
+  topdown.direction_optimize = false;
+  const auto td = solver.solve(root, topdown);
+  const auto dir = solver.solve(root);
+  EXPECT_LT(dir.stats.edges_examined, td.stats.edges_examined);
+}
+
+TEST(BfsEngine, ParentsFormValidTree) {
+  const auto g = rmat_graph(9, 7);
+  BfsSolver solver(g, {.num_ranks = 3});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  BfsOptions o;
+  o.track_parents = true;
+  const BfsResult r = solver.solve(root, o);
+  ASSERT_EQ(r.parent.size(), g.num_vertices());
+  EXPECT_EQ(r.parent[root], root);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.level[v] == kInfDist) {
+      EXPECT_EQ(r.parent[v], kInvalidVid);
+      continue;
+    }
+    if (v == root) continue;
+    const vid_t p = r.parent[v];
+    ASSERT_LT(p, g.num_vertices());
+    EXPECT_EQ(r.level[p] + 1, r.level[v]) << "v=" << v;
+  }
+}
+
+TEST(BfsEngine, DisconnectedGraph) {
+  EdgeList list(6);
+  list.add_edge(0, 1, 1);
+  list.add_edge(1, 2, 1);
+  list.add_edge(4, 5, 1);
+  const auto g = CsrGraph::from_edges(list);
+  BfsSolver solver(g, {.num_ranks = 3});
+  const BfsResult r = solver.solve(0);
+  EXPECT_EQ(r.level[2], 2u);
+  EXPECT_EQ(r.level[4], kInfDist);
+  EXPECT_EQ(r.stats.levels, 3u);  // levels 0, 1, 2
+}
+
+TEST(BfsEngine, RankCountInvariance) {
+  const auto g = rmat_graph(9, 11);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  std::vector<dist_t> reference;
+  for (const rank_t ranks : {1u, 2u, 8u}) {
+    BfsSolver solver(g, {.num_ranks = ranks});
+    const BfsResult r = solver.solve(root);
+    if (reference.empty()) {
+      reference = r.level;
+    } else {
+      EXPECT_EQ(r.level, reference) << "ranks=" << ranks;
+    }
+  }
+}
+
+TEST(BfsEngine, StatsPopulated) {
+  const auto g = rmat_graph(9);
+  BfsSolver solver(g, {.num_ranks = 2});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  const BfsResult r = solver.solve(root);
+  EXPECT_GT(r.stats.levels, 0u);
+  EXPECT_GT(r.stats.edges_examined, 0u);
+  EXPECT_GT(r.stats.model_time_s, 0.0);
+  EXPECT_GT(r.stats.gteps(g.num_undirected_edges()), 0.0);
+}
+
+}  // namespace
+}  // namespace parsssp

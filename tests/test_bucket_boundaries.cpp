@@ -1,0 +1,115 @@
+// Bucket-boundary edge cases: distances landing exactly on k*Delta and
+// (k+1)*Delta - 1, IOS filters at the limit, and weights equal to Delta
+// (the short/long frontier). These are the off-by-one hot spots of any
+// Delta-stepping implementation.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "graph/builders.hpp"
+#include "seq/dijkstra.hpp"
+#include "parsssp.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(BucketBoundaries, DistanceExactlyAtBucketStart) {
+  // Path with weight exactly Delta: every vertex lands on a bucket start.
+  const auto g = CsrGraph::from_edges(make_path(20, 10));
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  for (const auto& o : {SsspOptions::del(10), SsspOptions::prune(10),
+                        SsspOptions::opt(10)}) {
+    const auto r = solver.solve(0, o);
+    EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+  }
+}
+
+TEST(BucketBoundaries, DistanceExactlyAtBucketEnd) {
+  // Weight Delta-1: distances hit (k+1)*Delta - 1 exactly, the inclusive
+  // end the IOS filter compares against.
+  const auto g = CsrGraph::from_edges(make_path(20, 9));
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  SsspOptions o = SsspOptions::prune(10);
+  ASSERT_TRUE(o.ios);
+  const auto r = solver.solve(0, o);
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+TEST(BucketBoundaries, WeightEqualToDeltaIsLong) {
+  EdgeList list;
+  list.add_edge(0, 1, 10);
+  const auto g = CsrGraph::from_edges(list);
+  const BlockPartition part(2, 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  EXPECT_EQ(view.short_degree(0), 0u);
+  EXPECT_EQ(view.long_degree(0), 1u);
+}
+
+TEST(BucketBoundaries, WeightJustBelowDeltaIsShort) {
+  EdgeList list;
+  list.add_edge(0, 1, 9);
+  const auto g = CsrGraph::from_edges(list);
+  const BlockPartition part(2, 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  EXPECT_EQ(view.short_degree(0), 1u);
+}
+
+TEST(BucketBoundaries, MixedBoundaryWeights) {
+  // Weights Delta-1, Delta, Delta+1 racing to the same targets.
+  EdgeList list;
+  list.add_edge(0, 1, 9);
+  list.add_edge(0, 2, 10);
+  list.add_edge(0, 3, 11);
+  list.add_edge(1, 4, 10);
+  list.add_edge(2, 4, 9);
+  list.add_edge(3, 4, 8);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  for (const auto mode : {PruneMode::kPushOnly, PruneMode::kPullOnly}) {
+    SsspOptions o = SsspOptions::prune(10);
+    o.prune_mode = mode;
+    EXPECT_EQ(solver.solve(0, o).dist, dijkstra_distances(g, 0));
+  }
+}
+
+TEST(BucketBoundaries, PullRequestConditionStrictness) {
+  // Equation (1): request iff w(e) < d(v) - k*Delta. Build a case where
+  // w(e) == d(v) - k*Delta exactly: the request is useless and the exact
+  // estimator must not count it.
+  EdgeList list;
+  list.add_edge(0, 1, 10);   // d(1) = 10
+  list.add_edge(1, 2, 10);   // d(2) = 20
+  list.add_edge(0, 2, 20);   // alternative: weight exactly d(2) - 0*Delta
+  const auto g = CsrGraph::from_edges(list);
+  const BlockPartition part(3, 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  // Vertex 2 with d(2)=20 in bucket 2, current bucket k=0: bound = 20.
+  // Arcs of 2: weights {10, 20}; only 10 < 20 qualifies.
+  EXPECT_EQ(view.count_long_below(2, 20), 1u);
+  // And the full solve stays exact under pull.
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  SsspOptions o = SsspOptions::prune(10);
+  o.prune_mode = PruneMode::kPullOnly;
+  EXPECT_EQ(solver.solve(0, o).dist, dijkstra_distances(g, 0));
+}
+
+TEST(BucketBoundaries, MaxWeightEdges) {
+  // All weights at the benchmark maximum (255) with Delta choices around
+  // it: 255 (w == Delta -> long), 256 (w < Delta -> short).
+  const auto g = CsrGraph::from_edges(make_cycle(12, 255));
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  for (const std::uint32_t delta : {255u, 256u}) {
+    EXPECT_EQ(solver.solve(0, SsspOptions::prune(delta)).dist,
+              dijkstra_distances(g, 0))
+        << delta;
+  }
+}
+
+TEST(BucketBoundaries, UmbrellaHeaderCompiles) {
+  // parsssp.hpp is included above; spot-check a symbol from each layer.
+  EXPECT_EQ(bucket_of(25, 10), 2u);
+  EXPECT_GE(TorusTopology::balanced(8).capacity(), 8u);
+  EXPECT_EQ(SsspOptions::opt(25).delta, 25u);
+}
+
+}  // namespace
+}  // namespace parsssp

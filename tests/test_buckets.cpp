@@ -1,0 +1,64 @@
+#include "core/buckets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(BucketOf, BasicMapping) {
+  EXPECT_EQ(bucket_of(0, 10), 0u);
+  EXPECT_EQ(bucket_of(9, 10), 0u);
+  EXPECT_EQ(bucket_of(10, 10), 1u);
+  EXPECT_EQ(bucket_of(25, 10), 2u);
+  EXPECT_EQ(bucket_of(kInfDist, 10), kInfBucket);
+}
+
+TEST(BucketOf, DeltaOne) {
+  EXPECT_EQ(bucket_of(7, 1), 7u);
+}
+
+TEST(CollectBucketMembers, FiltersBySettledAndBucket) {
+  const std::vector<dist_t> dist{0, 5, 10, 15, kInfDist, 7};
+  const std::vector<char> settled{0, 1, 0, 0, 0, 0};
+  const auto members = collect_bucket_members(dist, settled, 0, 10);
+  // Bucket 0 with delta 10: dist < 10 -> locals {0, 1, 5}; 1 is settled.
+  EXPECT_EQ(members, (std::vector<vid_t>{0, 5}));
+}
+
+TEST(CollectBucketMembers, InfNeverMember) {
+  const std::vector<dist_t> dist{kInfDist, kInfDist};
+  const std::vector<char> settled{0, 0};
+  EXPECT_TRUE(collect_bucket_members(dist, settled, 0, 10).empty());
+}
+
+TEST(MinUnsettledBucketAbove, FindsStrictlyGreater) {
+  const std::vector<dist_t> dist{0, 25, 57, kInfDist};
+  const std::vector<char> settled{0, 0, 0, 0};
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, kBeforeFirst, 10), 0u);
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, 0, 10), 2u);
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, 2, 10), 5u);
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, 5, 10), kInfBucket);
+}
+
+TEST(MinUnsettledBucketAbove, IgnoresSettled) {
+  const std::vector<dist_t> dist{0, 25};
+  const std::vector<char> settled{1, 0};
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, kBeforeFirst, 10), 2u);
+}
+
+TEST(MinUnsettledBucketAbove, EmptySlice) {
+  const std::vector<dist_t> dist;
+  const std::vector<char> settled;
+  EXPECT_EQ(min_unsettled_bucket_above(dist, settled, kBeforeFirst, 10),
+            kInfBucket);
+}
+
+TEST(CollectUnsettledReached, GroupedBucketContents) {
+  const std::vector<dist_t> dist{3, kInfDist, 99, 4};
+  const std::vector<char> settled{1, 0, 0, 0};
+  EXPECT_EQ(collect_unsettled_reached(dist, settled),
+            (std::vector<vid_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,99 @@
+#include "graph/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/graph_algos.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(Builders, Path) {
+  const auto g = CsrGraph::from_edges(make_path(5, 3));
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+  EXPECT_EQ(dijkstra_distances(g, 0)[4], 12u);
+}
+
+TEST(Builders, SingleVertexPath) {
+  const auto g = CsrGraph::from_edges(make_path(1));
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_undirected_edges(), 0u);
+}
+
+TEST(Builders, Cycle) {
+  const auto g = CsrGraph::from_edges(make_cycle(6, 2));
+  EXPECT_EQ(g.num_undirected_edges(), 6u);
+  // Opposite vertex: 3 hops either way.
+  EXPECT_EQ(dijkstra_distances(g, 0)[3], 6u);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Builders, Star) {
+  const auto g = CsrGraph::from_edges(make_star(7, 4));
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.degree(0), 7u);
+  EXPECT_EQ(dijkstra_distances(g, 1)[2], 8u);  // leaf -> hub -> leaf
+}
+
+TEST(Builders, CliqueDefaultWeights) {
+  const auto g = CsrGraph::from_edges(make_clique(6));
+  EXPECT_EQ(g.num_undirected_edges(), 15u);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Builders, CliqueCustomWeights) {
+  const auto list = make_clique(4, [](vid_t u, vid_t v) {
+    return static_cast<weight_t>(u + v);
+  });
+  const auto g = CsrGraph::from_edges(list);
+  // Edge (1,2) has weight 3.
+  bool found = false;
+  for (const Arc& a : g.neighbors(1)) {
+    if (a.to == 2) {
+      EXPECT_EQ(a.w, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builders, Grid) {
+  const auto g = CsrGraph::from_edges(make_grid(4));
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_undirected_edges(), 2u * 4 * 3);
+  // Manhattan distance with unit weights.
+  EXPECT_EQ(dijkstra_distances(g, 0)[15], 6u);
+  EXPECT_EQ(bfs_depth(g, 0), 6u);
+}
+
+TEST(Builders, BinaryTree) {
+  const auto g = CsrGraph::from_edges(make_binary_tree(15));
+  EXPECT_EQ(g.num_undirected_edges(), 14u);
+  EXPECT_EQ(bfs_depth(g, 0), 3u);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.num_components, 1u);
+}
+
+TEST(Builders, Fig6Example) {
+  const auto list = make_fig6_example();
+  const auto g = CsrGraph::from_edges(list);
+  EXPECT_EQ(g.num_vertices(), 11u);
+  // 5 root spokes + 10 clique edges + 5 tails = 20 edges.
+  EXPECT_EQ(g.num_undirected_edges(), 20u);
+  const auto d = dijkstra_distances(g, 0);
+  for (vid_t c = 1; c <= 5; ++c) EXPECT_EQ(d[c], 10u);    // clique: B_2
+  for (vid_t t = 6; t <= 10; ++t) EXPECT_EQ(d[t], 20u);   // tails: B_4
+}
+
+TEST(Builders, Fig6Parameterized) {
+  const auto g = CsrGraph::from_edges(make_fig6_example(3, 2, 8));
+  EXPECT_EQ(g.num_vertices(), 7u);
+  const auto d = dijkstra_distances(g, 0);
+  EXPECT_EQ(d[1], 8u);
+  EXPECT_EQ(d[4], 16u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,118 @@
+#include "runtime/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace parsssp {
+namespace {
+
+// Runs `body(rank)` on `ranks` threads sharing one CollectiveContext.
+template <typename Body>
+void run_ranks(rank_t ranks, CollectiveContext& ctx, Body body) {
+  std::vector<std::thread> threads;
+  for (rank_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] { body(r); });
+  }
+  for (auto& t : threads) t.join();
+  (void)ctx;
+}
+
+TEST(Collectives, AllreduceSum) {
+  constexpr rank_t R = 4;
+  CollectiveContext ctx(R);
+  std::vector<std::uint64_t> results(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    results[r] = ctx.allreduce<std::uint64_t>(r, r + 1, SumOp{});
+  });
+  for (const auto v : results) EXPECT_EQ(v, 1u + 2 + 3 + 4);
+}
+
+TEST(Collectives, AllreduceMinMax) {
+  constexpr rank_t R = 5;
+  CollectiveContext ctx(R);
+  std::vector<std::uint64_t> mins(R), maxs(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    mins[r] = ctx.allreduce<std::uint64_t>(r, 100 - r, MinOp{});
+    maxs[r] = ctx.allreduce<std::uint64_t>(r, 100 - r, MaxOp{});
+  });
+  for (const auto v : mins) EXPECT_EQ(v, 96u);
+  for (const auto v : maxs) EXPECT_EQ(v, 100u);
+}
+
+TEST(Collectives, AllreduceOr) {
+  constexpr rank_t R = 3;
+  CollectiveContext ctx(R);
+  std::vector<std::uint64_t> results(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    results[r] = ctx.allreduce<std::uint64_t>(r, r == 2 ? 1 : 0, OrOp{});
+  });
+  for (const auto v : results) EXPECT_EQ(v, 1u);
+}
+
+TEST(Collectives, AllreduceStruct) {
+  struct Pair {
+    std::uint64_t sum;
+    std::uint64_t max;
+  };
+  struct PairOp {
+    Pair operator()(const Pair& a, const Pair& b) const {
+      return {a.sum + b.sum, std::max(a.max, b.max)};
+    }
+  };
+  constexpr rank_t R = 4;
+  CollectiveContext ctx(R);
+  std::vector<Pair> results(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    results[r] = ctx.allreduce(r, Pair{r, r}, PairOp{});
+  });
+  for (const auto& p : results) {
+    EXPECT_EQ(p.sum, 0u + 1 + 2 + 3);
+    EXPECT_EQ(p.max, 3u);
+  }
+}
+
+TEST(Collectives, Broadcast) {
+  constexpr rank_t R = 4;
+  CollectiveContext ctx(R);
+  std::vector<int> results(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    results[r] = ctx.broadcast(r, r == 2 ? 77 : -1, /*root=*/2);
+  });
+  for (const auto v : results) EXPECT_EQ(v, 77);
+}
+
+TEST(Collectives, Allgather) {
+  constexpr rank_t R = 3;
+  CollectiveContext ctx(R);
+  std::vector<std::vector<int>> results(R);
+  run_ranks(R, ctx, [&](rank_t r) {
+    results[r] = ctx.allgather(r, static_cast<int>(r * 10));
+  });
+  for (const auto& v : results) {
+    EXPECT_EQ(v, (std::vector<int>{0, 10, 20}));
+  }
+}
+
+TEST(Collectives, RepeatedRoundsStayConsistent) {
+  constexpr rank_t R = 4;
+  CollectiveContext ctx(R);
+  std::vector<std::uint64_t> sums(R, 0);
+  run_ranks(R, ctx, [&](rank_t r) {
+    for (int round = 0; round < 50; ++round) {
+      sums[r] += ctx.allreduce<std::uint64_t>(r, round, SumOp{});
+    }
+  });
+  // Each round reduces to 4*round; total = 4 * (0+..+49).
+  for (const auto s : sums) EXPECT_EQ(s, 4u * (49 * 50 / 2));
+}
+
+TEST(Collectives, SingleRank) {
+  CollectiveContext ctx(1);
+  EXPECT_EQ(ctx.allreduce<std::uint64_t>(0, 42, SumOp{}), 42u);
+  EXPECT_EQ(ctx.broadcast(0, 7, 0), 7);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,104 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace parsssp {
+namespace {
+
+EdgeList triangle() {
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 2, 3);
+  list.add_edge(2, 0, 4);
+  return list;
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g = CsrGraph::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(g.num_undirected_edges(), 0u);
+}
+
+TEST(CsrGraph, VerticesWithoutEdges) {
+  CsrGraph g = CsrGraph::from_edges(EdgeList{5});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(CsrGraph, UndirectedEdgeStoredTwice) {
+  CsrGraph g = CsrGraph::from_edges(triangle());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CsrGraph, NeighborsCarryWeights) {
+  CsrGraph g = CsrGraph::from_edges(triangle());
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  // Sorted by destination.
+  EXPECT_EQ(n0[0], (Arc{1, 2}));
+  EXPECT_EQ(n0[1], (Arc{2, 4}));
+}
+
+TEST(CsrGraph, SymmetryOfArcs) {
+  CsrGraph g = CsrGraph::from_edges(triangle());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    for (const Arc& a : g.neighbors(u)) {
+      const auto back = g.neighbors(a.to);
+      const bool found = std::any_of(
+          back.begin(), back.end(),
+          [&](const Arc& b) { return b.to == u && b.w == a.w; });
+      EXPECT_TRUE(found) << "missing reverse arc " << a.to << "->" << u;
+    }
+  }
+}
+
+TEST(CsrGraph, SelfLoopStoredOnce) {
+  EdgeList list;
+  list.add_edge(1, 1, 7);
+  CsrGraph g = CsrGraph::from_edges(list);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], (Arc{1, 7}));
+}
+
+TEST(CsrGraph, MultiEdgesPreserved) {
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(0, 1, 5);
+  CsrGraph g = CsrGraph::from_edges(list);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  const auto n = g.neighbors(0);
+  EXPECT_EQ(n[0].w, 2u);
+  EXPECT_EQ(n[1].w, 5u);
+}
+
+TEST(CsrGraph, MaxWeightTracked) {
+  CsrGraph g = CsrGraph::from_edges(triangle());
+  EXPECT_EQ(g.max_weight(), 4u);
+}
+
+TEST(CsrGraph, OffsetsAreMonotone) {
+  CsrGraph g = CsrGraph::from_edges(triangle());
+  const auto& off = g.offsets();
+  ASSERT_EQ(off.size(), g.num_vertices() + 1);
+  for (std::size_t i = 1; i < off.size(); ++i) EXPECT_LE(off[i - 1], off[i]);
+  EXPECT_EQ(off.back(), g.num_arcs());
+}
+
+TEST(CsrGraph, StarDegrees) {
+  EdgeList list;
+  for (vid_t leaf = 1; leaf <= 6; ++leaf) list.add_edge(0, leaf, 1);
+  CsrGraph g = CsrGraph::from_edges(list);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (vid_t leaf = 1; leaf <= 6; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,71 @@
+#include "graph/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+CsrGraph star_plus_isolated() {
+  // Vertex 0 with 4 leaves, vertices 5..7 isolated.
+  EdgeList list(8);
+  for (vid_t leaf = 1; leaf <= 4; ++leaf) list.add_edge(0, leaf, 1);
+  return CsrGraph::from_edges(list);
+}
+
+TEST(DegreeStats, MaxDegreeAndArgmax) {
+  const auto g = star_plus_isolated();
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.argmax_vertex, 0u);
+}
+
+TEST(DegreeStats, MeanDegree) {
+  const auto g = star_plus_isolated();
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 8.0 / 8.0);  // 8 arcs over 8 vertices
+}
+
+TEST(DegreeStats, IsolatedCount) {
+  const auto g = star_plus_isolated();
+  EXPECT_EQ(compute_degree_stats(g).num_isolated, 3u);
+}
+
+TEST(DegreeStats, HeavyCount) {
+  const auto g = star_plus_isolated();
+  EXPECT_EQ(compute_degree_stats(g, 1).num_heavy, 1u);  // only the hub
+  EXPECT_EQ(compute_degree_stats(g, 4).num_heavy, 0u);
+}
+
+TEST(DegreeStats, Log2Histogram) {
+  const auto g = star_plus_isolated();
+  const DegreeStats s = compute_degree_stats(g);
+  // Leaves: degree 1 -> bucket 0 (4 of them). Hub: degree 4 -> bucket 2.
+  ASSERT_GE(s.log2_histogram.size(), 3u);
+  EXPECT_EQ(s.log2_histogram[0], 4u);
+  EXPECT_EQ(s.log2_histogram[2], 1u);
+}
+
+TEST(DegreeStats, HistogramTotalsMatchNonIsolated) {
+  const auto g = star_plus_isolated();
+  const DegreeStats s = compute_degree_stats(g);
+  std::size_t total = 0;
+  for (const auto c : s.log2_histogram) total += c;
+  EXPECT_EQ(total + s.num_isolated, g.num_vertices());
+}
+
+TEST(DegreeStats, Percentile) {
+  const auto g = star_plus_isolated();
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_EQ(s.percentile(g, 0), 0u);
+  EXPECT_EQ(s.percentile(g, 100), 4u);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const CsrGraph g;
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_EQ(s.max_degree, 0u);
+  EXPECT_EQ(s.num_isolated, 0u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,60 @@
+#include "core/delta_choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_util/runner.hpp"
+#include "core/solver.hpp"
+#include "graph/graph_algos.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(DeltaChoice, Graph500SettingLandsInPapersWinningRange) {
+  const CsrGraph g = build_rmat_graph(RmatFamily::kRmat1, 12);
+  const DeltaSuggestion s = suggest_delta(g);
+  // Paper Fig 9: Delta in [10, 50] wins for this configuration.
+  EXPECT_GE(s.delta, 10u);
+  EXPECT_LE(s.delta, 50u);
+}
+
+TEST(DeltaChoice, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(suggest_delta(g).delta, 1u);
+}
+
+TEST(DeltaChoice, DenseGraphGetsSmallerDelta) {
+  // Higher average degree -> narrower buckets.
+  EdgeList sparse;
+  EdgeList dense;
+  for (vid_t i = 0; i < 64; ++i) {
+    sparse.add_edge(i, (i + 1) % 64, 100);
+    for (vid_t j = 1; j <= 8; ++j) {
+      dense.add_edge(i, (i + j) % 64, 100);
+    }
+  }
+  const auto s1 = suggest_delta(CsrGraph::from_edges(sparse));
+  const auto s2 = suggest_delta(CsrGraph::from_edges(dense));
+  EXPECT_GT(s1.delta, s2.delta);
+}
+
+TEST(DeltaChoice, ClampedToWeightRange) {
+  // A near-isolated graph (tiny degree) must not suggest Delta > w_max.
+  EdgeList list(100);
+  list.add_edge(0, 1, 7);
+  const auto s = suggest_delta(CsrGraph::from_edges(list));
+  EXPECT_LE(s.delta, 7u);
+  EXPECT_GE(s.delta, 1u);
+}
+
+TEST(DeltaChoice, SuggestedDeltaSolvesCorrectly) {
+  const CsrGraph g = build_rmat_graph(RmatFamily::kRmat2, 9);
+  const DeltaSuggestion s = suggest_delta(g);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  const auto r = solver.solve(root, SsspOptions::opt(s.delta));
+  EXPECT_EQ(r.dist, dijkstra_distances(g, root));
+}
+
+}  // namespace
+}  // namespace parsssp

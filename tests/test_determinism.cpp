@@ -1,0 +1,148 @@
+// Determinism and stress properties that cut across modules: multi-lane
+// runs must be bit-identical to single-lane runs, BFS must be insensitive
+// to its direction thresholds, large exchanges must survive intact, and
+// SNAP files must round-trip through the filesystem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/bfs_engine.hpp"
+#include "core/solver.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "graph/snap_io.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(Determinism, LanesDoNotChangeDistancesOrCounters) {
+  const auto g = rmat_graph(9, 31);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  std::vector<dist_t> ref_dist;
+  std::uint64_t ref_relax = 0;
+  for (const unsigned lanes : {1u, 2u, 4u}) {
+    Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = lanes}});
+    const auto r = solver.solve(root, SsspOptions::lb_opt(25, 16));
+    if (ref_dist.empty()) {
+      ref_dist = r.dist;
+      ref_relax = r.stats.total_relaxations();
+    } else {
+      EXPECT_EQ(r.dist, ref_dist) << "lanes=" << lanes;
+      EXPECT_EQ(r.stats.total_relaxations(), ref_relax)
+          << "lanes=" << lanes;
+    }
+  }
+}
+
+TEST(Determinism, RepeatedThreadedRunsIdentical) {
+  const auto g = rmat_graph(9, 37);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  Solver solver(g, {.machine = {.num_ranks = 8, .lanes_per_rank = 2}});
+  const auto first = solver.solve(root, SsspOptions::opt(25));
+  for (int i = 0; i < 5; ++i) {
+    const auto again = solver.solve(root, SsspOptions::opt(25));
+    EXPECT_EQ(again.dist, first.dist);
+    EXPECT_EQ(again.stats.total_relaxations(),
+              first.stats.total_relaxations());
+    EXPECT_EQ(again.stats.phases, first.stats.phases);
+    EXPECT_DOUBLE_EQ(again.stats.model_time_s, first.stats.model_time_s);
+  }
+}
+
+TEST(Determinism, BfsThresholdsChangeStepsNotLevels) {
+  const auto g = rmat_graph(10, 41);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  BfsSolver solver(g, {.num_ranks = 4});
+  const auto reference = bfs_levels(g, root);
+  for (const double alpha : {0.05, 0.25, 1.0}) {
+    for (const double beta : {1.0 / 256, 1.0 / 16}) {
+      BfsOptions o;
+      o.alpha = alpha;
+      o.beta = beta;
+      EXPECT_EQ(solver.solve(root, o).level, reference)
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST(Stress, LargeExchangePayloadIntact) {
+  constexpr rank_t R = 4;
+  Machine m({.num_ranks = R});
+  m.run([&](RankCtx& ctx) {
+    std::vector<std::vector<std::uint64_t>> out(R);
+    for (rank_t d = 0; d < R; ++d) {
+      out[d].resize(50'000);
+      for (std::size_t i = 0; i < out[d].size(); ++i) {
+        out[d][i] = ctx.rank() * 1'000'000ULL + d * 100'000ULL + i;
+      }
+    }
+    const auto in = ctx.exchange(std::move(out), PhaseKind::kShortPhase);
+    for (rank_t s = 0; s < R; ++s) {
+      ASSERT_EQ(in[s].size(), 50'000u);
+      for (std::size_t i = 0; i < in[s].size(); ++i) {
+        ASSERT_EQ(in[s][i],
+                  s * 1'000'000ULL + ctx.rank() * 100'000ULL + i);
+      }
+    }
+  });
+}
+
+TEST(Stress, ManySmallSolvesNoStateLeak) {
+  const auto g = rmat_graph(8, 43);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto roots = sample_roots(g, 4, 1);
+  std::vector<std::vector<dist_t>> firsts;
+  for (const vid_t root : roots) {
+    firsts.push_back(solver.solve(root, SsspOptions::opt(25)).dist);
+  }
+  // Interleave in a different order; results must not depend on history.
+  for (std::size_t i = roots.size(); i-- > 0;) {
+    EXPECT_EQ(solver.solve(roots[i], SsspOptions::opt(25)).dist, firsts[i]);
+  }
+}
+
+TEST(SnapDisk, FileRoundTrip) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  EdgeList list = generate_rmat(cfg);
+  list.dedup_and_strip_self_loops();
+
+  const std::string path = ::testing::TempDir() + "/snap_roundtrip.txt";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    write_snap_text(out, list);
+  }
+  const EdgeList back = load_snap_file(path);
+  EXPECT_EQ(back.edges(), list.edges());
+  std::remove(path.c_str());
+}
+
+TEST(SnapDisk, BinaryFileRoundTrip) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  const EdgeList list = generate_rmat(cfg);
+  const std::string path = ::testing::TempDir() + "/snap_roundtrip.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    write_binary(out, list);
+  }
+  std::ifstream in(path, std::ios::binary);
+  const EdgeList back = read_binary(in);
+  EXPECT_EQ(back.edges(), list.edges());
+  EXPECT_EQ(back.num_vertices(), list.num_vertices());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace parsssp

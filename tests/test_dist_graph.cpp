@@ -1,0 +1,122 @@
+#include "core/dist_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph mixed_weights() {
+  EdgeList list;
+  list.add_edge(0, 1, 3);    // short for delta=10
+  list.add_edge(0, 2, 10);   // long
+  list.add_edge(0, 3, 50);   // long
+  list.add_edge(1, 2, 9);    // short
+  list.add_edge(2, 3, 25);   // long
+  return CsrGraph::from_edges(list);
+}
+
+TEST(LocalEdgeView, SplitsShortAndLong) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  EXPECT_EQ(view.num_local(), 4u);
+  EXPECT_EQ(view.short_degree(0), 1u);
+  EXPECT_EQ(view.long_degree(0), 2u);
+  EXPECT_EQ(view.degree(0), 3u);
+  for (const Arc& a : view.short_arcs(0)) EXPECT_LT(a.w, 10u);
+  for (const Arc& a : view.long_arcs(0)) EXPECT_GE(a.w, 10u);
+}
+
+TEST(LocalEdgeView, LongArcsSortedByWeight) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 5);
+  for (vid_t v = 0; v < view.num_local(); ++v) {
+    const auto arcs = view.long_arcs(v);
+    for (std::size_t i = 1; i < arcs.size(); ++i) {
+      EXPECT_LE(arcs[i - 1].w, arcs[i].w);
+    }
+  }
+}
+
+TEST(LocalEdgeView, AllArcsCoversDegree) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 2);
+  for (rank_t r = 0; r < 2; ++r) {
+    const auto view = LocalEdgeView::build(g, part, r, 10);
+    for (vid_t local = 0; local < view.num_local(); ++local) {
+      const vid_t global = part.global_id(r, local);
+      EXPECT_EQ(view.all_arcs(local).size(), g.degree(global));
+    }
+  }
+}
+
+TEST(LocalEdgeView, CountLongBelowExact) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  // Vertex 0 long arcs: weights {10, 50}.
+  EXPECT_EQ(view.count_long_below(0, 10), 0u);
+  EXPECT_EQ(view.count_long_below(0, 11), 1u);
+  EXPECT_EQ(view.count_long_below(0, 50), 1u);
+  EXPECT_EQ(view.count_long_below(0, 51), 2u);
+  EXPECT_EQ(view.count_long_below(0, kInfDist), 2u);
+}
+
+TEST(LocalEdgeView, CountLongBelowHugeBound) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  // A bound beyond weight_t's range counts every long arc.
+  const dist_t huge = static_cast<dist_t>(1) << 40;
+  EXPECT_EQ(view.count_long_below(0, huge), 2u);
+}
+
+TEST(LocalEdgeView, DeltaInfAllShort) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view =
+      LocalEdgeView::build(g, part, 0, 0xffffffffu);
+  for (vid_t v = 0; v < view.num_local(); ++v) {
+    EXPECT_EQ(view.long_degree(v), 0u);
+  }
+  EXPECT_EQ(view.total_long_degree(), 0u);
+}
+
+TEST(LocalEdgeView, DeltaOneAllLong) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 1);
+  for (vid_t v = 0; v < view.num_local(); ++v) {
+    EXPECT_EQ(view.short_degree(v), 0u);
+  }
+}
+
+TEST(LocalEdgeView, TotalLongDegree) {
+  const auto g = mixed_weights();
+  const BlockPartition part(g.num_vertices(), 1);
+  const auto view = LocalEdgeView::build(g, part, 0, 10);
+  // Long undirected edges: (0,2,10), (0,3,50), (2,3,25) -> 6 arc endpoints.
+  EXPECT_EQ(view.total_long_degree(), 6u);
+}
+
+TEST(LocalEdgeView, BuildAllViewsPartitionConsistency) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const BlockPartition part(g.num_vertices(), 4);
+  const auto views = build_all_views(g, part, 25);
+  ASSERT_EQ(views.size(), 4u);
+  std::uint64_t total_arcs = 0;
+  for (rank_t r = 0; r < 4; ++r) {
+    for (vid_t local = 0; local < views[r].num_local(); ++local) {
+      total_arcs += views[r].degree(local);
+    }
+  }
+  EXPECT_EQ(total_arcs, g.num_arcs());
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,151 @@
+// The distributed validator must accept every correct result and reject
+// targeted corruptions, agreeing with the sequential oracle's verdicts.
+#include <gtest/gtest.h>
+
+#include "core/dist_validate.hpp"
+#include "core/solver.hpp"
+#include "graph/builders.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    RmatConfig cfg;
+    cfg.scale = 9;
+    cfg.edge_factor = 8;
+    g = CsrGraph::from_edges(generate_rmat(cfg));
+    root = sample_roots(g, 1, 1).at(0);
+    Solver solver(g, {.machine = {.num_ranks = 4}});
+    SsspOptions o = SsspOptions::opt(25);
+    o.track_parents = true;
+    result = solver.solve(root, o);
+  }
+  CsrGraph g;
+  vid_t root = 0;
+  SsspResult result;
+  Machine machine{{.num_ranks = 4}};
+  BlockPartition part() const {
+    return BlockPartition(g.num_vertices(), 4);
+  }
+};
+
+TEST(DistValidate, AcceptsCorrectResult) {
+  Fixture f;
+  const auto rep = validate_distributed(f.g, f.machine, f.part(), f.root,
+                                        f.result.dist, f.result.parent);
+  EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+TEST(DistValidate, AcceptsDistancesWithoutParents) {
+  Fixture f;
+  const auto rep = validate_distributed(f.g, f.machine, f.part(), f.root,
+                                        f.result.dist);
+  EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+TEST(DistValidate, RejectsBadRoot) {
+  Fixture f;
+  auto dist = f.result.dist;
+  dist[f.root] = 1;
+  const auto rep =
+      validate_distributed(f.g, f.machine, f.part(), f.root, dist);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.bad_root, 1u);
+}
+
+TEST(DistValidate, RejectsInflatedDistance) {
+  Fixture f;
+  auto dist = f.result.dist;
+  // Raise one reached non-root vertex: some incoming arc now undercuts it.
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    if (v != f.root && dist[v] != kInfDist && f.g.degree(v) > 0) {
+      dist[v] += 1000;
+      break;
+    }
+  }
+  const auto rep =
+      validate_distributed(f.g, f.machine, f.part(), f.root, dist);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.violated_edges, 1u);
+}
+
+TEST(DistValidate, RejectsDeflatedDistanceViaParents) {
+  Fixture f;
+  auto dist = f.result.dist;
+  // Lower a vertex below its true distance: no parent edge can certify it
+  // (and its own outgoing arcs may now undercut neighbours).
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    if (v != f.root && dist[v] != kInfDist && dist[v] > 2) {
+      dist[v] -= 1;
+      break;
+    }
+  }
+  const auto rep = validate_distributed(f.g, f.machine, f.part(), f.root,
+                                        dist, f.result.parent);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(DistValidate, RejectsGhostParentOnUnreached) {
+  Fixture f;
+  auto parent = f.result.parent;
+  bool corrupted = false;
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    if (f.result.dist[v] == kInfDist) {
+      parent[v] = f.root;
+      corrupted = true;
+      break;
+    }
+  }
+  if (!corrupted) GTEST_SKIP() << "graph fully reachable from this root";
+  const auto rep = validate_distributed(f.g, f.machine, f.part(), f.root,
+                                        f.result.dist, parent);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.parent_violations, 1u);
+}
+
+TEST(DistValidate, RejectsNonAdjacentParent) {
+  Fixture f;
+  auto parent = f.result.parent;
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    if (v != f.root && f.result.dist[v] != kInfDist) {
+      parent[v] = v;  // self is never a valid tree parent
+      break;
+    }
+  }
+  const auto rep = validate_distributed(f.g, f.machine, f.part(), f.root,
+                                        f.result.dist, parent);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.parent_violations, 1u);
+}
+
+TEST(DistValidate, RankCountInvariant) {
+  Fixture f;
+  for (const rank_t ranks : {1u, 2u, 8u}) {
+    Machine m({.num_ranks = ranks});
+    const BlockPartition part(f.g.num_vertices(), ranks);
+    const auto rep = validate_distributed(f.g, m, part, f.root,
+                                          f.result.dist, f.result.parent);
+    EXPECT_TRUE(rep.ok) << "ranks=" << ranks << ": " << rep.message;
+  }
+}
+
+TEST(DistValidate, GridGraphEndToEnd) {
+  const auto g = CsrGraph::from_edges(make_grid(16, [](vid_t a, vid_t b) {
+    return static_cast<weight_t>(1 + (a * 31 + b) % 50);
+  }));
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  SsspOptions o = SsspOptions::opt(10);
+  o.track_parents = true;
+  const auto r = solver.solve(0, o);
+  Machine m({.num_ranks = 3});
+  const BlockPartition part(g.num_vertices(), 3);
+  const auto rep =
+      validate_distributed(g, m, part, 0, r.dist, r.parent);
+  EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,93 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList list;
+  EXPECT_EQ(list.num_vertices(), 0u);
+  EXPECT_EQ(list.num_edges(), 0u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(EdgeList, VertexBoundFromConstructor) {
+  EdgeList list(10);
+  EXPECT_EQ(list.num_vertices(), 10u);
+  EXPECT_EQ(list.num_edges(), 0u);
+}
+
+TEST(EdgeList, AddEdgeExtendsVertexBound) {
+  EdgeList list;
+  list.add_edge(3, 7, 5);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list.edges()[0], (WeightedEdge{3, 7, 5}));
+}
+
+TEST(EdgeList, EnsureVerticesNeverShrinks) {
+  EdgeList list(10);
+  list.ensure_vertices(5);
+  EXPECT_EQ(list.num_vertices(), 10u);
+  list.ensure_vertices(20);
+  EXPECT_EQ(list.num_vertices(), 20u);
+}
+
+TEST(EdgeList, CanonicalizeSortsEndpointsAndList) {
+  EdgeList list;
+  list.add_edge(5, 1, 9);
+  list.add_edge(0, 2, 3);
+  list.add_edge(2, 0, 1);
+  list.canonicalize();
+  const auto& e = list.edges();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0], (WeightedEdge{0, 2, 1}));
+  EXPECT_EQ(e[1], (WeightedEdge{0, 2, 3}));
+  EXPECT_EQ(e[2], (WeightedEdge{1, 5, 9}));
+}
+
+TEST(EdgeList, DedupKeepsSmallestWeight) {
+  EdgeList list;
+  list.add_edge(1, 2, 7);
+  list.add_edge(2, 1, 3);
+  list.add_edge(1, 2, 5);
+  list.dedup_and_strip_self_loops();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list.edges()[0], (WeightedEdge{1, 2, 3}));
+}
+
+TEST(EdgeList, DedupStripsSelfLoops) {
+  EdgeList list;
+  list.add_edge(4, 4, 1);
+  list.add_edge(1, 2, 2);
+  list.add_edge(9, 9, 3);
+  list.dedup_and_strip_self_loops();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list.edges()[0], (WeightedEdge{1, 2, 2}));
+  // Vertex bound untouched by dedup.
+  EXPECT_EQ(list.num_vertices(), 10u);
+}
+
+TEST(EdgeList, DedupOnEmptyListIsNoop) {
+  EdgeList list(4);
+  list.dedup_and_strip_self_loops();
+  EXPECT_EQ(list.num_edges(), 0u);
+  EXPECT_EQ(list.num_vertices(), 4u);
+}
+
+TEST(EdgeList, ReserveDoesNotChangeCounts) {
+  EdgeList list;
+  list.reserve(100);
+  EXPECT_EQ(list.num_edges(), 0u);
+}
+
+TEST(EdgeList, MutableEdgesAllowsWeightRewrite) {
+  EdgeList list;
+  list.add_edge(0, 1, 1);
+  list.mutable_edges()[0].w = 42;
+  EXPECT_EQ(list.edges()[0].w, 42u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph small_weighted() {
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 2, 2);
+  list.add_edge(2, 3, 5);
+  list.add_edge(0, 3, 9);
+  list.add_edge(3, 4, 1);
+  return CsrGraph::from_edges(list);
+}
+
+TEST(EngineBasic, SingleRankMatchesOracle) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 1}});
+  const auto r = solver.solve(0, SsspOptions::del(5));
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+TEST(EngineBasic, MultiRankMatchesOracle) {
+  const auto g = small_weighted();
+  for (const rank_t ranks : {2u, 3u, 5u}) {
+    Solver solver(g, {.machine = {.num_ranks = ranks}});
+    const auto r = solver.solve(0, SsspOptions::del(5));
+    EXPECT_EQ(r.dist, dijkstra_distances(g, 0)) << "ranks=" << ranks;
+  }
+}
+
+TEST(EngineBasic, EveryRootMatchesOracle) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  for (vid_t root = 0; root < g.num_vertices(); ++root) {
+    const auto r = solver.solve(root, SsspOptions::del(5));
+    EXPECT_EQ(r.dist, dijkstra_distances(g, root)) << "root=" << root;
+  }
+}
+
+TEST(EngineBasic, SingleVertexGraph) {
+  EdgeList list(1);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::del(5));
+  EXPECT_EQ(r.dist, (std::vector<dist_t>{0}));
+}
+
+TEST(EngineBasic, TwoVertexGraph) {
+  EdgeList list;
+  list.add_edge(0, 1, 7);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 4}});  // more ranks than vertices
+  const auto r = solver.solve(1, SsspOptions::del(5));
+  EXPECT_EQ(r.dist, (std::vector<dist_t>{7, 0}));
+}
+
+TEST(EngineBasic, DisconnectedComponentsStayInf) {
+  EdgeList list(6);
+  list.add_edge(0, 1, 3);
+  list.add_edge(3, 4, 2);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  const auto r = solver.solve(0, SsspOptions::opt(5));
+  EXPECT_EQ(r.dist[1], 3u);
+  EXPECT_EQ(r.dist[3], kInfDist);
+  EXPECT_EQ(r.dist[4], kInfDist);
+  EXPECT_EQ(r.dist[5], kInfDist);
+}
+
+TEST(EngineBasic, SelfLoopIgnoredInDistances) {
+  EdgeList list;
+  list.add_edge(0, 0, 5);
+  list.add_edge(0, 1, 3);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::del(10));
+  EXPECT_EQ(r.dist, (std::vector<dist_t>{0, 3}));
+}
+
+TEST(EngineBasic, MultiEdgeTakesSmallestWeight) {
+  EdgeList list;
+  list.add_edge(0, 1, 9);
+  list.add_edge(0, 1, 4);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 1}});
+  const auto r = solver.solve(0, SsspOptions::del(5));
+  EXPECT_EQ(r.dist[1], 4u);
+}
+
+TEST(EngineBasic, ZeroWeightProxyEdges) {
+  EdgeList list;
+  list.add_edge(0, 1, 0);
+  list.add_edge(1, 2, 6);
+  list.add_edge(2, 3, 0);
+  const auto g = CsrGraph::from_edges(list);
+  for (const rank_t ranks : {1u, 2u, 4u}) {
+    Solver solver(g, {.machine = {.num_ranks = ranks}});
+    const auto r = solver.solve(0, SsspOptions::opt(5));
+    EXPECT_EQ(r.dist, (std::vector<dist_t>{0, 0, 6, 6})) << ranks;
+  }
+}
+
+TEST(EngineBasic, RootOutOfRangeThrows) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 1}});
+  EXPECT_THROW(solver.solve(99, SsspOptions::del(5)), std::invalid_argument);
+}
+
+TEST(EngineBasic, ZeroDeltaThrows) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 1}});
+  SsspOptions o = SsspOptions::del(5);
+  o.delta = 0;
+  EXPECT_THROW(solver.solve(0, o), std::invalid_argument);
+}
+
+TEST(EngineBasic, RepeatedSolvesIndependent) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto a = solver.solve(0, SsspOptions::del(5));
+  const auto b = solver.solve(4, SsspOptions::del(5));
+  const auto c = solver.solve(0, SsspOptions::del(5));
+  EXPECT_EQ(a.dist, c.dist);
+  EXPECT_EQ(b.dist, dijkstra_distances(g, 4));
+}
+
+TEST(EngineBasic, DeltaChangeRebuildsViews) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto a = solver.solve(0, SsspOptions::del(2));
+  const auto b = solver.solve(0, SsspOptions::del(100));
+  EXPECT_EQ(a.dist, b.dist);
+}
+
+TEST(EngineBasic, InvariantsHoldOnSmallGraph) {
+  const auto g = small_weighted();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::opt(5));
+  const auto report = check_sssp_invariants(g, 0, r.dist);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+}  // namespace
+}  // namespace parsssp

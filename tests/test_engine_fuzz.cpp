@@ -1,0 +1,137 @@
+// Randomized fuzz sweep: many small random graphs (Erdos-Renyi-ish and
+// R-MAT shapes, varied weight ranges including heavy zero-weight fractions)
+// against the Dijkstra oracle, across algorithm variants and machine
+// shapes. Complements test_engine_property's structured sweep.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+// Deterministic random graph: n vertices, m edges sampled by hashing,
+// weights in [min_w, max_w] (min_w may be 0 to stress proxy-style edges).
+CsrGraph random_graph(std::uint64_t seed, vid_t n, std::size_t m,
+                      weight_t min_w, weight_t max_w) {
+  EdgeList list(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const vid_t u = static_cast<vid_t>(rmat_hash(seed, 3 * i) % n);
+    const vid_t v = static_cast<vid_t>(rmat_hash(seed, 3 * i + 1) % n);
+    const weight_t w = static_cast<weight_t>(
+        min_w + rmat_hash(seed, 3 * i + 2) % (max_w - min_w + 1));
+    list.add_edge(u, v, w);
+  }
+  return CsrGraph::from_edges(list);
+}
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, AllVariantsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  // Vary the shape with the seed.
+  const vid_t n = 30 + rmat_hash(seed, 100) % 200;
+  const std::size_t m = n * (1 + rmat_hash(seed, 101) % 6);
+  const weight_t min_w = (seed % 3 == 0) ? 0 : 1;  // every 3rd: zero weights
+  const weight_t max_w = static_cast<weight_t>(2 + rmat_hash(seed, 102) % 254);
+  const auto g = random_graph(seed, n, m, min_w, max_w);
+  const vid_t root = static_cast<vid_t>(rmat_hash(seed, 103) % n);
+  const auto expected = dijkstra_distances(g, root);
+
+  const rank_t ranks = 1 + rmat_hash(seed, 104) % 6;
+  const unsigned lanes = 1 + rmat_hash(seed, 105) % 3;
+  Solver solver(g, {.machine = {.num_ranks = ranks,
+                                .lanes_per_rank = lanes}});
+
+  const std::uint32_t delta =
+      1 + static_cast<std::uint32_t>(rmat_hash(seed, 106) % max_w);
+  SsspOptions variants[] = {
+      SsspOptions::dijkstra(),     SsspOptions::bellman_ford(),
+      SsspOptions::del(delta),     SsspOptions::prune(delta),
+      SsspOptions::opt(delta),     SsspOptions::lb_opt(delta, 4),
+  };
+  for (auto& o : variants) {
+    o.track_parents = true;
+    const auto r = solver.solve(root, o);
+    ASSERT_EQ(r.dist, expected)
+        << "seed=" << seed << " n=" << n << " m=" << m << " delta=" << delta
+        << " ranks=" << ranks << " lanes=" << lanes;
+    const auto tree = check_parent_tree(g, root, r.dist, r.parent);
+    ASSERT_TRUE(tree.ok) << "seed=" << seed << ": " << tree.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Adversarial fixed topologies under every prune mode.
+class AdversarialTopology
+    : public ::testing::TestWithParam<std::tuple<int, PruneMode>> {};
+
+CsrGraph make_topology(int kind) {
+  EdgeList list;
+  switch (kind) {
+    case 0:  // two hubs sharing leaves (double star)
+      for (vid_t leaf = 2; leaf < 40; ++leaf) {
+        list.add_edge(0, leaf, 1 + leaf % 7);
+        list.add_edge(1, leaf, 2 + leaf % 5);
+      }
+      break;
+    case 1:  // barbell: clique - path - clique
+      for (vid_t u = 0; u < 8; ++u) {
+        for (vid_t v = u + 1; v < 8; ++v) list.add_edge(u, v, 3);
+      }
+      for (vid_t u = 20; u < 28; ++u) {
+        for (vid_t v = u + 1; v < 28; ++v) list.add_edge(u, v, 3);
+      }
+      for (vid_t i = 7; i < 20; ++i) list.add_edge(i, i + 1, 9);
+      break;
+    case 2:  // binary tree with mixed weights
+      for (vid_t v = 1; v < 63; ++v) {
+        list.add_edge((v - 1) / 2, v, 1 + (v * 13) % 40);
+      }
+      break;
+    case 3:  // cycle with chords
+      for (vid_t v = 0; v < 50; ++v) list.add_edge(v, (v + 1) % 50, 5);
+      for (vid_t v = 0; v < 50; v += 7) list.add_edge(v, (v + 25) % 50, 2);
+      break;
+    default:  // parallel multi-edges and self loops
+      for (vid_t v = 0; v < 10; ++v) {
+        list.add_edge(v, (v + 1) % 10, 4);
+        list.add_edge(v, (v + 1) % 10, 6);
+        list.add_edge(v, v, 1);
+      }
+      break;
+  }
+  return CsrGraph::from_edges(list);
+}
+
+TEST_P(AdversarialTopology, CorrectUnderEveryPruneMode) {
+  const auto [kind, mode] = GetParam();
+  const auto g = make_topology(kind);
+  const auto expected = dijkstra_distances(g, 0);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  SsspOptions o = SsspOptions::prune(5);
+  o.prune_mode = mode;
+  EXPECT_EQ(solver.solve(0, o).dist, expected);
+}
+
+std::string adversarial_name(
+    const ::testing::TestParamInfo<std::tuple<int, PruneMode>>& info) {
+  static const char* const kModes[] = {"Push", "Pull", "Heuristic", "Forced"};
+  return "shape" + std::to_string(std::get<0>(info.param)) +
+         kModes[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdversarialTopology,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(PruneMode::kPushOnly,
+                                         PruneMode::kPullOnly,
+                                         PruneMode::kHeuristic)),
+    adversarial_name);
+
+}  // namespace
+}  // namespace parsssp

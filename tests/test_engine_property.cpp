@@ -1,0 +1,159 @@
+// Parameterized property sweep: for every (graph seed, algorithm, rank
+// count) combination, the distributed engine must agree bit-for-bit with
+// the sequential Dijkstra oracle, and pass the oracle-free invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+enum class Algo {
+  kDijkstra,
+  kBellmanFord,
+  kDel25,
+  kPrune25,
+  kOpt25,
+  kLbOpt25
+};
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return "Dijkstra";
+    case Algo::kBellmanFord:
+      return "BellmanFord";
+    case Algo::kDel25:
+      return "Del25";
+    case Algo::kPrune25:
+      return "Prune25";
+    case Algo::kOpt25:
+      return "Opt25";
+    case Algo::kLbOpt25:
+      return "LbOpt25";
+  }
+  return "?";
+}
+
+SsspOptions algo_options(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return SsspOptions::dijkstra();
+    case Algo::kBellmanFord:
+      return SsspOptions::bellman_ford();
+    case Algo::kDel25:
+      return SsspOptions::del(25);
+    case Algo::kPrune25:
+      return SsspOptions::prune(25);
+    case Algo::kOpt25:
+      return SsspOptions::opt(25);
+    case Algo::kLbOpt25:
+      return SsspOptions::lb_opt(25, 16);
+  }
+  return {};
+}
+
+using Param = std::tuple<std::uint64_t /*seed*/, Algo, rank_t>;
+
+class EngineOracleProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EngineOracleProperty, MatchesDijkstra) {
+  const auto [seed, algo, ranks] = GetParam();
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const auto roots = sample_roots(g, 2, seed);
+  Solver solver(g, {.machine = {.num_ranks = ranks}});
+  for (const vid_t root : roots) {
+    const auto r = solver.solve(root, algo_options(algo));
+    const auto report = validate_against_dijkstra(g, root, r.dist);
+    EXPECT_TRUE(report.ok)
+        << algo_name(algo) << " seed=" << seed << " ranks=" << ranks
+        << " root=" << root << ": " << report.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineOracleProperty,
+    ::testing::Combine(
+        ::testing::Values(1ULL, 2ULL, 3ULL),
+        ::testing::Values(Algo::kDijkstra, Algo::kBellmanFord, Algo::kDel25,
+                          Algo::kPrune25, Algo::kOpt25, Algo::kLbOpt25),
+        ::testing::Values(rank_t{1}, rank_t{3}, rank_t{8})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             algo_name(std::get<1>(info.param)) + "_ranks" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Delta sweep at fixed algorithm shape: classification+IOS+pruning must be
+// correct for any bucket width, including widths beyond the weight range.
+class DeltaSweepProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DeltaSweepProperty, PruneCorrectForAnyDelta) {
+  const std::uint32_t delta = GetParam();
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = 5;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const auto expected = dijkstra_distances(g, 0);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  EXPECT_EQ(solver.solve(0, SsspOptions::prune(delta)).dist, expected);
+  EXPECT_EQ(solver.solve(0, SsspOptions::opt(delta)).dist, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweepProperty,
+                         ::testing::Values(1u, 2u, 5u, 10u, 25u, 40u, 64u,
+                                           255u, 256u, 10000u));
+
+// Message-order independence: the distance fold is a min, so shuffling rank
+// counts (which shuffles message arrival grouping) never changes results.
+TEST(EngineOrderIndependence, RankCountInvariance) {
+  RmatConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 8;
+  cfg.seed = 23;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  std::vector<dist_t> reference;
+  for (const rank_t ranks : {1u, 2u, 4u, 8u, 16u}) {
+    Solver solver(g, {.machine = {.num_ranks = ranks}});
+    const auto r = solver.solve(7, SsspOptions::opt(25));
+    if (reference.empty()) {
+      reference = r.dist;
+    } else {
+      EXPECT_EQ(r.dist, reference) << "ranks=" << ranks;
+    }
+  }
+}
+
+// Relaxation counters must also be rank-count invariant (they count
+// algorithmic relax operations, not transport artifacts).
+TEST(EngineOrderIndependence, RelaxCountsRankInvariant) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = 29;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  std::uint64_t reference = 0;
+  for (const rank_t ranks : {1u, 2u, 8u}) {
+    Solver solver(g, {.machine = {.num_ranks = ranks}});
+    const auto r = solver.solve(3, SsspOptions::del(25));
+    if (reference == 0) {
+      reference = r.stats.total_relaxations();
+    } else {
+      EXPECT_EQ(r.stats.total_relaxations(), reference) << "ranks=" << ranks;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

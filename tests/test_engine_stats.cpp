@@ -1,0 +1,227 @@
+// The counters behind the paper's figures: relaxations by kind, phases,
+// buckets, hybrid switching, pull decisions, time breakdown, details.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "seq/bellman_ford.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(EngineStats, DijkstraRelaxesReachedEdgesOncePerDirection) {
+  // On a connected graph, Dijkstra (Delta=1) relaxes each edge twice.
+  EdgeList list;
+  for (vid_t i = 0; i < 30; ++i) list.add_edge(i, (i + 1) % 31, 2 + i % 9);
+  for (vid_t i = 0; i < 15; ++i) list.add_edge(i, i + 16, 3 + i % 7);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  const auto r = solver.solve(0, SsspOptions::dijkstra());
+  EXPECT_EQ(r.stats.total_relaxations(), 2 * g.num_undirected_edges());
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+TEST(EngineStats, BellmanFordSingleBucket) {
+  const auto g = rmat_graph(8);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::bellman_ford());
+  EXPECT_EQ(r.stats.buckets, 1u);
+  EXPECT_GT(r.stats.bf_relaxations, 0u);
+  EXPECT_EQ(r.stats.short_relaxations, 0u);
+  EXPECT_EQ(r.stats.long_push_relaxations, 0u);
+}
+
+TEST(EngineStats, BellmanFordComparableToSequential) {
+  // The engine is bulk-synchronous: improvements cannot chain within a
+  // round the way they do in the sequential sweep, so the distributed BF
+  // needs at least as many rounds/relaxations — but the same distances.
+  const auto g = rmat_graph(8, 5);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto r = solver.solve(0, SsspOptions::bellman_ford());
+  const auto seq = bellman_ford(g, 0);
+  EXPECT_EQ(r.dist, seq.dist);
+  EXPECT_GE(r.stats.phases, seq.phases);
+  EXPECT_GE(r.stats.bf_relaxations, seq.relaxations);
+  // And it cannot be wildly worse: within 2x on this graph.
+  EXPECT_LE(r.stats.bf_relaxations, 2 * seq.relaxations);
+}
+
+TEST(EngineStats, PhaseOrderingAcrossAlgorithms) {
+  // Fig 3(a): phases(BF) <= phases(OPT) <= phases(Del) <= phases(Dijkstra).
+  const auto g = rmat_graph(10, 3);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto bf = solver.solve(0, SsspOptions::bellman_ford()).stats;
+  const auto opt = solver.solve(0, SsspOptions::opt(25)).stats;
+  const auto del = solver.solve(0, SsspOptions::del(25)).stats;
+  const auto dij = solver.solve(0, SsspOptions::dijkstra()).stats;
+  EXPECT_LE(bf.phases, opt.phases);
+  EXPECT_LE(opt.phases, del.phases);
+  EXPECT_LE(del.buckets, dij.buckets);
+}
+
+TEST(EngineStats, PruningReducesRelaxations) {
+  // Fig 3(b): Prune-25 does significantly less work than Del-25 on skewed
+  // R-MAT graphs.
+  const auto g = rmat_graph(11, 7);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto del = solver.solve(0, SsspOptions::del(25)).stats;
+  const auto prune = solver.solve(0, SsspOptions::prune(25)).stats;
+  EXPECT_LT(prune.total_relaxations(), del.total_relaxations());
+}
+
+TEST(EngineStats, HybridizationReducesBuckets) {
+  // Fig 10(d): Del-25 needs many buckets; OPT-25 converges in a handful.
+  const auto g = rmat_graph(10, 9);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const auto del = solver.solve(0, SsspOptions::del(25)).stats;
+  const auto opt = solver.solve(0, SsspOptions::opt(25)).stats;
+  EXPECT_LT(opt.buckets, del.buckets);
+  EXPECT_TRUE(opt.switched_to_bf);
+  EXPECT_GT(opt.bf_relaxations, 0u);
+}
+
+TEST(EngineStats, NoHybridSwitchWhenDisabled) {
+  const auto g = rmat_graph(9);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::prune(25));
+  EXPECT_FALSE(r.stats.switched_to_bf);
+  EXPECT_EQ(r.stats.bf_relaxations, 0u);
+}
+
+TEST(EngineStats, IosReducesShortRelaxations) {
+  // §III-A: IOS cuts short-edge relaxations (about 10% on benchmark
+  // graphs); it must never increase them.
+  const auto g = rmat_graph(10, 11);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions with_ios = SsspOptions::prune(25);
+  with_ios.prune_mode = PruneMode::kPushOnly;
+  SsspOptions without = with_ios;
+  without.ios = false;
+  const auto a = solver.solve(0, with_ios).stats;
+  const auto b = solver.solve(0, without).stats;
+  EXPECT_LT(a.short_relaxations, b.short_relaxations);
+}
+
+TEST(EngineStats, PullDecisionsRecordedPerBucket) {
+  const auto g = rmat_graph(9, 13);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::prune(25));
+  // One decision per processed (non-BF) bucket.
+  EXPECT_EQ(r.stats.pull_decisions.size(), r.stats.buckets);
+}
+
+TEST(EngineStats, PullOnlyUsesRequestsAndResponses) {
+  const auto g = rmat_graph(9, 13);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::prune(25);
+  o.prune_mode = PruneMode::kPullOnly;
+  const auto r = solver.solve(0, o).stats;
+  EXPECT_GT(r.pull_requests, 0u);
+  EXPECT_GT(r.pull_responses, 0u);
+  EXPECT_LE(r.pull_responses, r.pull_requests);
+  EXPECT_EQ(r.long_push_relaxations, 0u);
+}
+
+TEST(EngineStats, PushOnlyNeverPulls) {
+  const auto g = rmat_graph(9, 13);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::prune(25);
+  o.prune_mode = PruneMode::kPushOnly;
+  const auto r = solver.solve(0, o).stats;
+  EXPECT_EQ(r.pull_requests, 0u);
+  EXPECT_EQ(r.pull_responses, 0u);
+  EXPECT_GT(r.long_push_relaxations, 0u);
+  for (const bool pull : r.pull_decisions) EXPECT_FALSE(pull);
+}
+
+TEST(EngineStats, PhaseDetailsSumToTotals) {
+  const auto g = rmat_graph(9, 17);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::opt(25);
+  o.collect_phase_details = true;
+  const auto r = solver.solve(0, o);
+  ASSERT_FALSE(r.stats.phase_details.empty());
+  std::uint64_t sum = 0;
+  for (const auto& p : r.stats.phase_details) sum += p.relaxations;
+  EXPECT_EQ(sum, r.stats.total_relaxations());
+  EXPECT_EQ(r.stats.phase_details.size(), r.stats.phases);
+}
+
+TEST(EngineStats, BucketDetailsCategoriesCoverLongPushes) {
+  const auto g = rmat_graph(9, 19);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::del(25);
+  o.collect_bucket_details = true;
+  const auto r = solver.solve(0, o);
+  ASSERT_FALSE(r.stats.bucket_details.empty());
+  std::uint64_t categorized = 0;
+  for (const auto& b : r.stats.bucket_details) {
+    categorized += b.self_edges + b.backward_edges + b.forward_edges;
+    EXPECT_FALSE(b.used_pull);
+  }
+  EXPECT_EQ(categorized, r.stats.long_push_relaxations);
+}
+
+TEST(EngineStats, ModeledTimePositiveAndDecomposed) {
+  const auto g = rmat_graph(9);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::del(25)).stats;
+  EXPECT_GT(r.model_time_s, 0.0);
+  EXPECT_NEAR(r.model_time_s, r.model_bucket_time_s + r.model_other_time_s,
+              1e-12);
+  EXPECT_GT(r.wall_time_s, 0.0);
+}
+
+TEST(EngineStats, GtepsComputed) {
+  const auto g = rmat_graph(9);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::opt(25)).stats;
+  EXPECT_GT(r.gteps(g.num_undirected_edges(), true), 0.0);
+  EXPECT_GT(r.gteps(g.num_undirected_edges(), false), 0.0);
+}
+
+TEST(EngineStats, TrafficAccountedByPhaseKind) {
+  const auto g = rmat_graph(9, 21);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  SsspOptions o = SsspOptions::prune(25);
+  o.prune_mode = PruneMode::kPullOnly;
+  // Use a well-connected root: an isolated root would produce requests but
+  // never any responses.
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  solver.solve(root, o);
+  const TrafficCounters t = solver.machine().traffic().merged();
+  EXPECT_GT(t.messages[static_cast<std::size_t>(PhaseKind::kPullRequest)], 0u);
+  EXPECT_GT(t.messages[static_cast<std::size_t>(PhaseKind::kPullResponse)],
+            0u);
+  EXPECT_GT(t.messages[static_cast<std::size_t>(PhaseKind::kControl)], 0u);
+  EXPECT_EQ(t.messages[static_cast<std::size_t>(PhaseKind::kLongPush)], 0u);
+}
+
+TEST(EngineStats, HeuristicCostNotWorseThanBothFixedModes) {
+  // The decision heuristic should land at or below the max of push-only /
+  // pull-only total relaxations (it optimizes per bucket).
+  const auto g = rmat_graph(10, 23);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  SsspOptions push = SsspOptions::prune(25);
+  push.prune_mode = PruneMode::kPushOnly;
+  SsspOptions pull = SsspOptions::prune(25);
+  pull.prune_mode = PruneMode::kPullOnly;
+  SsspOptions heur = SsspOptions::prune(25);
+  const auto rp = solver.solve(0, push).stats.total_relaxations();
+  const auto rq = solver.solve(0, pull).stats.total_relaxations();
+  const auto rh = solver.solve(0, heur).stats.total_relaxations();
+  EXPECT_LE(rh, std::max(rp, rq));
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,168 @@
+// Every named algorithm variant of the paper must compute exactly the same
+// distances; only their work/phase profiles differ.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+struct Variant {
+  const char* name;
+  SsspOptions options;
+};
+
+std::vector<Variant> all_variants() {
+  return {
+      {"dijkstra", SsspOptions::dijkstra()},
+      {"bellman-ford", SsspOptions::bellman_ford()},
+      {"del-10", SsspOptions::del(10)},
+      {"del-25", SsspOptions::del(25)},
+      {"del-40", SsspOptions::del(40)},
+      {"prune-25", SsspOptions::prune(25)},
+      {"opt-25", SsspOptions::opt(25)},
+      {"opt-40", SsspOptions::opt(40)},
+      {"lb-opt-25", SsspOptions::lb_opt(25, 16)},
+  };
+}
+
+TEST(EngineVariants, AllMatchOracleOnRmat) {
+  const auto g = rmat_graph(9);
+  const vid_t root = 1;
+  const auto expected = dijkstra_distances(g, root);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  for (const auto& v : all_variants()) {
+    const auto r = solver.solve(root, v.options);
+    EXPECT_EQ(r.dist, expected) << v.name;
+  }
+}
+
+TEST(EngineVariants, PushOnlyPullOnlyAgree) {
+  const auto g = rmat_graph(9, 3);
+  const vid_t root = 5;
+  const auto expected = dijkstra_distances(g, root);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  for (const auto mode :
+       {PruneMode::kPushOnly, PruneMode::kPullOnly, PruneMode::kHeuristic}) {
+    SsspOptions o = SsspOptions::prune(25);
+    o.prune_mode = mode;
+    const auto r = solver.solve(root, o);
+    EXPECT_EQ(r.dist, expected) << static_cast<int>(mode);
+  }
+}
+
+TEST(EngineVariants, ForcedSequencesAllCorrect) {
+  // Exhaustively force every push/pull sequence over the first 4 buckets;
+  // distances must never change (§IV-G's validation harness relies on this).
+  const auto g = rmat_graph(8, 7);
+  const vid_t root = 2;
+  const auto expected = dijkstra_distances(g, root);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    SsspOptions o = SsspOptions::prune(25);
+    o.prune_mode = PruneMode::kForcedSequence;
+    o.forced_pull.assign(4, false);
+    for (unsigned b = 0; b < 4; ++b) o.forced_pull[b] = (mask >> b) & 1;
+    const auto r = solver.solve(root, o);
+    EXPECT_EQ(r.dist, expected) << "mask=" << mask;
+  }
+}
+
+TEST(EngineVariants, IosToggleDoesNotChangeDistances) {
+  const auto g = rmat_graph(9, 11);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  SsspOptions with_ios = SsspOptions::prune(25);
+  SsspOptions without = with_ios;
+  without.ios = false;
+  EXPECT_EQ(solver.solve(0, with_ios).dist, solver.solve(0, without).dist);
+}
+
+TEST(EngineVariants, EstimatorChoiceDoesNotChangeDistances) {
+  const auto g = rmat_graph(9, 13);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  SsspOptions exact = SsspOptions::prune(25);
+  exact.estimator = EstimatorKind::kExact;
+  SsspOptions approx = SsspOptions::prune(25);
+  approx.estimator = EstimatorKind::kExpectation;
+  EXPECT_EQ(solver.solve(0, exact).dist, solver.solve(0, approx).dist);
+}
+
+TEST(EngineVariants, HybridTauSweepAllCorrect) {
+  const auto g = rmat_graph(9, 17);
+  const auto expected = dijkstra_distances(g, 0);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  for (const double tau : {0.0, 0.1, 0.4, 0.9, 1.0}) {
+    SsspOptions o = SsspOptions::opt(25);
+    o.hybrid_tau = tau;
+    EXPECT_EQ(solver.solve(0, o).dist, expected) << "tau=" << tau;
+  }
+}
+
+TEST(EngineVariants, LanesAndHeavyThresholdCombinations) {
+  const auto g = rmat_graph(9, 19);
+  const auto expected = dijkstra_distances(g, 4);
+  for (const unsigned lanes : {1u, 2u, 4u}) {
+    for (const std::size_t threshold : {std::size_t{0}, std::size_t{8}}) {
+      Solver solver(g,
+                    {.machine = {.num_ranks = 2, .lanes_per_rank = lanes}});
+      SsspOptions o = SsspOptions::opt(25);
+      o.heavy_degree_threshold = threshold;
+      EXPECT_EQ(solver.solve(4, o).dist, expected)
+          << "lanes=" << lanes << " thr=" << threshold;
+    }
+  }
+}
+
+TEST(EngineVariants, PathGraphStressesBuckets) {
+  // A long path maximizes bucket count: worst case for Delta-stepping.
+  EdgeList list;
+  for (vid_t i = 0; i < 300; ++i) list.add_edge(i, i + 1, 7);
+  const auto g = CsrGraph::from_edges(list);
+  const auto expected = dijkstra_distances(g, 0);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  for (const auto& v : all_variants()) {
+    EXPECT_EQ(solver.solve(0, v.options).dist, expected) << v.name;
+  }
+}
+
+TEST(EngineVariants, CliqueGraphStressesVolume) {
+  EdgeList list;
+  for (vid_t u = 0; u < 24; ++u) {
+    for (vid_t v = u + 1; v < 24; ++v) {
+      list.add_edge(u, v, 1 + ((u * 31 + v) % 200));
+    }
+  }
+  const auto g = CsrGraph::from_edges(list);
+  const auto expected = dijkstra_distances(g, 0);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  for (const auto& v : all_variants()) {
+    EXPECT_EQ(solver.solve(0, v.options).dist, expected) << v.name;
+  }
+}
+
+TEST(EngineVariants, StarGraphHeavyHub) {
+  EdgeList list;
+  for (vid_t leaf = 1; leaf <= 100; ++leaf) {
+    list.add_edge(0, leaf, 1 + (leaf % 64));
+  }
+  const auto g = CsrGraph::from_edges(list);
+  for (const vid_t root : {vid_t{0}, vid_t{50}}) {
+    const auto expected = dijkstra_distances(g, root);
+    Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+    const auto r = solver.solve(root, SsspOptions::lb_opt(25, 16));
+    EXPECT_EQ(r.dist, expected) << "root=" << root;
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

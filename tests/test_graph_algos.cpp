@@ -1,0 +1,103 @@
+#include "graph/graph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph path_graph(std::size_t n) {
+  EdgeList list;
+  for (vid_t i = 0; i + 1 < n; ++i) list.add_edge(i, i + 1, 1);
+  return CsrGraph::from_edges(list);
+}
+
+CsrGraph two_components() {
+  EdgeList list(6);
+  list.add_edge(0, 1, 1);
+  list.add_edge(1, 2, 1);
+  list.add_edge(3, 4, 1);
+  return CsrGraph::from_edges(list);  // {0,1,2}, {3,4}, {5}
+}
+
+TEST(BfsLevels, PathLevels) {
+  const auto g = path_graph(5);
+  const auto levels = bfs_levels(g, 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(levels[v], v);
+}
+
+TEST(BfsLevels, UnreachableIsInf) {
+  const auto g = two_components();
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[3], kInfDist);
+  EXPECT_EQ(levels[5], kInfDist);
+}
+
+TEST(BfsLevels, RootOutOfRange) {
+  const auto g = path_graph(3);
+  const auto levels = bfs_levels(g, 99);
+  EXPECT_TRUE(std::all_of(levels.begin(), levels.end(),
+                          [](dist_t d) { return d == kInfDist; }));
+}
+
+TEST(ReachableCount, CountsComponent) {
+  const auto g = two_components();
+  EXPECT_EQ(reachable_count(g, 0), 3u);
+  EXPECT_EQ(reachable_count(g, 3), 2u);
+  EXPECT_EQ(reachable_count(g, 5), 1u);
+}
+
+TEST(Components, LabelsAndGiant) {
+  const auto g = two_components();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.num_components, 3u);
+  EXPECT_EQ(c.giant_size, 3u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[3], c.label[5]);
+}
+
+TEST(BfsDepth, Path) {
+  EXPECT_EQ(bfs_depth(path_graph(7), 0), 6u);
+  EXPECT_EQ(bfs_depth(path_graph(7), 3), 3u);
+}
+
+TEST(SampleRoots, CountAndDegree) {
+  RmatConfig cfg;
+  cfg.scale = 10;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const auto roots = sample_roots(g, 8, 1);
+  EXPECT_EQ(roots.size(), 8u);
+  for (const vid_t r : roots) EXPECT_GT(g.degree(r), 0u);
+}
+
+TEST(SampleRoots, Distinct) {
+  RmatConfig cfg;
+  cfg.scale = 10;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  auto roots = sample_roots(g, 16, 2);
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(std::adjacent_find(roots.begin(), roots.end()), roots.end());
+}
+
+TEST(SampleRoots, Deterministic) {
+  RmatConfig cfg;
+  cfg.scale = 9;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  EXPECT_EQ(sample_roots(g, 4, 5), sample_roots(g, 4, 5));
+}
+
+TEST(SampleRoots, SmallGraphFallback) {
+  const auto g = path_graph(3);
+  const auto roots = sample_roots(g, 10, 1);
+  // Only 3 vertices exist; all have degree > 0.
+  EXPECT_LE(roots.size(), 3u);
+  EXPECT_GE(roots.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,32 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(Hybrid, SwitchesAboveThreshold) {
+  EXPECT_TRUE(should_switch_to_bellman_ford(41, 100, 0.4));
+  EXPECT_FALSE(should_switch_to_bellman_ford(40, 100, 0.4));  // strict >
+  EXPECT_FALSE(should_switch_to_bellman_ford(10, 100, 0.4));
+}
+
+TEST(Hybrid, NegativeTauDisables) {
+  EXPECT_FALSE(should_switch_to_bellman_ford(100, 100, -1.0));
+}
+
+TEST(Hybrid, TauZeroSwitchesImmediately) {
+  EXPECT_TRUE(should_switch_to_bellman_ford(1, 100, 0.0));
+  EXPECT_FALSE(should_switch_to_bellman_ford(0, 100, 0.0));
+}
+
+TEST(Hybrid, EmptyGraphNeverSwitches) {
+  EXPECT_FALSE(should_switch_to_bellman_ford(0, 0, 0.4));
+}
+
+TEST(Hybrid, TauOneRequiresEveryone) {
+  EXPECT_FALSE(should_switch_to_bellman_ford(100, 100, 1.0));
+}
+
+}  // namespace
+}  // namespace parsssp

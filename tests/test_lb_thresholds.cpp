@@ -1,0 +1,79 @@
+#include "core/lb_thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/split_solver.hpp"
+#include "core/solver.hpp"
+#include "graph/builders.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(LbThresholds, UniformGraphNeedsNoSplitting) {
+  // 4-regular-ish grid: no extreme vertices.
+  const auto g = CsrGraph::from_edges(make_grid(32));
+  const auto t = suggest_lb_thresholds(g, {.num_ranks = 8});
+  EXPECT_FALSE(t.splitting_recommended);
+  EXPECT_GE(t.split_pi, t.heavy_pi);
+}
+
+TEST(LbThresholds, ExtremeHubTriggersSplitting) {
+  // One vertex holding almost every edge, spread over many ranks.
+  const auto g = CsrGraph::from_edges(make_star(4096));
+  const auto t = suggest_lb_thresholds(g, {.num_ranks = 16});
+  EXPECT_TRUE(t.splitting_recommended);
+  EXPECT_EQ(t.max_degree, 4096u);
+}
+
+TEST(LbThresholds, MoreLanesLowerHeavyThreshold) {
+  const auto g = CsrGraph::from_edges(generate_rmat({.scale = 10}));
+  const auto one = suggest_lb_thresholds(g, {.num_ranks = 4,
+                                             .lanes_per_rank = 1});
+  const auto four = suggest_lb_thresholds(g, {.num_ranks = 4,
+                                              .lanes_per_rank = 4});
+  EXPECT_GE(one.heavy_pi, four.heavy_pi);
+}
+
+TEST(LbThresholds, MoreRanksLowerSplitThreshold) {
+  const auto g = CsrGraph::from_edges(generate_rmat({.scale = 10}));
+  const auto small = suggest_lb_thresholds(g, {.num_ranks = 2});
+  const auto big = suggest_lb_thresholds(g, {.num_ranks = 32});
+  EXPECT_GT(small.split_pi, big.split_pi);
+}
+
+TEST(LbThresholds, FloorOnTinyGraphs) {
+  const auto g = CsrGraph::from_edges(make_path(4));
+  const auto t = suggest_lb_thresholds(g, {.num_ranks = 64});
+  EXPECT_GE(t.heavy_pi, 16u);  // never split trivial vertices across lanes
+}
+
+TEST(LbThresholds, EndToEndWithSuggestedThresholds) {
+  // Use the suggested pi for intra-rank LB and pi' for splitting; the
+  // solve must stay exact.
+  RmatConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 8;
+  const EdgeList list = generate_rmat(cfg);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  const MachineConfig machine{.num_ranks = 8, .lanes_per_rank = 2};
+  const auto t = suggest_lb_thresholds(g, machine);
+
+  SsspOptions options = SsspOptions::opt(25);
+  options.heavy_degree_threshold = t.heavy_pi;
+
+  const vid_t root = 5;
+  const auto expected = dijkstra_distances(g, root);
+  if (t.splitting_recommended) {
+    SplitSolver solver(list, {.solver = {.machine = machine},
+                              .degree_threshold = t.split_pi});
+    EXPECT_EQ(solver.solve(root, options).dist, expected);
+  } else {
+    Solver solver(g, {.machine = machine});
+    EXPECT_EQ(solver.solve(root, options).dist, expected);
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

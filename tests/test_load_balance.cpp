@@ -1,0 +1,126 @@
+#include "core/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+namespace parsssp {
+namespace {
+
+CsrGraph hub_graph() {
+  // Vertex 0: degree 8 hub; vertices 1..8 degree 1 (plus an edge 1-2).
+  EdgeList list;
+  for (vid_t leaf = 1; leaf <= 8; ++leaf) list.add_edge(0, leaf, 2);
+  list.add_edge(1, 2, 3);
+  return CsrGraph::from_edges(list);
+}
+
+struct Fixture {
+  CsrGraph g = hub_graph();
+  BlockPartition part{9, 1};
+  LocalEdgeView view = LocalEdgeView::build(g, part, 0, 10);
+};
+
+TEST(SplitByDegree, ThresholdZeroAllLight) {
+  Fixture f;
+  const std::vector<vid_t> sources{0, 1, 2};
+  const auto split = split_by_degree(sources, f.view, 0);
+  EXPECT_EQ(split.light.size(), 3u);
+  EXPECT_TRUE(split.heavy.empty());
+}
+
+TEST(SplitByDegree, HubDetected) {
+  Fixture f;
+  const std::vector<vid_t> sources{0, 1, 2};
+  const auto split = split_by_degree(sources, f.view, 4);
+  EXPECT_EQ(split.heavy, (std::vector<vid_t>{0}));
+  EXPECT_EQ(split.light, (std::vector<vid_t>{1, 2}));
+}
+
+TEST(SplitByDegree, ThresholdAtDegreeIsLight) {
+  Fixture f;
+  const std::vector<vid_t> sources{0};
+  const auto split = split_by_degree(sources, f.view, 8);  // deg(0)==8, not >
+  EXPECT_TRUE(split.heavy.empty());
+}
+
+// Collects (u, to, w) triples emitted by lane_parallel_arcs and compares
+// against a sequential reference, for each lane/threshold combination.
+TEST(LaneParallelArcs, VisitsEveryArcExactlyOnce) {
+  Fixture f;
+  const std::vector<vid_t> sources{0, 1, 5};
+
+  std::multiset<std::tuple<vid_t, vid_t, weight_t>> expected;
+  for (const vid_t u : sources) {
+    for (const Arc& a : f.view.all_arcs(u)) {
+      expected.insert({u, a.to, a.w});
+    }
+  }
+
+  for (const unsigned lanes : {1u, 2u, 4u}) {
+    for (const std::size_t threshold : {std::size_t{0}, std::size_t{4}}) {
+      ThreadPool pool(lanes);
+      std::mutex mu;
+      std::multiset<std::tuple<vid_t, vid_t, weight_t>> got;
+      lane_parallel_arcs(
+          pool, sources, f.view, threshold,
+          [&](vid_t u) { return f.view.all_arcs(u); },
+          [&](unsigned, vid_t u, const Arc& a) {
+            std::lock_guard lock(mu);
+            got.insert({u, a.to, a.w});
+          });
+      EXPECT_EQ(got, expected) << "lanes=" << lanes << " thr=" << threshold;
+    }
+  }
+}
+
+TEST(LaneParallelArcs, HeavyVertexSpreadAcrossLanes) {
+  Fixture f;
+  const std::vector<vid_t> sources{0};  // hub only, degree 8
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::map<unsigned, int> arcs_per_lane;
+  lane_parallel_arcs(
+      pool, sources, f.view, /*threshold=*/2,
+      [&](vid_t u) { return f.view.all_arcs(u); },
+      [&](unsigned lane, vid_t, const Arc&) {
+        std::lock_guard lock(mu);
+        arcs_per_lane[lane]++;
+      });
+  // 8 arcs over 4 lanes -> every lane gets exactly 2.
+  EXPECT_EQ(arcs_per_lane.size(), 4u);
+  for (const auto& [lane, count] : arcs_per_lane) EXPECT_EQ(count, 2);
+}
+
+TEST(LaneParallelArcs, ShortArcSelector) {
+  Fixture f;
+  const std::vector<vid_t> sources{1};
+  ThreadPool pool(1);
+  int visits = 0;
+  lane_parallel_arcs(
+      pool, sources, f.view, 0,
+      [&](vid_t u) { return f.view.short_arcs(u); },
+      [&](unsigned, vid_t, const Arc& a) {
+        EXPECT_LT(a.w, 10u);
+        ++visits;
+      });
+  EXPECT_EQ(visits, 2);  // vertex 1: arcs to 0 (w=2) and 2 (w=3)
+}
+
+TEST(LaneParallelArcs, EmptySources) {
+  Fixture f;
+  ThreadPool pool(2);
+  int visits = 0;
+  lane_parallel_arcs(
+      pool, std::vector<vid_t>{}, f.view, 4,
+      [&](vid_t u) { return f.view.all_arcs(u); },
+      [&](unsigned, vid_t, const Arc&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,144 @@
+#include "runtime/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace parsssp {
+namespace {
+
+TEST(Machine, RunsEveryRankOnce) {
+  Machine m({.num_ranks = 6});
+  std::vector<int> visits(6, 0);
+  m.run([&](RankCtx& ctx) { visits[ctx.rank()]++; });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(Machine, RankIdentity) {
+  Machine m({.num_ranks = 4});
+  m.run([&](RankCtx& ctx) {
+    EXPECT_LT(ctx.rank(), 4u);
+    EXPECT_EQ(ctx.num_ranks(), 4u);
+  });
+}
+
+TEST(Machine, ZeroRanksClampedToOne) {
+  Machine m({.num_ranks = 0});
+  EXPECT_EQ(m.num_ranks(), 1u);
+  int runs = 0;
+  m.run([&](RankCtx&) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Machine, ExchangeDeliversPointToPoint) {
+  constexpr rank_t R = 4;
+  Machine m({.num_ranks = R});
+  m.run([&](RankCtx& ctx) {
+    // Every rank sends its rank id repeated (dest+1) times to each dest.
+    std::vector<std::vector<std::uint32_t>> out(R);
+    for (rank_t d = 0; d < R; ++d) {
+      out[d].assign(d + 1, ctx.rank());
+    }
+    const auto in = ctx.exchange(std::move(out), PhaseKind::kShortPhase);
+    ASSERT_EQ(in.size(), R);
+    for (rank_t s = 0; s < R; ++s) {
+      ASSERT_EQ(in[s].size(), ctx.rank() + 1u);
+      for (const auto v : in[s]) EXPECT_EQ(v, s);
+    }
+  });
+}
+
+TEST(Machine, ExchangeSelfDelivery) {
+  Machine m({.num_ranks = 2});
+  m.run([&](RankCtx& ctx) {
+    std::vector<std::vector<int>> out(2);
+    out[ctx.rank()] = {static_cast<int>(ctx.rank()) + 100};
+    const auto in = ctx.exchange(std::move(out), PhaseKind::kShortPhase);
+    ASSERT_EQ(in[ctx.rank()].size(), 1u);
+    EXPECT_EQ(in[ctx.rank()][0], static_cast<int>(ctx.rank()) + 100);
+  });
+}
+
+TEST(Machine, ExchangeRepeatedRounds) {
+  constexpr rank_t R = 3;
+  Machine m({.num_ranks = R});
+  m.run([&](RankCtx& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::vector<int>> out(R);
+      const rank_t next = (ctx.rank() + 1) % R;
+      out[next] = {round * 10 + static_cast<int>(ctx.rank())};
+      const auto in = ctx.exchange(std::move(out), PhaseKind::kLongPush);
+      const rank_t prev = (ctx.rank() + R - 1) % R;
+      ASSERT_EQ(in[prev].size(), 1u);
+      EXPECT_EQ(in[prev][0], round * 10 + static_cast<int>(prev));
+    }
+  });
+}
+
+TEST(Machine, CollectivesInsideJob) {
+  constexpr rank_t R = 5;
+  Machine m({.num_ranks = R});
+  m.run([&](RankCtx& ctx) {
+    const auto sum =
+        ctx.allreduce<std::uint64_t>(ctx.rank(), SumOp{});
+    EXPECT_EQ(sum, 0u + 1 + 2 + 3 + 4);
+    const auto gathered = ctx.allgather<std::uint32_t>(ctx.rank() * 2);
+    for (rank_t r = 0; r < R; ++r) EXPECT_EQ(gathered[r], r * 2);
+  });
+}
+
+TEST(Machine, TrafficCountsMessagesNotSelf) {
+  constexpr rank_t R = 3;
+  Machine m({.num_ranks = R});
+  m.run([&](RankCtx& ctx) {
+    std::vector<std::vector<std::uint64_t>> out(R);
+    for (rank_t d = 0; d < R; ++d) out[d] = {1, 2};  // 2 msgs to everyone
+    ctx.exchange(std::move(out), PhaseKind::kLongPush);
+  });
+  const TrafficCounters merged = m.traffic().merged();
+  // Each rank sends 2 msgs to each of the 2 *other* ranks.
+  const auto idx = static_cast<std::size_t>(PhaseKind::kLongPush);
+  EXPECT_EQ(merged.messages[idx], 3u * 2 * 2);
+  EXPECT_EQ(merged.bytes[idx], 3u * 2 * 2 * sizeof(std::uint64_t));
+}
+
+TEST(Machine, TrafficResetBetweenRuns) {
+  Machine m({.num_ranks = 2});
+  auto job = [](RankCtx& ctx) {
+    std::vector<std::vector<int>> out(2);
+    out[1 - ctx.rank()] = {1};
+    ctx.exchange(std::move(out), PhaseKind::kShortPhase);
+  };
+  m.run(job);
+  const auto first = m.traffic().merged().total_messages();
+  m.run(job);
+  EXPECT_EQ(m.traffic().merged().total_messages(), first);
+}
+
+TEST(Machine, ExceptionPropagates) {
+  Machine m({.num_ranks = 3});
+  EXPECT_THROW(
+      m.run([](RankCtx&) { throw std::runtime_error("rank failure"); }),
+      std::runtime_error);
+}
+
+TEST(Machine, LanesPerRankConfig) {
+  Machine m({.num_ranks = 2, .lanes_per_rank = 3});
+  m.run([&](RankCtx& ctx) { EXPECT_EQ(ctx.pool().lanes(), 3u); });
+}
+
+TEST(Machine, ManyRanksStress) {
+  constexpr rank_t R = 32;
+  Machine m({.num_ranks = R});
+  std::atomic<std::uint64_t> total{0};
+  m.run([&](RankCtx& ctx) {
+    const auto sum = ctx.allreduce<std::uint64_t>(1, SumOp{});
+    total += sum;
+  });
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(R) * R);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,55 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(ExchangeBoard, PackUnpackRoundTrip) {
+  const std::vector<std::uint64_t> values{1, 2, 3, 0xffffffffffffULL};
+  const auto bytes =
+      ExchangeBoard::pack(std::span<const std::uint64_t>(values));
+  EXPECT_EQ(bytes.size(), values.size() * sizeof(std::uint64_t));
+  EXPECT_EQ(ExchangeBoard::unpack<std::uint64_t>(bytes), values);
+}
+
+TEST(ExchangeBoard, PackEmpty) {
+  const std::vector<int> empty;
+  const auto bytes = ExchangeBoard::pack(std::span<const int>(empty));
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_TRUE(ExchangeBoard::unpack<int>(bytes).empty());
+}
+
+TEST(ExchangeBoard, PostTakeMovesData) {
+  ExchangeBoard board(3);
+  const std::vector<int> payload{7, 8, 9};
+  board.post(0, 2, ExchangeBoard::pack(std::span<const int>(payload)));
+  EXPECT_EQ(ExchangeBoard::unpack<int>(board.take(0, 2)), payload);
+  // Slot is drained after take.
+  EXPECT_TRUE(board.take(0, 2).empty());
+}
+
+TEST(ExchangeBoard, SlotsAreIndependent) {
+  ExchangeBoard board(2);
+  const std::vector<int> a{1};
+  const std::vector<int> b{2};
+  board.post(0, 1, ExchangeBoard::pack(std::span<const int>(a)));
+  board.post(1, 0, ExchangeBoard::pack(std::span<const int>(b)));
+  EXPECT_EQ(ExchangeBoard::unpack<int>(board.take(0, 1)), a);
+  EXPECT_EQ(ExchangeBoard::unpack<int>(board.take(1, 0)), b);
+}
+
+TEST(ExchangeBoard, StructMessages) {
+  struct Msg {
+    std::uint64_t v;
+    std::uint64_t d;
+    bool operator==(const Msg&) const = default;
+  };
+  ExchangeBoard board(2);
+  const std::vector<Msg> msgs{{1, 10}, {2, 20}};
+  board.post(1, 0, ExchangeBoard::pack(std::span<const Msg>(msgs)));
+  EXPECT_EQ(ExchangeBoard::unpack<Msg>(board.take(1, 0)), msgs);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,65 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(Options, DijkstraPreset) {
+  const auto o = SsspOptions::dijkstra();
+  EXPECT_EQ(o.delta, 1u);
+  EXPECT_FALSE(o.pruning);
+  EXPECT_LT(o.hybrid_tau, 0.0);
+  EXPECT_FALSE(o.bellman_ford_regime());
+}
+
+TEST(Options, BellmanFordPreset) {
+  const auto o = SsspOptions::bellman_ford();
+  EXPECT_TRUE(o.bellman_ford_regime());
+  EXPECT_FALSE(o.edge_classification);
+  EXPECT_FALSE(o.pruning);
+}
+
+TEST(Options, DelPreset) {
+  const auto o = SsspOptions::del(25);
+  EXPECT_EQ(o.delta, 25u);
+  EXPECT_TRUE(o.edge_classification);
+  EXPECT_FALSE(o.ios);
+  EXPECT_FALSE(o.pruning);
+  EXPECT_LT(o.hybrid_tau, 0.0);
+}
+
+TEST(Options, PrunePreset) {
+  const auto o = SsspOptions::prune(25);
+  EXPECT_TRUE(o.ios);
+  EXPECT_TRUE(o.pruning);
+  EXPECT_EQ(o.prune_mode, PruneMode::kHeuristic);
+  EXPECT_LT(o.hybrid_tau, 0.0);
+}
+
+TEST(Options, OptPreset) {
+  const auto o = SsspOptions::opt(40);
+  EXPECT_EQ(o.delta, 40u);
+  EXPECT_TRUE(o.pruning);
+  EXPECT_DOUBLE_EQ(o.hybrid_tau, 0.4);
+  EXPECT_EQ(o.heavy_degree_threshold, 0u);
+}
+
+TEST(Options, LbOptPreset) {
+  const auto o = SsspOptions::lb_opt(25, 512);
+  EXPECT_DOUBLE_EQ(o.hybrid_tau, 0.4);
+  EXPECT_EQ(o.heavy_degree_threshold, 512u);
+}
+
+TEST(Options, PresetsBuildOnEachOther) {
+  // OPT = Prune + hybrid; everything else identical.
+  const auto prune = SsspOptions::prune(25);
+  const auto opt = SsspOptions::opt(25);
+  EXPECT_EQ(prune.delta, opt.delta);
+  EXPECT_EQ(prune.ios, opt.ios);
+  EXPECT_EQ(prune.pruning, opt.pruning);
+  EXPECT_NE(prune.hybrid_tau, opt.hybrid_tau);
+}
+
+}  // namespace
+}  // namespace parsssp

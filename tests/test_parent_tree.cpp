@@ -1,0 +1,145 @@
+// Shortest-path-tree (parent) tracking: the Graph 500 SSSP output format.
+#include <gtest/gtest.h>
+
+#include "core/solver.hpp"
+#include "core/validate.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(ParentTree, EmptyUnlessRequested) {
+  const auto g = rmat_graph(8);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto r = solver.solve(0, SsspOptions::opt(25));
+  EXPECT_TRUE(r.parent.empty());
+}
+
+TEST(ParentTree, RootIsItsOwnParent) {
+  const auto g = rmat_graph(8);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::opt(25);
+  o.track_parents = true;
+  const auto r = solver.solve(root, o);
+  ASSERT_EQ(r.parent.size(), g.num_vertices());
+  EXPECT_EQ(r.parent[root], root);
+}
+
+TEST(ParentTree, UnreachableHaveNoParent) {
+  EdgeList list(5);
+  list.add_edge(0, 1, 3);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::del(5);
+  o.track_parents = true;
+  const auto r = solver.solve(0, o);
+  EXPECT_EQ(r.parent[2], kInvalidVid);
+  EXPECT_EQ(r.parent[1], 0u);
+}
+
+TEST(ParentTree, ValidForEveryVariant) {
+  const auto g = rmat_graph(9, 3);
+  const auto roots = sample_roots(g, 2, 5);
+  struct Variant {
+    const char* name;
+    SsspOptions options;
+  };
+  std::vector<Variant> variants = {
+      {"dijkstra", SsspOptions::dijkstra()},
+      {"bf", SsspOptions::bellman_ford()},
+      {"del", SsspOptions::del(25)},
+      {"prune-push", SsspOptions::prune(25)},
+      {"opt", SsspOptions::opt(25)},
+      {"lbopt", SsspOptions::lb_opt(25, 16)},
+  };
+  variants[3].options.prune_mode = PruneMode::kPushOnly;
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  for (auto& v : variants) {
+    v.options.track_parents = true;
+    for (const vid_t root : roots) {
+      const auto r = solver.solve(root, v.options);
+      const auto rep = check_parent_tree(g, root, r.dist, r.parent);
+      EXPECT_TRUE(rep.ok) << v.name << " root=" << root << ": "
+                          << rep.message;
+    }
+  }
+}
+
+TEST(ParentTree, ValidUnderPullMode) {
+  const auto g = rmat_graph(9, 7);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  SsspOptions o = SsspOptions::prune(25);
+  o.prune_mode = PruneMode::kPullOnly;
+  o.track_parents = true;
+  const auto r = solver.solve(root, o);
+  const auto rep = check_parent_tree(g, root, r.dist, r.parent);
+  EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+TEST(ParentTree, ZeroWeightEdgesNoCycles) {
+  EdgeList list;
+  list.add_edge(0, 1, 0);
+  list.add_edge(1, 2, 0);
+  list.add_edge(2, 3, 4);
+  list.add_edge(3, 4, 0);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::opt(5);
+  o.track_parents = true;
+  const auto r = solver.solve(0, o);
+  const auto rep = check_parent_tree(g, 0, r.dist, r.parent);
+  EXPECT_TRUE(rep.ok) << rep.message;
+}
+
+TEST(ParentTree, DistancesUnaffectedByTracking) {
+  const auto g = rmat_graph(9, 11);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions with = SsspOptions::opt(25);
+  with.track_parents = true;
+  SsspOptions without = SsspOptions::opt(25);
+  EXPECT_EQ(solver.solve(0, with).dist, solver.solve(0, without).dist);
+}
+
+TEST(ParentTreeCheck, DetectsBrokenTreeEdge) {
+  const auto g = rmat_graph(8);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions o = SsspOptions::opt(25);
+  o.track_parents = true;
+  auto r = solver.solve(root, o);
+  // Corrupt one reached vertex's parent to a non-adjacent vertex.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (v != root && r.dist[v] != kInfDist && g.degree(v) == 1) {
+      r.parent[v] = v;  // self-parent: no such tree edge
+      break;
+    }
+  }
+  EXPECT_FALSE(check_parent_tree(g, root, r.dist, r.parent).ok);
+}
+
+TEST(ParentTreeCheck, DetectsCycle) {
+  // Hand-built 0-1-2 path with a 1<->2 parent cycle over zero-weight edges.
+  EdgeList list;
+  list.add_edge(0, 1, 0);
+  list.add_edge(1, 2, 0);
+  list.add_edge(2, 1, 0);
+  const auto g = CsrGraph::from_edges(list);
+  const std::vector<dist_t> dist{0, 0, 0};
+  const std::vector<vid_t> parent{0, 2, 1};  // cycle between 1 and 2
+  EXPECT_FALSE(check_parent_tree(g, 0, dist, parent).ok);
+}
+
+}  // namespace
+}  // namespace parsssp

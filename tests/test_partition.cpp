@@ -1,0 +1,65 @@
+#include "runtime/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  const BlockPartition p(100, 4);
+  EXPECT_EQ(p.block_size(), 25u);
+  for (rank_t r = 0; r < 4; ++r) EXPECT_EQ(p.count(r), 25u);
+}
+
+TEST(Partition, UnevenSplitLastRankShort) {
+  const BlockPartition p(10, 4);  // blocks of 3: 3,3,3,1
+  EXPECT_EQ(p.block_size(), 3u);
+  EXPECT_EQ(p.count(0), 3u);
+  EXPECT_EQ(p.count(3), 1u);
+}
+
+TEST(Partition, OwnerAndLocalRoundTrip) {
+  const BlockPartition p(10, 4);
+  for (vid_t v = 0; v < 10; ++v) {
+    const rank_t r = p.owner(v);
+    EXPECT_LT(r, 4u);
+    EXPECT_EQ(p.global_id(r, p.local_id(v)), v);
+    EXPECT_GE(v, p.begin(r));
+    EXPECT_LT(v, p.end(r));
+  }
+}
+
+TEST(Partition, CountsSumToN) {
+  for (vid_t n : {1u, 7u, 64u, 100u, 1023u}) {
+    for (rank_t ranks : {1u, 2u, 3u, 8u, 16u}) {
+      const BlockPartition p(n, ranks);
+      vid_t total = 0;
+      for (rank_t r = 0; r < ranks; ++r) total += p.count(r);
+      EXPECT_EQ(total, n) << "n=" << n << " ranks=" << ranks;
+    }
+  }
+}
+
+TEST(Partition, MoreRanksThanVertices) {
+  const BlockPartition p(3, 8);
+  vid_t total = 0;
+  for (rank_t r = 0; r < 8; ++r) total += p.count(r);
+  EXPECT_EQ(total, 3u);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_LT(p.owner(v), 8u);
+}
+
+TEST(Partition, SingleRankOwnsEverything) {
+  const BlockPartition p(42, 1);
+  for (vid_t v = 0; v < 42; ++v) {
+    EXPECT_EQ(p.owner(v), 0u);
+    EXPECT_EQ(p.local_id(v), v);
+  }
+}
+
+TEST(Partition, EmptyGraph) {
+  const BlockPartition p(0, 4);
+  for (rank_t r = 0; r < 4; ++r) EXPECT_EQ(p.count(r), 0u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,141 @@
+#include "graph/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csr.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(Rmat, EdgeAndVertexCountsMatchConfig) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 16;
+  const EdgeList list = generate_rmat(cfg);
+  EXPECT_EQ(list.num_vertices(), 1u << 8);
+  EXPECT_EQ(list.num_edges(), 16u << 8);
+}
+
+TEST(Rmat, DeterministicForSameSeed) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.seed = 123;
+  const EdgeList a = generate_rmat(cfg);
+  const EdgeList b = generate_rmat(cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.seed = 1;
+  const EdgeList a = generate_rmat(cfg);
+  cfg.seed = 2;
+  const EdgeList b = generate_rmat(cfg);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Rmat, EndpointsWithinRange) {
+  RmatConfig cfg;
+  cfg.scale = 9;
+  const EdgeList list = generate_rmat(cfg);
+  const vid_t n = vid_t{1} << 9;
+  for (const auto& e : list.edges()) {
+    EXPECT_LT(e.u, n);
+    EXPECT_LT(e.v, n);
+  }
+}
+
+TEST(Rmat, WeightsWithinRange) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.min_weight = 1;
+  cfg.max_weight = 255;
+  const EdgeList list = generate_rmat(cfg);
+  for (const auto& e : list.edges()) {
+    EXPECT_GE(e.w, 1u);
+    EXPECT_LE(e.w, 255u);
+  }
+}
+
+TEST(Rmat, WeightsUseFullRangeApproximately) {
+  RmatConfig cfg;
+  cfg.scale = 10;
+  const EdgeList list = generate_rmat(cfg);
+  std::set<weight_t> seen;
+  for (const auto& e : list.edges()) seen.insert(e.w);
+  // 16k draws from [1,255] should hit most values.
+  EXPECT_GT(seen.size(), 200u);
+}
+
+TEST(Rmat, Rmat1MoreSkewedThanRmat2) {
+  // Fig 8 of the paper: RMAT-1's maximum degree dwarfs RMAT-2's at equal
+  // scale. The effect is visible already at small scale.
+  RmatConfig cfg1;
+  cfg1.params = RmatParams::rmat1();
+  cfg1.scale = 12;
+  RmatConfig cfg2 = cfg1;
+  cfg2.params = RmatParams::rmat2();
+  const auto g1 = CsrGraph::from_edges(generate_rmat(cfg1));
+  const auto g2 = CsrGraph::from_edges(generate_rmat(cfg2));
+  EXPECT_GT(max_degree(g1), 2 * max_degree(g2));
+}
+
+TEST(Rmat, MaxDegreeGrowsWithScale) {
+  std::size_t prev = 0;
+  for (std::uint32_t scale : {9u, 11u, 13u}) {
+    RmatConfig cfg;
+    cfg.params = RmatParams::rmat1();
+    cfg.scale = scale;
+    const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+    const std::size_t d = max_degree(g);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Rmat, PermutationPreservesDegreeMultiset) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.permute_labels = false;
+  const auto plain = CsrGraph::from_edges(generate_rmat(cfg));
+  cfg.permute_labels = true;
+  const auto permuted = CsrGraph::from_edges(generate_rmat(cfg));
+  std::multiset<std::size_t> a, b;
+  for (vid_t v = 0; v < plain.num_vertices(); ++v) a.insert(plain.degree(v));
+  for (vid_t v = 0; v < permuted.num_vertices(); ++v) {
+    b.insert(permuted.degree(v));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rmat, UnpermutedRmatConcentratesLowIds) {
+  // Without the label permutation, the R-MAT bit-fixing process biases
+  // heavy vertices toward low ids (quadrant A). Sanity-check the generator
+  // produces that classic artifact, which the permutation then destroys.
+  RmatConfig cfg;
+  cfg.params = RmatParams::rmat1();
+  cfg.scale = 10;
+  cfg.permute_labels = false;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  std::uint64_t low_half = 0;
+  std::uint64_t total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    total += g.degree(v);
+    if (v < g.num_vertices() / 2) low_half += g.degree(v);
+  }
+  EXPECT_GT(low_half, (total * 6) / 10);
+}
+
+TEST(RmatHash, DeterministicAndSpread) {
+  EXPECT_EQ(rmat_hash(1, 2), rmat_hash(1, 2));
+  EXPECT_NE(rmat_hash(1, 2), rmat_hash(1, 3));
+  EXPECT_NE(rmat_hash(1, 2), rmat_hash(2, 2));
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "graph/rmat.hpp"
+#include "seq/bellman_ford.hpp"
+#include "seq/delta_stepping.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph small_weighted() {
+  //      1 --2-- 2
+  //     /         \ 5
+  //    0 ----9---- 3 --1-- 4
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 2, 2);
+  list.add_edge(2, 3, 5);
+  list.add_edge(0, 3, 9);
+  list.add_edge(3, 4, 1);
+  return CsrGraph::from_edges(list);
+}
+
+TEST(Dijkstra, SmallGraphDistances) {
+  const auto g = small_weighted();
+  const auto d = dijkstra_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<dist_t>{0, 2, 4, 9, 10}));
+}
+
+TEST(Dijkstra, RelaxesEveryEdgeTwice) {
+  const auto g = small_weighted();
+  const auto r = dijkstra(g, 0);
+  // Paper §II-B: Dijkstra relaxes each edge once per direction.
+  EXPECT_EQ(r.relaxations, 2 * g.num_undirected_edges());
+}
+
+TEST(Dijkstra, UnreachableVertices) {
+  EdgeList list(4);
+  list.add_edge(0, 1, 3);
+  const auto g = CsrGraph::from_edges(list);
+  const auto d = dijkstra_distances(g, 0);
+  EXPECT_EQ(d[2], kInfDist);
+  EXPECT_EQ(d[3], kInfDist);
+}
+
+TEST(Dijkstra, RootOutOfRangeAllInf) {
+  const auto g = small_weighted();
+  const auto d = dijkstra_distances(g, 99);
+  for (const auto x : d) EXPECT_EQ(x, kInfDist);
+}
+
+TEST(BellmanFord, MatchesDijkstra) {
+  const auto g = small_weighted();
+  EXPECT_EQ(bellman_ford(g, 0).dist, dijkstra_distances(g, 0));
+}
+
+TEST(BellmanFord, PhasesBoundedByTreeDepth) {
+  // Path of 10 vertices: the active-vertex formulation runs one round per
+  // tree level (9 productive rounds) plus the final round in which the last
+  // vertex relaxes its edges without changing anything -> 10 phases, i.e.
+  // the number of levels of the shortest-path tree.
+  EdgeList list;
+  for (vid_t i = 0; i < 9; ++i) list.add_edge(i, i + 1, 5);
+  const auto g = CsrGraph::from_edges(list);
+  const auto r = bellman_ford(g, 0);
+  EXPECT_EQ(r.phases, 10u);
+  EXPECT_EQ(r.buckets, 1u);
+}
+
+TEST(BellmanFord, MayRelaxMoreThanDijkstra) {
+  RmatConfig cfg;
+  cfg.scale = 9;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const auto bf = bellman_ford(g, 0);
+  const auto dj = dijkstra(g, 0);
+  EXPECT_EQ(bf.dist, dj.dist);
+  EXPECT_GE(bf.relaxations, dj.relaxations);
+}
+
+TEST(DeltaStepping, MatchesDijkstraAcrossDeltas) {
+  const auto g = small_weighted();
+  const auto expected = dijkstra_distances(g, 0);
+  for (const std::uint32_t delta : {1u, 2u, 5u, 25u, 1000u}) {
+    for (const bool classify : {false, true}) {
+      const auto r = delta_stepping(g, 0, {delta, classify});
+      EXPECT_EQ(r.dist, expected)
+          << "delta=" << delta << " classify=" << classify;
+    }
+  }
+}
+
+TEST(DeltaStepping, DeltaOneBucketsEqualDistinctDistances) {
+  const auto g = small_weighted();
+  const auto r = delta_stepping(g, 0, {1, true});
+  // Distinct finite distances from root 0: {0, 2, 4, 9, 10} -> 5 buckets.
+  EXPECT_EQ(r.buckets, 5u);
+}
+
+TEST(DeltaStepping, HugeDeltaActsLikeBellmanFord) {
+  const auto g = small_weighted();
+  const auto r = delta_stepping(g, 0, {1u << 30, false});
+  EXPECT_EQ(r.buckets, 1u);
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+TEST(DeltaStepping, WorkTradeoff) {
+  // Paper Fig 3: work(Dijkstra) <= work(Delta) <= work(Bellman-Ford),
+  // phases(BF) <= phases(Delta) <= phases(Dijkstra). Check on an R-MAT.
+  RmatConfig cfg;
+  cfg.scale = 10;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+  const auto dj = delta_stepping(g, 0, {1, true});
+  const auto mid = delta_stepping(g, 0, {25, true});
+  const auto bf = bellman_ford(g, 0);
+  EXPECT_LE(mid.buckets, dj.buckets);
+  EXPECT_GE(mid.buckets, bf.buckets);
+  EXPECT_GE(bf.relaxations, dj.relaxations);
+}
+
+TEST(DeltaStepping, ZeroWeightEdgesHandled) {
+  // Zero weights appear on proxy edges from vertex splitting.
+  EdgeList list;
+  list.add_edge(0, 1, 0);
+  list.add_edge(1, 2, 3);
+  list.add_edge(2, 3, 0);
+  const auto g = CsrGraph::from_edges(list);
+  for (const std::uint32_t delta : {1u, 5u}) {
+    const auto r = delta_stepping(g, 0, {delta, true});
+    EXPECT_EQ(r.dist, (std::vector<dist_t>{0, 0, 3, 3})) << delta;
+  }
+}
+
+TEST(DeltaStepping, DisconnectedGraph) {
+  EdgeList list(6);
+  list.add_edge(0, 1, 4);
+  list.add_edge(3, 4, 2);
+  const auto g = CsrGraph::from_edges(list);
+  const auto r = delta_stepping(g, 0, {10, true});
+  EXPECT_EQ(r.dist[1], 4u);
+  EXPECT_EQ(r.dist[3], kInfDist);
+  EXPECT_EQ(r.dist[5], kInfDist);
+}
+
+TEST(SeqSsspProperty, AllAlgorithmsAgreeOnRmat) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    RmatConfig cfg;
+    cfg.scale = 8;
+    cfg.edge_factor = 8;
+    cfg.seed = seed;
+    const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+    const auto expected = dijkstra_distances(g, 0);
+    EXPECT_EQ(bellman_ford(g, 0).dist, expected) << seed;
+    for (const std::uint32_t delta : {1u, 10u, 64u}) {
+      EXPECT_EQ(delta_stepping(g, 0, {delta, true}).dist, expected)
+          << "seed=" << seed << " delta=" << delta;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,95 @@
+#include "graph/snap_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace parsssp {
+namespace {
+
+TEST(SnapIo, ReadsPlainEdgeList) {
+  std::istringstream in("# comment\n0 1\n1 2\n");
+  const EdgeList list = read_snap_text(in);
+  ASSERT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.edges()[0], (WeightedEdge{0, 1, 1}));
+  EXPECT_EQ(list.edges()[1], (WeightedEdge{1, 2, 1}));
+}
+
+TEST(SnapIo, ReadsWeightColumn) {
+  std::istringstream in("0 1 9\n");
+  const EdgeList list = read_snap_text(in);
+  EXPECT_EQ(list.edges()[0].w, 9u);
+}
+
+TEST(SnapIo, DefaultWeightConfigurable) {
+  std::istringstream in("0 1\n");
+  const EdgeList list = read_snap_text(in, 42);
+  EXPECT_EQ(list.edges()[0].w, 42u);
+}
+
+TEST(SnapIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a\n\n# b\n3 4\n");
+  EXPECT_EQ(read_snap_text(in).num_edges(), 1u);
+}
+
+TEST(SnapIo, ThrowsOnMalformedLine) {
+  std::istringstream in("0 x\n");
+  EXPECT_THROW(read_snap_text(in), std::runtime_error);
+}
+
+TEST(SnapIo, TextRoundTrip) {
+  EdgeList list;
+  list.add_edge(0, 5, 3);
+  list.add_edge(5, 9, 200);
+  std::ostringstream out;
+  write_snap_text(out, list);
+  std::istringstream in(out.str());
+  const EdgeList back = read_snap_text(in);
+  EXPECT_EQ(back.edges(), list.edges());
+}
+
+TEST(SnapIo, BinaryRoundTrip) {
+  EdgeList list(100);
+  list.add_edge(0, 5, 3);
+  list.add_edge(5, 99, 255);
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, list);
+  std::istringstream in(out.str(), std::ios::binary);
+  const EdgeList back = read_binary(in);
+  EXPECT_EQ(back.edges(), list.edges());
+  EXPECT_EQ(back.num_vertices(), list.num_vertices());
+}
+
+TEST(SnapIo, BinaryRejectsBadMagic) {
+  std::istringstream in("not a binary file at all.....", std::ios::binary);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(SnapIo, BinaryRejectsTruncation) {
+  EdgeList list;
+  list.add_edge(0, 1, 1);
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, list);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(SnapIo, CompactVertexIds) {
+  EdgeList list;
+  list.add_edge(1000, 5, 1);
+  list.add_edge(5, 70000, 2);
+  const EdgeList compact = compact_vertex_ids(list);
+  EXPECT_EQ(compact.num_vertices(), 3u);
+  // First-appearance order: 1000 -> 0, 5 -> 1, 70000 -> 2.
+  EXPECT_EQ(compact.edges()[0], (WeightedEdge{0, 1, 1}));
+  EXPECT_EQ(compact.edges()[1], (WeightedEdge{1, 2, 2}));
+}
+
+TEST(SnapIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_snap_file("/nonexistent/path.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parsssp

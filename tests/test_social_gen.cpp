@@ -1,0 +1,80 @@
+#include "graph/social_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(SocialGen, AllKindsGenerate) {
+  for (const auto kind : all_social_graph_kinds()) {
+    SocialGraphSpec spec;
+    spec.kind = kind;
+    spec.scale_down_log2 = 12;
+    const EdgeList list = generate_social_graph(spec);
+    EXPECT_GT(list.num_edges(), 0u) << social_graph_info(spec).name;
+    EXPECT_GE(list.num_vertices(), 1u << 12);
+  }
+}
+
+TEST(SocialGen, SimpleGraph) {
+  SocialGraphSpec spec;
+  spec.kind = SocialGraphKind::kOrkut;
+  spec.scale_down_log2 = 12;
+  EdgeList list = generate_social_graph(spec);
+  const std::size_t before = list.num_edges();
+  list.dedup_and_strip_self_loops();
+  EXPECT_EQ(list.num_edges(), before) << "generator must emit a simple graph";
+}
+
+TEST(SocialGen, Deterministic) {
+  SocialGraphSpec spec;
+  spec.scale_down_log2 = 12;
+  const EdgeList a = generate_social_graph(spec);
+  const EdgeList b = generate_social_graph(spec);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(SocialGen, InfoCarriesPaperNumbers) {
+  SocialGraphSpec spec;
+  spec.kind = SocialGraphKind::kFriendster;
+  const SocialGraphInfo info = social_graph_info(spec);
+  EXPECT_EQ(info.name, "Friendster");
+  EXPECT_DOUBLE_EQ(info.paper_gteps_del40, 1.8);
+  EXPECT_DOUBLE_EQ(info.paper_gteps_opt40, 4.3);
+}
+
+TEST(SocialGen, SkewedDegreeDistribution) {
+  SocialGraphSpec spec;
+  spec.kind = SocialGraphKind::kOrkut;
+  spec.scale_down_log2 = 10;
+  const auto g = CsrGraph::from_edges(generate_social_graph(spec));
+  const DegreeStats s = compute_degree_stats(g);
+  // Social graphs: heavy tail — the max degree dwarfs the mean.
+  EXPECT_GT(static_cast<double>(s.max_degree), 20.0 * s.mean_degree);
+}
+
+TEST(SocialGen, GiantComponentExists) {
+  SocialGraphSpec spec;
+  spec.kind = SocialGraphKind::kLiveJournal;
+  spec.scale_down_log2 = 10;
+  const auto g = CsrGraph::from_edges(generate_social_graph(spec));
+  const Components c = connected_components(g);
+  EXPECT_GT(c.giant_size, g.num_vertices() / 4);
+}
+
+TEST(SocialGen, ScaleDownShrinksGraph) {
+  SocialGraphSpec big;
+  big.kind = SocialGraphKind::kOrkut;
+  big.scale_down_log2 = 8;
+  SocialGraphSpec small = big;
+  small.scale_down_log2 = 10;
+  EXPECT_GT(social_graph_info(big).num_vertices,
+            social_graph_info(small).num_vertices);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,76 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph rmat_graph() {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+TEST(Solver, PartitionMatchesGraphAndMachine) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  EXPECT_EQ(solver.partition().num_vertices(), g.num_vertices());
+  EXPECT_EQ(solver.partition().num_ranks(), 4u);
+  EXPECT_EQ(solver.machine().num_ranks(), 4u);
+}
+
+TEST(Solver, PreprocessTimeRecorded) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  solver.solve(0, SsspOptions::del(25));
+  EXPECT_GT(solver.last_preprocess_seconds(), 0.0);
+}
+
+TEST(Solver, ViewsReusedAcrossRootsAtSameDelta) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  solver.solve(0, SsspOptions::del(25));
+  const double first = solver.last_preprocess_seconds();
+  solver.solve(1, SsspOptions::del(25));
+  // Not rebuilt: the recorded preprocessing time is unchanged.
+  EXPECT_EQ(solver.last_preprocess_seconds(), first);
+}
+
+TEST(Solver, DistVectorCoversAllVertices) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  const auto r = solver.solve(0, SsspOptions::opt(25));
+  EXPECT_EQ(r.dist.size(), g.num_vertices());
+}
+
+TEST(Solver, StatsResetBetweenSolves) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto a = solver.solve(0, SsspOptions::del(25));
+  const auto b = solver.solve(0, SsspOptions::del(25));
+  EXPECT_EQ(a.stats.total_relaxations(), b.stats.total_relaxations());
+  EXPECT_EQ(a.stats.phases, b.stats.phases);
+}
+
+TEST(Solver, GraphAccessor) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 1}});
+  EXPECT_EQ(&solver.graph(), &g);
+}
+
+TEST(Solver, ManyRanksOnTinyGraph) {
+  EdgeList list;
+  list.add_edge(0, 1, 5);
+  list.add_edge(1, 2, 5);
+  const auto g = CsrGraph::from_edges(list);
+  Solver solver(g, {.machine = {.num_ranks = 16}});
+  const auto r = solver.solve(0, SsspOptions::opt(25));
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,100 @@
+// SplitSolver: the inter-node load-balancing tier wrapped around Solver.
+#include <gtest/gtest.h>
+
+#include "core/split_solver.hpp"
+#include "core/validate.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+EdgeList rmat_list(std::uint32_t scale, std::uint64_t seed = 1) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return generate_rmat(cfg);
+}
+
+TEST(SplitSolver, DistancesMatchOracle) {
+  const EdgeList list = rmat_list(9);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 4}},
+                            .degree_threshold = 32});
+  ASSERT_GT(solver.num_split_vertices(), 0u);
+  for (const vid_t root : sample_roots(g, 3, 1)) {
+    const auto r = solver.solve(root, SsspOptions::opt(25));
+    EXPECT_EQ(r.dist, dijkstra_distances(g, root)) << "root=" << root;
+  }
+}
+
+TEST(SplitSolver, AutoThreshold) {
+  const EdgeList list = rmat_list(9);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 2}}});
+  EXPECT_GT(solver.threshold_used(), 0u);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  const vid_t root = sample_roots(g, 1, 1).at(0);
+  const auto r = solver.solve(root, SsspOptions::opt(25));
+  EXPECT_EQ(r.dist, dijkstra_distances(g, root));
+}
+
+TEST(SplitSolver, NoHeavyVerticesIsHarmless) {
+  EdgeList list;
+  for (vid_t i = 0; i < 20; ++i) list.add_edge(i, i + 1, 3);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 2}},
+                            .degree_threshold = 100});
+  EXPECT_EQ(solver.num_proxies(), 0u);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  const auto r = solver.solve(0, SsspOptions::del(10));
+  EXPECT_EQ(r.dist, dijkstra_distances(g, 0));
+}
+
+TEST(SplitSolver, ParentTreeProjectsBackToOriginalIds) {
+  const EdgeList list = rmat_list(9, 3);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 4}},
+                            .degree_threshold = 32});
+  SsspOptions o = SsspOptions::opt(25);
+  o.track_parents = true;
+  for (const vid_t root : sample_roots(g, 2, 7)) {
+    const auto r = solver.solve(root, o);
+    ASSERT_EQ(r.parent.size(), g.num_vertices());
+    const auto rep = check_parent_tree(g, root, r.dist, r.parent);
+    EXPECT_TRUE(rep.ok) << "root=" << root << ": " << rep.message;
+  }
+}
+
+TEST(SplitSolver, StarGraphHubSplit) {
+  EdgeList list;
+  for (vid_t leaf = 1; leaf <= 200; ++leaf) {
+    list.add_edge(0, leaf, 1 + leaf % 50);
+  }
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 4}},
+                            .degree_threshold = 16});
+  EXPECT_EQ(solver.num_split_vertices(), 1u);
+  EXPECT_GE(solver.num_proxies(), 200u / 16);
+  SsspOptions o = SsspOptions::lb_opt(25, 16);
+  o.track_parents = true;
+  // Root at the hub and at a leaf.
+  for (const vid_t root : {vid_t{0}, vid_t{77}}) {
+    const auto r = solver.solve(root, o);
+    EXPECT_EQ(r.dist, dijkstra_distances(g, root)) << "root=" << root;
+    const auto rep = check_parent_tree(g, root, r.dist, r.parent);
+    EXPECT_TRUE(rep.ok) << "root=" << root << ": " << rep.message;
+  }
+}
+
+TEST(SplitSolver, TransformedGraphVisible) {
+  const EdgeList list = rmat_list(8);
+  SplitSolver solver(list, {.solver = {.machine = {.num_ranks = 2}},
+                            .degree_threshold = 16});
+  const CsrGraph g = CsrGraph::from_edges(list);
+  EXPECT_EQ(solver.transformed_graph().num_vertices(),
+            g.num_vertices() + solver.num_proxies());
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,88 @@
+#include "bench_util/stats_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builders.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .field("a", std::uint64_t{1})
+      .field("b", 2.5)
+      .field("c", true)
+      .field("d", std::string_view{"x"})
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":2.5,"c":true,"d":"x"})");
+}
+
+TEST(JsonWriter, NestedArrayOfObjects) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().begin_array("items");
+  w.begin_object_in_array().field("i", std::uint64_t{0}).end_object();
+  w.begin_object_in_array().field("i", std::uint64_t{1}).end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(os.str(), R"({"items":[{"i":0},{"i":1}]})");
+}
+
+TEST(JsonWriter, ScalarArray) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().begin_array("flags");
+  w.value(true).value(false);
+  w.end_array().end_object();
+  EXPECT_EQ(os.str(), R"({"flags":[true,false]})");
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().field("k", std::string_view{"a\"b\\c"}).end_object();
+  EXPECT_EQ(os.str(), R"({"k":"a\"b\\c"})");
+}
+
+TEST(StatsJson, SsspStatsRoundTripKeys) {
+  SsspStats s;
+  s.short_relaxations = 10;
+  s.pull_requests = 3;
+  s.phases = 7;
+  s.buckets = 2;
+  s.model_time_s = 0.001;
+  s.pull_decisions = {true, false};
+  std::ostringstream os;
+  write_json(os, s, 1000);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"relaxations\":13"), std::string::npos);
+  EXPECT_NE(j.find("\"phases\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"pull_decisions\":[true,false]"), std::string::npos);
+  EXPECT_NE(j.find("\"gteps_model\":"), std::string::npos);
+}
+
+TEST(StatsJson, BatchSummarySerialized) {
+  const auto g = CsrGraph::from_edges(make_grid(8));
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const auto roots = sample_roots(g, 2, 1);
+  const BatchSummary summary =
+      solver.solve_batch(roots, SsspOptions::opt(5));
+  std::ostringstream os;
+  write_json(os, summary);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"num_roots\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"harmonic_mean_gteps\":"), std::string::npos);
+  EXPECT_NE(j.find("\"per_root\":[{"), std::string::npos);
+  // Braces balance.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,91 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace parsssp {
+namespace {
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  int calls = 0;
+  pool.run_on_lanes([&](unsigned lane) {
+    EXPECT_EQ(lane, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ZeroLanesClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1u);
+}
+
+TEST(ThreadPool, RunOnLanesHitsEveryLane) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_lanes([&](unsigned lane) { hits[lane]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  pool.parallel_for(100, [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](unsigned, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, end);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 4);  // every lane is invoked with an empty chunk
+}
+
+TEST(ThreadPool, ParallelForSmallRangeManyLanes) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(3, [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += i + 1;
+  });
+  EXPECT_EQ(sum.load(), 1u + 2 + 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int j = 0; j < 100; ++j) {
+    pool.run_on_lanes([&](unsigned) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, LanesSeeDisjointChunks) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4);
+  pool.parallel_for(40, [&](unsigned lane, std::size_t b, std::size_t e) {
+    ranges[lane] = {b, e};
+  });
+  std::size_t total = 0;
+  for (unsigned l = 0; l < 4; ++l) {
+    total += ranges[l].second - ranges[l].first;
+    for (unsigned m = l + 1; m < 4; ++m) {
+      const bool disjoint = ranges[l].second <= ranges[m].first ||
+                            ranges[m].second <= ranges[l].first;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+}  // namespace
+}  // namespace parsssp

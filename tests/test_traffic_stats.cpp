@@ -1,0 +1,62 @@
+#include "runtime/traffic_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+TEST(TrafficCounters, AddAccumulatesPerKind) {
+  TrafficCounters c;
+  c.add(PhaseKind::kShortPhase, 10, 160);
+  c.add(PhaseKind::kShortPhase, 5, 80);
+  c.add(PhaseKind::kLongPush, 2, 32);
+  EXPECT_EQ(c.messages[static_cast<std::size_t>(PhaseKind::kShortPhase)], 15u);
+  EXPECT_EQ(c.bytes[static_cast<std::size_t>(PhaseKind::kShortPhase)], 240u);
+  EXPECT_EQ(c.total_messages(), 17u);
+  EXPECT_EQ(c.total_bytes(), 272u);
+}
+
+TEST(TrafficCounters, PlusEquals) {
+  TrafficCounters a, b;
+  a.add(PhaseKind::kPullRequest, 1, 24);
+  b.add(PhaseKind::kPullRequest, 2, 48);
+  b.add(PhaseKind::kControl, 3, 12);
+  a += b;
+  EXPECT_EQ(a.total_messages(), 6u);
+  EXPECT_EQ(a.total_bytes(), 84u);
+}
+
+TEST(TrafficStats, MergedSumsRanks) {
+  TrafficStats s(3);
+  s.rank(0).add(PhaseKind::kShortPhase, 1, 16);
+  s.rank(1).add(PhaseKind::kShortPhase, 2, 32);
+  s.rank(2).add(PhaseKind::kBellmanFord, 4, 64);
+  const TrafficCounters merged = s.merged();
+  EXPECT_EQ(merged.total_messages(), 7u);
+  EXPECT_EQ(merged.total_bytes(), 112u);
+}
+
+TEST(TrafficStats, MaxRankMessages) {
+  TrafficStats s(3);
+  s.rank(0).add(PhaseKind::kShortPhase, 1, 16);
+  s.rank(1).add(PhaseKind::kShortPhase, 10, 160);
+  s.rank(2).add(PhaseKind::kLongPush, 3, 48);
+  EXPECT_EQ(s.max_rank_messages(), 10u);
+}
+
+TEST(TrafficStats, Reset) {
+  TrafficStats s(2);
+  s.rank(0).add(PhaseKind::kControl, 5, 20);
+  s.reset();
+  EXPECT_EQ(s.merged().total_messages(), 0u);
+}
+
+TEST(PhaseKindName, AllNamed) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(PhaseKind::kCount);
+       ++i) {
+    EXPECT_NE(phase_kind_name(static_cast<PhaseKind>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

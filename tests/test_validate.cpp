@@ -1,0 +1,91 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph small() {
+  EdgeList list;
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 2, 3);
+  return CsrGraph::from_edges(list);
+}
+
+TEST(CompareDistances, Identical) {
+  const std::vector<dist_t> d{0, 2, 5};
+  const auto r = compare_distances(d, d);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.mismatches, 0u);
+}
+
+TEST(CompareDistances, CountsMismatches) {
+  const std::vector<dist_t> a{0, 2, 5};
+  const std::vector<dist_t> b{0, 3, 6};
+  const auto r = compare_distances(a, b);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.mismatches, 2u);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(CompareDistances, SizeMismatch) {
+  const auto r = compare_distances({0}, {0, 1});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Invariants, CorrectDistancesPass) {
+  const auto g = small();
+  const auto r = check_sssp_invariants(g, 0, dijkstra_distances(g, 0));
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(Invariants, BadRootDetected) {
+  const auto g = small();
+  auto d = dijkstra_distances(g, 0);
+  d[0] = 5;
+  const auto r = check_sssp_invariants(g, 0, d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.bad_root, 1u);
+}
+
+TEST(Invariants, TriangleViolationDetected) {
+  const auto g = small();
+  auto d = dijkstra_distances(g, 0);
+  d[2] = 100;  // too large: edge (1,2,3) gives 5
+  const auto r = check_sssp_invariants(g, 0, d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.violated_edges, 0u);
+}
+
+TEST(Invariants, ReachabilityMismatchDetected) {
+  EdgeList list(4);
+  list.add_edge(0, 1, 1);
+  const auto g = CsrGraph::from_edges(list);
+  std::vector<dist_t> d{0, 1, 7, kInfDist};  // vertex 2 is not reachable
+  const auto r = check_sssp_invariants(g, 0, d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.reach_mismatch, 0u);
+}
+
+TEST(Invariants, TooShortDistanceCaughtByOracle) {
+  // d(2) = 4 < true 5 satisfies the triangle inequality at every edge out
+  // of reached vertices? No: edge (1,2) gives d(2) >= ... actually a too-
+  // small value violates nothing locally, which is exactly why the oracle
+  // comparison exists.
+  const auto g = small();
+  auto d = dijkstra_distances(g, 0);
+  d[2] = 4;
+  const auto r = validate_against_dijkstra(g, 0, d);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ValidateAgainstDijkstra, PassesOnOracleOutput) {
+  const auto g = small();
+  const auto r = validate_against_dijkstra(g, 0, dijkstra_distances(g, 0));
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace parsssp

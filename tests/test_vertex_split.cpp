@@ -1,0 +1,139 @@
+#include "graph/vertex_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+EdgeList star(std::size_t leaves, weight_t w = 3) {
+  EdgeList list;
+  for (vid_t leaf = 1; leaf <= leaves; ++leaf) list.add_edge(0, leaf, w);
+  return list;
+}
+
+TEST(VertexSplit, NoSplitBelowThreshold) {
+  const EdgeList list = star(4);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 10;
+  cfg.scatter_ids = false;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  EXPECT_EQ(r.num_proxies, 0u);
+  EXPECT_EQ(r.num_split_vertices, 0u);
+  EXPECT_EQ(r.graph.num_edges(), list.num_edges());
+}
+
+TEST(VertexSplit, ProxyCountMatchesCeilDivision) {
+  const EdgeList list = star(10);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 3;  // hub degree 10 > 3 -> ceil(10/3) = 4 proxies
+  cfg.scatter_ids = false;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  EXPECT_EQ(r.num_split_vertices, 1u);
+  EXPECT_EQ(r.num_proxies, 4u);
+  // 10 original edges + 4 zero-weight spokes.
+  EXPECT_EQ(r.graph.num_edges(), 14u);
+}
+
+TEST(VertexSplit, ZeroWeightSpokesOnly) {
+  const EdgeList list = star(10);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 3;
+  cfg.scatter_ids = false;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  std::size_t zero = 0;
+  for (const auto& e : r.graph.edges()) {
+    if (e.w == 0) ++zero;
+  }
+  EXPECT_EQ(zero, r.num_proxies);
+}
+
+TEST(VertexSplit, DistancesPreservedOnStar) {
+  const EdgeList list = star(10, 7);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  const auto expected = dijkstra_distances(g, 0);
+
+  for (const bool scatter : {false, true}) {
+    SplitConfig cfg;
+    cfg.degree_threshold = 3;
+    cfg.scatter_ids = scatter;
+    const SplitResult r = split_heavy_vertices(list, g, cfg);
+    const CsrGraph g2 = CsrGraph::from_edges(r.graph);
+    const auto dist2 = dijkstra_distances(g2, r.orig_to_new[0]);
+    const auto projected = r.project_distances(dist2);
+    EXPECT_EQ(projected, expected) << "scatter=" << scatter;
+  }
+}
+
+TEST(VertexSplit, DistancesPreservedOnRmat) {
+  RmatConfig rc;
+  rc.scale = 9;
+  rc.edge_factor = 8;
+  const EdgeList list = generate_rmat(rc);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  const vid_t root = 3;
+  const auto expected = dijkstra_distances(g, root);
+
+  SplitConfig cfg;
+  cfg.degree_threshold = 32;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  ASSERT_GT(r.num_split_vertices, 0u) << "test graph should have heavy hubs";
+  const CsrGraph g2 = CsrGraph::from_edges(r.graph);
+  const auto dist2 = dijkstra_distances(g2, r.orig_to_new[root]);
+  EXPECT_EQ(r.project_distances(dist2), expected);
+}
+
+TEST(VertexSplit, MaxDegreeReduced) {
+  const EdgeList list = star(100);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 10;
+  cfg.scatter_ids = false;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  const CsrGraph g2 = CsrGraph::from_edges(r.graph);
+  std::size_t max_orig_edge_degree = 0;
+  for (vid_t v = 0; v < g2.num_vertices(); ++v) {
+    // Count only non-spoke arcs: proxies have <= 10 original edges + 1 spoke.
+    std::size_t d = 0;
+    for (const Arc& a : g2.neighbors(v)) {
+      if (a.w != 0) ++d;
+    }
+    max_orig_edge_degree = std::max(max_orig_edge_degree, d);
+  }
+  EXPECT_LE(max_orig_edge_degree, 10u);
+}
+
+TEST(VertexSplit, ScatterPermutesButMapsBack) {
+  const EdgeList list = star(20);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 5;
+  cfg.scatter_ids = true;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  // orig_to_new must be injective over originals.
+  std::vector<char> seen(r.graph.num_vertices(), 0);
+  for (const vid_t v : r.orig_to_new) {
+    ASSERT_LT(v, r.graph.num_vertices());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(VertexSplit, EdgesPerProxyOverride) {
+  const EdgeList list = star(12);
+  const CsrGraph g = CsrGraph::from_edges(list);
+  SplitConfig cfg;
+  cfg.degree_threshold = 4;
+  cfg.edges_per_proxy = 6;  // ceil(12/6) = 2 proxies
+  cfg.scatter_ids = false;
+  const SplitResult r = split_heavy_vertices(list, g, cfg);
+  EXPECT_EQ(r.num_proxies, 2u);
+}
+
+}  // namespace
+}  // namespace parsssp

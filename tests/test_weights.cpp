@@ -1,0 +1,49 @@
+#include "graph/weights.hpp"
+
+#include <gtest/gtest.h>
+
+namespace parsssp {
+namespace {
+
+EdgeList path(std::size_t edges) {
+  EdgeList list;
+  for (vid_t i = 0; i < edges; ++i) list.add_edge(i, i + 1, 999);
+  return list;
+}
+
+TEST(Weights, OverwritesAllWeightsWithinRange) {
+  EdgeList list = path(200);
+  WeightConfig cfg;
+  cfg.min_weight = 5;
+  cfg.max_weight = 10;
+  assign_uniform_weights(list, cfg);
+  for (const auto& e : list.edges()) {
+    EXPECT_GE(e.w, 5u);
+    EXPECT_LE(e.w, 10u);
+  }
+}
+
+TEST(Weights, DeterministicInSeed) {
+  EdgeList a = path(50);
+  EdgeList b = path(50);
+  assign_uniform_weights(a, {1, 255, 7});
+  assign_uniform_weights(b, {1, 255, 7});
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Weights, SeedChangesAssignment) {
+  EdgeList a = path(50);
+  EdgeList b = path(50);
+  assign_uniform_weights(a, {1, 255, 7});
+  assign_uniform_weights(b, {1, 255, 8});
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(Weights, SingleValueRange) {
+  EdgeList list = path(10);
+  assign_uniform_weights(list, {3, 3, 1});
+  for (const auto& e : list.edges()) EXPECT_EQ(e.w, 3u);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,136 @@
+// Graph generator / converter CLI.
+//
+//   graphgen_cli --out PATH [options]
+//     --family rmat1|rmat2|friendster|orkut|livejournal   (default rmat1)
+//     --scale N          log2 vertices for R-MAT (default 12)
+//     --edge-factor N    (default 16)
+//     --seed N           (default 1)
+//     --format text|bin  output format (default text)
+//     --in PATH          convert an existing SNAP text file instead
+//     --stats            print degree statistics and exit (no --out needed)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/rmat.hpp"
+#include "graph/snap_io.hpp"
+#include "graph/social_gen.hpp"
+
+namespace {
+
+using namespace parsssp;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--family NAME] [--scale N] "
+               "[--edge-factor N] [--seed N] [--format text|bin] "
+               "[--in PATH] [--stats]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string in_path;
+  std::string family = "rmat1";
+  std::string format = "text";
+  std::uint32_t scale = 12;
+  std::uint32_t edge_factor = 16;
+  std::uint64_t seed = 1;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--in") {
+      in_path = value();
+    } else if (arg == "--family") {
+      family = value();
+    } else if (arg == "--scale") {
+      scale = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--edge-factor") {
+      edge_factor = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--format") {
+      format = value();
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (out_path.empty() && !stats) usage(argv[0]);
+
+  EdgeList list;
+  if (!in_path.empty()) {
+    list = load_snap_file(in_path);
+  } else if (family == "rmat1" || family == "rmat2") {
+    RmatConfig cfg;
+    cfg.params =
+        family == "rmat1" ? RmatParams::rmat1() : RmatParams::rmat2();
+    cfg.scale = scale;
+    cfg.edge_factor = edge_factor;
+    cfg.seed = seed;
+    list = generate_rmat(cfg);
+  } else {
+    SocialGraphSpec spec;
+    if (family == "friendster") {
+      spec.kind = SocialGraphKind::kFriendster;
+    } else if (family == "orkut") {
+      spec.kind = SocialGraphKind::kOrkut;
+    } else if (family == "livejournal") {
+      spec.kind = SocialGraphKind::kLiveJournal;
+    } else {
+      usage(argv[0]);
+    }
+    spec.seed = seed;
+    spec.scale_down_log2 = scale;  // reinterpreted as the down-scaling
+    list = generate_social_graph(spec);
+  }
+
+  if (stats) {
+    const CsrGraph g = CsrGraph::from_edges(list);
+    const DegreeStats s = compute_degree_stats(g);
+    std::printf("vertices:  %llu\n",
+                static_cast<unsigned long long>(g.num_vertices()));
+    std::printf("edges:     %zu\n", g.num_undirected_edges());
+    std::printf("mean deg:  %.2f\n", s.mean_degree);
+    std::printf("max deg:   %zu (vertex %llu)\n", s.max_degree,
+                static_cast<unsigned long long>(s.argmax_vertex));
+    std::printf("isolated:  %zu\n", s.num_isolated);
+    std::printf("log2-degree histogram:");
+    for (std::size_t i = 0; i < s.log2_histogram.size(); ++i) {
+      std::printf(" %zu:%zu", i, s.log2_histogram[i]);
+    }
+    std::printf("\n");
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path,
+                      format == "bin" ? std::ios::binary : std::ios::out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    if (format == "bin") {
+      write_binary(out, list);
+    } else {
+      write_snap_text(out, list);
+    }
+    std::printf("wrote %zu edges to %s (%s)\n", list.num_edges(),
+                out_path.c_str(), format.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Command-line driver for the SSSP library.
+//
+//   sssp_cli [options]
+//     --family rmat1|rmat2      synthetic family (default rmat1)
+//     --scale N                 log2 vertices (default 12)
+//     --edge-factor N           undirected edges per vertex (default 16)
+//     --load PATH               load a SNAP edge list instead of generating
+//     --algo NAME               dijkstra|bf|del|prune|opt|lbopt (default opt)
+//     --delta N                 bucket width (default 25)
+//     --ranks N                 simulated ranks (default 8)
+//     --lanes N                 worker lanes per rank (default 1)
+//     --roots N                 number of sampled roots (default 4)
+//     --root V                  explicit root (overrides --roots)
+//     --tau X                   hybridization threshold (algo opt/lbopt)
+//     --split N                 split vertices with degree > N first
+//     --parents                 build + validate the shortest-path tree
+//     --validate                check distances against Dijkstra
+//     --csv                     print per-root rows as CSV
+//     --json                    additionally print one JSON line per root
+//     --seed N                  generator seed (default 1)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/stats_io.hpp"
+#include "bench_util/table.hpp"
+#include "core/solver.hpp"
+#include "core/split_solver.hpp"
+#include "core/validate.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/snap_io.hpp"
+#include "graph/weights.hpp"
+
+namespace {
+
+using namespace parsssp;
+
+struct CliConfig {
+  std::string family = "rmat1";
+  std::uint32_t scale = 12;
+  std::uint32_t edge_factor = 16;
+  std::string load_path;
+  std::string algo = "opt";
+  std::uint32_t delta = 25;
+  rank_t ranks = 8;
+  unsigned lanes = 1;
+  std::size_t roots = 4;
+  std::optional<vid_t> explicit_root;
+  std::optional<double> tau;
+  std::size_t split_threshold = 0;
+  bool parents = false;
+  bool validate = false;
+  bool csv = false;
+  bool json = false;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--family rmat1|rmat2] [--scale N] "
+               "[--edge-factor N] [--load PATH] [--algo NAME] [--delta N] "
+               "[--ranks N] [--lanes N] [--roots N] [--root V] [--tau X] "
+               "[--split N] [--parents] [--validate] [--csv] [--json] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliConfig parse_args(int argc, char** argv) {
+  CliConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--family") {
+      cfg.family = value();
+    } else if (arg == "--scale") {
+      cfg.scale = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--edge-factor") {
+      cfg.edge_factor = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--load") {
+      cfg.load_path = value();
+    } else if (arg == "--algo") {
+      cfg.algo = value();
+    } else if (arg == "--delta") {
+      cfg.delta = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--ranks") {
+      cfg.ranks = static_cast<rank_t>(std::atoi(value()));
+    } else if (arg == "--lanes") {
+      cfg.lanes = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--roots") {
+      cfg.roots = static_cast<std::size_t>(std::atoi(value()));
+    } else if (arg == "--root") {
+      cfg.explicit_root = static_cast<vid_t>(std::atoll(value()));
+    } else if (arg == "--tau") {
+      cfg.tau = std::atof(value());
+    } else if (arg == "--split") {
+      cfg.split_threshold = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--parents") {
+      cfg.parents = true;
+    } else if (arg == "--validate") {
+      cfg.validate = true;
+    } else if (arg == "--csv") {
+      cfg.csv = true;
+    } else if (arg == "--json") {
+      cfg.json = true;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return cfg;
+}
+
+SsspOptions make_options(const CliConfig& cfg) {
+  SsspOptions o;
+  if (cfg.algo == "dijkstra") {
+    o = SsspOptions::dijkstra();
+  } else if (cfg.algo == "bf") {
+    o = SsspOptions::bellman_ford();
+  } else if (cfg.algo == "del") {
+    o = SsspOptions::del(cfg.delta);
+  } else if (cfg.algo == "prune") {
+    o = SsspOptions::prune(cfg.delta);
+  } else if (cfg.algo == "opt") {
+    o = SsspOptions::opt(cfg.delta);
+  } else if (cfg.algo == "lbopt") {
+    o = SsspOptions::lb_opt(cfg.delta);
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", cfg.algo.c_str());
+    std::exit(2);
+  }
+  if (cfg.tau) o.hybrid_tau = *cfg.tau;
+  o.track_parents = cfg.parents;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliConfig cfg = parse_args(argc, argv);
+
+  EdgeList list;
+  if (!cfg.load_path.empty()) {
+    list = compact_vertex_ids(load_snap_file(cfg.load_path));
+    assign_uniform_weights(list, {1, 255, cfg.seed});
+    list.dedup_and_strip_self_loops();
+  } else {
+    RmatConfig rc = family_config(
+        cfg.family == "rmat2" ? RmatFamily::kRmat2 : RmatFamily::kRmat1,
+        cfg.scale, cfg.seed);
+    rc.edge_factor = cfg.edge_factor;
+    list = generate_rmat(rc);
+  }
+  const CsrGraph graph = CsrGraph::from_edges(list);
+  std::printf("# graph: %llu vertices, %zu edges\n",
+              static_cast<unsigned long long>(graph.num_vertices()),
+              graph.num_undirected_edges());
+
+  const SsspOptions options = make_options(cfg);
+  std::vector<vid_t> roots;
+  if (cfg.explicit_root) {
+    roots.push_back(*cfg.explicit_root);
+  } else {
+    roots = sample_roots(graph, cfg.roots, cfg.seed);
+  }
+
+  SolverConfig solver_cfg;
+  solver_cfg.machine.num_ranks = cfg.ranks;
+  solver_cfg.machine.lanes_per_rank = cfg.lanes;
+
+  std::unique_ptr<SplitSolver> split_solver;
+  std::unique_ptr<Solver> plain_solver;
+  if (cfg.split_threshold != 0) {
+    split_solver = std::make_unique<SplitSolver>(
+        list, SplitSolverConfig{solver_cfg, cfg.split_threshold, 99});
+    std::printf("# split: %llu vertices -> %llu proxies (threshold %zu)\n",
+                static_cast<unsigned long long>(
+                    split_solver->num_split_vertices()),
+                static_cast<unsigned long long>(split_solver->num_proxies()),
+                split_solver->threshold_used());
+  } else {
+    plain_solver = std::make_unique<Solver>(graph, solver_cfg);
+  }
+
+  TextTable table("per-root results (" + cfg.algo + ")");
+  table.set_header({"root", "reached", "relaxations", "phases", "buckets",
+                    "model-ms", "GTEPS(model)", "checks"});
+  int failures = 0;
+  for (const vid_t root : roots) {
+    const SsspResult r = split_solver ? split_solver->solve(root, options)
+                                      : plain_solver->solve(root, options);
+    std::size_t reached = 0;
+    for (const dist_t d : r.dist) reached += d != kInfDist;
+
+    std::string checks = "-";
+    if (cfg.validate || cfg.parents) {
+      checks.clear();
+      if (cfg.validate) {
+        const auto rep = validate_against_dijkstra(graph, root, r.dist);
+        checks += rep.ok ? "dist:OK" : "dist:FAIL(" + rep.message + ")";
+        failures += !rep.ok;
+      }
+      if (cfg.parents) {
+        const auto rep = check_parent_tree(graph, root, r.dist, r.parent);
+        if (!checks.empty()) checks += " ";
+        checks += rep.ok ? "tree:OK" : "tree:FAIL(" + rep.message + ")";
+        failures += !rep.ok;
+      }
+    }
+    if (cfg.json) {
+      std::cout << "{\"root\":" << root << ",\"stats\":";
+      write_json(std::cout, r.stats, graph.num_undirected_edges());
+      std::cout << "}\n";
+    }
+    table.add_row(
+        {std::to_string(root), std::to_string(reached),
+         TextTable::num(r.stats.total_relaxations()),
+         TextTable::num(r.stats.phases), TextTable::num(r.stats.buckets),
+         TextTable::num(r.stats.model_time_s * 1e3, 3),
+         TextTable::num(r.stats.gteps(graph.num_undirected_edges()), 4),
+         checks});
+  }
+  if (cfg.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return failures == 0 ? 0 : 1;
+}
