@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_decision_heuristic.dir/abl_decision_heuristic.cpp.o"
+  "CMakeFiles/abl_decision_heuristic.dir/abl_decision_heuristic.cpp.o.d"
+  "abl_decision_heuristic"
+  "abl_decision_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_decision_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

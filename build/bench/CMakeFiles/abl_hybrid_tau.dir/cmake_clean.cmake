@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid_tau.dir/abl_hybrid_tau.cpp.o"
+  "CMakeFiles/abl_hybrid_tau.dir/abl_hybrid_tau.cpp.o.d"
+  "abl_hybrid_tau"
+  "abl_hybrid_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ios.dir/abl_ios.cpp.o"
+  "CMakeFiles/abl_ios.dir/abl_ios.cpp.o.d"
+  "abl_ios"
+  "abl_ios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

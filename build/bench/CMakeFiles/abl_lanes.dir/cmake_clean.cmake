@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lanes.dir/abl_lanes.cpp.o"
+  "CMakeFiles/abl_lanes.dir/abl_lanes.cpp.o.d"
+  "abl_lanes"
+  "abl_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

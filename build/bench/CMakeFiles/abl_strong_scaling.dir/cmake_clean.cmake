@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_strong_scaling.dir/abl_strong_scaling.cpp.o"
+  "CMakeFiles/abl_strong_scaling.dir/abl_strong_scaling.cpp.o.d"
+  "abl_strong_scaling"
+  "abl_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

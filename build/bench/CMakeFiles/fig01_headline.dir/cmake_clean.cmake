@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_headline.dir/fig01_headline.cpp.o"
+  "CMakeFiles/fig01_headline.dir/fig01_headline.cpp.o.d"
+  "fig01_headline"
+  "fig01_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_phases_relaxations.dir/fig03_phases_relaxations.cpp.o"
+  "CMakeFiles/fig03_phases_relaxations.dir/fig03_phases_relaxations.cpp.o.d"
+  "fig03_phases_relaxations"
+  "fig03_phases_relaxations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_phases_relaxations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_phases_relaxations.
+# This may be replaced when dependencies are built.

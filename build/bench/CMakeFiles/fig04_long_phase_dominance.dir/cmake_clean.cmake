@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_long_phase_dominance.dir/fig04_long_phase_dominance.cpp.o"
+  "CMakeFiles/fig04_long_phase_dominance.dir/fig04_long_phase_dominance.cpp.o.d"
+  "fig04_long_phase_dominance"
+  "fig04_long_phase_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_long_phase_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

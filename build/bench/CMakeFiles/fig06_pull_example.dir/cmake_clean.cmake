@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pull_example.dir/fig06_pull_example.cpp.o"
+  "CMakeFiles/fig06_pull_example.dir/fig06_pull_example.cpp.o.d"
+  "fig06_pull_example"
+  "fig06_pull_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pull_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_push_pull_buckets.dir/fig07_push_pull_buckets.cpp.o"
+  "CMakeFiles/fig07_push_pull_buckets.dir/fig07_push_pull_buckets.cpp.o.d"
+  "fig07_push_pull_buckets"
+  "fig07_push_pull_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_push_pull_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

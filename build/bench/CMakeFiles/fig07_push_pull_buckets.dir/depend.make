@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_push_pull_buckets.
+# This may be replaced when dependencies are built.

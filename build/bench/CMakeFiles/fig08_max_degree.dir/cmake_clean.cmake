@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_max_degree.dir/fig08_max_degree.cpp.o"
+  "CMakeFiles/fig08_max_degree.dir/fig08_max_degree.cpp.o.d"
+  "fig08_max_degree"
+  "fig08_max_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_max_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

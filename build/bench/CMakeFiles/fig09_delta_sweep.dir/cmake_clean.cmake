@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_delta_sweep.dir/fig09_delta_sweep.cpp.o"
+  "CMakeFiles/fig09_delta_sweep.dir/fig09_delta_sweep.cpp.o.d"
+  "fig09_delta_sweep"
+  "fig09_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rmat1_analysis.dir/fig10_rmat1_analysis.cpp.o"
+  "CMakeFiles/fig10_rmat1_analysis.dir/fig10_rmat1_analysis.cpp.o.d"
+  "fig10_rmat1_analysis"
+  "fig10_rmat1_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rmat1_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

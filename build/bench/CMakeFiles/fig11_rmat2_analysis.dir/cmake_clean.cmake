@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rmat2_analysis.dir/fig11_rmat2_analysis.cpp.o"
+  "CMakeFiles/fig11_rmat2_analysis.dir/fig11_rmat2_analysis.cpp.o.d"
+  "fig11_rmat2_analysis"
+  "fig11_rmat2_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rmat2_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

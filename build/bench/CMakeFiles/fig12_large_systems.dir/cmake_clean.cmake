@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_large_systems.dir/fig12_large_systems.cpp.o"
+  "CMakeFiles/fig12_large_systems.dir/fig12_large_systems.cpp.o.d"
+  "fig12_large_systems"
+  "fig12_large_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_large_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabG_heuristic_validation.dir/tabG_heuristic_validation.cpp.o"
+  "CMakeFiles/tabG_heuristic_validation.dir/tabG_heuristic_validation.cpp.o.d"
+  "tabG_heuristic_validation"
+  "tabG_heuristic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabG_heuristic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabH_real_graphs.dir/tabH_real_graphs.cpp.o"
+  "CMakeFiles/tabH_real_graphs.dir/tabH_real_graphs.cpp.o.d"
+  "tabH_real_graphs"
+  "tabH_real_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabH_real_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_centrality.dir/centrality.cpp.o"
+  "CMakeFiles/example_centrality.dir/centrality.cpp.o.d"
+  "example_centrality"
+  "example_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_push_pull_demo.dir/push_pull_demo.cpp.o"
+  "CMakeFiles/example_push_pull_demo.dir/push_pull_demo.cpp.o.d"
+  "example_push_pull_demo"
+  "example_push_pull_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_push_pull_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

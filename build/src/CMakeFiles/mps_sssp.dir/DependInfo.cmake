@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/runner.cpp" "src/CMakeFiles/mps_sssp.dir/bench_util/runner.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/bench_util/runner.cpp.o.d"
+  "/root/repo/src/bench_util/stats_io.cpp" "src/CMakeFiles/mps_sssp.dir/bench_util/stats_io.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/bench_util/stats_io.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/CMakeFiles/mps_sssp.dir/bench_util/table.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/bench_util/table.cpp.o.d"
+  "/root/repo/src/core/bfs_engine.cpp" "src/CMakeFiles/mps_sssp.dir/core/bfs_engine.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/bfs_engine.cpp.o.d"
+  "/root/repo/src/core/buckets.cpp" "src/CMakeFiles/mps_sssp.dir/core/buckets.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/buckets.cpp.o.d"
+  "/root/repo/src/core/delta_choice.cpp" "src/CMakeFiles/mps_sssp.dir/core/delta_choice.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/delta_choice.cpp.o.d"
+  "/root/repo/src/core/delta_engine.cpp" "src/CMakeFiles/mps_sssp.dir/core/delta_engine.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/delta_engine.cpp.o.d"
+  "/root/repo/src/core/dist_builder.cpp" "src/CMakeFiles/mps_sssp.dir/core/dist_builder.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/dist_builder.cpp.o.d"
+  "/root/repo/src/core/dist_graph.cpp" "src/CMakeFiles/mps_sssp.dir/core/dist_graph.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/dist_graph.cpp.o.d"
+  "/root/repo/src/core/dist_validate.cpp" "src/CMakeFiles/mps_sssp.dir/core/dist_validate.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/dist_validate.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/mps_sssp.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/instrumentation.cpp" "src/CMakeFiles/mps_sssp.dir/core/instrumentation.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/instrumentation.cpp.o.d"
+  "/root/repo/src/core/lb_thresholds.cpp" "src/CMakeFiles/mps_sssp.dir/core/lb_thresholds.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/lb_thresholds.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/CMakeFiles/mps_sssp.dir/core/load_balance.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/load_balance.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/mps_sssp.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/push_pull.cpp" "src/CMakeFiles/mps_sssp.dir/core/push_pull.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/push_pull.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/mps_sssp.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/solver.cpp.o.d"
+  "/root/repo/src/core/split_solver.cpp" "src/CMakeFiles/mps_sssp.dir/core/split_solver.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/split_solver.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/mps_sssp.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/core/validate.cpp.o.d"
+  "/root/repo/src/graph/builders.cpp" "src/CMakeFiles/mps_sssp.dir/graph/builders.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/builders.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/mps_sssp.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/CMakeFiles/mps_sssp.dir/graph/degree_stats.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/mps_sssp.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/graph_algos.cpp" "src/CMakeFiles/mps_sssp.dir/graph/graph_algos.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/graph_algos.cpp.o.d"
+  "/root/repo/src/graph/rmat.cpp" "src/CMakeFiles/mps_sssp.dir/graph/rmat.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/rmat.cpp.o.d"
+  "/root/repo/src/graph/snap_io.cpp" "src/CMakeFiles/mps_sssp.dir/graph/snap_io.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/snap_io.cpp.o.d"
+  "/root/repo/src/graph/social_gen.cpp" "src/CMakeFiles/mps_sssp.dir/graph/social_gen.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/social_gen.cpp.o.d"
+  "/root/repo/src/graph/vertex_split.cpp" "src/CMakeFiles/mps_sssp.dir/graph/vertex_split.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/vertex_split.cpp.o.d"
+  "/root/repo/src/graph/weights.cpp" "src/CMakeFiles/mps_sssp.dir/graph/weights.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/graph/weights.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/collectives.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/collectives.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/machine.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/mailbox.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/partition.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/partition.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/partition.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/runtime/topology.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/topology.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/topology.cpp.o.d"
+  "/root/repo/src/runtime/traffic_stats.cpp" "src/CMakeFiles/mps_sssp.dir/runtime/traffic_stats.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/runtime/traffic_stats.cpp.o.d"
+  "/root/repo/src/seq/bellman_ford.cpp" "src/CMakeFiles/mps_sssp.dir/seq/bellman_ford.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/seq/bellman_ford.cpp.o.d"
+  "/root/repo/src/seq/delta_stepping.cpp" "src/CMakeFiles/mps_sssp.dir/seq/delta_stepping.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/seq/delta_stepping.cpp.o.d"
+  "/root/repo/src/seq/dial.cpp" "src/CMakeFiles/mps_sssp.dir/seq/dial.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/seq/dial.cpp.o.d"
+  "/root/repo/src/seq/dijkstra.cpp" "src/CMakeFiles/mps_sssp.dir/seq/dijkstra.cpp.o" "gcc" "src/CMakeFiles/mps_sssp.dir/seq/dijkstra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_and_dial.dir/test_batch_and_dial.cpp.o"
+  "CMakeFiles/test_batch_and_dial.dir/test_batch_and_dial.cpp.o.d"
+  "test_batch_and_dial"
+  "test_batch_and_dial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_and_dial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

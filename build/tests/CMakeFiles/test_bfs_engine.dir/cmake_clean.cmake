@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfs_engine.dir/test_bfs_engine.cpp.o"
+  "CMakeFiles/test_bfs_engine.dir/test_bfs_engine.cpp.o.d"
+  "test_bfs_engine"
+  "test_bfs_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfs_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buckets.dir/test_buckets.cpp.o"
+  "CMakeFiles/test_buckets.dir/test_buckets.cpp.o.d"
+  "test_buckets"
+  "test_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_choice.dir/test_delta_choice.cpp.o"
+  "CMakeFiles/test_delta_choice.dir/test_delta_choice.cpp.o.d"
+  "test_delta_choice"
+  "test_delta_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

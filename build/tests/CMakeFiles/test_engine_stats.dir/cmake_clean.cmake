@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_stats.dir/test_engine_stats.cpp.o"
+  "CMakeFiles/test_engine_stats.dir/test_engine_stats.cpp.o.d"
+  "test_engine_stats"
+  "test_engine_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_variants.dir/test_engine_variants.cpp.o"
+  "CMakeFiles/test_engine_variants.dir/test_engine_variants.cpp.o.d"
+  "test_engine_variants"
+  "test_engine_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram_estimator.dir/test_histogram_estimator.cpp.o"
+  "CMakeFiles/test_histogram_estimator.dir/test_histogram_estimator.cpp.o.d"
+  "test_histogram_estimator"
+  "test_histogram_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_thresholds.dir/test_lb_thresholds.cpp.o"
+  "CMakeFiles/test_lb_thresholds.dir/test_lb_thresholds.cpp.o.d"
+  "test_lb_thresholds"
+  "test_lb_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

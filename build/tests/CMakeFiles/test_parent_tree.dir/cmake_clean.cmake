@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parent_tree.dir/test_parent_tree.cpp.o"
+  "CMakeFiles/test_parent_tree.dir/test_parent_tree.cpp.o.d"
+  "test_parent_tree"
+  "test_parent_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parent_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_sssp.dir/test_seq_sssp.cpp.o"
+  "CMakeFiles/test_seq_sssp.dir/test_seq_sssp.cpp.o.d"
+  "test_seq_sssp"
+  "test_seq_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snap_io.dir/test_snap_io.cpp.o"
+  "CMakeFiles/test_snap_io.dir/test_snap_io.cpp.o.d"
+  "test_snap_io"
+  "test_snap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_social_gen.dir/test_social_gen.cpp.o"
+  "CMakeFiles/test_social_gen.dir/test_social_gen.cpp.o.d"
+  "test_social_gen"
+  "test_social_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_social_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_solver.dir/test_split_solver.cpp.o"
+  "CMakeFiles/test_split_solver.dir/test_split_solver.cpp.o.d"
+  "test_split_solver"
+  "test_split_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

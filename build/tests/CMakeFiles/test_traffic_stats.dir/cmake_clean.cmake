@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_stats.dir/test_traffic_stats.cpp.o"
+  "CMakeFiles/test_traffic_stats.dir/test_traffic_stats.cpp.o.d"
+  "test_traffic_stats"
+  "test_traffic_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

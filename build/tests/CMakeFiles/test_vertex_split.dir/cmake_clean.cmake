@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_split.dir/test_vertex_split.cpp.o"
+  "CMakeFiles/test_vertex_split.dir/test_vertex_split.cpp.o.d"
+  "test_vertex_split"
+  "test_vertex_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weights.dir/test_weights.cpp.o"
+  "CMakeFiles/test_weights.dir/test_weights.cpp.o.d"
+  "test_weights"
+  "test_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_sssp.dir/graph500_sssp.cpp.o"
+  "CMakeFiles/graph500_sssp.dir/graph500_sssp.cpp.o.d"
+  "graph500_sssp"
+  "graph500_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgen_cli.dir/graphgen_cli.cpp.o"
+  "CMakeFiles/graphgen_cli.dir/graphgen_cli.cpp.o.d"
+  "graphgen_cli"
+  "graphgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

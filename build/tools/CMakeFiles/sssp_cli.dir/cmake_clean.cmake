@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_cli.dir/sssp_cli.cpp.o"
+  "CMakeFiles/sssp_cli.dir/sssp_cli.cpp.o.d"
+  "sssp_cli"
+  "sssp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
