@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Single entry point for the verification layers (docs/STATIC_ANALYSIS.md):
+#
+#   1. lint          scripts/lint.py project invariants
+#   2. clang-tidy    .clang-tidy profile (skipped if clang-tidy not installed)
+#   3. plain         canonical build + ctest (the tier-1 configuration)
+#   4. asan+ubsan    Debug build with -DMPS_SANITIZE=address;undefined + ctest
+#   5. tsan          Debug build with -DMPS_SANITIZE=thread + ctest
+#
+# Usage:
+#   scripts/check.sh            run everything
+#   scripts/check.sh --quick    lint + plain build/ctest only (what
+#                               scripts/reproduce.sh runs; tier-1 authority)
+#
+# Build trees: build/ (plain, shared with the tier-1 command),
+# build-asan/, build-tsan/. Sanitizer configs build as Debug so the checked
+# exchange protocol (MPS_CHECKED_EXCHANGE) is active under the sanitizers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+step() {
+  echo
+  echo "=== check.sh: $* ==="
+}
+
+step "lint (scripts/lint.py)"
+python3 scripts/lint.py
+
+if [ "$QUICK" -eq 0 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    step "clang-tidy"
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # Library sources only: tests/benches are covered by the build itself.
+    find src -name '*.cpp' | xargs clang-tidy -p build --quiet
+  else
+    step "clang-tidy (skipped: not installed)"
+  fi
+fi
+
+step "plain build + ctest (tier-1)"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [ "$QUICK" -eq 1 ]; then
+  echo
+  echo "check.sh --quick: OK"
+  exit 0
+fi
+
+step "ASan+UBSan build + ctest"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+  "-DMPS_SANITIZE=address;undefined" >/dev/null
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+step "TSan build + ctest"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DMPS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j
+# TSan serializes poorly with oversubscribed test parallelism; keep -j low
+# so each stress test gets real interleaving instead of scheduler noise.
+ctest --test-dir build-tsan --output-on-failure -j 2
+
+echo
+echo "check.sh: all layers OK"

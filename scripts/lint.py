@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Project-invariant lint for the parsssp tree (scripts/check.sh step 1).
+
+Machine-checks repository rules that neither the compiler nor clang-tidy
+enforce (see docs/STATIC_ANALYSIS.md):
+
+  R1  no naked std::thread outside src/runtime/ — all parallelism goes
+      through Machine / ThreadPool so the concurrency layer stays auditable;
+  R2  no rand()/srand()/time(nullptr) in src/ — generators are hash-based
+      and deterministic (graph/rmat.hpp), wall-clock seeding breaks
+      reproducibility;
+  R3  no volatile-as-synchronization in src/ — volatile is not a memory
+      fence; use std::atomic or a GUARDED_BY mutex;
+  R4  include hygiene: headers use #pragma once; no parent-relative
+      ("../") includes; project includes use quoted module-relative paths;
+  R5  no using namespace at file scope in headers.
+
+Exit code 0 = clean, 1 = violations (printed one per line as
+path:line: [rule] message).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# (rule, regex, message). Patterns are applied to comment-stripped lines.
+STD_THREAD = re.compile(r"\bstd::thread\b")
+RAND = re.compile(r"(?<![:\w])(rand|srand)\s*\(")
+TIME_SEED = re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)")
+VOLATILE = re.compile(r"\bvolatile\b")
+PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
+
+# Files allowed to use std::thread: the simulated machine's runtime and the
+# tests/benches that exercise it directly.
+THREAD_ALLOWED_PREFIXES = ("src/runtime/",)
+THREAD_ALLOWED_DIRS = ("tests/", "bench/")
+
+
+def strip_comments(text: str) -> list[str]:
+    """Removes // and /* */ comments and string literals, keeping line
+    structure so reported line numbers match the file."""
+    out: list[str] = []
+    in_block = False
+    for line in text.splitlines():
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # String/char literals can contain comment tokens; drop them first.
+        line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+        line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+        while True:
+            block = line.find("/*")
+            linec = line.find("//")
+            if linec >= 0 and (block < 0 or linec < block):
+                line = line[:linec]
+                break
+            if block >= 0:
+                end = line.find("*/", block + 2)
+                if end < 0:
+                    line = line[:block]
+                    in_block = True
+                    break
+                line = line[:block] + line[end + 2:]
+                continue
+            break
+        out.append(line)
+    return out
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    lines = strip_comments(raw)
+    errors: list[str] = []
+
+    def err(lineno: int, rule: str, msg: str) -> None:
+        errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    in_src = rel.startswith("src/")
+    is_header = path.suffix in {".hpp", ".h"}
+
+    if is_header and "#pragma once" not in raw:
+        err(1, "R4", "header is missing #pragma once")
+
+    thread_ok = rel.startswith(THREAD_ALLOWED_PREFIXES) or rel.startswith(
+        THREAD_ALLOWED_DIRS)
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if STD_THREAD.search(line) and not thread_ok:
+            err(lineno, "R1",
+                "naked std::thread outside src/runtime/ — use Machine or "
+                "ThreadPool")
+        if in_src and RAND.search(line):
+            err(lineno, "R2", "rand()/srand() in src/ — use the hash-based "
+                "deterministic generators")
+        if in_src and TIME_SEED.search(line):
+            err(lineno, "R2", "time(nullptr) seeding in src/ breaks "
+                "reproducibility")
+        if in_src and VOLATILE.search(line):
+            err(lineno, "R3", "volatile is not synchronization — use "
+                "std::atomic or a GUARDED_BY mutex")
+        if PARENT_INCLUDE.search(line):
+            err(lineno, "R4", 'parent-relative #include "../..." — use a '
+                "module-relative path")
+        if is_header and USING_NAMESPACE.match(line):
+            err(lineno, "R5", "using namespace at file scope in a header")
+
+    return errors
+
+
+def main() -> int:
+    files: list[Path] = []
+    for d in SOURCE_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        files.extend(p for p in sorted(root.rglob("*"))
+                     if p.suffix in CPP_SUFFIXES and p.is_file())
+
+    all_errors: list[str] = []
+    for f in files:
+        all_errors.extend(lint_file(f))
+
+    for e in all_errors:
+        print(e)
+    print(f"lint: {len(files)} files checked, {len(all_errors)} violation(s)",
+          file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,15 @@
 # Full reproduction pipeline: configure, build, test, run every
 # figure/table bench and the three CLI demos, writing the canonical output
 # files the repository documents (test_output.txt, bench_output.txt).
+#
+# Verification is delegated to scripts/check.sh --quick (lint + the
+# canonical tier-1 build/ctest); run scripts/check.sh with no flags for the
+# full sanitizer matrix.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-
-ctest --test-dir build 2>&1 | tee test_output.txt
+scripts/check.sh --quick 2>&1 | tee test_output.txt
 
 {
   for b in build/bench/*; do

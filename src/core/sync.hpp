@@ -1,0 +1,68 @@
+// Annotated synchronization primitives. std::mutex carries no capability
+// attributes, so Clang's -Wthread-safety cannot see std::lock_guard acquire
+// it; these thin wrappers re-export std::mutex / std::condition_variable
+// with the annotations the analysis needs. Use them for any mutex whose
+// guarded members are declared with MPS_GUARDED_BY.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace parsssp {
+
+class MPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MPS_ACQUIRE() { m_.lock(); }
+  void unlock() MPS_RELEASE() { m_.unlock(); }
+  bool try_lock() MPS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over Mutex (the annotated std::lock_guard).
+class MPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MPS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MPS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() must be called
+/// with the mutex held and returns with it held (it may wake spuriously, so
+/// callers loop on their condition — which keeps the guarded reads in the
+/// annotated caller scope instead of an unannotatable predicate lambda).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) MPS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // lock ownership stays with the caller's scope
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace parsssp

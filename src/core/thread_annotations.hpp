@@ -1,0 +1,42 @@
+// Clang thread-safety analysis macros (-Wthread-safety). On Clang these
+// expand to the `capability` attribute family so the compiler statically
+// proves that every access to a GUARDED_BY member happens under its mutex;
+// on other compilers they expand to nothing and merely document intent.
+//
+// Discipline (see docs/STATIC_ANALYSIS.md): every mutable member shared
+// between threads is either (a) GUARDED_BY a named mutex, (b) an atomic, or
+// (c) owned by exactly one thread with the owner named in a comment and —
+// where feasible — enforced by a runtime check (see MPS_CHECKED_EXCHANGE).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MPS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MPS_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define MPS_CAPABILITY(x) MPS_THREAD_ANNOTATION(capability(x))
+#define MPS_SCOPED_CAPABILITY MPS_THREAD_ANNOTATION(scoped_lockable)
+#define MPS_GUARDED_BY(x) MPS_THREAD_ANNOTATION(guarded_by(x))
+#define MPS_PT_GUARDED_BY(x) MPS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MPS_ACQUIRED_BEFORE(...) \
+  MPS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MPS_ACQUIRED_AFTER(...) \
+  MPS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define MPS_REQUIRES(...) \
+  MPS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MPS_REQUIRES_SHARED(...) \
+  MPS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define MPS_ACQUIRE(...) MPS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MPS_ACQUIRE_SHARED(...) \
+  MPS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MPS_RELEASE(...) MPS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MPS_RELEASE_SHARED(...) \
+  MPS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MPS_TRY_ACQUIRE(...) \
+  MPS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MPS_EXCLUDES(...) MPS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MPS_ASSERT_CAPABILITY(x) MPS_THREAD_ANNOTATION(assert_capability(x))
+#define MPS_RETURN_CAPABILITY(x) MPS_THREAD_ANNOTATION(lock_returned(x))
+#define MPS_NO_THREAD_SAFETY_ANALYSIS \
+  MPS_THREAD_ANNOTATION(no_thread_safety_analysis)

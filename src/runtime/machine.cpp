@@ -18,23 +18,19 @@ void Machine::run(const std::function<void(RankCtx&)>& job) {
   } else {
     pair_messages_.clear();
   }
-  ExchangeBoard board(config_.num_ranks);
+  ExchangeBoard board(config_.num_ranks, config_.checked_exchange);
   CollectiveContext collectives(config_.num_ranks);
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  ErrorSlot error;
 
   auto rank_main = [&](rank_t r) {
     RankCtx ctx(r, board, collectives, traffic_.rank(r),
-                config_.lanes_per_rank,
+                config_.lanes_per_rank, config_.checked_exchange,
                 config_.record_pair_traffic ? &pair_messages_ : nullptr);
     try {
       job(ctx);
     } catch (...) {
-      {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+      error.capture();
       // Best effort: jobs are internally bulk-synchronous, so a throwing
       // rank would normally deadlock its peers at the next barrier. Jobs in
       // this library throw only on programming errors; tests that exercise
@@ -53,7 +49,7 @@ void Machine::run(const std::function<void(RankCtx&)>& job) {
     for (auto& t : threads) t.join();
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (auto first = error.get()) std::rethrow_exception(first);
 }
 
 }  // namespace parsssp

@@ -14,16 +14,28 @@
 // exact shape of the paper's distributed Delta-stepping: they would port to
 // MPI by replacing exchange() with MPI_Alltoallv and the collectives with
 // their MPI counterparts.
+//
+// Ownership discipline: a RankCtx is owned by the rank thread that Machine
+// spawned it on. Its traffic counters, exchange round counter, and pool
+// dispatch are single-owner state — worker lanes must not touch them. In
+// checked mode (MachineConfig::checked_exchange) that ownership is asserted
+// at runtime, and exchange() stamps each post/take with the rank's round
+// number so the ExchangeBoard can catch ranks whose collective calls
+// diverged. See runtime/protocol_check.hpp.
 #pragma once
 
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/protocol_check.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/traffic_stats.hpp"
 
@@ -35,35 +47,50 @@ struct MachineConfig {
   /// Record the full (source rank, destination rank) message-count matrix
   /// of each run — the input to topology analyses (runtime/topology.hpp).
   bool record_pair_traffic = false;
+  /// Runtime-check the exchange/lane/ownership protocols (Debug default).
+  bool checked_exchange = checked_runtime_default();
 };
 
 class Machine;
 
 /// Per-rank execution context handed to a job. Valid only for the duration
-/// of the job invocation; not copyable.
+/// of the job invocation; not copyable. Owned by its rank thread: all
+/// methods except num_ranks() must be called from that thread.
 class RankCtx {
  public:
   rank_t rank() const { return rank_; }
   rank_t num_ranks() const { return board_.num_ranks(); }
-  ThreadPool& pool() { return pool_; }
-  TrafficCounters& traffic() { return traffic_; }
+  ThreadPool& pool() {
+    check_owner("pool()");
+    return pool_;
+  }
+  TrafficCounters& traffic() {
+    check_owner("traffic()");
+    return traffic_;
+  }
 
-  void barrier() { collectives_.barrier(); }
+  void barrier() {
+    check_owner("barrier()");
+    collectives_.barrier();
+  }
 
   template <typename T, typename Op>
   T allreduce(T value, Op op) {
+    check_owner("allreduce()");
     count_control<T>();
     return collectives_.allreduce(rank_, value, op);
   }
 
   template <typename T>
   T broadcast(T value, rank_t root) {
+    check_owner("broadcast()");
     count_control<T>();
     return collectives_.broadcast(rank_, value, root);
   }
 
   template <typename T>
   std::vector<T> allgather(T value) {
+    check_owner("allgather()");
     count_control<T>();
     return collectives_.allgather(rank_, value);
   }
@@ -72,13 +99,16 @@ class RankCtx {
   /// d; the returned vector holds in[s], the messages rank s sent here.
   /// Self-addressed messages are delivered without touching the board (they
   /// model intra-node work, not network traffic). Collective: every rank
-  /// must call exchange() the same number of times.
+  /// must call exchange() the same number of times — enforced in checked
+  /// mode by stamping posts/takes with this rank's round counter.
   template <typename T>
   std::vector<std::vector<T>> exchange(std::vector<std::vector<T>> out,
                                        PhaseKind kind) {
     static_assert(std::is_trivially_copyable_v<T>);
+    check_owner("exchange()");
     const rank_t r = rank_;
     const rank_t ranks = num_ranks();
+    const std::uint64_t round = ++exchange_round_;
     out.resize(ranks);
     for (rank_t d = 0; d < ranks; ++d) {
       if (d == r) continue;
@@ -88,8 +118,8 @@ class RankCtx {
         (*pair_messages_)[static_cast<std::size_t>(r) * ranks + d] +=
             out[d].size();
       }
-      board_.post(r, d,
-                  ExchangeBoard::pack(std::span<const T>(out[d])));
+      board_.post(r, d, ExchangeBoard::pack(std::span<const T>(out[d])),
+                  round);
     }
     collectives_.barrier();
     std::vector<std::vector<T>> in(ranks);
@@ -97,7 +127,7 @@ class RankCtx {
       if (s == r) {
         in[s] = std::move(out[s]);
       } else {
-        in[s] = ExchangeBoard::unpack<T>(board_.take(s, r));
+        in[s] = ExchangeBoard::unpack<T>(board_.take(s, r, round));
       }
     }
     collectives_.barrier();
@@ -107,17 +137,30 @@ class RankCtx {
  private:
   friend class Machine;
   RankCtx(rank_t rank, ExchangeBoard& board, CollectiveContext& collectives,
-          TrafficCounters& traffic, unsigned lanes,
+          TrafficCounters& traffic, unsigned lanes, bool checked,
           std::vector<std::uint64_t>* pair_messages)
       : rank_(rank),
         board_(board),
         collectives_(collectives),
         traffic_(traffic),
         pair_messages_(pair_messages),
-        pool_(lanes) {}
+        checked_(checked),
+        owner_(std::this_thread::get_id()),
+        pool_(lanes, checked) {}
 
   RankCtx(const RankCtx&) = delete;
   RankCtx& operator=(const RankCtx&) = delete;
+
+  /// Checked mode: asserts the caller is the owning rank thread (catches,
+  /// e.g., a worker lane touching traffic counters or issuing collectives).
+  void check_owner(const char* what) const {
+    if (checked_ && std::this_thread::get_id() != owner_) {
+      protocol_violation(std::string("RankCtx::") + what +
+                         " called from a thread that does not own rank " +
+                         std::to_string(rank_) +
+                         " (worker lanes must not touch rank-owned state)");
+    }
+  }
 
   template <typename T>
   void count_control() {
@@ -128,8 +171,13 @@ class RankCtx {
   rank_t rank_;
   ExchangeBoard& board_;
   CollectiveContext& collectives_;
+  // Owned by the rank thread; see the class comment. Never touched by
+  // worker lanes (checked at runtime via check_owner()).
   TrafficCounters& traffic_;
   std::vector<std::uint64_t>* pair_messages_;
+  bool checked_;
+  std::thread::id owner_;
+  std::uint64_t exchange_round_ = 0;
   ThreadPool pool_;
 };
 
@@ -156,7 +204,24 @@ class Machine {
   }
 
  private:
+  /// First-error capture shared by the rank threads of one run.
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first MPS_GUARDED_BY(mutex);
+
+    void capture() {
+      MutexLock lock(mutex);
+      if (!first) first = std::current_exception();
+    }
+    std::exception_ptr get() {
+      MutexLock lock(mutex);
+      return first;
+    }
+  };
+
   MachineConfig config_;
+  // Written by rank threads during run() (each rank its own slot / matrix
+  // row), read after join: synchronized by thread creation and join.
   TrafficStats traffic_;
   std::vector<std::uint64_t> pair_messages_;
 };

@@ -4,35 +4,68 @@
 // one rank and read by exactly one rank, with a barrier separating the two
 // sides — so the board needs no locks, mirroring the paper's lock-free SPI
 // usage.
+//
+// That safety argument is a *protocol*, not a property of the data
+// structure, so in checked mode (see runtime/protocol_check.hpp) the board
+// validates it with a per-slot epoch state machine:
+//
+//   posted == taken   : slot empty, the only state in which post() is legal
+//   posted == taken+1 : slot holds one round's payload, take() is legal
+//
+// post() advances `posted`, take() advances `taken`. Any other transition
+// is a protocol violation: a second post before the payload was consumed
+// (double post / cross-round leakage), a take of an empty slot (take before
+// the exchange barrier, or of a stale epoch), or out-of-range ranks. The
+// caller may additionally pass its own 1-based round number; a mismatch
+// against the slot epoch catches ranks whose exchange() calls have diverged
+// (a rank skipping or repeating a collective round). Epoch fields are
+// themselves unsynchronized — under the correct protocol they inherit the
+// payload's barrier separation; a violating program may race on them, but
+// checked mode exists precisely to abort such programs.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
+#include "runtime/protocol_check.hpp"
 
 namespace parsssp {
 
 class ExchangeBoard {
  public:
-  explicit ExchangeBoard(rank_t num_ranks)
+  /// Round value meaning "caller does not track rounds" (direct board use).
+  static constexpr std::uint64_t kAnyRound = ~std::uint64_t{0};
+
+  explicit ExchangeBoard(rank_t num_ranks,
+                         bool checked = checked_runtime_default())
       : num_ranks_(num_ranks),
-        slots_(static_cast<std::size_t>(num_ranks) * num_ranks) {}
+        checked_(checked),
+        slots_(static_cast<std::size_t>(num_ranks) * num_ranks),
+        epochs_(checked ? slots_.size() : 0) {}
 
   rank_t num_ranks() const { return num_ranks_; }
+  bool checked() const { return checked_; }
 
   /// Deposits `source`'s outgoing bytes for `dest`. Must be called between
   /// the barriers of an exchange round, once per destination at most.
-  void post(rank_t source, rank_t dest, std::vector<std::byte> data) {
+  /// `round` is the caller's 1-based exchange round (kAnyRound to skip the
+  /// cross-rank round consistency check).
+  void post(rank_t source, rank_t dest, std::vector<std::byte> data,
+            std::uint64_t round = kAnyRound) {
+    if (checked_) check_post(source, dest, round);
     slots_[index(source, dest)] = std::move(data);
   }
 
   /// Takes (moves out) the bytes `source` sent to `dest`, leaving the slot
   /// empty for the next round.
-  std::vector<std::byte> take(rank_t source, rank_t dest) {
+  std::vector<std::byte> take(rank_t source, rank_t dest,
+                              std::uint64_t round = kAnyRound) {
+    if (checked_) check_take(source, dest, round);
     return std::exchange(slots_[index(source, dest)], {});
   }
 
@@ -58,12 +91,24 @@ class ExchangeBoard {
   }
 
  private:
+  /// Per-slot protocol state; see the class comment for the state machine.
+  struct SlotEpochs {
+    std::uint64_t posted = 0;
+    std::uint64_t taken = 0;
+  };
+
+  void check_post(rank_t source, rank_t dest, std::uint64_t round);
+  void check_take(rank_t source, rank_t dest, std::uint64_t round);
+  void check_ranks(const char* op, rank_t source, rank_t dest) const;
+
   std::size_t index(rank_t source, rank_t dest) const {
     return static_cast<std::size_t>(source) * num_ranks_ + dest;
   }
 
   rank_t num_ranks_;
+  bool checked_;
   std::vector<std::vector<std::byte>> slots_;
+  std::vector<SlotEpochs> epochs_;  ///< empty unless checked_
 };
 
 }  // namespace parsssp

@@ -1,0 +1,18 @@
+#include "runtime/protocol_check.hpp"
+
+#include <cstdio>
+
+namespace parsssp {
+
+ProtocolError::ProtocolError(const std::string& diagnostic)
+    : std::logic_error(diagnostic) {}
+
+void protocol_violation(const std::string& diagnostic) {
+  // stderr first: if the violator is a worker-lane thread the exception
+  // below ends in std::terminate, and the diagnostic must already be out.
+  std::fprintf(stderr, "parsssp protocol violation: %s\n", diagnostic.c_str());
+  std::fflush(stderr);
+  throw ProtocolError(diagnostic);
+}
+
+}  // namespace parsssp

@@ -1,0 +1,47 @@
+// Runtime protocol checking for the simulated machine (MPS_CHECKED_EXCHANGE).
+//
+// The runtime's lock-free structures (ExchangeBoard slots, per-rank traffic
+// counters, lane-chunk handoff) are safe only under usage protocols that the
+// type system cannot express: "each slot is written by exactly one rank per
+// round, with a barrier between post and take", "counters are touched only
+// by their owning rank thread", "every lane runs its chunk exactly once".
+// In checked mode those protocols become machine-enforced state machines
+// that fail loudly at the first violation instead of corrupting memory.
+//
+// Checked mode is a per-object runtime flag whose default is
+// checked_runtime_default(): on in builds that define MPS_CHECKED_EXCHANGE
+// (the Debug default, see the top-level CMakeLists.txt), off otherwise so
+// release hot paths pay nothing but a predictable branch. Tests construct
+// checked objects explicitly, so protocol violations are caught in every
+// build configuration.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parsssp {
+
+/// Error thrown when a checked runtime protocol is violated: double post,
+/// take before the exchange barrier, cross-round leakage, out-of-range
+/// ranks, cross-thread use of rank-owned state, or a broken lane handoff.
+class ProtocolError : public std::logic_error {
+ public:
+  explicit ProtocolError(const std::string& diagnostic);
+};
+
+/// Prints `diagnostic` to stderr and throws ProtocolError. On the rank (or
+/// test) thread the error is catchable and Machine::run rethrows it; if a
+/// worker-lane thread violates a protocol the exception escapes the lane
+/// loop and terminates the process — the promised abort-with-diagnostic.
+[[noreturn]] void protocol_violation(const std::string& diagnostic);
+
+/// Default for the `checked` flag of runtime objects.
+constexpr bool checked_runtime_default() {
+#if defined(MPS_CHECKED_EXCHANGE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace parsssp

@@ -1,10 +1,12 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace parsssp {
 
-ThreadPool::ThreadPool(unsigned lanes) : lanes_(std::max(1u, lanes)) {
+ThreadPool::ThreadPool(unsigned lanes, bool checked)
+    : lanes_(std::max(1u, lanes)), checked_(checked) {
   workers_.reserve(lanes_ - 1);
   for (unsigned lane = 1; lane < lanes_; ++lane) {
     workers_.emplace_back([this, lane] { worker_loop(lane); });
@@ -13,7 +15,7 @@ ThreadPool::ThreadPool(unsigned lanes) : lanes_(std::max(1u, lanes)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   start_cv_.notify_all();
@@ -25,20 +27,34 @@ void ThreadPool::worker_loop(unsigned lane) {
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return shutting_down_ || generation_ != seen;
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && generation_ == seen) start_cv_.wait(mutex_);
       if (shutting_down_) return;
       seen = generation_;
       job = job_;
     }
+    // Outside the lock: `*job` stays alive until this worker's decrement
+    // below is observed by the dispatcher's pending_ == 0 wait.
     (*job)(lane);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::dispatch(const std::function<void(unsigned)>& fn) {
+  {
+    MutexLock lock(mutex_);
+    job_ = &fn;
+    pending_ = lanes_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // lane 0 runs on the caller
+  MutexLock lock(mutex_);
+  while (pending_ != 0) done_cv_.wait(mutex_);
+  job_ = nullptr;
 }
 
 void ThreadPool::run_on_lanes(const std::function<void(unsigned)>& fn) {
@@ -46,17 +62,33 @@ void ThreadPool::run_on_lanes(const std::function<void(unsigned)>& fn) {
     fn(0);
     return;
   }
-  {
-    std::lock_guard lock(mutex_);
-    job_ = &fn;
-    pending_ = lanes_ - 1;
-    ++generation_;
+  if (!checked_) {
+    dispatch(fn);
+    return;
   }
-  start_cv_.notify_all();
-  fn(0);  // lane 0 runs on the caller
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
-  job_ = nullptr;
+  // Checked handoff: each lane id must be in range and enter exactly once
+  // per generation. Entry counts are atomics because a violating dispatch
+  // could run the same lane concurrently with another.
+  std::vector<std::atomic<unsigned>> entries(lanes_);
+  const std::function<void(unsigned)> checked_fn = [&](unsigned lane) {
+    if (lane >= lanes_) {
+      protocol_violation("lane handoff out of range: lane " +
+                         std::to_string(lane) + " on a pool of " +
+                         std::to_string(lanes_) + " lanes");
+    }
+    if (entries[lane].fetch_add(1) != 0) {
+      protocol_violation("lane " + std::to_string(lane) +
+                         " entered the same job twice");
+    }
+    fn(lane);
+  };
+  dispatch(checked_fn);
+  for (unsigned lane = 0; lane < lanes_; ++lane) {
+    if (entries[lane].load() != 1) {
+      protocol_violation("lane " + std::to_string(lane) +
+                         " never ran its share of the job");
+    }
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -67,11 +99,18 @@ void ThreadPool::parallel_for(
     return;
   }
   const std::size_t chunk = (n + lanes_ - 1) / lanes_;
+  std::atomic<std::size_t> covered{0};
   run_on_lanes([&](unsigned lane) {
     const std::size_t begin = std::min(n, chunk * lane);
     const std::size_t end = std::min(n, begin + chunk);
+    if (checked_) covered.fetch_add(end - begin, std::memory_order_relaxed);
     fn(lane, begin, end);
   });
+  if (checked_ && covered.load() != n) {
+    protocol_violation("parallel_for chunk handoff covered " +
+                       std::to_string(covered.load()) + " of " +
+                       std::to_string(n) + " indices");
+  }
 }
 
 }  // namespace parsssp

@@ -3,29 +3,48 @@
 // thread and lanes 1..L-1 on persistent workers; parallel_for chunks an
 // index range across lanes. With L == 1 everything runs inline with zero
 // synchronization, which is the default on this single-core harness.
+//
+// Shared state discipline: everything the rank thread and the workers both
+// touch (job_, generation_, pending_, shutting_down_) is GUARDED_BY mutex_
+// and verified by Clang's -Wthread-safety when available. The job function
+// itself is *not* guarded — workers call it outside the lock — but its
+// lifetime is protected by the generation/pending protocol: run_on_lanes
+// keeps the function alive until pending_ drops to zero, and a worker only
+// reaches that decrement after its call returned. In checked mode
+// (runtime/protocol_check.hpp) the lane handoff is verified at runtime:
+// every lane must enter each job exactly once with a valid lane id, and
+// parallel_for must hand out chunks covering the index range exactly.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "runtime/protocol_check.hpp"
 
 namespace parsssp {
 
 class ThreadPool {
  public:
-  /// Creates a pool with `lanes` lanes (clamped to >= 1).
-  explicit ThreadPool(unsigned lanes);
+  /// Creates a pool with `lanes` lanes (clamped to >= 1). `checked` turns
+  /// on runtime verification of the lane-handoff protocol.
+  explicit ThreadPool(unsigned lanes, bool checked = checked_runtime_default());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned lanes() const { return lanes_; }
+  bool checked() const { return checked_; }
 
   /// Runs fn(lane) once on every lane; returns when all lanes finished.
+  /// Must be called from the thread that owns the pool (the rank thread);
+  /// calling it from inside a lane would deadlock.
   void run_on_lanes(const std::function<void(unsigned)>& fn);
 
   /// Splits [0, n) into contiguous chunks, one per lane, and runs
@@ -37,17 +56,22 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned lane);
+  /// The un-checked dispatch path shared by checked and unchecked jobs.
+  void dispatch(const std::function<void(unsigned)>& fn);
 
   unsigned lanes_;
+  bool checked_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  /// Current job; points at the caller's function for the duration of one
+  /// generation (lifetime protected by pending_, see the class comment).
+  const std::function<void(unsigned)>* job_ MPS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ MPS_GUARDED_BY(mutex_) = 0;
+  unsigned pending_ MPS_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ MPS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace parsssp

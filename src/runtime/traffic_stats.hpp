@@ -1,6 +1,14 @@
 // Communication accounting for the simulated machine. Counters are kept
 // per rank (each written only by its owning rank thread, so no atomics are
 // needed) and merged after a job completes.
+//
+// Ownership contract (audited; enforced in checked builds): the only
+// writers of a rank's TrafficCounters during Machine::run are
+// RankCtx::exchange() and the collective wrappers, all of which execute on
+// the rank thread — worker lanes never touch counters. RankCtx::traffic()
+// asserts this in checked mode (see RankCtx::check_owner). Merged views are
+// read after the rank threads joined, so thread creation/join provide the
+// only synchronization the counters need.
 #pragma once
 
 #include <array>

@@ -21,7 +21,9 @@ TEST(ExchangeBoard, PackEmpty) {
 }
 
 TEST(ExchangeBoard, PostTakeMovesData) {
-  ExchangeBoard board(3);
+  // Unchecked board: the trailing double-take (asserting the slot was
+  // drained) is a protocol violation under MPS_CHECKED_EXCHANGE.
+  ExchangeBoard board(3, /*checked=*/false);
   const std::vector<int> payload{7, 8, 9};
   board.post(0, 2, ExchangeBoard::pack(std::span<const int>(payload)));
   EXPECT_EQ(ExchangeBoard::unpack<int>(board.take(0, 2)), payload);

@@ -1,0 +1,156 @@
+// Race-stress tests for the simulated runtime, written for the TSan build
+// of the sanitizer matrix (-DMPS_SANITIZE=thread; see scripts/check.sh).
+// Each test maximizes interleavings of a runtime invariant the library
+// relies on: lane-chunk handoff across many back-to-back generations,
+// multi-rank exchange/collective traffic with full pair recording, and
+// concurrent bucket relaxation through the distributed delta engine with
+// intra-rank load balancing. They also run (and must pass) without TSan —
+// the assertions check functional correctness of the same interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/solver.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/thread_pool.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+// Many lanes, many overlapping generations: back-to-back parallel_for jobs
+// reuse the pool's generation/pending handshake with no idle gap, so a
+// worker can still be decrementing pending_ while the next job is being
+// primed. Writes are deliberately non-atomic: chunks must be disjoint and
+// each generation's writes must happen-before the next generation's reads.
+TEST(RuntimeRaces, ParallelForOverlappingGenerations) {
+  constexpr unsigned kLanes = 8;
+  constexpr int kGenerations = 300;
+  constexpr std::size_t kN = 4096;
+  ThreadPool pool(kLanes);
+  std::vector<std::uint64_t> cells(kN, 0);
+  for (int g = 0; g < kGenerations; ++g) {
+    pool.parallel_for(kN, [&](unsigned, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) cells[i] += i + 1;
+    });
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(cells[i], static_cast<std::uint64_t>(kGenerations) * (i + 1));
+  }
+}
+
+// The job function is a caller-stack object whose address the workers
+// dereference outside the pool mutex; a fresh lambda per iteration makes a
+// lifetime bug (use-after-return of the previous job) visible to TSan/ASan.
+TEST(RuntimeRaces, JobLifetimeAcrossGenerations) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (std::uint64_t g = 1; g <= 200; ++g) {
+    pool.run_on_lanes([&sum, g](unsigned lane) { sum += g * (lane + 1); });
+  }
+  // sum over g of g * (1+2+3+4)
+  EXPECT_EQ(sum.load(), 10u * (200u * 201u / 2));
+}
+
+// Nested: every lane of every rank busy at once, with lane counts chosen so
+// rank threads and worker threads oversubscribe the host cores and the
+// scheduler shuffles interleavings.
+TEST(RuntimeRaces, MachineFullTrafficManyRanksManyLanes) {
+  constexpr rank_t R = 8;
+  constexpr int kRounds = 25;
+  Machine m({.num_ranks = R, .lanes_per_rank = 3,
+             .record_pair_traffic = true});
+  m.run([&](RankCtx& ctx) {
+    const rank_t r = ctx.rank();
+    for (int round = 0; round < kRounds; ++round) {
+      // Lane-parallel message generation into per-lane buffers, merged on
+      // the rank thread — the delta engine's exact pattern.
+      const unsigned lanes = ctx.pool().lanes();
+      std::vector<std::vector<std::vector<std::uint64_t>>> lane_out(
+          lanes, std::vector<std::vector<std::uint64_t>>(R));
+      ctx.pool().parallel_for(
+          R, [&](unsigned lane, std::size_t begin, std::size_t end) {
+            for (std::size_t d = begin; d < end; ++d) {
+              lane_out[lane][d].push_back(r * 1000 + d);
+            }
+          });
+      std::vector<std::vector<std::uint64_t>> out(R);
+      for (unsigned l = 0; l < lanes; ++l) {
+        for (rank_t d = 0; d < R; ++d) {
+          out[d].insert(out[d].end(), lane_out[l][d].begin(),
+                        lane_out[l][d].end());
+        }
+      }
+      const auto in = ctx.exchange(std::move(out), PhaseKind::kLongPush);
+      for (rank_t s = 0; s < R; ++s) {
+        ASSERT_EQ(in[s].size(), 1u);
+        EXPECT_EQ(in[s][0], s * 1000u + r);
+      }
+      // Interleave collectives between exchange rounds.
+      const auto total = ctx.allreduce<std::uint64_t>(r, SumOp{});
+      EXPECT_EQ(total, static_cast<std::uint64_t>(R) * (R - 1) / 2);
+    }
+  });
+  // Every ordered pair exchanged one message per round.
+  const auto& pairs = m.pair_messages();
+  ASSERT_EQ(pairs.size(), static_cast<std::size_t>(R) * R);
+  for (rank_t s = 0; s < R; ++s) {
+    for (rank_t d = 0; d < R; ++d) {
+      EXPECT_EQ(pairs[static_cast<std::size_t>(s) * R + d],
+                s == d ? 0u : static_cast<std::uint64_t>(kRounds));
+    }
+  }
+}
+
+// Concurrent bucket relaxation through the full distributed engine: many
+// ranks, many lanes, heavy-vertex load balancing on (so single adjacency
+// lists are relaxed cooperatively by all lanes), validated against
+// sequential Dijkstra. This is the paper's LB-OPT-D configuration — the
+// code path with the most shared-state traffic per bucket.
+TEST(RuntimeRaces, DeltaEngineConcurrentRelaxation) {
+  RmatConfig cfg;
+  cfg.params = RmatParams::rmat2();
+  cfg.scale = 9;
+  cfg.edge_factor = 12;
+  cfg.seed = 77;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+  const std::vector<dist_t> ref = dijkstra_distances(g, 0);
+
+  Solver solver(g, {.machine = {.num_ranks = 6, .lanes_per_rank = 4}});
+  // A low heavy-degree threshold forces the cooperative (all-lanes) path
+  // for every hub the R-MAT skew produces.
+  const SsspOptions opts = SsspOptions::lb_opt(/*delta=*/25,
+                                               /*heavy_threshold=*/8);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const SsspResult res = solver.solve(0, opts);
+    ASSERT_EQ(res.dist.size(), ref.size());
+    for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
+  }
+}
+
+// Same engine under the checked protocol: the state machines themselves
+// must not introduce races or false positives under full concurrency.
+TEST(RuntimeRaces, CheckedProtocolUnderConcurrency) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 10;
+  cfg.seed = 5;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+  const std::vector<dist_t> ref = dijkstra_distances(g, 0);
+
+  Solver solver(g, {.machine = {.num_ranks = 4,
+                                .lanes_per_rank = 3,
+                                .checked_exchange = true}});
+  const SsspResult res =
+      solver.solve(0, SsspOptions::lb_opt(/*delta=*/25, /*heavy_threshold=*/8));
+  for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
+}
+
+}  // namespace
+}  // namespace parsssp
