@@ -32,6 +32,9 @@ step() {
   echo "=== check.sh: $* ==="
 }
 
+step "lint selftest (scripts/lint_selftest.py)"
+python3 scripts/lint_selftest.py
+
 step "lint (scripts/lint.py)"
 python3 scripts/lint.py
 

@@ -4,8 +4,10 @@
 Machine-checks repository rules that neither the compiler nor clang-tidy
 enforce (see docs/STATIC_ANALYSIS.md):
 
-  R1  no naked std::thread outside src/runtime/ — all parallelism goes
-      through Machine / ThreadPool so the concurrency layer stays auditable;
+  R1  no naked std::thread / std::jthread / std::async outside src/runtime/
+      — all parallelism (including session/queue service threads) goes
+      through Machine / ThreadPool / MachineSession / ServiceThread so the
+      concurrency layer stays auditable;
   R2  no rand()/srand()/time(nullptr) in src/ — generators are hash-based
       and deterministic (graph/rmat.hpp), wall-clock seeding breaks
       reproducibility;
@@ -13,10 +15,18 @@ enforce (see docs/STATIC_ANALYSIS.md):
       fence; use std::atomic or a GUARDED_BY mutex;
   R4  include hygiene: headers use #pragma once; no parent-relative
       ("../") includes; project includes use quoted module-relative paths;
-  R5  no using namespace at file scope in headers.
+  R5  no using namespace at file scope in headers;
+  R6  serving-layer isolation: src/serve/ may consume the runtime only
+      through its session facade (machine_session.hpp, service_thread.hpp,
+      partition.hpp) and must not name the raw Machine or ThreadPool — the
+      serving layer schedules work, it never owns threads.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
 path:line: [rule] message).
+
+The rule implementations live in lint_text() so scripts/lint_selftest.py
+(registered as the lint_selftest ctest) can exercise each rule on synthetic
+inputs; a silently-disabled rule fails that test, not just this linter.
 """
 
 from __future__ import annotations
@@ -31,17 +41,25 @@ SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
 CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
 
 # (rule, regex, message). Patterns are applied to comment-stripped lines.
-STD_THREAD = re.compile(r"\bstd::thread\b")
+STD_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
 RAND = re.compile(r"(?<![:\w])(rand|srand)\s*\(")
 TIME_SEED = re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)")
 VOLATILE = re.compile(r"\bvolatile\b")
 PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
+RUNTIME_INCLUDE = re.compile(r'#\s*include\s+"runtime/([^"]+)"')
+SERVE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b")
 
-# Files allowed to use std::thread: the simulated machine's runtime and the
+# Files allowed to spawn threads: the simulated machine's runtime and the
 # tests/benches that exercise it directly.
 THREAD_ALLOWED_PREFIXES = ("src/runtime/",)
 THREAD_ALLOWED_DIRS = ("tests/", "bench/")
+
+# The runtime facade src/serve/ is allowed to build on (R6). Everything
+# else in runtime/ (Machine, ThreadPool, the exchange board internals) is
+# off-limits to the serving layer.
+SERVE_ALLOWED_RUNTIME_INCLUDES = frozenset(
+    {"machine_session.hpp", "service_thread.hpp", "partition.hpp"})
 
 
 def strip_comments(text: str) -> list[str]:
@@ -79,9 +97,12 @@ def strip_comments(text: str) -> list[str]:
     return out
 
 
-def lint_file(path: Path) -> list[str]:
-    rel = path.relative_to(REPO).as_posix()
-    raw = path.read_text(encoding="utf-8", errors="replace")
+def lint_text(rel: str, raw: str) -> list[str]:
+    """Lints one file's contents; `rel` is its repo-relative posix path.
+
+    Pure function of its arguments (no filesystem access) so the selftest
+    can feed synthetic files through the exact production rule set.
+    """
     lines = strip_comments(raw)
     errors: list[str] = []
 
@@ -89,7 +110,8 @@ def lint_file(path: Path) -> list[str]:
         errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
     in_src = rel.startswith("src/")
-    is_header = path.suffix in {".hpp", ".h"}
+    in_serve = rel.startswith("src/serve/")
+    is_header = rel.endswith((".hpp", ".h"))
 
     if is_header and "#pragma once" not in raw:
         err(1, "R4", "header is missing #pragma once")
@@ -97,13 +119,19 @@ def lint_file(path: Path) -> list[str]:
     thread_ok = rel.startswith(THREAD_ALLOWED_PREFIXES) or rel.startswith(
         THREAD_ALLOWED_DIRS)
 
+    raw_lines = raw.splitlines()
     for lineno, line in enumerate(lines, start=1):
         if not line:
             continue
+        # Comment stripping blanks string literals, which hides #include
+        # paths; when the directive survives stripping (i.e. it is not
+        # commented out), re-check the raw line for path-based rules.
+        include_line = (raw_lines[lineno - 1]
+                        if re.search(r"#\s*include", line) else "")
         if STD_THREAD.search(line) and not thread_ok:
             err(lineno, "R1",
-                "naked std::thread outside src/runtime/ — use Machine or "
-                "ThreadPool")
+                "naked std::thread/jthread/async outside src/runtime/ — use "
+                "Machine, ThreadPool, MachineSession or ServiceThread")
         if in_src and RAND.search(line):
             err(lineno, "R2", "rand()/srand() in src/ — use the hash-based "
                 "deterministic generators")
@@ -113,13 +141,30 @@ def lint_file(path: Path) -> list[str]:
         if in_src and VOLATILE.search(line):
             err(lineno, "R3", "volatile is not synchronization — use "
                 "std::atomic or a GUARDED_BY mutex")
-        if PARENT_INCLUDE.search(line):
+        if PARENT_INCLUDE.search(include_line):
             err(lineno, "R4", 'parent-relative #include "../..." — use a '
                 "module-relative path")
         if is_header and USING_NAMESPACE.match(line):
             err(lineno, "R5", "using namespace at file scope in a header")
+        if in_serve:
+            m = RUNTIME_INCLUDE.search(include_line)
+            if m and m.group(1) not in SERVE_ALLOWED_RUNTIME_INCLUDES:
+                err(lineno, "R6",
+                    f'src/serve/ may not include "runtime/{m.group(1)}" — '
+                    "only the session facade (machine_session.hpp, "
+                    "service_thread.hpp, partition.hpp)")
+            if SERVE_FORBIDDEN.search(line):
+                err(lineno, "R6",
+                    "src/serve/ must not name Machine or ThreadPool — "
+                    "consume MachineSession instead")
 
     return errors
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    return lint_text(rel, raw)
 
 
 def main() -> int:

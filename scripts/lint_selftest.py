@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint.py (registered as the lint_selftest ctest).
+
+Feeds synthetic files through lint.lint_text and asserts which rules fire.
+Every rule has at least one firing and one non-firing case, so deleting,
+loosening or path-scoping away a rule fails this test loudly instead of
+silently turning the linter into a no-op.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint  # noqa: E402
+
+
+FAILURES: list[str] = []
+
+
+def expect(rel: str, text: str, rules: list[str], note: str) -> None:
+    """Asserts lint_text(rel, text) fires exactly `rules` (in order)."""
+    got = [e.split("[", 1)[1].split("]", 1)[0]
+           for e in lint.lint_text(rel, text)]
+    if got != rules:
+        FAILURES.append(f"{note}: expected rules {rules}, got {got} "
+                        f"(file {rel!r})")
+
+
+HEADER = "#pragma once\n"
+
+# --- R1: threading primitives stay inside src/runtime/ --------------------
+expect("src/core/engine.cpp", "std::thread worker(fn);\n", ["R1"],
+       "R1 fires on std::thread outside src/runtime/")
+expect("src/serve/engine.cpp", "std::jthread worker(fn);\n", ["R1"],
+       "R1 fires on std::jthread in src/serve/")
+expect("tools/cli.cpp", "auto f = std::async(fn);\n", ["R1"],
+       "R1 fires on std::async in tools/")
+expect("src/runtime/machine.cpp", "std::thread worker(fn);\n", [],
+       "R1 allows std::thread inside src/runtime/")
+expect("tests/test_x.cpp", "std::thread worker(fn);\n", [],
+       "R1 allows std::thread in tests/")
+expect("bench/b.cpp", "std::thread worker(fn);\n", [],
+       "R1 allows std::thread in bench/")
+expect("tools/cli.cpp", "std::this_thread::sleep_for(1ms);\n", [],
+       "R1 ignores std::this_thread")
+expect("src/core/engine.cpp", "// std::thread worker(fn);\n", [],
+       "R1 ignores commented-out code")
+
+# --- R2: determinism ------------------------------------------------------
+expect("src/graph/gen.cpp", "int r = rand();\n", ["R2"],
+       "R2 fires on rand() in src/")
+expect("src/graph/gen.cpp", "srand(time(nullptr));\n", ["R2", "R2"],
+       "R2 fires on srand(time(nullptr))")
+expect("tools/cli.cpp", "int r = rand();\n", [],
+       "R2 is scoped to src/")
+expect("src/graph/gen.cpp", "h = my_rand(x);\n", [],
+       "R2 ignores identifiers merely containing rand")
+
+# --- R3: no volatile-as-synchronization -----------------------------------
+expect("src/core/sync.cpp", "volatile int flag;\n", ["R3"],
+       "R3 fires on volatile in src/")
+expect("bench/b.cpp", "volatile int sink;\n", [],
+       "R3 is scoped to src/")
+
+# --- R4: include hygiene --------------------------------------------------
+expect("src/core/a.hpp", "int x;\n", ["R4"],
+       "R4 fires on a header without #pragma once")
+expect("src/core/a.hpp", HEADER + "int x;\n", [],
+       "R4 accepts #pragma once")
+expect("src/core/a.cpp", '#include "../graph/csr.hpp"\n', ["R4"],
+       "R4 fires on parent-relative includes")
+expect("src/core/a.cpp", '// #include "../graph/csr.hpp"\n', [],
+       "R4 ignores commented-out includes")
+
+# --- R5: no using namespace in headers ------------------------------------
+expect("src/core/a.hpp", HEADER + "using namespace std;\n", ["R5"],
+       "R5 fires on using namespace in a header")
+expect("src/core/a.cpp", "using namespace std::chrono_literals;\n", [],
+       "R5 is scoped to headers")
+
+# --- R6: serving-layer isolation ------------------------------------------
+expect("src/serve/query_engine.cpp",
+       '#include "runtime/machine.hpp"\n', ["R6"],
+       "R6 fires when src/serve/ includes the raw machine")
+expect("src/serve/query_engine.cpp",
+       '#include "runtime/thread_pool.hpp"\n', ["R6"],
+       "R6 fires when src/serve/ includes the thread pool")
+expect("src/serve/query_engine.cpp",
+       HEADER.replace("#pragma once\n", "")
+       + '#include "runtime/machine_session.hpp"\n'
+       + '#include "runtime/service_thread.hpp"\n'
+       + '#include "runtime/partition.hpp"\n', [],
+       "R6 allows the session facade includes")
+expect("src/serve/query_engine.cpp", "Machine machine(config);\n", ["R6"],
+       "R6 fires on the Machine token in src/serve/")
+expect("src/serve/query_engine.cpp", "ThreadPool pool(4);\n", ["R6"],
+       "R6 fires on the ThreadPool token in src/serve/")
+expect("src/serve/query_engine.cpp",
+       "MachineSession session(config.machine);\n", [],
+       "R6 allows MachineSession / MachineConfig tokens")
+expect("src/core/solver.cpp", "Machine machine(config);\n", [],
+       "R6 is scoped to src/serve/")
+expect("src/serve/query_engine.cpp", "// Machine is off-limits here\n", [],
+       "R6 ignores comments")
+
+# --- the real tree must be clean (catches rule/code drift) ----------------
+REPO = Path(__file__).resolve().parent.parent
+for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
+            "src/serve/result_cache.cpp", "src/serve/workload.cpp"):
+    path = REPO / rel
+    if not path.is_file():
+        FAILURES.append(f"expected serving source {rel} to exist")
+        continue
+    errors = lint.lint_text(rel, path.read_text(encoding="utf-8"))
+    if errors:
+        FAILURES.append(f"{rel} violates its own layering rules: {errors}")
+
+
+def main() -> int:
+    for f in FAILURES:
+        print(f"lint_selftest: FAIL: {f}")
+    print(f"lint_selftest: {len(FAILURES)} failure(s)", file=sys.stderr)
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

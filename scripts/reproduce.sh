@@ -6,14 +6,32 @@
 # Verification is delegated to scripts/check.sh --quick (lint + the
 # canonical tier-1 build/ctest); run scripts/check.sh with no flags for the
 # full sanitizer matrix.
+#
+# Usage:
+#   scripts/reproduce.sh            figure/table benches + CLI demos
+#   scripts/reproduce.sh --serve    also run the serving acceptance bench
+#                                   (bench/serve_throughput), writing
+#                                   BENCH_serve_throughput.json at the repo
+#                                   root and failing if its comparisons fail
 set -eu
 
 cd "$(dirname "$0")/.."
+
+SERVE=0
+for arg in "$@"; do
+  case "$arg" in
+    --serve) SERVE=1 ;;
+    *) echo "usage: scripts/reproduce.sh [--serve]" >&2; exit 2 ;;
+  esac
+done
 
 scripts/check.sh --quick 2>&1 | tee test_output.txt
 
 {
   for b in build/bench/*; do
+    # serve_throughput is the serving acceptance bench with a JSON side
+    # effect; it runs under --serve below, not in the figure sweep.
+    case "$b" in *serve_throughput*) continue ;; esac
     if [ -x "$b" ] && [ ! -d "$b" ]; then
       echo "===== $b ====="
       "$b"
@@ -26,6 +44,13 @@ echo "=== examples smoke ==="
 ./build/examples/example_quickstart
 ./build/examples/example_push_pull_demo
 ./build/tools/graph500_sssp 11 16 8 8
+
+if [ "$SERVE" -eq 1 ]; then
+  echo
+  echo "=== serving benchmark (--serve) ==="
+  ./build/bench/serve_throughput BENCH_serve_throughput.json
+  echo "wrote BENCH_serve_throughput.json"
+fi
 
 echo
 echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

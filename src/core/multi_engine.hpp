@@ -1,0 +1,94 @@
+// The batched multi-root SSSP engine: runs up to kMaxMultiRoots roots
+// through ONE bucket-synchronous sweep, sharing the phase loop, collective
+// reductions and message exchanges across the whole batch.
+//
+// Why this exists: Graph 500's methodology (64 search keys per
+// configuration) and a serving workload both issue many roots against one
+// graph. Solver::solve_batch runs them sequentially, paying the full
+// per-bucket Allreduce/barrier bill k times. Since the k root instances are
+// independent min-folds over disjoint distance slabs, their supersteps can
+// be overlaid: each global epoch advances every still-active root by one of
+// *its own* buckets, every short-phase round pops every active root's
+// frontier, and all roots' relax messages travel in a single exchange with
+// a slot tag. The superstep count of the batch is then the *max* over roots
+// instead of the sum, and every message exchange amortizes its fixed
+// latency over the batch (the paper's own observation that superstep
+// latency, not bandwidth, limits small per-node problems).
+//
+// Algorithmically each slot executes Delta-stepping with short/long edge
+// classification and IOS (when enabled by SsspOptions) and a push-mode long
+// phase. The per-bucket push/pull pruning decision and the hybridization
+// switch are per-root control decisions that do not batch cleanly, so the
+// multi-root path does not execute them; they affect work counts only —
+// distances are exact shortest paths under every configuration, so results
+// are bit-identical to per-root Solver::solve for ALL option sets (the
+// property suite asserts this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/types.hpp"
+#include "runtime/machine.hpp"
+
+namespace parsssp {
+
+/// Largest batch one sweep supports: slot-activity masks travel in a single
+/// 64-bit Allreduce.
+inline constexpr std::size_t kMaxMultiRoots = 64;
+
+/// Relaxation message of the batched engine: a RelaxMsg plus the batch slot
+/// it belongs to (parents are not tracked on the multi-root path).
+struct MultiRelaxMsg {
+  vid_t v;            ///< destination vertex (global id, owned by receiver)
+  dist_t nd;          ///< proposed tentative distance d(u) + w(e)
+  std::uint32_t slot; ///< batch slot (index into MultiEngineShared::roots)
+};
+
+/// Batch-level statistics of one multi-root sweep. Per-root relaxation
+/// counts are exact; the modeled time is for the whole batch (the shared
+/// supersteps cannot be attributed to single roots), so aggregate
+/// throughput is k * m / model_time_s.
+struct MultiStats {
+  std::size_t num_roots = 0;
+  std::uint64_t epochs = 0;        ///< global bucket rounds of the sweep
+  std::uint64_t phases = 0;        ///< short + long phase rounds (shared)
+  std::uint64_t relaxations = 0;   ///< total relax messages, all slots
+  std::vector<std::uint64_t> per_root_relaxations;  ///< size num_roots
+  double model_time_s = 0;         ///< modeled machine time of the batch
+  double wall_time_s = 0;          ///< bottleneck rank wall clock
+
+  /// Aggregate traversed-edges-per-second of the batch, Graph 500 style.
+  double aggregate_gteps(std::uint64_t num_edges, bool modeled = true) const {
+    const double t = modeled ? model_time_s : wall_time_s;
+    return t > 0 ? static_cast<double>(num_edges) *
+                       static_cast<double>(num_roots) / t / 1e9
+                 : 0.0;
+  }
+};
+
+/// Inputs and output slots shared by all ranks of one multi-root sweep.
+/// `roots` must be duplicate-free and at most kMaxMultiRoots long (callers
+/// dedup and chunk; see Solver::solve_multi). `dists` holds one
+/// graph-sized output vector per root; each rank writes its owned slice of
+/// every slab.
+struct MultiEngineShared {
+  const CsrGraph* graph = nullptr;
+  BlockPartition part;
+  const std::vector<LocalEdgeView>* views = nullptr;
+  std::span<const vid_t> roots;
+  std::span<std::vector<dist_t>* const> dists;  ///< one per root, size |V|
+  const SsspOptions* options = nullptr;
+  std::vector<RankCounters>* rank_counters = nullptr;  ///< one slot per rank
+  MultiStats* stats = nullptr;  ///< batch fields written by rank 0
+};
+
+/// The Machine/MachineSession job body for one batched sweep. Collective:
+/// all ranks run this together.
+void run_multi_sssp_job(RankCtx& ctx, const MultiEngineShared& shared);
+
+}  // namespace parsssp

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace parsssp {
 
@@ -69,7 +70,8 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
 }
 
 BatchSummary Solver::solve_batch(std::span<const vid_t> roots,
-                                 const SsspOptions& options) {
+                                 const SsspOptions& options,
+                                 const BatchOptions& batch) {
   BatchSummary summary;
   summary.num_roots = roots.size();
   summary.edges = graph_.num_undirected_edges();
@@ -77,17 +79,32 @@ BatchSummary Solver::solve_batch(std::span<const vid_t> roots,
 
   double inv_sum = 0;
   summary.min_gteps = std::numeric_limits<double>::max();
+  std::unordered_map<vid_t, std::size_t> first_at;  // root -> first index
   for (const vid_t root : roots) {
-    SsspResult r = solve(root, options);
-    const double gteps = r.stats.gteps(summary.edges, /*modeled=*/true);
+    SsspStats stats;
+    std::vector<dist_t> dist;
+    const auto it = first_at.find(root);
+    if (it != first_at.end()) {
+      // solve() is deterministic: the first occurrence's results stand in
+      // for the repeat without recomputing.
+      stats = summary.per_root[it->second];
+      if (batch.keep_distances) dist = summary.distances[it->second];
+    } else {
+      first_at.emplace(root, summary.per_root.size());
+      SsspResult r = solve(root, options);
+      stats = std::move(r.stats);
+      if (batch.keep_distances) dist = std::move(r.dist);
+      ++summary.unique_roots;
+    }
+    const double gteps = stats.gteps(summary.edges, /*modeled=*/true);
     inv_sum += gteps > 0 ? 1.0 / gteps : 0.0;
     summary.mean_gteps += gteps;
     summary.min_gteps = std::min(summary.min_gteps, gteps);
     summary.max_gteps = std::max(summary.max_gteps, gteps);
-    summary.mean_time_s += r.stats.model_time_s;
-    summary.mean_relaxations +=
-        static_cast<double>(r.stats.total_relaxations());
-    summary.per_root.push_back(std::move(r.stats));
+    summary.mean_time_s += stats.model_time_s;
+    summary.mean_relaxations += static_cast<double>(stats.total_relaxations());
+    summary.per_root.push_back(std::move(stats));
+    if (batch.keep_distances) summary.distances.push_back(std::move(dist));
   }
   const double n = static_cast<double>(roots.size());
   summary.harmonic_mean_gteps = inv_sum > 0 ? n / inv_sum : 0.0;
@@ -95,6 +112,85 @@ BatchSummary Solver::solve_batch(std::span<const vid_t> roots,
   summary.mean_time_s /= n;
   summary.mean_relaxations /= n;
   return summary;
+}
+
+MultiRootResult Solver::solve_multi(std::span<const vid_t> roots,
+                                    const SsspOptions& options) {
+  for (const vid_t root : roots) {
+    if (root >= graph_.num_vertices()) {
+      throw std::invalid_argument("Solver::solve_multi: root out of range");
+    }
+  }
+  if (options.delta == 0) {
+    throw std::invalid_argument("Solver::solve_multi: delta must be >= 1");
+  }
+  MultiRootResult result;
+  result.roots.assign(roots.begin(), roots.end());
+  result.dist.resize(roots.size());
+  if (roots.empty()) return result;
+  ensure_views(options.delta);
+
+  // Deduplicate in first-occurrence order; duplicates share the slab.
+  std::vector<vid_t> unique;
+  std::vector<std::size_t> slot_of(roots.size());
+  {
+    std::unordered_map<vid_t, std::size_t> index;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const auto [it, inserted] = index.emplace(roots[i], unique.size());
+      if (inserted) unique.push_back(roots[i]);
+      slot_of[i] = it->second;
+    }
+  }
+
+  // Each sweep batches up to kMaxMultiRoots unique roots; chunk statistics
+  // accumulate (a chunked batch is sequential across chunks, so times add).
+  std::vector<std::vector<dist_t>> unique_dist(unique.size());
+  for (std::size_t base = 0; base < unique.size(); base += kMaxMultiRoots) {
+    const std::size_t count = std::min(kMaxMultiRoots, unique.size() - base);
+    std::vector<std::vector<dist_t>*> slabs(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      slabs[j] = &unique_dist[base + j];
+    }
+    MultiStats chunk_stats;
+    std::vector<RankCounters> rank_counters(machine_.num_ranks());
+
+    MultiEngineShared shared;
+    shared.graph = &graph_;
+    shared.part = part_;
+    shared.views = &views_;
+    shared.roots = std::span<const vid_t>(unique).subspan(base, count);
+    shared.dists = std::span<std::vector<dist_t>* const>(slabs);
+    shared.options = &options;
+    shared.rank_counters = &rank_counters;
+    shared.stats = &chunk_stats;
+    for (std::size_t j = 0; j < count; ++j) {
+      slabs[j]->assign(graph_.num_vertices(), kInfDist);
+    }
+
+    machine_.run([&shared](RankCtx& ctx) { run_multi_sssp_job(ctx, shared); });
+
+    result.stats.num_roots += chunk_stats.num_roots;
+    result.stats.epochs += chunk_stats.epochs;
+    result.stats.phases += chunk_stats.phases;
+    result.stats.relaxations += chunk_stats.relaxations;
+    result.stats.per_root_relaxations.insert(
+        result.stats.per_root_relaxations.end(),
+        chunk_stats.per_root_relaxations.begin(),
+        chunk_stats.per_root_relaxations.end());
+    result.stats.model_time_s += chunk_stats.model_time_s;
+    result.stats.wall_time_s += chunk_stats.wall_time_s;
+  }
+
+  // Fan the slabs back out to input positions: each slab moves into its
+  // last user and copies into earlier duplicates.
+  std::vector<std::size_t> last_use(unique.size(), 0);
+  for (std::size_t i = 0; i < roots.size(); ++i) last_use[slot_of[i]] = i;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    result.dist[i] = last_use[slot_of[i]] == i
+                         ? std::move(unique_dist[slot_of[i]])
+                         : unique_dist[slot_of[i]];
+  }
+  return result;
 }
 
 }  // namespace parsssp

@@ -18,6 +18,7 @@
 #include "core/delta_engine.hpp"
 #include "core/dist_graph.hpp"
 #include "core/instrumentation.hpp"
+#include "core/multi_engine.hpp"
 #include "core/options.hpp"
 #include "graph/csr.hpp"
 #include "runtime/machine.hpp"
@@ -42,6 +43,7 @@ struct SsspResult {
 /// methodology (64 search keys; harmonic-mean TEPS across them).
 struct BatchSummary {
   std::size_t num_roots = 0;
+  std::size_t unique_roots = 0;  ///< distinct roots actually solved
   std::uint64_t edges = 0;
   double harmonic_mean_gteps = 0;  ///< Graph 500's headline statistic
   double mean_gteps = 0;
@@ -49,7 +51,31 @@ struct BatchSummary {
   double max_gteps = 0;
   double mean_time_s = 0;          ///< modeled machine time
   double mean_relaxations = 0;
-  std::vector<SsspStats> per_root;
+  std::vector<SsspStats> per_root;  ///< aligned to the input root list
+  /// Per-root distance vectors, aligned to the input root list. Empty
+  /// unless BatchOptions::keep_distances.
+  std::vector<std::vector<dist_t>> distances;
+};
+
+/// Knobs of Solver::solve_batch that do not affect the computed distances.
+struct BatchOptions {
+  /// Retain each root's distance vector in BatchSummary::distances.
+  /// Default off: a 64-root batch on a large graph would otherwise pin
+  /// 64 x |V| distances nobody reads in benchmarking runs.
+  bool keep_distances = false;
+};
+
+/// Result of one batched multi-root run (Solver::solve_multi).
+struct MultiRootResult {
+  std::vector<vid_t> roots;  ///< as passed in, duplicates preserved
+  /// dist[i][v] = distance from roots[i] to v; duplicate roots share equal
+  /// vectors.
+  std::vector<std::vector<dist_t>> dist;
+  /// Batch statistics. per_root_relaxations is aligned to the *deduplicated*
+  /// root sequence (first-occurrence order), and num_roots counts unique
+  /// roots; sweeps of more than kMaxMultiRoots unique roots accumulate
+  /// chunk stats.
+  MultiStats stats;
 };
 
 class Solver {
@@ -61,9 +87,21 @@ class Solver {
   SsspResult solve(vid_t root, const SsspOptions& options);
 
   /// Runs SSSP from every root and aggregates (Graph 500 methodology).
-  /// Distances are validated to be produced but not retained.
+  /// Repeated roots are solved once and their statistics (and, when
+  /// retained, distances) reused — solve() is deterministic, so the reuse
+  /// is observationally identical to re-solving. Aggregates still count
+  /// every entry of `roots`.
   BatchSummary solve_batch(std::span<const vid_t> roots,
-                           const SsspOptions& options);
+                           const SsspOptions& options,
+                           const BatchOptions& batch = {});
+
+  /// Runs SSSP from all roots through batched multi-root sweeps (at most
+  /// kMaxMultiRoots unique roots per sweep): one shared bucket-synchronous
+  /// schedule instead of one per root. Distances are bit-identical to
+  /// per-root solve() under every option set; see multi_engine.hpp for
+  /// which work-shaping options the batched path does not exercise.
+  MultiRootResult solve_multi(std::span<const vid_t> roots,
+                              const SsspOptions& options);
 
   const CsrGraph& graph() const { return graph_; }
   const BlockPartition& partition() const { return part_; }

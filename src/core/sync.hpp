@@ -5,6 +5,7 @@
 // guarded members are declared with MPS_GUARDED_BY.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -56,6 +57,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // lock ownership stays with the caller's scope
+  }
+
+  /// Timed wait: blocks for at most `timeout` or until notified. Returns
+  /// true if woken by a notify, false on timeout. Spurious wakeups report
+  /// as notifies, so callers loop on their condition either way.
+  bool wait_for(Mutex& mutex, std::chrono::nanoseconds timeout)
+      MPS_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

@@ -136,6 +136,7 @@ class RankCtx {
 
  private:
   friend class Machine;
+  friend class MachineSession;
   RankCtx(rank_t rank, ExchangeBoard& board, CollectiveContext& collectives,
           TrafficCounters& traffic, unsigned lanes, bool checked,
           std::vector<std::uint64_t>* pair_messages)

@@ -1,0 +1,143 @@
+#include "runtime/machine_session.hpp"
+
+#include <utility>
+
+namespace parsssp {
+
+MachineSession::MachineSession(MachineConfig config)
+    : config_([&] {
+        if (config.num_ranks == 0) config.num_ranks = 1;
+        if (config.lanes_per_rank == 0) config.lanes_per_rank = 1;
+        return config;
+      }()),
+      traffic_(config_.num_ranks),
+      board_(config_.num_ranks, config_.checked_exchange),
+      collectives_(config_.num_ranks) {
+  if (config_.record_pair_traffic) {
+    pair_messages_.assign(
+        static_cast<std::size_t>(config_.num_ranks) * config_.num_ranks, 0);
+  }
+  threads_.reserve(config_.num_ranks);
+  for (rank_t r = 0; r < config_.num_ranks; ++r) {
+    threads_.emplace_back([this, r] { rank_main(r); });
+  }
+}
+
+MachineSession::~MachineSession() {
+  std::deque<std::unique_ptr<Job>> cancelled;
+  {
+    MutexLock lock(mutex_);
+    shutting_down_ = true;
+    cancelled.swap(queue_);
+  }
+  work_cv_.notify_all();
+  for (auto& job : cancelled) {
+    job->done.set_exception(std::make_exception_ptr(
+        JobCancelled("MachineSession destroyed before the job started")));
+  }
+  for (auto& t : threads_) t.join();
+}
+
+std::future<void> MachineSession::submit(std::function<void(RankCtx&)> job) {
+  auto j = std::make_unique<Job>();
+  j->fn = std::move(job);
+  std::future<void> fut = j->done.get_future();
+  bool published = false;
+  {
+    MutexLock lock(mutex_);
+    if (shutting_down_) {
+      throw std::logic_error(
+          "MachineSession::submit on a session that is shutting down");
+    }
+    queue_.push_back(std::move(j));
+    if (active_ == nullptr) {
+      publish_next_locked();
+      published = true;
+    }
+  }
+  if (published) work_cv_.notify_all();
+  return fut;
+}
+
+std::size_t MachineSession::cancel_pending() {
+  std::deque<std::unique_ptr<Job>> cancelled;
+  {
+    MutexLock lock(mutex_);
+    cancelled.swap(queue_);
+  }
+  for (auto& job : cancelled) {
+    job->done.set_exception(
+        std::make_exception_ptr(JobCancelled("job cancelled before start")));
+  }
+  return cancelled.size();
+}
+
+std::size_t MachineSession::jobs_completed() const {
+  MutexLock lock(mutex_);
+  return jobs_completed_;
+}
+
+void MachineSession::publish_next_locked() {
+  active_ = std::move(queue_.front());
+  queue_.pop_front();
+  ++generation_;
+}
+
+void MachineSession::complete(std::unique_ptr<Job> job) {
+  if (job->error) {
+    job->done.set_exception(job->error);
+  } else {
+    job->done.set_value();
+  }
+}
+
+void MachineSession::rank_main(rank_t r) {
+  // The RankCtx — and with it the lane pool, the rank's exchange round
+  // counter and the ownership thread id — persists for the session's whole
+  // lifetime; this is what makes back-to-back jobs cheap and lets the
+  // checked exchange protocol span job boundaries.
+  RankCtx ctx(r, board_, collectives_, traffic_.rank(r),
+              config_.lanes_per_rank, config_.checked_exchange,
+              config_.record_pair_traffic ? &pair_messages_ : nullptr);
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      MutexLock lock(mutex_);
+      while (true) {
+        if (active_ != nullptr && generation_ != seen) break;
+        if (shutting_down_) return;
+        work_cv_.wait(mutex_);
+      }
+      seen = generation_;
+      job = active_.get();
+    }
+    // Outside the lock: `job` stays alive until the last rank's `finished`
+    // increment below moves it out of the active slot.
+    try {
+      job->fn(ctx);
+    } catch (...) {
+      MutexLock lock(mutex_);
+      if (!job->error) job->error = std::current_exception();
+    }
+    std::unique_ptr<Job> done;
+    bool published = false;
+    {
+      MutexLock lock(mutex_);
+      if (++job->finished == config_.num_ranks) {
+        done = std::move(active_);
+        ++jobs_completed_;
+        if (!queue_.empty() && !shutting_down_) {
+          publish_next_locked();
+          published = true;
+        }
+      }
+    }
+    // Promise fulfilment and peer wakeup happen outside the lock so waiters
+    // resume into an uncontended mutex.
+    if (published) work_cv_.notify_all();
+    if (done != nullptr) complete(std::move(done));
+  }
+}
+
+}  // namespace parsssp

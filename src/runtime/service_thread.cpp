@@ -1,0 +1,46 @@
+#include "runtime/service_thread.hpp"
+
+#include <utility>
+
+namespace parsssp {
+
+ServiceThread::ServiceThread(std::function<bool()> step,
+                             std::chrono::nanoseconds idle_wait)
+    : step_(std::move(step)),
+      idle_wait_(idle_wait),
+      thread_([this] { loop(); }) {}
+
+ServiceThread::~ServiceThread() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ServiceThread::wake() {
+  {
+    MutexLock lock(mutex_);
+    wake_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ServiceThread::loop() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_) return;
+      // Consume any wake that arrived since the last step: that work is
+      // about to be observed by the step() call below.
+      wake_pending_ = false;
+    }
+    const bool busy = step_();
+    MutexLock lock(mutex_);
+    if (stop_) return;
+    if (!busy && !wake_pending_) cv_.wait_for(mutex_, idle_wait_);
+  }
+}
+
+}  // namespace parsssp

@@ -1,0 +1,61 @@
+// A single named background service loop — the only dispatcher-thread
+// primitive in the repository. Layers above the runtime (notably
+// src/serve/) are forbidden from spawning threads directly (lint rule R1);
+// they express "a loop that reacts to work" as a ServiceThread step
+// function and keep all policy on their side.
+//
+// The loop alternates step() calls with idle waits:
+//
+//   * step() returns true  -> more work is immediately pending; loop again
+//                             without waiting.
+//   * step() returns false -> nothing to do right now; park until wake() or
+//                             for at most `idle_wait`, then poll again. The
+//                             timed poll is what lets steps implement
+//                             deadline policies (e.g. "close this batch
+//                             after 200us") without owning a timer.
+//
+// wake() calls are never lost: a wake that arrives while step() is running
+// is consumed by skipping the next idle wait. step() must not throw — an
+// escaping exception leaves the loop thread and terminates the process.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+
+namespace parsssp {
+
+class ServiceThread {
+ public:
+  /// `step` is called repeatedly from the service thread; see the file
+  /// comment for its contract.
+  ServiceThread(std::function<bool()> step, std::chrono::nanoseconds idle_wait);
+
+  /// Stops the loop (after any in-flight step() returns) and joins.
+  ~ServiceThread();
+
+  ServiceThread(const ServiceThread&) = delete;
+  ServiceThread& operator=(const ServiceThread&) = delete;
+
+  /// Signals that work is available: the loop runs step() again promptly
+  /// instead of sleeping out its idle wait. Thread-safe.
+  void wake();
+
+ private:
+  void loop();
+
+  std::function<bool()> step_;
+  std::chrono::nanoseconds idle_wait_;
+
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ MPS_GUARDED_BY(mutex_) = false;
+  bool wake_pending_ MPS_GUARDED_BY(mutex_) = false;
+
+  std::thread thread_;  ///< last member: started after all state exists
+};
+
+}  // namespace parsssp

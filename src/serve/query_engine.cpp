@@ -1,0 +1,283 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace parsssp {
+
+namespace {
+std::size_t clamp_batch(std::size_t requested) {
+  return std::min(std::max<std::size_t>(requested, 1), kMaxMultiRoots);
+}
+}  // namespace
+
+QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
+    : graph_(graph),
+      config_([&] {
+        config.max_batch = clamp_batch(config.max_batch);
+        return config;
+      }()),
+      part_(graph.num_vertices(), config_.machine.num_ranks),
+      cache_(config_.cache_capacity),
+      session_(config_.machine) {
+  {
+    MutexLock lock(mutex_);
+    stats_.batch_size_histogram.assign(config_.max_batch + 1, 0);
+  }
+  dispatcher_ = std::make_unique<ServiceThread>(
+      [this] { return dispatch_step(); }, config_.idle_poll);
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    MutexLock lock(mutex_);
+    accepting_ = false;
+  }
+  // Stop the dispatcher first: after this join no new batch can open, so
+  // draining the queue below races with nothing.
+  dispatcher_.reset();
+  std::deque<Pending> orphaned;
+  {
+    MutexLock lock(mutex_);
+    orphaned.swap(queue_);
+    stats_.cancelled += orphaned.size();
+  }
+  for (Pending& p : orphaned) {
+    p.promise.set_exception(std::make_exception_ptr(
+        JobCancelled("QueryEngine destroyed before the query was served")));
+  }
+  // session_ (and its rank threads) is torn down by member destruction.
+}
+
+std::future<QueryResult> QueryEngine::submit(vid_t root,
+                                             const SsspOptions& options) {
+  if (root >= graph_.num_vertices()) {
+    throw std::invalid_argument("QueryEngine::submit: root out of range");
+  }
+  if (options.delta == 0) {
+    throw std::invalid_argument("QueryEngine::submit: delta must be >= 1");
+  }
+  Pending p;
+  p.root = root;
+  p.options = options;
+  p.signature = options_signature(options);
+  p.submitted_at = std::chrono::steady_clock::now();
+  std::future<QueryResult> fut = p.promise.get_future();
+  {
+    MutexLock lock(mutex_);
+    if (!accepting_) {
+      throw std::logic_error(
+          "QueryEngine::submit on an engine that is shutting down");
+    }
+    queue_.push_back(std::move(p));
+    ++stats_.submitted;
+  }
+  dispatcher_->wake();
+  return fut;
+}
+
+QueryResult QueryEngine::query(vid_t root, const SsspOptions& options) {
+  return submit(root, options).get();
+}
+
+std::size_t QueryEngine::cancel_pending() {
+  std::deque<Pending> cancelled;
+  {
+    MutexLock lock(mutex_);
+    cancelled.swap(queue_);
+    stats_.cancelled += cancelled.size();
+  }
+  for (Pending& p : cancelled) {
+    p.promise.set_exception(std::make_exception_ptr(
+        JobCancelled("query cancelled before its batch closed")));
+  }
+  return cancelled.size();
+}
+
+ServeStats QueryEngine::stats() const {
+  ServeStats out;
+  {
+    MutexLock lock(mutex_);
+    out = stats_;
+  }
+  out.cache = cache_.counters();
+  return out;
+}
+
+bool QueryEngine::dispatch_step() {
+  std::vector<Pending> batch;
+  {
+    MutexLock lock(mutex_);
+    if (queue_.empty()) return false;
+    const auto now = std::chrono::steady_clock::now();
+    const bool full = queue_.size() >= config_.max_batch;
+    const bool due = now - queue_.front().submitted_at >= config_.batch_window;
+    if (!full && !due) return false;  // park; idle_poll re-checks the window
+    // Close the longest same-signature prefix: a batch is one sweep under
+    // one option set. A query with a different signature waits its turn
+    // (FIFO keeps admission order, so no query starves).
+    const std::string signature = queue_.front().signature;
+    while (!queue_.empty() && batch.size() < config_.max_batch &&
+           queue_.front().signature == signature) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    ++stats_.batch_size_histogram[batch.size()];
+  }
+  serve_batch(std::move(batch));
+  return true;
+}
+
+void QueryEngine::serve_batch(std::vector<Pending> batch) {
+  const auto fulfill = [this](Pending& p,
+                              std::shared_ptr<const QueryAnswer> answer,
+                              bool from_cache) {
+    // Count before fulfilling: a client whose future has resolved must
+    // already see itself in stats().completed.
+    {
+      MutexLock lock(mutex_);
+      ++stats_.completed;
+    }
+    p.promise.set_value(QueryResult{std::move(answer), from_cache,
+                                    std::chrono::steady_clock::now()});
+  };
+
+  // Cache pass: hits complete immediately, misses proceed to the machine.
+  std::vector<Pending> misses;
+  for (Pending& p : batch) {
+    if (auto hit = cache_.lookup(p.root, p.signature)) {
+      fulfill(p, std::move(hit), /*from_cache=*/true);
+    } else {
+      misses.push_back(std::move(p));
+    }
+  }
+  if (misses.empty()) return;
+
+  // Dedup roots: batchmates querying the same root share one computation.
+  std::vector<vid_t> unique;
+  std::vector<std::size_t> slot_of(misses.size());
+  {
+    std::unordered_map<vid_t, std::size_t> index;
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      const auto [it, inserted] =
+          index.emplace(misses[i].root, unique.size());
+      if (inserted) unique.push_back(misses[i].root);
+      slot_of[i] = it->second;
+    }
+  }
+
+  const std::vector<std::shared_ptr<const QueryAnswer>> answers =
+      compute(unique, misses.front().options);
+
+  for (std::size_t s = 0; s < unique.size(); ++s) {
+    cache_.insert(unique[s], misses.front().signature, answers[s]);
+  }
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    fulfill(misses[i], answers[slot_of[i]], /*from_cache=*/false);
+  }
+}
+
+std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
+    const std::vector<vid_t>& roots, const SsspOptions& options) {
+  ensure_views(options.delta);
+  std::vector<std::shared_ptr<const QueryAnswer>> answers;
+  answers.reserve(roots.size());
+
+  // Parent tracking (and the degenerate one-root batch) runs the full
+  // per-root engine: parents come out exactly as from Solver::solve, and
+  // single queries skip the batched engine's slot overhead.
+  if (options.track_parents || roots.size() == 1) {
+    for (const vid_t root : roots) {
+      auto answer = std::make_shared<QueryAnswer>();
+      answer->root = root;
+      answer->dist.assign(graph_.num_vertices(), kInfDist);
+      if (options.track_parents) {
+        answer->parent.assign(graph_.num_vertices(), kInvalidVid);
+      }
+      std::vector<RankCounters> rank_counters(session_.num_ranks());
+
+      EngineShared shared;
+      shared.graph = &graph_;
+      shared.part = part_;
+      shared.views = &views_;
+      shared.dist = &answer->dist;
+      shared.parent = options.track_parents ? &answer->parent : nullptr;
+      shared.root = root;
+      shared.options = &options;
+      shared.rank_counters = &rank_counters;
+      shared.stats = &answer->stats;
+
+      session_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+
+      for (const RankCounters& c : rank_counters) {
+        answer->stats.short_relaxations += c.short_relaxations;
+        answer->stats.long_push_relaxations += c.long_push_relaxations;
+        answer->stats.pull_requests += c.pull_requests;
+        answer->stats.pull_responses += c.pull_responses;
+        answer->stats.bf_relaxations += c.bf_relaxations;
+      }
+      answers.push_back(std::move(answer));
+      MutexLock lock(mutex_);
+      ++stats_.single_solves;
+    }
+    return answers;
+  }
+
+  // Batched path: one shared sweep for the whole batch (roots.size() <=
+  // max_batch <= kMaxMultiRoots by construction).
+  std::vector<std::shared_ptr<QueryAnswer>> building(roots.size());
+  std::vector<std::vector<dist_t>*> slabs(roots.size());
+  for (std::size_t s = 0; s < roots.size(); ++s) {
+    building[s] = std::make_shared<QueryAnswer>();
+    building[s]->root = roots[s];
+    building[s]->dist.assign(graph_.num_vertices(), kInfDist);
+    slabs[s] = &building[s]->dist;
+  }
+  MultiStats multi_stats;
+  std::vector<RankCounters> rank_counters(session_.num_ranks());
+
+  MultiEngineShared shared;
+  shared.graph = &graph_;
+  shared.part = part_;
+  shared.views = &views_;
+  shared.roots = std::span<const vid_t>(roots);
+  shared.dists = std::span<std::vector<dist_t>* const>(slabs);
+  shared.options = &options;
+  shared.rank_counters = &rank_counters;
+  shared.stats = &multi_stats;
+
+  session_.run([&shared](RankCtx& ctx) { run_multi_sssp_job(ctx, shared); });
+
+  for (std::size_t s = 0; s < roots.size(); ++s) {
+    // Batched-path statistics: relaxations are per root (exact), structure
+    // and times are batch-level — the sweep is shared, so per-root time
+    // attribution would be fiction. See docs/SERVING.md.
+    SsspStats& st = building[s]->stats;
+    st.short_relaxations = multi_stats.per_root_relaxations[s];
+    st.phases = multi_stats.phases;
+    st.buckets = multi_stats.epochs;
+    st.model_time_s = multi_stats.model_time_s;
+    st.wall_time_s = multi_stats.wall_time_s;
+    answers.push_back(std::move(building[s]));
+  }
+  {
+    MutexLock lock(mutex_);
+    ++stats_.multi_sweeps;
+  }
+  return answers;
+}
+
+void QueryEngine::ensure_views(std::uint32_t delta) {
+  if (views_ready_ && views_delta_ == delta) return;
+  views_.assign(session_.num_ranks(), LocalEdgeView{});
+  session_.run([this, delta](RankCtx& ctx) {
+    views_[ctx.rank()] = LocalEdgeView::build(graph_, part_, ctx.rank(), delta);
+  });
+  views_delta_ = delta;
+  views_ready_ = true;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,153 @@
+// The query-serving front end: admission queue, batching policy, result
+// cache, and a persistent simulated machine.
+//
+// A QueryEngine owns one MachineSession (rank threads spawned once, parked
+// between jobs) and one dispatcher ServiceThread. Clients call submit(root,
+// options) from any thread and receive a future; the dispatcher closes
+// batches off the admission queue and serves them on the session:
+//
+//   * Batching policy: a batch closes as soon as max_batch queries are
+//     queued, or when the oldest queued query has waited batch_window —
+//     bounded latency under light load, full batches under heavy load. Only
+//     queries with identical option signatures share a batch (they must:
+//     a batch runs as one sweep under one option set). The window deadline
+//     is polled at idle_poll granularity.
+//   * Cache: answers are remembered in an exact LRU keyed by
+//     (root, options signature); a hit is served without touching the
+//     machine and marked from_cache.
+//   * Execution: duplicate roots in a batch are computed once. A batch
+//     with one unique (uncached) root — or any batch tracking parents —
+//     runs the full single-root engine (run_sssp_job) per root; larger
+//     batches run the batched multi-root engine (run_multi_sssp_job), one
+//     shared bucket-synchronous sweep for the whole batch. Distances are
+//     bit-identical between both paths and Solver::solve; batched-path
+//     statistics are batch-level (see docs/SERVING.md).
+//
+// All machine work happens on the dispatcher thread; submit() never blocks
+// on a solve. Layering (lint rule R6): this layer spawns no threads — the
+// only concurrency primitives it touches are MachineSession, ServiceThread
+// and a mutex around the queue.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/delta_engine.hpp"
+#include "core/dist_graph.hpp"
+#include "core/multi_engine.hpp"
+#include "core/options.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "graph/csr.hpp"
+#include "runtime/machine_session.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/service_thread.hpp"
+#include "serve/result_cache.hpp"
+
+namespace parsssp {
+
+struct ServeConfig {
+  MachineConfig machine;
+  /// Largest batch one sweep serves; clamped to [1, kMaxMultiRoots].
+  std::size_t max_batch = 8;
+  /// Longest a queued query waits for batchmates before its batch closes.
+  std::chrono::nanoseconds batch_window = std::chrono::microseconds(200);
+  /// Result cache capacity in answers; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Granularity at which the dispatcher re-checks the window deadline.
+  std::chrono::nanoseconds idle_poll = std::chrono::microseconds(50);
+};
+
+/// What a submitted query's future resolves to.
+struct QueryResult {
+  std::shared_ptr<const QueryAnswer> answer;
+  bool from_cache = false;
+  std::chrono::steady_clock::time_point completed_at;
+};
+
+/// Counter snapshot for throughput/SLO reporting.
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t single_solves = 0;  ///< roots served by the per-root engine
+  std::uint64_t multi_sweeps = 0;   ///< batched multi-root sweeps executed
+  /// batch_size_histogram[s] = closed batches of size s (index 0 unused).
+  std::vector<std::uint64_t> batch_size_histogram;
+  ResultCache::Counters cache;
+};
+
+class QueryEngine {
+ public:
+  /// `graph` must outlive the engine. Spawns the session's rank threads and
+  /// the dispatcher immediately.
+  QueryEngine(const CsrGraph& graph, ServeConfig config);
+
+  /// Fails queued queries with JobCancelled, finishes the in-flight batch,
+  /// stops the dispatcher and the session.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues a query. Root/option validation happens here (throws
+  /// std::invalid_argument); the future resolves once the answer is served
+  /// from cache or computed. Thread-safe.
+  std::future<QueryResult> submit(vid_t root, const SsspOptions& options);
+
+  /// Convenience: submit + wait.
+  QueryResult query(vid_t root, const SsspOptions& options);
+
+  /// Fails every queued-but-unbatched query with JobCancelled; returns how
+  /// many. Queries already in a closed batch still complete. Thread-safe.
+  std::size_t cancel_pending();
+
+  ServeStats stats() const;
+  const ServeConfig& config() const { return config_; }
+  const CsrGraph& graph() const { return graph_; }
+
+ private:
+  struct Pending {
+    vid_t root;
+    SsspOptions options;
+    std::string signature;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  /// ServiceThread step: closes at most one batch and serves it.
+  bool dispatch_step();
+  void serve_batch(std::vector<Pending> batch);
+  /// Computes answers for `roots` (unique, uncached) under `options`.
+  std::vector<std::shared_ptr<const QueryAnswer>> compute(
+      const std::vector<vid_t>& roots, const SsspOptions& options);
+  /// Dispatcher-thread-only: (re)build edge views for `delta`.
+  void ensure_views(std::uint32_t delta);
+
+  const CsrGraph& graph_;
+  const ServeConfig config_;
+  BlockPartition part_;
+  ResultCache cache_;
+  MachineSession session_;
+
+  mutable Mutex mutex_;
+  std::deque<Pending> queue_ MPS_GUARDED_BY(mutex_);
+  bool accepting_ MPS_GUARDED_BY(mutex_) = true;
+  ServeStats stats_ MPS_GUARDED_BY(mutex_);
+
+  // Dispatcher-thread-only state (no lock: one owner).
+  std::vector<LocalEdgeView> views_;
+  std::uint32_t views_delta_ = 0;
+  bool views_ready_ = false;
+
+  std::unique_ptr<ServiceThread> dispatcher_;  ///< last: stops first
+};
+
+}  // namespace parsssp

@@ -1,0 +1,77 @@
+#include "serve/result_cache.hpp"
+
+#include <sstream>
+
+namespace parsssp {
+
+std::string options_signature(const SsspOptions& options) {
+  std::ostringstream out;
+  // Hexfloat keeps double-valued fields exact: two option sets differing in
+  // the 17th digit of load_lambda are different configurations.
+  out << std::hexfloat;
+  out << "delta=" << options.delta
+      << ";cls=" << options.edge_classification
+      << ";ios=" << options.ios
+      << ";prune=" << options.pruning
+      << ";mode=" << static_cast<int>(options.prune_mode)
+      << ";forced=";
+  for (const bool pull : options.forced_pull) out << (pull ? '1' : '0');
+  out << ";est=" << static_cast<int>(options.estimator)
+      << ";lambda=" << options.load_lambda
+      << ";tau=" << options.hybrid_tau
+      << ";heavy=" << options.heavy_degree_threshold
+      << ";parents=" << options.track_parents
+      << ";phasedet=" << options.collect_phase_details
+      << ";bucketdet=" << options.collect_bucket_details
+      << ";cm=" << options.cost_model.t_step_ns << ','
+      << options.cost_model.t_relax_ns << ','
+      << options.cost_model.t_byte_ns << ','
+      << options.cost_model.t_scan_ns;
+  return std::move(out).str();
+}
+
+std::shared_ptr<const QueryAnswer> ResultCache::lookup(
+    vid_t root, const std::string& signature) {
+  MutexLock lock(mutex_);
+  const auto it = index_.find(Key{root, signature});
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->answer;
+}
+
+void ResultCache::insert(vid_t root, const std::string& signature,
+                         std::shared_ptr<const QueryAnswer> answer) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mutex_);
+  Key key{root, signature};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->answer = std::move(answer);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(answer)});
+  index_.emplace(std::move(key), lru_.begin());
+  ++counters_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  MutexLock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace parsssp

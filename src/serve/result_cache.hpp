@@ -1,0 +1,108 @@
+// Exact LRU cache of fully-computed query answers, keyed by
+// (root, options signature).
+//
+// "Exact" in two senses. First, the key: two queries share a cache entry
+// only if their SsspOptions agree on *every* field — including fields that
+// cannot change the distances (cost model, diagnostics) but do change the
+// observable statistics. options_signature() serializes the full option
+// set canonically, so an imprecise or collided key is impossible by
+// construction. Second, the value: a hit returns the complete stored
+// answer (distances, optional parents, stats) by shared_ptr — never a
+// recomputation, never a truncation — so a cached answer is bit-identical
+// to the miss that created it.
+//
+// Thread safety: all methods are safe to call concurrently; the cache is a
+// single mutex-guarded structure (lookups are O(1) against a hash map and
+// the serving dispatcher is single-threaded, so lock contention is not a
+// concern at this layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// Canonical serialization of every SsspOptions field. Equal strings iff
+/// the option sets are observationally equivalent for a served answer.
+std::string options_signature(const SsspOptions& options);
+
+/// One complete, immutable query answer.
+struct QueryAnswer {
+  vid_t root = 0;
+  std::vector<dist_t> dist;
+  std::vector<vid_t> parent;  ///< empty unless options.track_parents
+  SsspStats stats;
+};
+
+class ResultCache {
+ public:
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  /// `capacity` = maximum number of retained answers; 0 disables the cache
+  /// entirely (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached answer (refreshing its LRU position) or nullptr.
+  /// Counts a hit or a miss either way.
+  std::shared_ptr<const QueryAnswer> lookup(vid_t root,
+                                            const std::string& signature);
+
+  /// Inserts (or refreshes) an answer, evicting the least recently used
+  /// entry when over capacity.
+  void insert(vid_t root, const std::string& signature,
+              std::shared_ptr<const QueryAnswer> answer);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  Counters counters() const;
+
+ private:
+  struct Key {
+    vid_t root;
+    std::string signature;
+    bool operator==(const Key& other) const {
+      return root == other.root && signature == other.signature;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.signature) ^
+             (std::hash<vid_t>{}(k.root) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const QueryAnswer> answer;
+  };
+
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  /// Front = most recently used; back = eviction candidate.
+  std::list<Entry> lru_ MPS_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      MPS_GUARDED_BY(mutex_);
+  Counters counters_ MPS_GUARDED_BY(mutex_);
+};
+
+}  // namespace parsssp

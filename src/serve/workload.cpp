@@ -1,0 +1,88 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+/// Uniform double in [0, 1) from the deterministic hash stream.
+double uniform01(std::uint64_t seed, std::uint64_t index) {
+  return static_cast<double>(rmat_hash(seed, index) >> 11) * 0x1.0p-53;
+}
+
+// Disjoint hash streams for the independent sampling decisions.
+constexpr std::uint64_t kCandidateStream = 0x63616e6469646174ull;
+constexpr std::uint64_t kPickStream = 0x7069636b7069636bull;
+constexpr std::uint64_t kGapStream = 0x6761706761706761ull;
+
+}  // namespace
+
+std::vector<QueryEvent> make_open_loop_stream(const WorkloadConfig& config,
+                                              vid_t num_vertices) {
+  std::vector<QueryEvent> stream;
+  if (config.num_queries == 0 || num_vertices == 0) return stream;
+  stream.reserve(config.num_queries);
+
+  // Candidate root set: `num_roots_domain` deterministic draws from the
+  // vertex range. Index order doubles as the Zipf popularity rank (the
+  // first candidate is the hottest).
+  const std::size_t domain = std::max<std::size_t>(config.num_roots_domain, 1);
+  std::vector<vid_t> candidates(domain);
+  for (std::size_t i = 0; i < domain; ++i) {
+    candidates[i] = static_cast<vid_t>(
+        rmat_hash(config.seed ^ kCandidateStream, i) % num_vertices);
+  }
+
+  // CDF over popularity ranks: uniform, or Zipf with exponent s.
+  std::vector<double> cdf(domain);
+  double acc = 0;
+  for (std::size_t i = 0; i < domain; ++i) {
+    acc += config.dist == RootDist::kZipf
+               ? std::pow(static_cast<double>(i + 1), -config.zipf_s)
+               : 1.0;
+    cdf[i] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+
+  double t = 0;
+  for (std::size_t q = 0; q < config.num_queries; ++q) {
+    const double u = uniform01(config.seed ^ kPickStream, q);
+    const std::size_t pick =
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+    QueryEvent ev;
+    ev.root = candidates[std::min(pick, domain - 1)];
+    if (config.rate_qps > 0) {
+      // Poisson arrivals: exponential inter-arrival gaps of mean 1/rate.
+      const double g = uniform01(config.seed ^ kGapStream, q);
+      t += -std::log1p(-g) / config.rate_qps;
+    }
+    ev.arrival_s = t;
+    stream.push_back(ev);
+  }
+  return stream;
+}
+
+LatencyStats percentile_stats(std::vector<double> latencies_s) {
+  LatencyStats stats;
+  stats.count = latencies_s.size();
+  if (latencies_s.empty()) return stats;
+  std::sort(latencies_s.begin(), latencies_s.end());
+  double sum = 0;
+  for (const double l : latencies_s) sum += l;
+  stats.mean = sum / static_cast<double>(latencies_s.size());
+  const auto at = [&](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_s.size() - 1) + 0.5);
+    return latencies_s[std::min(idx, latencies_s.size() - 1)];
+  };
+  stats.p50 = at(0.50);
+  stats.p95 = at(0.95);
+  stats.p99 = at(0.99);
+  stats.max = latencies_s.back();
+  return stats;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,67 @@
+// Synthetic query workloads for the serving benchmarks: deterministic
+// open-loop arrival streams with uniform or Zipf-distributed roots, plus
+// the latency summary statistics the SLO reports quote.
+//
+// Streams are a pure function of their WorkloadConfig (all sampling runs
+// through the repository's deterministic hash), so a benchmark JSON is
+// reproducible bit-for-bit and two runs being compared saw the same
+// queries in the same order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// Root popularity distribution of a stream.
+enum class RootDist : std::uint8_t {
+  kUniform,  ///< every root in the domain equally likely
+  kZipf,     ///< rank r drawn with probability proportional to r^-s
+};
+
+struct WorkloadConfig {
+  std::size_t num_queries = 100;
+  /// Open-loop arrival rate in queries/second; 0 = closed loop (all
+  /// arrivals at t=0, the driver submits as fast as completions allow).
+  double rate_qps = 0;
+  RootDist dist = RootDist::kUniform;
+  /// Zipf exponent s (only for kZipf). s ~ 1 models a skewed frontend
+  /// workload where a few landmark roots absorb most queries.
+  double zipf_s = 1.2;
+  /// Number of distinct candidate roots the stream draws from. Small
+  /// domains + skew is what makes a result cache earn its keep.
+  std::size_t num_roots_domain = 64;
+  std::uint64_t seed = 1;
+};
+
+/// One query of a replayable stream.
+struct QueryEvent {
+  vid_t root;
+  double arrival_s;  ///< offset from stream start (0 under closed loop)
+};
+
+/// Builds the stream for a graph with `num_vertices` vertices. Candidate
+/// roots are drawn (deterministically) from the vertex range; under
+/// kZipf, popularity rank is assigned per candidate and arrivals sample
+/// the resulting CDF. Open-loop inter-arrival gaps are exponential with
+/// mean 1/rate_qps (Poisson arrivals), so the stream has realistic bursts.
+std::vector<QueryEvent> make_open_loop_stream(const WorkloadConfig& config,
+                                              vid_t num_vertices);
+
+/// Latency summary of a completed run (seconds).
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes order statistics of `latencies_s` (unsorted input is fine).
+LatencyStats percentile_stats(std::vector<double> latencies_s);
+
+}  // namespace parsssp

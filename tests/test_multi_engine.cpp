@@ -1,0 +1,213 @@
+// The batched multi-root engine must be observationally a loop of per-root
+// solves: bit-identical distances to Solver::solve (and the Dijkstra
+// oracle) for every option set, any rank count, any batch size, duplicate
+// roots included — plus the solve_batch dedup/retention satellite.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/solver.hpp"
+#include "graph/builders.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+enum class Algo { kDijkstra, kBellmanFord, kDel25, kPrune25, kOpt25 };
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return "Dijkstra";
+    case Algo::kBellmanFord:
+      return "BellmanFord";
+    case Algo::kDel25:
+      return "Del25";
+    case Algo::kPrune25:
+      return "Prune25";
+    case Algo::kOpt25:
+      return "Opt25";
+  }
+  return "?";
+}
+
+SsspOptions algo_options(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return SsspOptions::dijkstra();
+    case Algo::kBellmanFord:
+      return SsspOptions::bellman_ford();
+    case Algo::kDel25:
+      return SsspOptions::del(25);
+    case Algo::kPrune25:
+      return SsspOptions::prune(25);
+    case Algo::kOpt25:
+      return SsspOptions::opt(25);
+  }
+  return {};
+}
+
+CsrGraph rmat_graph(std::uint64_t seed, int scale = 8) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+using Param = std::tuple<std::uint64_t /*seed*/, Algo, rank_t>;
+
+class MultiEngineProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MultiEngineProperty, MatchesPerRootSolveAndOracle) {
+  const auto [seed, algo, ranks] = GetParam();
+  const auto g = rmat_graph(seed);
+  const SsspOptions options = algo_options(algo);
+  Solver solver(g, {.machine = {.num_ranks = ranks}});
+
+  const std::vector<vid_t> roots = {0, 3, 17, 42, 101};
+  const MultiRootResult multi = solver.solve_multi(roots, options);
+  ASSERT_EQ(multi.dist.size(), roots.size());
+  EXPECT_EQ(multi.stats.num_roots, roots.size());
+
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const auto single = solver.solve(roots[i], options);
+    EXPECT_EQ(multi.dist[i], single.dist)
+        << algo_name(algo) << " seed=" << seed << " ranks=" << ranks
+        << " root=" << roots[i];
+    EXPECT_EQ(multi.dist[i], dijkstra_distances(g, roots[i]))
+        << "oracle mismatch at root " << roots[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiEngineProperty,
+    ::testing::Combine(
+        ::testing::Values(1ULL, 2ULL),
+        ::testing::Values(Algo::kDijkstra, Algo::kBellmanFord, Algo::kDel25,
+                          Algo::kPrune25, Algo::kOpt25),
+        ::testing::Values(rank_t{1}, rank_t{2}, rank_t{5})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             algo_name(std::get<1>(info.param)) + "_ranks" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(MultiEngine, StructuredGraphs) {
+  // Degenerate shapes stress bucket advance: a path (many buckets, tiny
+  // frontiers), a star (one bucket, huge frontier), and a disconnected
+  // pair (unreachable vertices must stay at infinity in every slab).
+  const auto path = CsrGraph::from_edges(make_path(64, /*weight=*/3));
+  const auto star = CsrGraph::from_edges(make_star(64, /*weight=*/7));
+  for (const CsrGraph* g : {&path, &star}) {
+    Solver solver(*g, {.machine = {.num_ranks = 3}});
+    const std::vector<vid_t> roots = {0, 1, 63};
+    const auto multi = solver.solve_multi(roots, SsspOptions::opt(5));
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      EXPECT_EQ(multi.dist[i], dijkstra_distances(*g, roots[i]))
+          << "root " << roots[i];
+    }
+  }
+}
+
+TEST(MultiEngine, DuplicateRootsShareOneSlab) {
+  const auto g = rmat_graph(7);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const std::vector<vid_t> roots = {9, 9, 4, 9, 4};
+  const auto multi = solver.solve_multi(roots, SsspOptions::del(25));
+  ASSERT_EQ(multi.dist.size(), 5u);
+  EXPECT_EQ(multi.stats.num_roots, 2u);  // unique roots only
+  EXPECT_EQ(multi.dist[0], multi.dist[1]);
+  EXPECT_EQ(multi.dist[0], multi.dist[3]);
+  EXPECT_EQ(multi.dist[2], multi.dist[4]);
+  EXPECT_EQ(multi.dist[0], dijkstra_distances(g, 9));
+  EXPECT_EQ(multi.dist[2], dijkstra_distances(g, 4));
+}
+
+TEST(MultiEngine, BatchesLargerThanSweepLimitChunk) {
+  const auto g = rmat_graph(3, /*scale=*/7);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  std::vector<vid_t> roots;
+  for (vid_t r = 0; r < 70; ++r) roots.push_back(r);  // > kMaxMultiRoots
+  const auto multi = solver.solve_multi(roots, SsspOptions::opt(25));
+  ASSERT_EQ(multi.dist.size(), roots.size());
+  EXPECT_EQ(multi.stats.num_roots, roots.size());
+  ASSERT_EQ(multi.stats.per_root_relaxations.size(), roots.size());
+  for (const vid_t r : {vid_t{0}, vid_t{63}, vid_t{64}, vid_t{69}}) {
+    EXPECT_EQ(multi.dist[r], dijkstra_distances(g, r)) << "root " << r;
+  }
+}
+
+TEST(MultiEngine, StatsAreSaneAndPerRootCountsAddUp) {
+  const auto g = rmat_graph(5);
+  Solver solver(g, {.machine = {.num_ranks = 3}});
+  const std::vector<vid_t> roots = {1, 2, 3, 4};
+  const auto multi = solver.solve_multi(roots, SsspOptions::del(25));
+  EXPECT_GT(multi.stats.epochs, 0u);
+  EXPECT_GT(multi.stats.phases, 0u);
+  EXPECT_GT(multi.stats.model_time_s, 0.0);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const auto r = multi.stats.per_root_relaxations[i];
+    // An isolated root legitimately relaxes nothing.
+    if (g.degree(roots[i]) > 0) EXPECT_GT(r, 0u) << "root " << roots[i];
+    sum += r;
+  }
+  EXPECT_EQ(sum, multi.stats.relaxations);
+  EXPECT_GT(multi.stats.aggregate_gteps(g.num_undirected_edges()), 0.0);
+}
+
+TEST(MultiEngine, InvalidArgumentsThrow) {
+  const auto g = rmat_graph(1, /*scale=*/6);
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  const std::vector<vid_t> bad_root = {g.num_vertices()};
+  EXPECT_THROW(solver.solve_multi(bad_root, SsspOptions::del(25)),
+               std::invalid_argument);
+  SsspOptions zero_delta = SsspOptions::del(25);
+  zero_delta.delta = 0;
+  const std::vector<vid_t> ok = {0};
+  EXPECT_THROW(solver.solve_multi(ok, zero_delta), std::invalid_argument);
+  EXPECT_TRUE(
+      solver.solve_multi(std::span<const vid_t>{}, SsspOptions::del(25))
+          .dist.empty());
+}
+
+// --- solve_batch satellite: dedup + opt-in distance retention ------------
+
+TEST(SolveBatch, DedupesRepeatedRootsAndKeepsAggregates) {
+  const auto g = rmat_graph(13);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const SsspOptions options = SsspOptions::opt(25);
+  const std::vector<vid_t> with_dups = {8, 8, 15, 8, 15, 23};
+
+  const BatchSummary summary = solver.solve_batch(with_dups, options);
+  EXPECT_EQ(summary.num_roots, 6u);
+  EXPECT_EQ(summary.unique_roots, 3u);
+  ASSERT_EQ(summary.per_root.size(), 6u);
+  EXPECT_TRUE(summary.distances.empty());  // retention is opt-in
+  // Repeats reuse the first occurrence's stats verbatim.
+  EXPECT_EQ(summary.per_root[1].total_relaxations(),
+            summary.per_root[0].total_relaxations());
+  EXPECT_EQ(summary.per_root[4].total_relaxations(),
+            summary.per_root[2].total_relaxations());
+  // Aggregates still average over all six entries.
+  EXPECT_GT(summary.harmonic_mean_gteps, 0.0);
+}
+
+TEST(SolveBatch, KeepDistancesRetainsPerRootVectors) {
+  const auto g = rmat_graph(13);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const SsspOptions options = SsspOptions::del(25);
+  const std::vector<vid_t> roots = {8, 15, 8};
+
+  const BatchSummary summary =
+      solver.solve_batch(roots, options, {.keep_distances = true});
+  ASSERT_EQ(summary.distances.size(), 3u);
+  EXPECT_EQ(summary.distances[0], dijkstra_distances(g, 8));
+  EXPECT_EQ(summary.distances[1], dijkstra_distances(g, 15));
+  EXPECT_EQ(summary.distances[2], summary.distances[0]);
+}
+
+}  // namespace
+}  // namespace parsssp

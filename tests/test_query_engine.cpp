@@ -1,0 +1,236 @@
+// QueryEngine end-to-end: served answers must be bit-identical to
+// Solver::solve under every algorithm / Delta / rank count, cache hits must
+// be real hits with identical answers, and the batching policy must close
+// batches both by size and by window deadline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <tuple>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+#include "serve/query_engine.hpp"
+
+namespace parsssp {
+namespace {
+
+using namespace std::chrono_literals;
+
+CsrGraph rmat_graph(std::uint64_t seed, int scale = 8) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+ServeConfig serve_config(rank_t ranks, std::size_t max_batch,
+                         std::chrono::nanoseconds window = 200us,
+                         std::size_t cache = 64) {
+  ServeConfig config;
+  config.machine.num_ranks = ranks;
+  config.machine.checked_exchange = true;
+  config.max_batch = max_batch;
+  config.batch_window = window;
+  config.cache_capacity = cache;
+  return config;
+}
+
+using Param = std::tuple<std::uint32_t /*delta*/, rank_t>;
+
+class QueryEngineProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(QueryEngineProperty, AnswersMatchSolverBitForBit) {
+  const auto [delta, ranks] = GetParam();
+  const auto g = rmat_graph(4);
+  Solver solver(g, {.machine = {.num_ranks = ranks}});
+  QueryEngine engine(g, serve_config(ranks, /*max_batch=*/4));
+
+  for (const SsspOptions& options :
+       {SsspOptions::del(delta), SsspOptions::prune(delta),
+        SsspOptions::opt(delta)}) {
+    std::vector<std::future<QueryResult>> futures;
+    const std::vector<vid_t> roots = {2, 19, 80, 111};
+    for (const vid_t root : roots) {
+      futures.push_back(engine.submit(root, options));
+    }
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const QueryResult r = futures[i].get();
+      ASSERT_NE(r.answer, nullptr);
+      EXPECT_EQ(r.answer->root, roots[i]);
+      EXPECT_EQ(r.answer->dist, solver.solve(roots[i], options).dist)
+          << "delta=" << delta << " ranks=" << ranks << " root=" << roots[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryEngineProperty,
+    ::testing::Combine(::testing::Values(1u, 25u, 256u),
+                       ::testing::Values(rank_t{1}, rank_t{2}, rank_t{5})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "delta" + std::to_string(std::get<0>(info.param)) + "_ranks" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(QueryEngine, SecondIdenticalQueryIsServedFromCache) {
+  const auto g = rmat_graph(6);
+  QueryEngine engine(g, serve_config(3, 4));
+  const SsspOptions options = SsspOptions::opt(25);
+
+  const QueryResult first = engine.query(33, options);
+  EXPECT_FALSE(first.from_cache);
+  const QueryResult second = engine.query(33, options);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.answer.get(), first.answer.get());  // the stored object
+
+  const ServeStats stats = engine.stats();
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_GE(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(QueryEngine, DifferentOptionsDoNotShareCacheEntries) {
+  const auto g = rmat_graph(6);
+  QueryEngine engine(g, serve_config(2, 2));
+  const QueryResult del = engine.query(10, SsspOptions::del(25));
+  const QueryResult opt = engine.query(10, SsspOptions::opt(25));
+  EXPECT_FALSE(opt.from_cache);  // same root, different signature
+  EXPECT_EQ(del.answer->dist, opt.answer->dist);  // both exact all the same
+}
+
+TEST(QueryEngine, LruEvictionForgetsColdRoots) {
+  const auto g = rmat_graph(6, /*scale=*/7);
+  ServeConfig config = serve_config(2, 1, 200us, /*cache=*/2);
+  QueryEngine engine(g, config);
+  const SsspOptions options = SsspOptions::del(25);
+  engine.query(1, options);
+  engine.query(2, options);
+  engine.query(3, options);  // evicts root 1
+  const QueryResult again = engine.query(1, options);
+  EXPECT_FALSE(again.from_cache);
+  EXPECT_GE(engine.stats().cache.evictions, 1u);
+}
+
+TEST(QueryEngine, BatchClosesAtMaxBatch) {
+  const auto g = rmat_graph(8);
+  // Window far beyond test runtime: only the size trigger can close.
+  QueryEngine engine(g, serve_config(2, /*max_batch=*/4, /*window=*/60s));
+  const SsspOptions options = SsspOptions::del(25);
+  std::vector<std::future<QueryResult>> futures;
+  for (const vid_t root : {5u, 6u, 7u, 8u}) {
+    futures.push_back(engine.submit(root, options));
+  }
+  for (auto& f : futures) f.get();
+  const ServeStats stats = engine.stats();
+  ASSERT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_size_histogram[4], 1u);
+  EXPECT_EQ(stats.multi_sweeps, 1u);  // one shared sweep, not 4 solves
+}
+
+TEST(QueryEngine, BatchClosesByWindowDeadline) {
+  const auto g = rmat_graph(8);
+  QueryEngine engine(g, serve_config(2, /*max_batch=*/32, /*window=*/2ms));
+  const SsspOptions options = SsspOptions::del(25);
+  auto a = engine.submit(40, options);
+  auto b = engine.submit(41, options);
+  a.get();  // must complete without 30 more arrivals: deadline fired
+  b.get();
+  const ServeStats stats = engine.stats();
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(QueryEngine, DuplicateRootsInOneBatchComputeOnce) {
+  const auto g = rmat_graph(8);
+  QueryEngine engine(g, serve_config(2, /*max_batch=*/4, /*window=*/60s,
+                                     /*cache=*/0));
+  const SsspOptions options = SsspOptions::del(25);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.submit(77, options));
+  std::vector<QueryResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.answer.get(), results.front().answer.get());
+  }
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.single_solves, 1u);  // one unique root -> per-root engine
+  EXPECT_EQ(stats.multi_sweeps, 0u);
+}
+
+TEST(QueryEngine, MixedSignaturesBatchSeparatelyButAllComplete) {
+  const auto g = rmat_graph(8);
+  QueryEngine engine(g, serve_config(2, /*max_batch=*/4, /*window=*/1ms));
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(engine.submit(50 + i, SsspOptions::del(25)));
+    futures.push_back(engine.submit(50 + i, SsspOptions::opt(25)));
+  }
+  for (auto& f : futures) {
+    ASSERT_NE(f.get().answer, nullptr);
+  }
+  EXPECT_EQ(engine.stats().completed, 6u);
+}
+
+TEST(QueryEngine, TrackParentsMatchesSolverParents) {
+  const auto g = rmat_graph(9);
+  constexpr rank_t kRanks = 3;
+  Solver solver(g, {.machine = {.num_ranks = kRanks}});
+  QueryEngine engine(g, serve_config(kRanks, 4));
+  SsspOptions options = SsspOptions::opt(25);
+  options.track_parents = true;
+
+  const auto expected = solver.solve(12, options);
+  const QueryResult served = engine.query(12, options);
+  EXPECT_EQ(served.answer->dist, expected.dist);
+  EXPECT_EQ(served.answer->parent, expected.parent);
+}
+
+TEST(QueryEngine, CancelPendingFailsUnbatchedQueries) {
+  const auto g = rmat_graph(9);
+  // One query, huge batch + window: it can only sit in the queue.
+  QueryEngine engine(g, serve_config(2, /*max_batch=*/64, /*window=*/60s));
+  auto orphan = engine.submit(3, SsspOptions::del(25));
+  EXPECT_EQ(engine.cancel_pending(), 1u);
+  EXPECT_THROW(orphan.get(), JobCancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  // The engine still serves after a cancellation.
+  EXPECT_EQ(engine.cancel_pending(), 0u);
+}
+
+TEST(QueryEngine, DestructorFailsQueuedQueries) {
+  const auto g = rmat_graph(9);
+  std::future<QueryResult> orphan;
+  {
+    QueryEngine engine(g, serve_config(2, /*max_batch=*/64, /*window=*/60s));
+    orphan = engine.submit(3, SsspOptions::del(25));
+  }
+  EXPECT_THROW(orphan.get(), JobCancelled);
+}
+
+TEST(QueryEngine, SubmitValidatesUpFront) {
+  const auto g = rmat_graph(9, /*scale=*/6);
+  QueryEngine engine(g, serve_config(2, 2));
+  EXPECT_THROW(engine.submit(g.num_vertices(), SsspOptions::del(25)),
+               std::invalid_argument);
+  SsspOptions zero_delta = SsspOptions::del(25);
+  zero_delta.delta = 0;
+  EXPECT_THROW(engine.submit(0, zero_delta), std::invalid_argument);
+}
+
+TEST(QueryEngine, ServedAnswersMatchOracleAcrossDeltaChanges) {
+  // Changing Delta between queries rebuilds the edge views on the session;
+  // answers must stay exact through the rebuilds.
+  const auto g = rmat_graph(10, /*scale=*/7);
+  QueryEngine engine(g, serve_config(2, 2));
+  for (const std::uint32_t delta : {5u, 25u, 5u}) {
+    const QueryResult r = engine.query(21, SsspOptions::del(delta));
+    EXPECT_EQ(r.answer->dist, dijkstra_distances(g, 21)) << "delta=" << delta;
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

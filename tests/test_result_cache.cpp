@@ -1,0 +1,106 @@
+// ResultCache: exact LRU semantics, hit/miss/eviction counters, and the
+// option-signature key that keeps distinct configurations from colliding.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serve/result_cache.hpp"
+
+namespace parsssp {
+namespace {
+
+std::shared_ptr<const QueryAnswer> answer_for(vid_t root) {
+  auto a = std::make_shared<QueryAnswer>();
+  a->root = root;
+  a->dist = {root, root + 1};
+  return a;
+}
+
+TEST(OptionsSignature, DistinguishesEveryResultAffectingField) {
+  const std::string base = options_signature(SsspOptions::del(25));
+  EXPECT_EQ(base, options_signature(SsspOptions::del(25)));  // deterministic
+  EXPECT_NE(base, options_signature(SsspOptions::del(26)));
+  EXPECT_NE(base, options_signature(SsspOptions::prune(25)));
+  EXPECT_NE(base, options_signature(SsspOptions::opt(25)));
+
+  SsspOptions parents = SsspOptions::del(25);
+  parents.track_parents = true;
+  EXPECT_NE(base, options_signature(parents));
+
+  SsspOptions lambda = SsspOptions::del(25);
+  lambda.load_lambda += 1e-9;  // tiny double deltas must not collide
+  EXPECT_NE(options_signature(SsspOptions::del(25)),
+            options_signature(lambda));
+
+  SsspOptions cost = SsspOptions::del(25);
+  cost.cost_model.t_relax_ns *= 2;  // changes modeled-time statistics
+  EXPECT_NE(base, options_signature(cost));
+
+  SsspOptions forced = SsspOptions::prune(25);
+  forced.prune_mode = PruneMode::kForcedSequence;
+  forced.forced_pull = {true, false, true};
+  SsspOptions forced2 = forced;
+  forced2.forced_pull = {true, false, false};
+  EXPECT_NE(options_signature(forced), options_signature(forced2));
+}
+
+TEST(ResultCache, HitsRefreshRecencyAndLruEvicts) {
+  ResultCache cache(2);
+  const std::string sig = options_signature(SsspOptions::del(25));
+  cache.insert(1, sig, answer_for(1));
+  cache.insert(2, sig, answer_for(2));
+  ASSERT_NE(cache.lookup(1, sig), nullptr);  // 1 is now most recent
+  cache.insert(3, sig, answer_for(3));       // evicts 2, not 1
+  EXPECT_NE(cache.lookup(1, sig), nullptr);
+  EXPECT_EQ(cache.lookup(2, sig), nullptr);
+  EXPECT_NE(cache.lookup(3, sig), nullptr);
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 3u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.insertions, 3u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, HitReturnsTheStoredAnswerObject) {
+  ResultCache cache(4);
+  const std::string sig = options_signature(SsspOptions::opt(25));
+  const auto stored = answer_for(9);
+  cache.insert(9, sig, stored);
+  const auto hit = cache.lookup(9, sig);
+  EXPECT_EQ(hit.get(), stored.get());  // shared, not copied or recomputed
+}
+
+TEST(ResultCache, SignatureSeparatesSameRoot) {
+  ResultCache cache(4);
+  const std::string del_sig = options_signature(SsspOptions::del(25));
+  const std::string opt_sig = options_signature(SsspOptions::opt(25));
+  cache.insert(5, del_sig, answer_for(5));
+  EXPECT_EQ(cache.lookup(5, opt_sig), nullptr);
+  EXPECT_NE(cache.lookup(5, del_sig), nullptr);
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  const std::string sig = options_signature(SsspOptions::del(25));
+  cache.insert(1, sig, answer_for(1));
+  cache.insert(1, sig, answer_for(1));  // refresh, no growth, no eviction
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().insertions, 1u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(ResultCache, CapacityZeroDisables) {
+  ResultCache cache(0);
+  const std::string sig = options_signature(SsspOptions::del(25));
+  cache.insert(1, sig, answer_for(1));
+  EXPECT_EQ(cache.lookup(1, sig), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+  EXPECT_EQ(cache.counters().hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,211 @@
+// Concurrency stress for the serving stack, written for the TSan lane of
+// scripts/check.sh (and required to pass without it): concurrent
+// submit/cancel against one MachineSession and one QueryEngine, plus
+// destruction with work still queued. Completed answers must be exact;
+// cancelled queries must fail with JobCancelled and nothing else.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "graph/rmat.hpp"
+#include "runtime/machine_session.hpp"
+#include "seq/dijkstra.hpp"
+#include "serve/query_engine.hpp"
+
+namespace parsssp {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ServeRaces, ConcurrentSubmitToOneSession) {
+  MachineConfig config;
+  config.num_ranks = 3;
+  config.checked_exchange = true;
+  MachineSession session(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 16;
+  std::atomic<std::uint64_t> observed{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&session, &observed, &futures, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        futures[t].push_back(session.submit([&observed](RankCtx& ctx) {
+          const auto sum = ctx.allreduce(std::uint64_t{1}, SumOp{});
+          if (ctx.rank() == 0) observed.fetch_add(sum);
+        }));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) f.get();
+  }
+  EXPECT_EQ(observed.load(), std::uint64_t{kThreads} * kJobsPerThread * 3);
+  EXPECT_EQ(session.jobs_completed(), std::size_t{kThreads} * kJobsPerThread);
+}
+
+TEST(ServeRaces, ConcurrentSubmitAndCancelOnOneSession) {
+  MachineConfig config;
+  config.num_ranks = 2;
+  config.checked_exchange = true;
+  MachineSession session(config);
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&session, &stop] {
+    while (!stop.load()) {
+      session.cancel_pending();
+      std::this_thread::yield();
+    }
+  });
+
+  int completed = 0;
+  int cancelled = 0;
+  for (int j = 0; j < 64; ++j) {
+    auto f = session.submit([](RankCtx& ctx) { ctx.barrier(); });
+    try {
+      f.get();
+      ++completed;
+    } catch (const JobCancelled&) {
+      ++cancelled;
+    }
+  }
+  stop.store(true);
+  canceller.join();
+  EXPECT_EQ(completed + cancelled, 64);
+  EXPECT_EQ(session.jobs_completed(), static_cast<std::size_t>(completed));
+}
+
+TEST(ServeRaces, ConcurrentClientsGetExactAnswers) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.edge_factor = 8;
+  cfg.seed = 3;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+
+  ServeConfig config;
+  config.machine.num_ranks = 3;
+  config.machine.checked_exchange = true;
+  config.max_batch = 4;
+  config.batch_window = 100us;
+  config.cache_capacity = 16;
+  QueryEngine engine(g, config);
+  const SsspOptions options = SsspOptions::opt(25);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const vid_t root = static_cast<vid_t>((t * 13 + q * 7) %
+                                              g.num_vertices());
+        const QueryResult r = engine.query(root, options);
+        if (r.answer->dist != dijkstra_distances(g, root)) {
+          failures[t] = "wrong answer for root " + std::to_string(root);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, std::uint64_t{kThreads} * kQueriesPerThread);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServeRaces, ConcurrentSubmitAndCancelOnEngine) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.edge_factor = 8;
+  cfg.seed = 5;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+
+  ServeConfig config;
+  config.machine.num_ranks = 2;
+  config.machine.checked_exchange = true;
+  config.max_batch = 4;
+  config.batch_window = 200us;
+  config.cache_capacity = 0;  // every query must hit the machine
+  QueryEngine engine(g, config);
+  const SsspOptions options = SsspOptions::del(25);
+
+  std::atomic<bool> stop{false};
+  std::thread canceller([&engine, &stop] {
+    while (!stop.load()) {
+      engine.cancel_pending();
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kQueriesPerThread = 12;
+  std::atomic<int> completed{0};
+  std::atomic<int> cancelled{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const vid_t root = static_cast<vid_t>((t * 31 + q * 5) %
+                                              g.num_vertices());
+        try {
+          const QueryResult r = engine.query(root, options);
+          if (r.answer->dist == dijkstra_distances(g, root)) {
+            completed.fetch_add(1);
+          } else {
+            wrong.fetch_add(1);
+          }
+        } catch (const JobCancelled&) {
+          cancelled.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  canceller.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(completed.load() + cancelled.load(),
+            kThreads * kQueriesPerThread);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed.load()));
+  EXPECT_EQ(stats.cancelled, static_cast<std::uint64_t>(cancelled.load()));
+}
+
+TEST(ServeRaces, DestructionWithInFlightClients) {
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.edge_factor = 8;
+  cfg.seed = 9;
+  const auto g = CsrGraph::from_edges(generate_rmat(cfg));
+
+  ServeConfig config;
+  config.machine.num_ranks = 2;
+  config.max_batch = 8;
+  config.batch_window = 50ms;  // long window: queries pile up in the queue
+  QueryEngine* engine = new QueryEngine(g, config);
+  std::vector<std::future<QueryResult>> futures;
+  for (vid_t root = 0; root < 16; ++root) {
+    futures.push_back(engine->submit(root, SsspOptions::del(25)));
+  }
+  delete engine;  // must fail or finish every queued query, never hang
+  int resolved = 0;
+  for (auto& f : futures) {
+    try {
+      if (f.get().answer != nullptr) ++resolved;
+    } catch (const JobCancelled&) {
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, 16);
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -1,0 +1,110 @@
+// Workload streams: determinism, arrival-time structure, root-domain
+// bounds, Zipf skew, and the percentile summary used in SLO reports.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "serve/workload.hpp"
+
+namespace parsssp {
+namespace {
+
+TEST(Workload, StreamsAreDeterministic) {
+  WorkloadConfig config;
+  config.num_queries = 200;
+  config.rate_qps = 1000;
+  config.dist = RootDist::kZipf;
+  config.seed = 42;
+  const auto a = make_open_loop_stream(config, 1 << 10);
+  const auto b = make_open_loop_stream(config, 1 << 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].root, b[i].root);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+  config.seed = 43;
+  const auto c = make_open_loop_stream(config, 1 << 10);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs = differs || a[i].root != c[i].root;
+  }
+  EXPECT_TRUE(differs) << "different seeds must give different streams";
+}
+
+TEST(Workload, OpenLoopArrivalsAreMonotoneAtRoughlyTheRequestedRate) {
+  WorkloadConfig config;
+  config.num_queries = 2000;
+  config.rate_qps = 500;
+  const auto stream = make_open_loop_stream(config, 1 << 12);
+  ASSERT_EQ(stream.size(), 2000u);
+  double prev = -1;
+  for (const auto& ev : stream) {
+    EXPECT_GE(ev.arrival_s, prev);
+    prev = ev.arrival_s;
+  }
+  // Poisson arrivals: total span ~ n/rate = 4s; allow a wide band.
+  EXPECT_GT(stream.back().arrival_s, 2.0);
+  EXPECT_LT(stream.back().arrival_s, 8.0);
+}
+
+TEST(Workload, ClosedLoopArrivalsAreAllZero) {
+  WorkloadConfig config;
+  config.num_queries = 50;
+  config.rate_qps = 0;
+  for (const auto& ev : make_open_loop_stream(config, 1 << 8)) {
+    EXPECT_EQ(ev.arrival_s, 0.0);
+  }
+}
+
+TEST(Workload, RootsComeFromTheConfiguredDomain) {
+  WorkloadConfig config;
+  config.num_queries = 500;
+  config.num_roots_domain = 8;
+  const auto stream = make_open_loop_stream(config, 1 << 12);
+  std::unordered_map<vid_t, std::size_t> counts;
+  for (const auto& ev : stream) {
+    EXPECT_LT(ev.root, vid_t{1} << 12);
+    ++counts[ev.root];
+  }
+  EXPECT_LE(counts.size(), 8u);
+  EXPECT_GE(counts.size(), 2u);
+}
+
+TEST(Workload, ZipfIsMoreSkewedThanUniform) {
+  const auto top_share = [](RootDist dist) {
+    WorkloadConfig config;
+    config.num_queries = 4000;
+    config.num_roots_domain = 64;
+    config.dist = dist;
+    config.zipf_s = 1.2;
+    const auto stream = make_open_loop_stream(config, 1 << 12);
+    std::unordered_map<vid_t, std::size_t> counts;
+    for (const auto& ev : stream) ++counts[ev.root];
+    std::size_t best = 0;
+    for (const auto& [root, n] : counts) best = std::max(best, n);
+    return static_cast<double>(best) / static_cast<double>(stream.size());
+  };
+  const double uniform = top_share(RootDist::kUniform);
+  const double zipf = top_share(RootDist::kZipf);
+  EXPECT_GT(zipf, 2 * uniform)
+      << "zipf top root share " << zipf << " vs uniform " << uniform;
+}
+
+TEST(Workload, PercentileStatsOrderStatistics) {
+  std::vector<double> latencies;
+  for (int i = 100; i >= 1; --i) latencies.push_back(i * 1e-3);  // unsorted
+  const LatencyStats stats = percentile_stats(std::move(latencies));
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_NEAR(stats.mean, 0.0505, 1e-9);
+  EXPECT_NEAR(stats.p50, 0.050, 1.5e-3);
+  EXPECT_NEAR(stats.p95, 0.095, 1.5e-3);
+  EXPECT_NEAR(stats.p99, 0.099, 1.5e-3);
+  EXPECT_NEAR(stats.max, 0.100, 1e-9);
+
+  const LatencyStats empty = percentile_stats({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.max, 0.0);
+}
+
+}  // namespace
+}  // namespace parsssp

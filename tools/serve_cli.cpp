@@ -1,0 +1,331 @@
+// Load driver for the query-serving subsystem: replays a synthetic query
+// stream against a QueryEngine and reports throughput, batching, cache and
+// latency-SLO statistics.
+//
+//   serve_cli [options]
+//     --family rmat1|rmat2      synthetic family (default rmat1)
+//     --scale N                 log2 vertices (default 12)
+//     --edge-factor N           undirected edges per vertex (default 16)
+//     --algo NAME               dijkstra|bf|del|prune|opt (default del)
+//     --delta N                 bucket width (default 25)
+//     --ranks N                 simulated ranks (default 8)
+//     --lanes N                 worker lanes per rank (default 1)
+//     --queries N               stream length (default 200)
+//     --rate QPS                open-loop arrival rate; 0 = closed loop
+//                               (default 0)
+//     --dist uniform|zipf       root popularity (default zipf)
+//     --zipf-s S                Zipf exponent (default 1.2)
+//     --domain N                distinct candidate roots (default 64)
+//     --batch N                 max queries per batch (default 8)
+//     --window-us N             batch-window deadline in us (default 200)
+//     --cache N                 result-cache capacity; 0 disables
+//                               (default 1024)
+//     --slo-p99-ms X            fail (exit 1) if p99 latency exceeds X ms
+//     --json PATH               also write the report as JSON
+//     --seed N                  stream + generator seed (default 1)
+//
+// Latency is measured per query from submit to completion; under an
+// open-loop rate the driver sleeps queries into the engine at their
+// scheduled arrival times, so queueing delay is part of the number (that
+// is the point of an open-loop driver: overload shows up as latency, not
+// as a slower offered rate).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/stats_io.hpp"
+#include "bench_util/table.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using namespace parsssp;
+
+struct CliConfig {
+  std::string family = "rmat1";
+  std::uint32_t scale = 12;
+  std::uint32_t edge_factor = 16;
+  std::string algo = "del";
+  std::uint32_t delta = 25;
+  rank_t ranks = 8;
+  unsigned lanes = 1;
+  WorkloadConfig workload{.num_queries = 200,
+                          .rate_qps = 0,
+                          .dist = RootDist::kZipf,
+                          .zipf_s = 1.2,
+                          .num_roots_domain = 64,
+                          .seed = 1};
+  std::size_t max_batch = 8;
+  std::uint64_t window_us = 200;
+  std::size_t cache = 1024;
+  double slo_p99_ms = 0;  // 0 = no SLO gate
+  std::string json_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--family rmat1|rmat2] [--scale N] "
+               "[--edge-factor N] [--algo NAME] [--delta N] [--ranks N] "
+               "[--lanes N] [--queries N] [--rate QPS] [--dist uniform|zipf] "
+               "[--zipf-s S] [--domain N] [--batch N] [--window-us N] "
+               "[--cache N] [--slo-p99-ms X] [--json PATH] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliConfig parse_args(int argc, char** argv) {
+  CliConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--family") {
+      cfg.family = value();
+    } else if (arg == "--scale") {
+      cfg.scale = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--edge-factor") {
+      cfg.edge_factor = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--algo") {
+      cfg.algo = value();
+    } else if (arg == "--delta") {
+      cfg.delta = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--ranks") {
+      cfg.ranks = static_cast<rank_t>(std::atoi(value()));
+    } else if (arg == "--lanes") {
+      cfg.lanes = static_cast<unsigned>(std::atoi(value()));
+    } else if (arg == "--queries") {
+      cfg.workload.num_queries = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--rate") {
+      cfg.workload.rate_qps = std::atof(value());
+    } else if (arg == "--dist") {
+      const std::string d = value();
+      if (d == "uniform") {
+        cfg.workload.dist = RootDist::kUniform;
+      } else if (d == "zipf") {
+        cfg.workload.dist = RootDist::kZipf;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--zipf-s") {
+      cfg.workload.zipf_s = std::atof(value());
+    } else if (arg == "--domain") {
+      cfg.workload.num_roots_domain =
+          static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--batch") {
+      cfg.max_batch = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--window-us") {
+      cfg.window_us = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--cache") {
+      cfg.cache = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--slo-p99-ms") {
+      cfg.slo_p99_ms = std::atof(value());
+    } else if (arg == "--json") {
+      cfg.json_path = value();
+    } else if (arg == "--seed") {
+      cfg.workload.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return cfg;
+}
+
+SsspOptions make_options(const CliConfig& cfg) {
+  if (cfg.algo == "dijkstra") return SsspOptions::dijkstra();
+  if (cfg.algo == "bf") return SsspOptions::bellman_ford();
+  if (cfg.algo == "del") return SsspOptions::del(cfg.delta);
+  if (cfg.algo == "prune") return SsspOptions::prune(cfg.delta);
+  if (cfg.algo == "opt") return SsspOptions::opt(cfg.delta);
+  std::fprintf(stderr, "unknown --algo %s\n", cfg.algo.c_str());
+  std::exit(2);
+}
+
+struct ReplayReport {
+  double elapsed_s = 0;
+  double queries_per_s = 0;
+  double aggregate_gteps = 0;  ///< wall-clock edges*queries/elapsed
+  LatencyStats latency;
+  ServeStats stats;
+};
+
+ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
+                    const SsspOptions& options, std::uint64_t edges) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<Clock::time_point> submitted;
+  futures.reserve(stream.size());
+  submitted.reserve(stream.size());
+
+  const auto start = Clock::now();
+  for (const QueryEvent& ev : stream) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(ev.arrival_s));
+    if (due > Clock::now()) std::this_thread::sleep_until(due);
+    submitted.push_back(Clock::now());
+    futures.push_back(engine.submit(ev.root, options));
+  }
+
+  ReplayReport report;
+  std::vector<double> latencies;
+  latencies.reserve(stream.size());
+  Clock::time_point last_done = start;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult r = futures[i].get();
+    latencies.push_back(
+        std::chrono::duration<double>(r.completed_at - submitted[i]).count());
+    last_done = std::max(last_done, r.completed_at);
+  }
+  report.elapsed_s = std::chrono::duration<double>(last_done - start).count();
+  report.queries_per_s =
+      report.elapsed_s > 0
+          ? static_cast<double>(stream.size()) / report.elapsed_s
+          : 0;
+  report.aggregate_gteps = report.elapsed_s > 0
+                               ? static_cast<double>(edges) *
+                                     static_cast<double>(stream.size()) /
+                                     report.elapsed_s / 1e9
+                               : 0;
+  report.latency = percentile_stats(std::move(latencies));
+  report.stats = engine.stats();
+  return report;
+}
+
+void write_report_json(std::ostream& out, const CliConfig& cfg,
+                       const CsrGraph& g, const ReplayReport& r,
+                       bool slo_pass) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("bench", std::string_view{"serve_cli"});
+  w.field("family", std::string_view{cfg.family});
+  w.field("scale", std::uint64_t{cfg.scale});
+  w.field("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+  w.field("edges", static_cast<std::uint64_t>(g.num_undirected_edges()));
+  w.field("algo", std::string_view{cfg.algo});
+  w.field("delta", std::uint64_t{cfg.delta});
+  w.field("ranks", std::uint64_t{cfg.ranks});
+  w.field("lanes", std::uint64_t{cfg.lanes});
+  w.field("queries", static_cast<std::uint64_t>(cfg.workload.num_queries));
+  w.field("rate_qps", cfg.workload.rate_qps);
+  w.field("dist", std::string_view{cfg.workload.dist == RootDist::kZipf
+                                       ? "zipf"
+                                       : "uniform"});
+  w.field("zipf_s", cfg.workload.zipf_s);
+  w.field("root_domain",
+          static_cast<std::uint64_t>(cfg.workload.num_roots_domain));
+  w.field("max_batch", static_cast<std::uint64_t>(cfg.max_batch));
+  w.field("batch_window_us", cfg.window_us);
+  w.field("cache_capacity", static_cast<std::uint64_t>(cfg.cache));
+  w.field("seed", cfg.workload.seed);
+
+  w.field("elapsed_s", r.elapsed_s);
+  w.field("queries_per_s", r.queries_per_s);
+  w.field("aggregate_gteps_wall", r.aggregate_gteps);
+  w.field("latency_mean_s", r.latency.mean);
+  w.field("latency_p50_s", r.latency.p50);
+  w.field("latency_p95_s", r.latency.p95);
+  w.field("latency_p99_s", r.latency.p99);
+  w.field("latency_max_s", r.latency.max);
+
+  w.field("batches", r.stats.batches);
+  w.begin_array("batch_size_histogram");
+  for (const auto count : r.stats.batch_size_histogram) {
+    w.value(static_cast<double>(count));
+  }
+  w.end_array();
+  w.field("single_solves", r.stats.single_solves);
+  w.field("multi_sweeps", r.stats.multi_sweeps);
+  w.field("cache_hits", r.stats.cache.hits);
+  w.field("cache_misses", r.stats.cache.misses);
+  w.field("cache_evictions", r.stats.cache.evictions);
+  w.field("cache_hit_rate", r.stats.cache.hit_rate());
+
+  w.field("slo_p99_ms", cfg.slo_p99_ms);
+  w.field("slo_pass", slo_pass);
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliConfig cfg = parse_args(argc, argv);
+  const RmatFamily family =
+      cfg.family == "rmat2" ? RmatFamily::kRmat2 : RmatFamily::kRmat1;
+  RmatConfig gen = family_config(family, cfg.scale, cfg.workload.seed);
+  gen.edge_factor = cfg.edge_factor;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(gen));
+  const SsspOptions options = make_options(cfg);
+
+  ServeConfig serve;
+  serve.machine.num_ranks = cfg.ranks;
+  serve.machine.lanes_per_rank = cfg.lanes;
+  serve.max_batch = cfg.max_batch;
+  serve.batch_window = std::chrono::microseconds(cfg.window_us);
+  serve.cache_capacity = cfg.cache;
+  QueryEngine engine(g, serve);
+
+  const auto stream = make_open_loop_stream(cfg.workload, g.num_vertices());
+  const ReplayReport report =
+      replay(engine, stream, options, g.num_undirected_edges());
+
+  const bool slo_pass =
+      cfg.slo_p99_ms <= 0 || report.latency.p99 * 1e3 <= cfg.slo_p99_ms;
+
+  TextTable table("serve_cli: " + cfg.family + " scale " +
+                  std::to_string(cfg.scale) + ", " + cfg.algo + ", " +
+                  std::to_string(cfg.ranks) + " ranks");
+  table.set_header({"metric", "value"});
+  table.add_row({"queries", TextTable::num(
+                                static_cast<std::uint64_t>(stream.size()))});
+  table.add_row({"elapsed (s)", TextTable::num(report.elapsed_s, 4)});
+  table.add_row({"queries/s", TextTable::num(report.queries_per_s, 4)});
+  table.add_row(
+      {"aggregate GTEPS (wall)", TextTable::num(report.aggregate_gteps, 4)});
+  table.add_row({"latency p50 (ms)",
+                 TextTable::num(report.latency.p50 * 1e3, 4)});
+  table.add_row({"latency p95 (ms)",
+                 TextTable::num(report.latency.p95 * 1e3, 4)});
+  table.add_row({"latency p99 (ms)",
+                 TextTable::num(report.latency.p99 * 1e3, 4)});
+  table.add_row({"batches", TextTable::num(report.stats.batches)});
+  table.add_row({"multi sweeps", TextTable::num(report.stats.multi_sweeps)});
+  table.add_row({"single solves",
+                 TextTable::num(report.stats.single_solves)});
+  table.add_row({"cache hit rate",
+                 TextTable::num(report.stats.cache.hit_rate(), 4)});
+  table.print(std::cout);
+
+  std::cout << "batch size histogram:";
+  for (std::size_t s = 1; s < report.stats.batch_size_histogram.size(); ++s) {
+    if (report.stats.batch_size_histogram[s] > 0) {
+      std::cout << "  " << s << ":" << report.stats.batch_size_histogram[s];
+    }
+  }
+  std::cout << "\n";
+  if (cfg.slo_p99_ms > 0) {
+    std::cout << "SLO p99 <= " << cfg.slo_p99_ms << " ms: "
+              << (slo_pass ? "PASS" : "FAIL") << "\n";
+  }
+
+  if (!cfg.json_path.empty()) {
+    std::ofstream out(cfg.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
+      return 2;
+    }
+    write_report_json(out, cfg, g, report, slo_pass);
+    std::cout << "wrote " << cfg.json_path << "\n";
+  }
+  return slo_pass ? 0 : 1;
+}
