@@ -19,7 +19,12 @@ enforce (see docs/STATIC_ANALYSIS.md):
   R6  serving-layer isolation: src/serve/ may consume the runtime only
       through its session facade (machine_session.hpp, service_thread.hpp,
       partition.hpp) and must not name the raw Machine or ThreadPool — the
-      serving layer schedules work, it never owns threads.
+      serving layer schedules work, it never owns threads;
+  R7  engine hot paths (the files listed in ENGINE_HOT_PATHS) must not
+      build nested vector-of-vector send buffers of message types — relax
+      emission goes through SendBufferPool so buffers are pooled and
+      exchanged zero-copy (docs/PERFORMANCE.md); the seed's per-phase
+      std::vector<std::vector<RelaxMsg>> churn must not creep back in.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -49,6 +54,12 @@ PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
 RUNTIME_INCLUDE = re.compile(r'#\s*include\s+"runtime/([^"]+)"')
 SERVE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b")
+# R7: a nested vector whose inner element is a message type (RelaxMsg,
+# PullReqMsg, BfsMsg, MultiRelaxMsg, ...). Deliberately narrow: nested
+# vectors of non-message types (per-slot engine state like
+# vector<vector<char>>) are legitimate and must not fire.
+NESTED_MSG_VECTOR = re.compile(
+    r"std::vector<\s*std::vector<\s*\w*Msg\s*>")
 
 # Files allowed to spawn threads: the simulated machine's runtime and the
 # tests/benches that exercise it directly.
@@ -60,6 +71,18 @@ THREAD_ALLOWED_DIRS = ("tests/", "bench/")
 # off-limits to the serving layer.
 SERVE_ALLOWED_RUNTIME_INCLUDES = frozenset(
     {"machine_session.hpp", "service_thread.hpp", "partition.hpp"})
+
+# R7 applies to the engine hot paths — the files whose relax emission the
+# pooled data path rebuilt. The generic plumbing (RankCtx::exchange_merged,
+# SendBufferPool::merged) legitimately names vector<vector<T>>; engines may
+# only reach it through a SendBufferPool.
+ENGINE_HOT_PATHS = frozenset({
+    "src/core/delta_engine.cpp",
+    "src/core/delta_engine.hpp",
+    "src/core/bfs_engine.cpp",
+    "src/core/multi_engine.cpp",
+    "src/core/multi_engine.hpp",
+})
 
 
 def strip_comments(text: str) -> list[str]:
@@ -157,6 +180,11 @@ def lint_text(rel: str, raw: str) -> list[str]:
                 err(lineno, "R6",
                     "src/serve/ must not name Machine or ThreadPool — "
                     "consume MachineSession instead")
+        if rel in ENGINE_HOT_PATHS and NESTED_MSG_VECTOR.search(line):
+            err(lineno, "R7",
+                "nested vector-of-vector send buffer of a message type in "
+                "an engine hot path — emit into a SendBufferPool shard "
+                "(docs/PERFORMANCE.md)")
 
     return errors
 

@@ -105,6 +105,29 @@ expect("src/core/solver.cpp", "Machine machine(config);\n", [],
 expect("src/serve/query_engine.cpp", "// Machine is off-limits here\n", [],
        "R6 ignores comments")
 
+# --- R7: no nested send buffers in engine hot paths -----------------------
+expect("src/core/delta_engine.cpp",
+       "std::vector<std::vector<RelaxMsg>> out(ranks);\n", ["R7"],
+       "R7 fires on a nested RelaxMsg buffer in the delta engine")
+expect("src/core/bfs_engine.cpp",
+       "auto buf = std::vector<std::vector<BfsMsg>>(ranks);\n", ["R7"],
+       "R7 fires on a nested BfsMsg buffer in the bfs engine")
+expect("src/core/multi_engine.cpp",
+       "std::vector< std::vector< MultiRelaxMsg > > out;\n", ["R7"],
+       "R7 fires with interior whitespace")
+expect("src/core/multi_engine.cpp",
+       "std::vector<std::vector<char>> settled_;\n", [],
+       "R7 ignores nested vectors of non-message engine state")
+expect("src/core/delta_engine.cpp",
+       "std::vector<RelaxMsg>& shard = relax_pool_.shard(lane, d);\n", [],
+       "R7 ignores flat message vectors (pool shards)")
+expect("src/runtime/machine.hpp",
+       HEADER + "std::vector<std::vector<RelaxMsg>> out(ranks);\n", [],
+       "R7 is scoped to the engine hot-path files")
+expect("src/core/delta_engine.cpp",
+       "// std::vector<std::vector<RelaxMsg>> was the seed's shape\n", [],
+       "R7 ignores comments")
+
 # --- the real tree must be clean (catches rule/code drift) ----------------
 REPO = Path(__file__).resolve().parent.parent
 for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
@@ -116,6 +139,17 @@ for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
     errors = lint.lint_text(rel, path.read_text(encoding="utf-8"))
     if errors:
         FAILURES.append(f"{rel} violates its own layering rules: {errors}")
+
+# The engines themselves must satisfy R7 (the pooled data path is not
+# allowed to regress into per-phase nested buffers).
+for rel in sorted(lint.ENGINE_HOT_PATHS):
+    path = REPO / rel
+    if not path.is_file():
+        FAILURES.append(f"expected engine source {rel} to exist")
+        continue
+    errors = lint.lint_text(rel, path.read_text(encoding="utf-8"))
+    if errors:
+        FAILURES.append(f"{rel} violates the hot-path rules: {errors}")
 
 
 def main() -> int:

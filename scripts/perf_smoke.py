@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Non-flaky perf smoke over the micro-kernel benchmark pairs.
+
+Reads a google-benchmark JSON file (BENCH_micro_kernels.json, written by
+``scripts/reproduce.sh --micro``) and checks that the pooled relax data
+path is not slower than the seed path it replaced. Thresholds are
+deliberately loose — CI machines are noisy, virtualized, and sometimes
+single-core — so this guards against catastrophic regressions (the pooled
+path accidentally re-growing allocation churn or copies), not against
+single-digit-percent drift. The tight >= 1.3x acceptance numbers are
+measured locally and recorded in docs/PERFORMANCE.md, not enforced here.
+
+Usage: scripts/perf_smoke.py [BENCH_micro_kernels.json]
+Exit status 0 = pass, 1 = regression, 2 = malformed/missing input.
+"""
+
+import json
+import sys
+
+# (seed benchmark, pooled benchmark, minimum required seed/pooled wall-time
+# ratio). 0.90 tolerates ~10% adverse noise; a genuine regression of the
+# pooled path shows up as a ratio far below that (the local pairs sit at
+# 1.4x-2.5x).
+PAIRS = [
+    ("BM_RelaxExchangeSeed", "BM_RelaxExchangePooled", 0.90),
+    ("BM_RelaxApplySeed", "BM_RelaxApplyPooled", 0.90),
+    ("BM_SolveOptSeedPath", "BM_SolveOptPooledPath", 0.85),
+]
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_micro_kernels.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_smoke: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+
+    failures = 0
+    for seed, pooled, floor in PAIRS:
+        if seed not in times or pooled not in times:
+            print(f"perf_smoke: missing pair {seed} / {pooled} in {path}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        ratio = times[seed] / times[pooled] if times[pooled] > 0 else 0.0
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        print(f"perf_smoke: {seed} / {pooled} = {ratio:.2f}x "
+              f"(floor {floor:.2f}x) {verdict}")
+        if ratio < floor:
+            failures += 1
+
+    if failures:
+        print(f"perf_smoke: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("perf_smoke: all pairs within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,17 +13,36 @@
 #                                   (bench/serve_throughput), writing
 #                                   BENCH_serve_throughput.json at the repo
 #                                   root and failing if its comparisons fail
+#   scripts/reproduce.sh --micro    only build + run bench/micro_kernels,
+#                                   writing BENCH_micro_kernels.json at the
+#                                   repo root and failing if the data-path
+#                                   perf smoke (scripts/perf_smoke.py)
+#                                   detects a regression
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SERVE=0
+MICRO=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
-    *) echo "usage: scripts/reproduce.sh [--serve]" >&2; exit 2 ;;
+    --micro) MICRO=1 ;;
+    *) echo "usage: scripts/reproduce.sh [--serve] [--micro]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$MICRO" -eq 1 ]; then
+  # Fast path for CI perf smoke: no test sweep, no figure benches.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target micro_kernels
+  ./build/bench/micro_kernels \
+    --benchmark_out=BENCH_micro_kernels.json \
+    --benchmark_out_format=json
+  python3 scripts/perf_smoke.py BENCH_micro_kernels.json
+  echo "wrote BENCH_micro_kernels.json"
+  exit 0
+fi
 
 scripts/check.sh --quick 2>&1 | tee test_output.txt
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "runtime/send_buffer_pool.hpp"
+
 namespace parsssp {
 namespace {
 
@@ -79,6 +81,17 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
       frontier.push_back(root - begin);
     }
 
+    // Pooled exchange buffers: top-down discovery messages and bottom-up
+    // frontier bitmaps. One emission lane (BFS generates serially); the
+    // reference path drops capacity every step so the baseline pays the
+    // seed's churn.
+    SendBufferPool<BfsMsg> msg_pool;
+    SendBufferPool<std::uint64_t> bitmap_pool;
+    SenderReducer<unsigned char> dedup;
+    msg_pool.configure(1, ranks);
+    bitmap_pool.configure(1, ranks);
+    const bool reference = options.data_path == DataPath::kReference;
+
     std::uint64_t cur = 0;
     bool bottom_up = false;
     for (;;) {
@@ -112,20 +125,43 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
       if (!bottom_up) {
         // Top-down: message per frontier out-edge (the SSSP push analogue).
         ++out.top_down;
-        std::vector<std::vector<BfsMsg>> msgs(ranks);
+        if (reference) msg_pool.release();
+        msg_pool.begin_phase();
         std::uint64_t emitted = 0;
         for (const vid_t u : frontier) {
           const vid_t gu = begin + u;
           for (const Arc& a : graph_.neighbors(gu)) {
-            msgs[part_.owner(a.to)].push_back({a.to, gu});
+            msg_pool.shard(0, part_.owner(a.to)).push_back({a.to, gu});
             ++emitted;
           }
         }
         out.edges_examined += emitted;
-        const auto in = ctx.exchange(std::move(msgs),
-                                     PhaseKind::kShortPhase);
+        std::uint64_t posted = emitted;
+        if (reference) {
+          ctx.exchange_merged(msg_pool, PhaseKind::kShortPhase);
+        } else {
+          if (options.sender_reduction) {
+            // Keep-first dedup per destination vertex: a later message for
+            // an already-messaged vertex can never win the level or the
+            // parent (the receiver keeps the first arrival), so dropping
+            // it is exact.
+            dedup.ensure(part_.block_size());
+            for (rank_t d = 0; d < ranks; ++d) {
+              const vid_t dest_begin = part_.begin(d);
+              dedup.begin_dest();
+              dedup.reduce(
+                  msg_pool.shard(0, d),
+                  [dest_begin](const BfsMsg& m) {
+                    return static_cast<std::size_t>(m.v - dest_begin);
+                  },
+                  [](const BfsMsg&) { return static_cast<unsigned char>(0); });
+            }
+          }
+          posted = msg_pool.pending_messages();
+          ctx.exchange_pooled(msg_pool, PhaseKind::kShortPhase);
+        }
         std::uint64_t applied = 0;
-        for (const auto& batch : in) {
+        for (const auto& batch : msg_pool.incoming()) {
           applied += batch.size();
           for (const BfsMsg& m : batch) {
             const vid_t lv = m.v - begin;
@@ -136,7 +172,7 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
           }
         }
         const BfsReduce red = ctx.allreduce(
-            BfsReduce{0, 0, 0, emitted + applied, emitted * sizeof(BfsMsg)},
+            BfsReduce{0, 0, 0, emitted + applied, posted * sizeof(BfsMsg)},
             BfsReduceOp{});
         out.model_ns += cost.step_cost(red.max_work, red.max_bytes);
       } else {
@@ -148,13 +184,23 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
         for (const vid_t u : frontier) {
           my_bits[u / 64] |= std::uint64_t{1} << (u % 64);
         }
-        std::vector<std::vector<std::uint64_t>> bitmap_out(ranks);
-        for (rank_t d = 0; d < ranks; ++d) bitmap_out[d] = my_bits;
-        const auto bitmap_in =
-            ctx.exchange(std::move(bitmap_out), PhaseKind::kPullRequest);
-        for (rank_t s = 0; s < ranks; ++s) {
-          std::copy(bitmap_in[s].begin(), bitmap_in[s].end(),
-                    global_bits.begin() + s * words_per_rank);
+        if (reference) bitmap_pool.release();
+        bitmap_pool.begin_phase();
+        for (rank_t d = 0; d < ranks; ++d) {
+          bitmap_pool.shard(0, d).assign(my_bits.begin(), my_bits.end());
+        }
+        if (reference) {
+          ctx.exchange_merged(bitmap_pool, PhaseKind::kPullRequest);
+        } else {
+          ctx.exchange_pooled(bitmap_pool, PhaseKind::kPullRequest);
+        }
+        // Incoming batches carry their source rank, which fixes each
+        // bitmap slice's position in the replicated frontier.
+        const auto& bitmap_in = bitmap_pool.incoming();
+        const auto& bitmap_src = bitmap_pool.incoming_sources();
+        for (std::size_t i = 0; i < bitmap_in.size(); ++i) {
+          std::copy(bitmap_in[i].begin(), bitmap_in[i].end(),
+                    global_bits.begin() + bitmap_src[i] * words_per_rank);
         }
         auto in_frontier = [&](vid_t g) {
           const rank_t owner = part_.owner(g);

@@ -71,6 +71,13 @@ DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
   settled_.assign(nloc_, 0);
   member_stamp_.assign(nloc_, kInfBucket);
   in_frontier_.assign(nloc_, 0);
+
+  const unsigned lanes = ctx_.pool().lanes();
+  relax_pool_.configure(lanes, ctx_.num_ranks());
+  req_pool_.configure(1, ctx_.num_ranks());
+  lane_emitted_.resize(lanes);
+  lane_load_.resize(lanes);
+  lane_inserts_.resize(lanes);
 }
 
 bool DeltaEngine::any_active_globally(bool local_active) {
@@ -98,13 +105,72 @@ std::uint64_t DeltaEngine::next_bucket(std::int64_t after) {
   return ctx_.allreduce(local, MinOp{});
 }
 
-std::uint64_t DeltaEngine::apply_relaxations(
-    const std::vector<std::vector<RelaxMsg>>& batches,
-    std::uint64_t frontier_k) {
+void DeltaEngine::begin_relax_emit() {
+  if (sh_.options->data_path == DataPath::kReference) {
+    // The baseline pays the seed's churn: fresh allocations every phase.
+    relax_pool_.release();
+  }
+  relax_pool_.begin_phase();
+  for (auto& e : lane_emitted_) e.value = 0;
+}
+
+std::pair<std::uint64_t, std::uint64_t> DeltaEngine::emit_totals() const {
+  std::uint64_t emitted = 0;
+  std::uint64_t max_lane = 0;
+  for (const auto& e : lane_emitted_) {
+    emitted += e.value;
+    max_lane = std::max(max_lane, e.value);
+  }
+  return {emitted, max_lane};
+}
+
+std::uint64_t DeltaEngine::relax_exchange(PhaseKind kind,
+                                          bool allow_reduction) {
+  const SsspOptions& o = *sh_.options;
+  if (o.data_path == DataPath::kReference) {
+    const std::uint64_t posted = relax_pool_.pending_messages();
+    ctx_.exchange_merged(relax_pool_, kind);
+    return posted;
+  }
+  if (o.sender_reduction && allow_reduction) {
+    const rank_t ranks = ctx_.num_ranks();
+    const unsigned lanes = relax_pool_.lanes();
+    reducer_.ensure(sh_.part.block_size());
+    for (rank_t d = 0; d < ranks; ++d) {
+      const vid_t dest_begin = sh_.part.begin(d);
+      reducer_.begin_dest();
+      for (unsigned l = 0; l < lanes; ++l) {
+        reducer_.reduce(
+            relax_pool_.shard(l, d),
+            [dest_begin](const RelaxMsg& m) {
+              return static_cast<std::size_t>(m.v - dest_begin);
+            },
+            [](const RelaxMsg& m) { return m.nd; });
+      }
+    }
+  }
+  const std::uint64_t posted = relax_pool_.pending_messages();
+  ctx_.exchange_pooled(relax_pool_, kind);
+  return posted;
+}
+
+std::uint64_t DeltaEngine::apply_incoming(std::uint64_t frontier_k,
+                                          InsertMode mode) {
+  std::uint64_t total = 0;
+  for (const auto& batch : relax_pool_.incoming()) total += batch.size();
+  const SsspOptions& o = *sh_.options;
+  if (o.data_path == DataPath::kPooled && o.parallel_apply &&
+      ctx_.pool().lanes() > 1 && total != 0) {
+    apply_parallel(frontier_k, mode);
+  } else {
+    apply_serial(frontier_k, mode);
+  }
+  return total;
+}
+
+void DeltaEngine::apply_serial(std::uint64_t frontier_k, InsertMode mode) {
   const std::uint32_t delta = sh_.options->delta;
-  std::uint64_t applied = 0;
-  for (const auto& batch : batches) {
-    applied += batch.size();
+  for (const auto& batch : relax_pool_.incoming()) {
     for (const RelaxMsg& m : batch) {
       const vid_t local = to_local(m.v);
       assert(local < nloc_);
@@ -112,21 +178,81 @@ std::uint64_t DeltaEngine::apply_relaxations(
       assert(!settled_[local] && "relaxation improved a settled vertex");
       dist_[local] = m.nd;
       if (!parent_.empty()) parent_[local] = m.pred;
-      if (frontier_k != kInfBucket && !in_frontier_[local] &&
-          bucket_of(m.nd, delta) == frontier_k) {
-        in_frontier_[local] = 1;
-        frontier_.push_back(local);
+      if (mode == InsertMode::kNone || in_frontier_[local]) continue;
+      if (mode == InsertMode::kBucket &&
+          bucket_of(m.nd, delta) != frontier_k) {
+        continue;
       }
+      in_frontier_[local] = 1;
+      frontier_.push_back(local);
     }
   }
-  return applied;
+}
+
+void DeltaEngine::apply_parallel(std::uint64_t frontier_k, InsertMode mode) {
+  const std::uint32_t delta = sh_.options->delta;
+  const auto& batches = relax_pool_.incoming();
+  const unsigned lanes = ctx_.pool().lanes();
+
+  // Canonical index of each batch's first message, so lanes can tag their
+  // frontier inserts with stream positions.
+  batch_offsets_.resize(batches.size());
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    batch_offsets_[i] = offset;
+    offset += batches[i].size();
+  }
+
+  // Each lane owns a contiguous destination-vertex range: dist_/parent_/
+  // in_frontier_ writes are disjoint by construction, no atomics needed
+  // (the shared-memory analogue of the paper's L2-atomic relaxation).
+  const vid_t chunk = (nloc_ + lanes - 1) / lanes;
+  ctx_.pool().run_on_lanes([&](unsigned lane) {
+    const vid_t lo = std::min<vid_t>(nloc_, lane * chunk);
+    const vid_t hi = std::min<vid_t>(nloc_, lo + chunk);
+    auto& inserts = lane_inserts_[lane].value;
+    inserts.clear();
+    if (lo >= hi) return;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const auto& batch = batches[i];
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        const RelaxMsg& m = batch[j];
+        const vid_t local = to_local(m.v);
+        assert(local < nloc_);
+        if (local < lo || local >= hi) continue;
+        if (m.nd >= dist_[local]) continue;
+        assert(!settled_[local] && "relaxation improved a settled vertex");
+        dist_[local] = m.nd;
+        if (!parent_.empty()) parent_[local] = m.pred;
+        if (mode == InsertMode::kNone || in_frontier_[local]) continue;
+        if (mode == InsertMode::kBucket &&
+            bucket_of(m.nd, delta) != frontier_k) {
+          continue;
+        }
+        in_frontier_[local] = 1;
+        inserts.emplace_back(batch_offsets_[i] + j, local);
+      }
+    }
+  });
+
+  if (mode == InsertMode::kNone) return;
+  // Frontier order is observable (it decides next phase's emission order,
+  // hence equal-distance parent tie-breaks downstream): merge the per-lane
+  // logs by canonical message index to reproduce the serial insert order.
+  merged_inserts_.clear();
+  for (unsigned l = 0; l < lanes; ++l) {
+    const auto& inserts = lane_inserts_[l].value;
+    merged_inserts_.insert(merged_inserts_.end(), inserts.begin(),
+                           inserts.end());
+  }
+  std::sort(merged_inserts_.begin(), merged_inserts_.end());
+  for (const auto& [idx, v] : merged_inserts_) frontier_.push_back(v);
 }
 
 void DeltaEngine::short_phases(std::uint64_t k) {
   const bool classify = classification_active();
   const bool ios = classify && sh_.options->ios;
   const dist_t limit = classify ? bucket_end(k) : 0;
-  const rank_t ranks = ctx_.num_ranks();
   // With Delta = infinity these "short phases" over all arcs *are* the
   // Bellman-Ford algorithm; attribute the work accordingly.
   const bool bf_regime = sh_.options->bellman_ford_regime();
@@ -148,14 +274,12 @@ void DeltaEngine::short_phases(std::uint64_t k) {
       }
     }
 
-    // Generate relaxations. With classification on, only short arcs are
-    // relaxed here; IOS additionally skips arcs whose proposed distance
-    // falls outside the current bucket (those are outer-short edges,
-    // deferred to the long phase).
+    // Generate relaxations into the pooled shards. With classification on,
+    // only short arcs are relaxed here; IOS additionally skips arcs whose
+    // proposed distance falls outside the current bucket (those are
+    // outer-short edges, deferred to the long phase).
     const unsigned lanes = ctx_.pool().lanes();
-    std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
-        lanes, std::vector<std::vector<RelaxMsg>>(ranks));
-    std::vector<std::uint64_t> lane_emitted(lanes, 0);
+    begin_relax_emit();
     auto arcs_of = [&](vid_t u) {
       return classify ? view_.short_arcs(u) : view_.all_arcs(u);
     };
@@ -164,35 +288,24 @@ void DeltaEngine::short_phases(std::uint64_t k) {
         arcs_of, [&](unsigned lane, vid_t u, const Arc& a) {
           const dist_t nd = dist_[u] + a.w;
           if (ios && nd > limit) return;
-          lane_out[lane][sh_.part.owner(a.to)].push_back(
-              {a.to, nd, to_global(u)});
-          ++lane_emitted[lane];
+          relax_pool_.shard(lane, sh_.part.owner(a.to))
+              .push_back({a.to, nd, to_global(u)});
+          ++lane_emitted_[lane].value;
         });
-    std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
-    for (unsigned l = 1; l < lanes; ++l) {
-      for (rank_t d = 0; d < ranks; ++d) {
-        out[d].insert(out[d].end(), lane_out[l][d].begin(),
-                      lane_out[l][d].end());
-      }
-    }
-    std::uint64_t emitted = 0;
-    std::uint64_t max_lane = 0;
-    for (const auto e : lane_emitted) {
-      emitted += e;
-      max_lane = std::max(max_lane, e);
-    }
+    const auto [emitted, max_lane] = emit_totals();
     relax_counter += emitted;
 
-    const auto in = ctx_.exchange(
-        std::move(out),
-        bf_regime ? PhaseKind::kBellmanFord : PhaseKind::kShortPhase);
-    const std::uint64_t applied = apply_relaxations(in, k);
+    const std::uint64_t posted = relax_exchange(
+        bf_regime ? PhaseKind::kBellmanFord : PhaseKind::kShortPhase,
+        /*allow_reduction=*/true);
+    const std::uint64_t applied = apply_incoming(k, InsertMode::kBucket);
 
     // Modeled rank time is bottlenecked by the busiest lane: generation by
     // the worst lane's emissions, application spread over all lanes (the
-    // paper's L2-atomic relaxations).
+    // paper's L2-atomic relaxations). Bytes are what actually crossed the
+    // wire (post-reduction); the relax count stays the emission count.
     const StepReduce red = account_step(max_lane + applied / lanes,
-                                        emitted * sizeof(RelaxMsg), emitted);
+                                        posted * sizeof(RelaxMsg), emitted);
     if (sh_.options->collect_phase_details) {
       phase_details_.push_back({k, detail_kind, red.sum_relax});
     }
@@ -260,15 +373,11 @@ void DeltaEngine::long_phase_push(std::uint64_t k) {
   const SsspOptions& o = *sh_.options;
   const bool ios = o.ios;
   const dist_t limit = bucket_end(k);
-  const rank_t ranks = ctx_.num_ranks();
   const unsigned lanes = ctx_.pool().lanes();
-
-  std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
-      lanes, std::vector<std::vector<RelaxMsg>>(ranks));
-  std::vector<std::uint64_t> lane_emitted(lanes, 0);
 
   // Long arcs of every settled member; under IOS also the outer-short arcs
   // (short arcs whose proposed distance falls beyond the current bucket).
+  begin_relax_emit();
   lane_parallel_arcs(
       ctx_.pool(), members_, view_, o.heavy_degree_threshold,
       [&](vid_t u) { return view_.all_arcs(u); },
@@ -277,31 +386,23 @@ void DeltaEngine::long_phase_push(std::uint64_t k) {
         if (a.w < o.delta) {               // short arc
           if (!ios || nd <= limit) return;  // inner-short: already relaxed
         }
-        lane_out[lane][sh_.part.owner(a.to)].push_back(
-            {a.to, nd, to_global(u)});
-        ++lane_emitted[lane];
+        relax_pool_.shard(lane, sh_.part.owner(a.to))
+            .push_back({a.to, nd, to_global(u)});
+        ++lane_emitted_[lane].value;
       });
-  std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
-  for (unsigned l = 1; l < lanes; ++l) {
-    for (rank_t d = 0; d < ranks; ++d) {
-      out[d].insert(out[d].end(), lane_out[l][d].begin(), lane_out[l][d].end());
-    }
-  }
-  std::uint64_t emitted = 0;
-  std::uint64_t max_lane = 0;
-  for (const auto e : lane_emitted) {
-    emitted += e;
-    max_lane = std::max(max_lane, e);
-  }
+  const auto [emitted, max_lane] = emit_totals();
   counters_.long_push_relaxations += emitted;
 
-  const auto in = ctx_.exchange(std::move(out), PhaseKind::kLongPush);
+  // Fig 7's receiver-side classification counts every emitted relaxation,
+  // so the diagnostic mode ships the unreduced stream.
+  const std::uint64_t posted = relax_exchange(
+      PhaseKind::kLongPush, /*allow_reduction=*/!o.collect_bucket_details);
 
   // Receiver-side edge classification (Fig 7): destination bucket relative
   // to k, *before* applying the batch.
   if (o.collect_bucket_details) {
     CatReduce cat;
-    for (const auto& batch : in) {
+    for (const auto& batch : relax_pool_.incoming()) {
       for (const RelaxMsg& m : batch) {
         const std::uint64_t b = bucket_of(dist_[to_local(m.v)], o.delta);
         if (b == k) {
@@ -321,11 +422,10 @@ void DeltaEngine::long_phase_push(std::uint64_t k) {
     }
   }
 
-  const std::uint64_t applied = apply_relaxations(in, kInfBucket);
+  const std::uint64_t applied = apply_incoming(kInfBucket, InsertMode::kNone);
   ++phases_;
-  const StepReduce red =
-      account_step(max_lane + applied / lanes, emitted * sizeof(RelaxMsg),
-                   emitted);
+  const StepReduce red = account_step(max_lane + applied / lanes,
+                                      posted * sizeof(RelaxMsg), emitted);
   if (o.collect_phase_details) {
     phase_details_.push_back({k, PhaseDetail::Kind::kLongPush, red.sum_relax});
   }
@@ -333,31 +433,31 @@ void DeltaEngine::long_phase_push(std::uint64_t k) {
 
 void DeltaEngine::long_phase_pull(std::uint64_t k) {
   const SsspOptions& o = *sh_.options;
-  const rank_t ranks = ctx_.num_ranks();
   const dist_t kdelta = k * static_cast<dist_t>(o.delta);
   const unsigned lanes = ctx_.pool().lanes();
+  const bool reference = o.data_path == DataPath::kReference;
 
   // Modeled lane loads. Pull work is attributed to each vertex's owner
   // lane (the paper's fixed thread ownership); with load balancing on,
   // heavy vertices' work is spread round-robin over all lanes instead.
-  std::vector<std::uint64_t> lane_load(lanes, 0);
+  for (auto& l : lane_load_) l.value = 0;
   std::uint64_t spread_cursor = 0;
   auto charge = [&](vid_t local, std::uint64_t units) {
     if (units == 0) return;
     if (o.heavy_degree_threshold != 0 &&
         view_.degree(local) > o.heavy_degree_threshold) {
       for (std::uint64_t i = 0; i < units; ++i) {
-        ++lane_load[spread_cursor++ % lanes];
+        ++lane_load_[spread_cursor++ % lanes].value;
       }
     } else {
-      lane_load[local % lanes] += units;
+      lane_load_[local % lanes].value += units;
     }
   };
   auto take_max_load = [&] {
     std::uint64_t best = 0;
-    for (auto& l : lane_load) {
-      best = std::max(best, l);
-      l = 0;
+    for (auto& l : lane_load_) {
+      best = std::max(best, l.value);
+      l.value = 0;
     }
     return best;
   };
@@ -366,7 +466,10 @@ void DeltaEngine::long_phase_pull(std::uint64_t k) {
   // qualifying neighbours for their distance. Long arcs are weight-sorted,
   // so the qualifying prefix (w < d(v) - k*Delta, eq. (1)) is a range scan;
   // under IOS the short arcs also qualify wholesale (w < Delta <= bound).
-  std::vector<std::vector<PullReqMsg>> req_out(ranks);
+  // Requests are not reducible (each (u, v, w) asks a distinct question),
+  // so they ride the pool purely for buffer reuse and zero-copy transport.
+  if (reference) req_pool_.release();
+  req_pool_.begin_phase();
   std::uint64_t requests = 0;
   for (vid_t v = 0; v < nloc_; ++v) {
     if (settled_[v]) continue;
@@ -377,13 +480,13 @@ void DeltaEngine::long_phase_pull(std::uint64_t k) {
     std::uint64_t sent = 0;
     for (const Arc& a : view_.long_arcs(v)) {
       if (static_cast<dist_t>(a.w) >= bound) break;  // weight-sorted
-      req_out[sh_.part.owner(a.to)].push_back({a.to, gv, a.w});
+      req_pool_.shard(0, sh_.part.owner(a.to)).push_back({a.to, gv, a.w});
       ++sent;
     }
     if (o.ios) {
       for (const Arc& a : view_.short_arcs(v)) {
         if (static_cast<dist_t>(a.w) >= bound) continue;
-        req_out[sh_.part.owner(a.to)].push_back({a.to, gv, a.w});
+        req_pool_.shard(0, sh_.part.owner(a.to)).push_back({a.to, gv, a.w});
         ++sent;
       }
     }
@@ -391,18 +494,21 @@ void DeltaEngine::long_phase_pull(std::uint64_t k) {
     charge(v, sent);
   }
   counters_.pull_requests += requests;
-  const auto req_in = ctx_.exchange(std::move(req_out),
-                                    PhaseKind::kPullRequest);
+  if (reference) {
+    ctx_.exchange_merged(req_pool_, PhaseKind::kPullRequest);
+  } else {
+    ctx_.exchange_pooled(req_pool_, PhaseKind::kPullRequest);
+  }
   std::uint64_t req_received = 0;
-  for (const auto& b : req_in) req_received += b.size();
+  for (const auto& b : req_pool_.incoming()) req_received += b.size();
   const StepReduce red_req = account_step(
       take_max_load() + req_received / lanes + 1,
       requests * sizeof(PullReqMsg), requests);
 
   // Response side: answer only for sources settled in the current bucket.
-  std::vector<std::vector<RelaxMsg>> resp_out(ranks);
+  begin_relax_emit();
   std::uint64_t responses = 0;
-  for (const auto& batch : req_in) {
+  for (const auto& batch : req_pool_.incoming()) {
     for (const PullReqMsg& m : batch) {
       const vid_t lu = to_local(m.u);
       assert(lu < nloc_);
@@ -410,17 +516,18 @@ void DeltaEngine::long_phase_pull(std::uint64_t k) {
       // attract request floods, the very imbalance §III-E addresses.
       charge(lu, 1);
       if (member_stamp_[lu] != epoch_) continue;  // u not in B_k
-      resp_out[sh_.part.owner(m.v)].push_back({m.v, dist_[lu] + m.w, m.u});
+      relax_pool_.shard(0, sh_.part.owner(m.v))
+          .push_back({m.v, dist_[lu] + m.w, m.u});
       ++responses;
     }
   }
   counters_.pull_responses += responses;
-  const auto resp_in =
-      ctx_.exchange(std::move(resp_out), PhaseKind::kPullResponse);
-  const std::uint64_t applied = apply_relaxations(resp_in, kInfBucket);
+  const std::uint64_t resp_posted =
+      relax_exchange(PhaseKind::kPullResponse, /*allow_reduction=*/true);
+  const std::uint64_t applied = apply_incoming(kInfBucket, InsertMode::kNone);
   ++phases_;
   const StepReduce red_resp = account_step(
-      take_max_load() + applied / lanes + 1, responses * sizeof(RelaxMsg),
+      take_max_load() + applied / lanes + 1, resp_posted * sizeof(RelaxMsg),
       responses);
 
   if (o.collect_bucket_details && !bucket_details_.empty() &&
@@ -464,7 +571,6 @@ void DeltaEngine::process_epoch(std::uint64_t k) {
 void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
   switched_ = true;
   switch_bucket_ = from_bucket;
-  const rank_t ranks = ctx_.num_ranks();
 
   {
     Stopwatch sw(counters_.wall_bucket_time_s);
@@ -481,51 +587,25 @@ void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
     for (const vid_t u : active) in_frontier_[u] = 0;
 
     const unsigned lanes = ctx_.pool().lanes();
-    std::vector<std::vector<std::vector<RelaxMsg>>> lane_out(
-        lanes, std::vector<std::vector<RelaxMsg>>(ranks));
-    std::vector<std::uint64_t> lane_emitted(lanes, 0);
+    begin_relax_emit();
     lane_parallel_arcs(
         ctx_.pool(), active, view_, sh_.options->heavy_degree_threshold,
         [&](vid_t u) { return view_.all_arcs(u); },
         [&](unsigned lane, vid_t u, const Arc& a) {
-          lane_out[lane][sh_.part.owner(a.to)].push_back(
-              {a.to, dist_[u] + a.w, to_global(u)});
-          ++lane_emitted[lane];
+          relax_pool_.shard(lane, sh_.part.owner(a.to))
+              .push_back({a.to, dist_[u] + a.w, to_global(u)});
+          ++lane_emitted_[lane].value;
         });
-    std::vector<std::vector<RelaxMsg>> out = std::move(lane_out[0]);
-    for (unsigned l = 1; l < lanes; ++l) {
-      for (rank_t d = 0; d < ranks; ++d) {
-        out[d].insert(out[d].end(), lane_out[l][d].begin(),
-                      lane_out[l][d].end());
-      }
-    }
-    std::uint64_t emitted = 0;
-    std::uint64_t max_lane = 0;
-    for (const auto e : lane_emitted) {
-      emitted += e;
-      max_lane = std::max(max_lane, e);
-    }
+    const auto [emitted, max_lane] = emit_totals();
     counters_.bf_relaxations += emitted;
 
-    const auto in = ctx_.exchange(std::move(out), PhaseKind::kBellmanFord);
+    const std::uint64_t posted =
+        relax_exchange(PhaseKind::kBellmanFord, /*allow_reduction=*/true);
     // Any improved vertex becomes active next round, bucket-agnostic.
-    std::uint64_t applied = 0;
-    for (const auto& batch : in) {
-      applied += batch.size();
-      for (const RelaxMsg& m : batch) {
-        const vid_t local = to_local(m.v);
-        if (m.nd >= dist_[local]) continue;
-        assert(!settled_[local]);
-        dist_[local] = m.nd;
-        if (!parent_.empty()) parent_[local] = m.pred;
-        if (!in_frontier_[local]) {
-          in_frontier_[local] = 1;
-          frontier_.push_back(local);
-        }
-      }
-    }
+    const std::uint64_t applied =
+        apply_incoming(kInfBucket, InsertMode::kAny);
     const StepReduce red = account_step(max_lane + applied / lanes,
-                                        emitted * sizeof(RelaxMsg), emitted);
+                                        posted * sizeof(RelaxMsg), emitted);
     if (sh_.options->collect_phase_details) {
       phase_details_.push_back(
           {from_bucket, PhaseDetail::Kind::kBellmanFord, red.sum_relax});

@@ -13,14 +13,17 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/buckets.hpp"
 #include "core/dist_graph.hpp"
 #include "core/instrumentation.hpp"
 #include "core/options.hpp"
+#include "core/sync.hpp"
 #include "core/types.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/send_buffer_pool.hpp"
 
 namespace parsssp {
 
@@ -93,12 +96,35 @@ class DeltaEngine {
   /// Collective frontier-emptiness check, charged to bucket overhead.
   bool any_active_globally(bool local_active);
 
-  /// Applies a batch of incoming relaxations to owned vertices. When
-  /// `frontier_k` is not kInfBucket, vertices landing in that bucket join
-  /// the frontier. Returns the number of messages applied.
-  std::uint64_t apply_relaxations(
-      const std::vector<std::vector<RelaxMsg>>& batches,
-      std::uint64_t frontier_k);
+  // -- relax data path (docs/PERFORMANCE.md) ------------------------------
+
+  /// What an applied improvement does to the frontier.
+  enum class InsertMode : std::uint8_t {
+    kNone,    ///< long phases: bucket members are already settled
+    kBucket,  ///< short phases: join iff the new distance lands in bucket k
+    kAny,     ///< Bellman-Ford tail: every improved vertex re-activates
+  };
+
+  /// Readies relax_pool_ for a phase's emission and zeroes lane_emitted_.
+  /// On the reference path this first drops all pooled capacity, so the
+  /// baseline really pays the seed's per-phase allocations.
+  void begin_relax_emit();
+
+  /// Sums/maxes lane_emitted_ into (emitted, max_lane).
+  std::pair<std::uint64_t, std::uint64_t> emit_totals() const;
+
+  /// Sender-side reduction (pooled path, when enabled and `allow_reduction`)
+  /// followed by the exchange. Returns the number of messages that actually
+  /// crossed (post-reduction, self-delivery included) — the byte basis for
+  /// account_step. Incoming batches land in relax_pool_.
+  std::uint64_t relax_exchange(PhaseKind kind, bool allow_reduction);
+
+  /// Applies relax_pool_.incoming() to owned vertices, serially or
+  /// lane-partitioned by destination vertex range (pooled path with
+  /// parallel_apply and >1 lanes). Returns the number of incoming messages.
+  std::uint64_t apply_incoming(std::uint64_t frontier_k, InsertMode mode);
+  void apply_serial(std::uint64_t frontier_k, InsertMode mode);
+  void apply_parallel(std::uint64_t frontier_k, InsertMode mode);
 
   bool classification_active() const {
     return sh_.options->edge_classification &&
@@ -125,6 +151,24 @@ class DeltaEngine {
   std::vector<vid_t> frontier_;
   std::uint64_t epoch_ = 0;
   std::uint64_t settled_local_cum_ = 0;
+
+  // Relax data path state. The pools are rank-thread-owned; worker lanes
+  // only ever touch their own lane's shards (emission) or the disjoint
+  // vertex range a parallel apply assigns them.
+  SendBufferPool<RelaxMsg> relax_pool_;
+  SendBufferPool<PullReqMsg> req_pool_;
+  SenderReducer<dist_t> reducer_;
+  /// Per-lane counters, cache-line padded: adjacent uint64s written by all
+  /// lanes at emission rate were a false-sharing hot spot.
+  std::vector<CacheAligned<std::uint64_t>> lane_emitted_;
+  std::vector<CacheAligned<std::uint64_t>> lane_load_;
+  /// Parallel apply: per-lane (canonical message index, vertex) insert logs,
+  /// merged by index on the rank thread to reproduce the serial apply's
+  /// frontier order exactly.
+  std::vector<CacheAligned<std::vector<std::pair<std::uint64_t, vid_t>>>>
+      lane_inserts_;
+  std::vector<std::uint64_t> batch_offsets_;  ///< scratch: segment offsets
+  std::vector<std::pair<std::uint64_t, vid_t>> merged_inserts_;  ///< scratch
 
   RankCounters counters_;
   CostModel cost_;

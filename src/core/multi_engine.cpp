@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "core/buckets.hpp"
+#include "runtime/send_buffer_pool.hpp"
 
 namespace parsssp {
 namespace {
@@ -89,6 +90,10 @@ class MultiEngine {
     cur_.assign(k_, kInfBucket);
     after_.assign(k_, kBeforeFirst);
     slot_relax_.assign(k_, 0);
+    // One emission lane: the multi-root engine batches across roots, not
+    // across intra-rank lanes (multi_engine.hpp). The pool still buys it
+    // buffer recycling and the zero-copy exchange.
+    pool_.configure(1, ctx.num_ranks());
   }
 
   void run() {
@@ -169,11 +174,47 @@ class MultiEngine {
     return red;
   }
 
-  std::uint64_t apply(const std::vector<std::vector<MultiRelaxMsg>>& batches,
-                      bool to_frontier) {
+  /// Readies the pool for a phase's emission. The reference path first
+  /// drops all pooled capacity so the baseline pays the seed's per-phase
+  /// allocations.
+  void begin_emit() {
+    if (sh_.options->data_path == DataPath::kReference) pool_.release();
+    pool_.begin_phase();
+  }
+
+  /// Sender-side reduction (pooled path) + exchange; incoming batches land
+  /// in pool_.incoming(). Returns the post-reduction message count (the
+  /// byte basis for account_step).
+  std::uint64_t exchange_phase(PhaseKind kind) {
+    const SsspOptions& o = *sh_.options;
+    if (o.data_path == DataPath::kReference) {
+      const std::uint64_t posted = pool_.pending_messages();
+      ctx_.exchange_merged(pool_, kind);
+      return posted;
+    }
+    if (o.sender_reduction) {
+      // Key = (destination local id, slot): slots are independent folds.
+      reducer_.ensure(sh_.part.block_size() * k_);
+      for (rank_t d = 0; d < ctx_.num_ranks(); ++d) {
+        const vid_t dest_begin = sh_.part.begin(d);
+        reducer_.begin_dest();
+        reducer_.reduce(
+            pool_.shard(0, d),
+            [this, dest_begin](const MultiRelaxMsg& m) {
+              return static_cast<std::size_t>(m.v - dest_begin) * k_ + m.slot;
+            },
+            [](const MultiRelaxMsg& m) { return m.nd; });
+      }
+    }
+    const std::uint64_t posted = pool_.pending_messages();
+    ctx_.exchange_pooled(pool_, kind);
+    return posted;
+  }
+
+  std::uint64_t apply(bool to_frontier) {
     const std::uint32_t delta = sh_.options->delta;
     std::uint64_t applied = 0;
-    for (const auto& batch : batches) {
+    for (const auto& batch : pool_.incoming()) {
       applied += batch.size();
       for (const MultiRelaxMsg& m : batch) {
         const std::size_t s = m.slot;
@@ -194,7 +235,6 @@ class MultiEngine {
 
   void process_epoch() {
     ++epoch_;
-    const rank_t ranks = ctx_.num_ranks();
     {
       Stopwatch sw(counters_.wall_bucket_time_s);
       for (std::size_t s = 0; s < k_; ++s) {
@@ -218,18 +258,17 @@ class MultiEngine {
     // round alive.
     while (active_mask_globally() != 0) {
       ++phases_;
-      std::vector<std::vector<MultiRelaxMsg>> out(ranks);
+      begin_emit();
       std::uint64_t emitted = 0;
       for (std::size_t s = 0; s < k_; ++s) {
         if (frontier_[s].empty()) continue;
-        emitted += emit_short(s, out);
+        emitted += emit_short(s);
       }
       relax_counter += emitted;
-      const auto in = ctx_.exchange(
-          std::move(out),
+      const std::uint64_t posted = exchange_phase(
           bf_regime ? PhaseKind::kBellmanFord : PhaseKind::kShortPhase);
-      const std::uint64_t applied = apply(in, /*to_frontier=*/true);
-      account_step(emitted + applied, emitted * sizeof(MultiRelaxMsg),
+      const std::uint64_t applied = apply(/*to_frontier=*/true);
+      account_step(emitted + applied, posted * sizeof(MultiRelaxMsg),
                    emitted);
     }
 
@@ -237,16 +276,16 @@ class MultiEngine {
     // its members plus, under IOS, their deferred outer-short arcs.
     if (classify_) {
       ++phases_;
-      std::vector<std::vector<MultiRelaxMsg>> out(ranks);
+      begin_emit();
       std::uint64_t emitted = 0;
       for (std::size_t s = 0; s < k_; ++s) {
         if (cur_[s] == kInfBucket) continue;
-        emitted += emit_long(s, out);
+        emitted += emit_long(s);
       }
       counters_.long_push_relaxations += emitted;
-      const auto in = ctx_.exchange(std::move(out), PhaseKind::kLongPush);
-      const std::uint64_t applied = apply(in, /*to_frontier=*/false);
-      account_step(emitted + applied, emitted * sizeof(MultiRelaxMsg),
+      const std::uint64_t posted = exchange_phase(PhaseKind::kLongPush);
+      const std::uint64_t applied = apply(/*to_frontier=*/false);
+      account_step(emitted + applied, posted * sizeof(MultiRelaxMsg),
                    emitted);
     }
 
@@ -257,8 +296,7 @@ class MultiEngine {
     }
   }
 
-  std::uint64_t emit_short(std::size_t s,
-                           std::vector<std::vector<MultiRelaxMsg>>& out) {
+  std::uint64_t emit_short(std::size_t s) {
     const dist_t limit = classify_ ? bucket_end(cur_[s]) : 0;
     const auto slot = static_cast<std::uint32_t>(s);
     std::vector<vid_t> active = std::move(frontier_[s]);
@@ -275,7 +313,7 @@ class MultiEngine {
       for (const Arc& a : arcs) {
         const dist_t nd = du + a.w;
         if (ios_ && nd > limit) continue;
-        out[sh_.part.owner(a.to)].push_back({a.to, nd, slot});
+        pool_.shard(0, sh_.part.owner(a.to)).push_back({a.to, nd, slot});
         ++emitted;
       }
     }
@@ -283,8 +321,7 @@ class MultiEngine {
     return emitted;
   }
 
-  std::uint64_t emit_long(std::size_t s,
-                          std::vector<std::vector<MultiRelaxMsg>>& out) {
+  std::uint64_t emit_long(std::size_t s) {
     const dist_t limit = bucket_end(cur_[s]);
     const std::uint32_t delta = sh_.options->delta;
     const auto slot = static_cast<std::uint32_t>(s);
@@ -296,7 +333,7 @@ class MultiEngine {
         if (a.w < delta) {                  // short arc
           if (!ios_ || nd <= limit) continue;  // inner-short: already relaxed
         }
-        out[sh_.part.owner(a.to)].push_back({a.to, nd, slot});
+        pool_.shard(0, sh_.part.owner(a.to)).push_back({a.to, nd, slot});
         ++emitted;
       }
     }
@@ -357,6 +394,11 @@ class MultiEngine {
   std::vector<std::uint64_t> cur_;           ///< current bucket per slot
   std::vector<std::int64_t> after_;          ///< last settled bucket per slot
   std::vector<std::uint64_t> slot_relax_;    ///< local relax count per slot
+
+  // Relax data path: pooled send/receive buffers and the sender-side
+  // reducer (keyed by destination local id x slot).
+  SendBufferPool<MultiRelaxMsg> pool_;
+  SenderReducer<dist_t> reducer_;
 
   RankCounters counters_;
   std::uint64_t epoch_ = 0;

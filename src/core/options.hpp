@@ -19,6 +19,18 @@ enum class PruneMode : std::uint8_t {
   kForcedSequence,  ///< per-bucket decisions supplied by the caller (§IV-G)
 };
 
+/// Which relax/exchange data path the engines run (docs/PERFORMANCE.md).
+/// Both produce bit-identical distances and parents; kReference exists as
+/// the verification and benchmark baseline.
+enum class DataPath : std::uint8_t {
+  /// Pooled send buffers, zero-copy segment exchange, optional sender-side
+  /// reduction and lane-parallel apply. The production default.
+  kPooled,
+  /// The seed data path: per-phase nested vectors, serial lane merge,
+  /// pack/unpack byte exchange, serial apply.
+  kReference,
+};
+
 /// How the pull-request volume is estimated by the decision heuristic.
 /// The paper discusses all three: binary search over weight-sorted lists,
 /// histograms for "approximate estimates", and (what its implementation
@@ -79,6 +91,19 @@ struct SsspOptions {
   /// Also build the shortest-path tree (Graph 500 SSSP output): relax
   /// messages carry their source vertex and SsspResult::parent is filled.
   bool track_parents = false;
+
+  // --- Relax/exchange data path (docs/PERFORMANCE.md) -------------------
+
+  DataPath data_path = DataPath::kPooled;
+  /// Sender-side no-op elimination: per destination vertex, drop relax
+  /// messages that cannot improve on an earlier message in the same
+  /// stream. Exact (bit-identical results); pooled path only. Long-push
+  /// phases keep the full stream while collect_bucket_details is on, so
+  /// the receiver-side Fig 7 classification still sees every relaxation.
+  bool sender_reduction = true;
+  /// Apply incoming relax batches on all worker lanes, partitioned by
+  /// destination local-vertex range (no atomics); pooled path only.
+  bool parallel_apply = true;
 
   /// Diagnostics for the figure benches.
   bool collect_phase_details = false;   ///< per-phase relax counts (Fig 4)

@@ -7,11 +7,26 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
+#include <new>
 
 #include "core/thread_annotations.hpp"
 
 namespace parsssp {
+
+/// Destructive-interference stride for per-lane counters. Hardcoded rather
+/// than std::hardware_destructive_interference_size so the padding (and any
+/// struct layout derived from it) is identical across compilers.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Pads T to a full cache line so adjacent array elements written by
+/// different lanes (per-lane emission counters, per-lane insert logs) never
+/// share a line. Use for any `std::vector<CacheAligned<T>>` indexed by lane.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+};
 
 class MPS_CAPABILITY("mutex") Mutex {
  public:

@@ -36,6 +36,7 @@
 #include "runtime/collectives.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/protocol_check.hpp"
+#include "runtime/send_buffer_pool.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/traffic_stats.hpp"
 
@@ -132,6 +133,74 @@ class RankCtx {
     }
     collectives_.barrier();
     return in;
+  }
+
+  /// Zero-copy bulk-synchronous all-to-all over a SendBufferPool: each
+  /// non-empty (lane, dest) shard moves through the board as its own
+  /// segment — no lane merge, no pack/unpack memcpy. Results land in
+  /// `pool.incoming()` in canonical order (source rank ascending, self
+  /// in place, lane ascending within a source); the previous round's
+  /// incoming buffers are recycled onto the pool's free list. Collective:
+  /// same round discipline as exchange(), and in checked mode every slot
+  /// is stamped even when the segment list is empty.
+  ///
+  /// TrafficCounters see exactly what crosses the board — message counts
+  /// and bytes *after* any sender-side reduction the caller performed.
+  template <typename T>
+  void exchange_pooled(SendBufferPool<T>& pool, PhaseKind kind) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_owner("exchange_pooled()");
+    const rank_t r = rank_;
+    const rank_t ranks = num_ranks();
+    const unsigned lanes = pool.lanes();
+    const std::uint64_t round = ++exchange_round_;
+    pool.clear_incoming();
+    for (rank_t d = 0; d < ranks; ++d) {
+      if (d == r) continue;
+      std::vector<ErasedBuffer> segments;
+      std::uint64_t msgs = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::vector<T>& shard = pool.shard(l, d);
+        if (shard.empty()) continue;
+        msgs += shard.size();
+        segments.push_back(ErasedBuffer(std::move(shard)));
+      }
+      traffic_.add(kind, msgs, msgs * sizeof(T));
+      if (pair_messages_ != nullptr) {
+        (*pair_messages_)[static_cast<std::size_t>(r) * ranks + d] += msgs;
+      }
+      board_.post_segments(r, d, std::move(segments), round);
+    }
+    collectives_.barrier();
+    for (rank_t s = 0; s < ranks; ++s) {
+      if (s == r) {
+        // Self-delivery stays off the board, but in canonical position.
+        for (unsigned l = 0; l < lanes; ++l) {
+          std::vector<T>& shard = pool.shard(l, r);
+          if (shard.empty()) continue;
+          pool.push_incoming(s, std::move(shard));
+        }
+      } else {
+        for (ErasedBuffer& seg : board_.take_segments(s, r, round)) {
+          pool.push_incoming(s, seg.take_as<T>());
+        }
+      }
+    }
+    collectives_.barrier();
+  }
+
+  /// Reference-path counterpart of exchange_pooled(): merges the pool's
+  /// lane shards into dense per-destination vectors (the pre-pool engine's
+  /// serial lane merge) and runs the byte-packing exchange(), then parks
+  /// the results in `pool.incoming()`. Exists so the pooled path has a
+  /// seed-faithful baseline to be verified and benchmarked against.
+  template <typename T>
+  void exchange_merged(SendBufferPool<T>& pool, PhaseKind kind) {
+    std::vector<std::vector<T>> in = exchange(pool.merged(), kind);
+    pool.clear_incoming();
+    for (rank_t s = 0; s < num_ranks(); ++s) {
+      pool.push_incoming(s, std::move(in[s]));
+    }
   }
 
  private:

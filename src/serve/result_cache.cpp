@@ -21,6 +21,9 @@ std::string options_signature(const SsspOptions& options) {
       << ";tau=" << options.hybrid_tau
       << ";heavy=" << options.heavy_degree_threshold
       << ";parents=" << options.track_parents
+      << ";dp=" << static_cast<int>(options.data_path)
+      << ";sred=" << options.sender_reduction
+      << ";papply=" << options.parallel_apply
       << ";phasedet=" << options.collect_phase_details
       << ";bucketdet=" << options.collect_bucket_details
       << ";cm=" << options.cost_model.t_step_ns << ','

@@ -1,0 +1,268 @@
+// Property suite for the relax data path: the pooled zero-copy path (with
+// sender-side reduction and lane-parallel apply) must produce bit-identical
+// distances AND parents to the reference path (per-phase nested vectors,
+// pack/unpack byte exchange, serial apply) under every algorithm variant,
+// bucket width, rank count and option toggle — including the batched
+// multi-root engine and BFS.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/bfs_engine.hpp"
+#include "core/solver.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/rmat.hpp"
+
+namespace parsssp {
+namespace {
+
+enum class Algo {
+  kDijkstra,
+  kBellmanFord,
+  kDel25,
+  kPrune25,
+  kOpt25,
+  kLbOpt25
+};
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return "Dijkstra";
+    case Algo::kBellmanFord:
+      return "BellmanFord";
+    case Algo::kDel25:
+      return "Del25";
+    case Algo::kPrune25:
+      return "Prune25";
+    case Algo::kOpt25:
+      return "Opt25";
+    case Algo::kLbOpt25:
+      return "LbOpt25";
+  }
+  return "?";
+}
+
+SsspOptions algo_options(Algo a) {
+  switch (a) {
+    case Algo::kDijkstra:
+      return SsspOptions::dijkstra();
+    case Algo::kBellmanFord:
+      return SsspOptions::bellman_ford();
+    case Algo::kDel25:
+      return SsspOptions::del(25);
+    case Algo::kPrune25:
+      return SsspOptions::prune(25);
+    case Algo::kOpt25:
+      return SsspOptions::opt(25);
+    case Algo::kLbOpt25:
+      return SsspOptions::lb_opt(25, 16);
+  }
+  return {};
+}
+
+/// The full pooled feature set (also the library default, asserted below).
+SsspOptions pooled(SsspOptions o) {
+  o.data_path = DataPath::kPooled;
+  o.sender_reduction = true;
+  o.parallel_apply = true;
+  return o;
+}
+
+/// The seed-faithful baseline: nothing the tentpole added is active.
+SsspOptions reference(SsspOptions o) {
+  o.data_path = DataPath::kReference;
+  o.sender_reduction = false;
+  o.parallel_apply = false;
+  return o;
+}
+
+CsrGraph test_graph(std::uint64_t seed, int scale = 8) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 8;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+void expect_identical(const SsspResult& a, const SsspResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.dist, b.dist) << what << ": distances diverge";
+  EXPECT_EQ(a.parent, b.parent) << what << ": parents diverge";
+  // Relax counters are pinned pre-reduction, so the paths must agree on
+  // them too — reduction saves bytes, not algorithmic work accounting.
+  EXPECT_EQ(a.stats.total_relaxations(), b.stats.total_relaxations())
+      << what << ": relaxation counters diverge";
+}
+
+using Param = std::tuple<std::uint64_t /*seed*/, Algo, rank_t>;
+
+class DataPathProperty : public ::testing::TestWithParam<Param> {};
+
+// The headline property: pooled+reduced+parallel vs reference, with parent
+// tracking on (parents are the sharpest detector of message-order drift:
+// any change in which equal-distance message arrives first flips them) and
+// two lanes per rank so the lane-parallel apply actually partitions.
+TEST_P(DataPathProperty, PooledBitIdenticalToReference) {
+  const auto [seed, algo, ranks] = GetParam();
+  const auto g = test_graph(seed);
+  SsspOptions base = algo_options(algo);
+  base.track_parents = true;
+  Solver solver(g, {.machine = {.num_ranks = ranks, .lanes_per_rank = 2}});
+  const auto roots = sample_roots(g, 2, seed);
+  for (const vid_t root : roots) {
+    const auto got = solver.solve(root, pooled(base));
+    const auto want = solver.solve(root, reference(base));
+    expect_identical(got, want, algo_name(algo));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DataPathProperty,
+    ::testing::Combine(
+        ::testing::Values(11ULL, 12ULL),
+        ::testing::Values(Algo::kDijkstra, Algo::kBellmanFord, Algo::kDel25,
+                          Algo::kPrune25, Algo::kOpt25, Algo::kLbOpt25),
+        ::testing::Values(rank_t{1}, rank_t{3}, rank_t{4})),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+             algo_name(std::get<1>(info.param)) + "_ranks" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Bucket widths stress different phase mixes (many short phases at small
+// Delta, long-phase dominated at large Delta, pull phases under prune).
+class DataPathDeltaSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DataPathDeltaSweep, PooledBitIdenticalAcrossDeltas) {
+  const std::uint32_t delta = GetParam();
+  const auto g = test_graph(21);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  for (SsspOptions base :
+       {SsspOptions::prune(delta), SsspOptions::opt(delta)}) {
+    base.track_parents = true;
+    const auto got = solver.solve(0, pooled(base));
+    const auto want = solver.solve(0, reference(base));
+    expect_identical(got, want, "delta sweep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DataPathDeltaSweep,
+                         ::testing::Values(1u, 5u, 25u, 256u, 10000u));
+
+// Each tentpole feature must be independently inert on results: pooling
+// without reduction, pooling without parallel apply, and the library
+// defaults (which are the full pooled set) all agree with the reference.
+TEST(DataPathToggles, EveryCombinationMatchesReference) {
+  const auto g = test_graph(31);
+  Solver solver(g, {.machine = {.num_ranks = 3, .lanes_per_rank = 2}});
+  SsspOptions base = SsspOptions::opt(25);
+  base.track_parents = true;
+  const auto want = solver.solve(5, reference(base));
+  for (const bool red : {false, true}) {
+    for (const bool par : {false, true}) {
+      SsspOptions o = base;
+      o.data_path = DataPath::kPooled;
+      o.sender_reduction = red;
+      o.parallel_apply = par;
+      const auto got = solver.solve(5, o);
+      expect_identical(got, want, red ? "reduction on" : "reduction off");
+    }
+  }
+  // The defaults are the full pooled path — no hidden opt-out.
+  const SsspOptions defaults = [] {
+    SsspOptions o = SsspOptions::opt(25);
+    o.track_parents = true;
+    return o;
+  }();
+  EXPECT_EQ(defaults.data_path, DataPath::kPooled);
+  EXPECT_TRUE(defaults.sender_reduction);
+  EXPECT_TRUE(defaults.parallel_apply);
+  expect_identical(solver.solve(5, defaults), want, "defaults");
+}
+
+// Forced pull sequences route everything through the request/response path;
+// diagnostics collection disables long-push reduction (Fig 7 counts every
+// emitted relaxation receiver-side) — both must stay bit-identical.
+TEST(DataPathToggles, ForcedPullAndDiagnosticsMatchReference) {
+  const auto g = test_graph(37);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  SsspOptions base = SsspOptions::prune(25);
+  base.track_parents = true;
+  base.prune_mode = PruneMode::kForcedSequence;
+  base.forced_pull.assign(64, true);
+  expect_identical(solver.solve(2, pooled(base)), solver.solve(2, reference(base)),
+                   "forced pull");
+
+  SsspOptions diag = SsspOptions::opt(25);
+  diag.track_parents = true;
+  diag.collect_phase_details = true;
+  diag.collect_bucket_details = true;
+  const auto got = solver.solve(2, pooled(diag));
+  const auto want = solver.solve(2, reference(diag));
+  expect_identical(got, want, "diagnostics");
+  ASSERT_EQ(got.stats.phase_details.size(), want.stats.phase_details.size());
+  for (std::size_t i = 0; i < got.stats.phase_details.size(); ++i) {
+    EXPECT_EQ(got.stats.phase_details[i].relaxations,
+              want.stats.phase_details[i].relaxations)
+        << "phase " << i;
+  }
+}
+
+// The batched multi-root engine rides the same pooled path; every root's
+// distance vector must match the reference run's.
+TEST(DataPathMultiRoot, SolveMultiBitIdentical) {
+  const auto g = test_graph(41);
+  Solver solver(g, {.machine = {.num_ranks = 3, .lanes_per_rank = 2}});
+  const std::vector<vid_t> roots = {0, 7, 7, 19, 3};
+  SsspOptions base = SsspOptions::opt(25);
+  const auto got = solver.solve_multi(roots, pooled(base));
+  const auto want = solver.solve_multi(roots, reference(base));
+  ASSERT_EQ(got.dist.size(), want.dist.size());
+  for (std::size_t i = 0; i < got.dist.size(); ++i) {
+    EXPECT_EQ(got.dist[i], want.dist[i]) << "root index " << i;
+  }
+}
+
+// BFS: levels and parents identical under both data paths, with and
+// without direction optimization (bottom-up steps exchange bitmaps through
+// the pool too).
+TEST(DataPathBfs, LevelsAndParentsBitIdentical) {
+  const auto g = test_graph(47);
+  BfsSolver bfs(g, {.num_ranks = 4});
+  for (const bool dirs : {true, false}) {
+    BfsOptions p;
+    p.direction_optimize = dirs;
+    p.track_parents = true;
+    BfsOptions r = p;
+    r.data_path = DataPath::kReference;
+    r.sender_reduction = false;
+    const auto got = bfs.solve(1, p);
+    const auto want = bfs.solve(1, r);
+    EXPECT_EQ(got.level, want.level) << "direction_optimize=" << dirs;
+    EXPECT_EQ(got.parent, want.parent) << "direction_optimize=" << dirs;
+    EXPECT_EQ(got.stats.levels, want.stats.levels);
+  }
+}
+
+// Sender-side reduction must actually shrink the wire: on an RMAT graph
+// (hub-heavy, lots of same-destination relaxations per phase) the pooled
+// path with reduction moves strictly fewer bytes than the reference path,
+// while the algorithmic relax counters stay equal.
+TEST(DataPathTraffic, ReductionShrinksWireBytes) {
+  const auto g = test_graph(53, /*scale=*/9);
+  Solver solver(g, {.machine = {.num_ranks = 4}});
+  const SsspOptions base = SsspOptions::del(25);
+  const auto got = solver.solve(0, pooled(base));
+  const std::uint64_t pooled_bytes =
+      solver.machine().traffic().merged().total_bytes();
+  const auto want = solver.solve(0, reference(base));
+  const std::uint64_t reference_bytes =
+      solver.machine().traffic().merged().total_bytes();
+  expect_identical(got, want, "traffic");
+  EXPECT_LT(pooled_bytes, reference_bytes);
+}
+
+}  // namespace
+}  // namespace parsssp

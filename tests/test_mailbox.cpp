@@ -53,5 +53,55 @@ TEST(ExchangeBoard, StructMessages) {
   EXPECT_EQ(ExchangeBoard::unpack<Msg>(board.take(1, 0)), msgs);
 }
 
+// unpack constructs elements directly from the wire bytes; it must not
+// value-initialize first and assign after (the seed's resize-then-memcpy
+// did, redundantly zeroing every element). The observable contract: exact
+// reconstruction for any length, including a non-multiple tail guard.
+TEST(ExchangeBoard, UnpackReconstructsWithoutZeroFill) {
+  struct Probe {
+    std::uint32_t a;
+    std::uint32_t b;
+    bool operator==(const Probe&) const = default;
+  };
+  std::vector<Probe> values;
+  for (std::uint32_t i = 0; i < 100; ++i) values.push_back({i, ~i});
+  const auto bytes = ExchangeBoard::pack(std::span<const Probe>(values));
+  EXPECT_EQ(ExchangeBoard::unpack<Probe>(bytes), values);
+  // One-element payload exercises the n != 0 path boundary.
+  const std::vector<Probe> one{{42, 7}};
+  EXPECT_EQ(ExchangeBoard::unpack<Probe>(
+                ExchangeBoard::pack(std::span<const Probe>(one))),
+            one);
+}
+
+// The typed segment path coexists with the legacy byte path on one board:
+// a byte post travels as a single std::byte segment and stays readable
+// through take(), while typed segments move through post/take_segments.
+TEST(ExchangeBoard, ByteAndSegmentPathsCoexist) {
+  ExchangeBoard board(2, /*checked=*/false);
+  const std::vector<int> payload{1, 2, 3};
+  board.post(0, 1, ExchangeBoard::pack(std::span<const int>(payload)));
+  EXPECT_EQ(ExchangeBoard::unpack<int>(board.take(0, 1)), payload);
+
+  std::vector<ErasedBuffer> segments;
+  segments.push_back(ErasedBuffer(std::vector<int>{4, 5}));
+  segments.push_back(ErasedBuffer(std::vector<int>{6}));
+  board.post_segments(1, 0, std::move(segments));
+  auto got = board.take_segments(1, 0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].take_as<int>(), (std::vector<int>{4, 5}));
+  EXPECT_EQ(got[1].take_as<int>(), (std::vector<int>{6}));
+}
+
+TEST(ErasedBuffer, ReportsTypeAndSize) {
+  ErasedBuffer buf(std::vector<std::uint16_t>{1, 2, 3});
+  EXPECT_TRUE(buf.holds_value());
+  EXPECT_EQ(buf.size(), 3u);
+  ASSERT_NE(buf.type(), nullptr);
+  EXPECT_TRUE(*buf.type() == typeid(std::uint16_t));
+  const auto back = buf.take_as<std::uint16_t>();
+  EXPECT_EQ(back, (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace parsssp

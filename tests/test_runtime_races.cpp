@@ -18,6 +18,8 @@
 #include "graph/csr.hpp"
 #include "graph/rmat.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/machine_session.hpp"
+#include "runtime/send_buffer_pool.hpp"
 #include "runtime/thread_pool.hpp"
 #include "seq/dijkstra.hpp"
 
@@ -150,6 +152,105 @@ TEST(RuntimeRaces, CheckedProtocolUnderConcurrency) {
   const SsspResult res =
       solver.solve(0, SsspOptions::lb_opt(/*delta=*/25, /*heavy_threshold=*/8));
   for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
+}
+
+// Pooled data path under maximal concurrency: worker lanes emit into their
+// own pool shards while other lanes emit theirs, the zero-copy exchange
+// moves the buffers, and the lane-parallel apply writes disjoint vertex
+// ranges without atomics. Every piece of that contract is a potential race
+// TSan must see as clean — and the result must still match Dijkstra.
+TEST(RuntimeRaces, PooledDataPathConcurrentLanes) {
+  RmatConfig cfg;
+  cfg.scale = 9;
+  cfg.edge_factor = 10;
+  cfg.seed = 13;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+  const std::vector<dist_t> ref = dijkstra_distances(g, 0);
+
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 4}});
+  SsspOptions opts = SsspOptions::opt(25);
+  opts.track_parents = true;  // parents ride the same parallel apply
+  ASSERT_EQ(opts.data_path, DataPath::kPooled);
+  ASSERT_TRUE(opts.parallel_apply);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const SsspResult res = solver.solve(0, opts);
+    for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
+  }
+}
+
+// Buffer-pool recycling across MachineSession job churn: per-rank pools
+// outlive individual jobs, so buffers emitted by one job's lanes come back
+// as recycled shard capacity in the next job — the handoff chain is
+// lane -> rank thread -> board -> peer rank thread -> peer lanes, with the
+// job queue's generation handshake in between. 60 back-to-back jobs with
+// no idle gap maximize the interleavings of that chain.
+TEST(RuntimeRaces, BufferPoolRecyclingUnderSessionChurn) {
+  constexpr rank_t R = 4;
+  constexpr unsigned kLanes = 3;
+  constexpr int kJobs = 60;
+  constexpr std::uint32_t kPerShard = 40;
+  MachineSession session({.num_ranks = R, .lanes_per_rank = kLanes});
+  // One pool per rank, indexed by rank id; each is only ever touched by its
+  // owning rank (and that rank's lanes), but lives across jobs.
+  std::vector<SendBufferPool<std::uint64_t>> pools(R);
+  std::vector<std::uint64_t> received(R, 0);
+
+  for (int job = 0; job < kJobs; ++job) {
+    session.run([&, job](RankCtx& ctx) {
+      const rank_t r = ctx.rank();
+      SendBufferPool<std::uint64_t>& pool = pools[r];
+      pool.configure(kLanes, R);
+      pool.begin_phase();
+      // Lane-parallel emission: each lane fills its own shard row.
+      ctx.pool().run_on_lanes([&](unsigned lane) {
+        for (rank_t d = 0; d < R; ++d) {
+          for (std::uint32_t i = 0; i < kPerShard; ++i) {
+            pool.shard(lane, d).push_back(
+                (static_cast<std::uint64_t>(job) << 32) | (r * 1000 + i));
+          }
+        }
+      });
+      ctx.exchange_pooled(pool, PhaseKind::kShortPhase);
+      // Lane-parallel consumption of disjoint batch ranges.
+      const auto& in = pool.incoming();
+      std::vector<std::uint64_t> lane_sum(ctx.pool().lanes(), 0);
+      ctx.pool().parallel_for(
+          in.size(), [&](unsigned lane, std::size_t begin, std::size_t end) {
+            for (std::size_t b = begin; b < end; ++b) {
+              lane_sum[lane] += in[b].size();
+            }
+          });
+      std::uint64_t got = 0;
+      for (const std::uint64_t s : lane_sum) got += s;
+      ASSERT_EQ(got, static_cast<std::uint64_t>(R) * kLanes * kPerShard);
+      received[r] += got;
+    });
+  }
+  for (rank_t r = 0; r < R; ++r) {
+    EXPECT_EQ(received[r],
+              static_cast<std::uint64_t>(kJobs) * R * kLanes * kPerShard);
+  }
+}
+
+// Back-to-back full solves with pooled defaults and the checked protocol
+// on: each solve constructs the engine pools fresh and recycles buffers
+// across its phases, so repeated solves stress construction/teardown of
+// the pooled path under the protocol state machines.
+TEST(RuntimeRaces, PooledSolvesBackToBackChecked) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = 19;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+  const std::vector<dist_t> ref = dijkstra_distances(g, 0);
+
+  Solver solver(g, {.machine = {.num_ranks = 3,
+                                .lanes_per_rank = 3,
+                                .checked_exchange = true}});
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const SsspResult res = solver.solve(0, SsspOptions::opt(25));
+    for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
+  }
 }
 
 }  // namespace
