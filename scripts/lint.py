@@ -24,7 +24,14 @@ enforce (see docs/STATIC_ANALYSIS.md):
       build nested vector-of-vector send buffers of message types — relax
       emission goes through SendBufferPool so buffers are pooled and
       exchanged zero-copy (docs/PERFORMANCE.md); the seed's per-phase
-      std::vector<std::vector<RelaxMsg>> churn must not creep back in.
+      std::vector<std::vector<RelaxMsg>> churn must not creep back in;
+  R8  engine timed paths (the files listed in ENGINE_TIMED_PATHS) must not
+      read std::chrono clocks directly — all wall-clock sampling goes
+      through the obs/ helpers (PhaseTimer, TimedSection, ScopedSpan) so
+      every measured interval lands in exactly one accounting bucket and,
+      when tracing is on, in exactly one span (docs/OBSERVABILITY.md); ad
+      hoc Stopwatch-style timing is how the hybrid-switch double-count
+      bug happened.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -46,7 +53,10 @@ SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
 CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
 
 # (rule, regex, message). Patterns are applied to comment-stripped lines.
-STD_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b")
+# `std::thread` as a type is banned; `std::thread::id` (a plain value type,
+# used by the obs/ trace recorder to key lanes) is not a way to spawn work
+# and stays legal everywhere — hence the (?!\s*::) lookahead.
+STD_THREAD = re.compile(r"\bstd::(?:thread(?!\s*::)|jthread|async)\b")
 RAND = re.compile(r"(?<![:\w])(rand|srand)\s*\(")
 TIME_SEED = re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)")
 VOLATILE = re.compile(r"\bvolatile\b")
@@ -60,6 +70,12 @@ SERVE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b")
 # vector<vector<char>>) are legitimate and must not fire.
 NESTED_MSG_VECTOR = re.compile(
     r"std::vector<\s*std::vector<\s*\w*Msg\s*>")
+# R8: any direct std::chrono clock read. Matches both qualified
+# (std::chrono::steady_clock::now()) and using-abbreviated
+# (steady_clock::now()) spellings, and clock_gettime for good measure.
+CLOCK_CALL = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+    r"|\bclock_gettime\s*\(")
 
 # Files allowed to spawn threads: the simulated machine's runtime and the
 # tests/benches that exercise it directly.
@@ -80,6 +96,21 @@ ENGINE_HOT_PATHS = frozenset({
     "src/core/delta_engine.cpp",
     "src/core/delta_engine.hpp",
     "src/core/bfs_engine.cpp",
+    "src/core/multi_engine.cpp",
+    "src/core/multi_engine.hpp",
+})
+
+# R8 applies to the engine timed paths — the files whose wall-clock
+# accounting the trace self-check (check_engine_accounting) certifies.
+# A raw clock read here is an interval the helpers cannot attribute, which
+# is exactly how the pre-fix hybrid switch double-counted BktTime. The obs
+# helpers themselves (src/obs/) and the solver shell are free to read
+# clocks; they are where the helpers bottom out.
+ENGINE_TIMED_PATHS = frozenset({
+    "src/core/delta_engine.cpp",
+    "src/core/delta_engine.hpp",
+    "src/core/bfs_engine.cpp",
+    "src/core/bfs_engine.hpp",
     "src/core/multi_engine.cpp",
     "src/core/multi_engine.hpp",
 })
@@ -185,6 +216,12 @@ def lint_text(rel: str, raw: str) -> list[str]:
                 "nested vector-of-vector send buffer of a message type in "
                 "an engine hot path — emit into a SendBufferPool shard "
                 "(docs/PERFORMANCE.md)")
+        if rel in ENGINE_TIMED_PATHS and CLOCK_CALL.search(line):
+            err(lineno, "R8",
+                "direct clock read in an engine timed path — sample time "
+                "through the obs/ helpers (PhaseTimer, TimedSection, "
+                "ScopedSpan) so the interval lands in exactly one "
+                "accounting bucket (docs/OBSERVABILITY.md)")
 
     return errors
 

@@ -45,6 +45,10 @@ expect("bench/b.cpp", "std::thread worker(fn);\n", [],
        "R1 allows std::thread in bench/")
 expect("tools/cli.cpp", "std::this_thread::sleep_for(1ms);\n", [],
        "R1 ignores std::this_thread")
+expect("src/obs/trace.hpp", HEADER + "std::thread::id key;\n", [],
+       "R1 ignores std::thread::id (a value type, not a spawn)")
+expect("src/obs/trace.cpp", "map[std::this_thread::get_id()] = lane;\n", [],
+       "R1 ignores std::this_thread::get_id()")
 expect("src/core/engine.cpp", "// std::thread worker(fn);\n", [],
        "R1 ignores commented-out code")
 
@@ -128,6 +132,34 @@ expect("src/core/delta_engine.cpp",
        "// std::vector<std::vector<RelaxMsg>> was the seed's shape\n", [],
        "R7 ignores comments")
 
+# --- R8: no raw clock reads in engine timed paths --------------------------
+expect("src/core/delta_engine.cpp",
+       "const auto t0 = std::chrono::steady_clock::now();\n", ["R8"],
+       "R8 fires on a qualified steady_clock::now() in the delta engine")
+expect("src/core/bfs_engine.cpp",
+       "auto t = steady_clock::now();\n", ["R8"],
+       "R8 fires on the using-abbreviated spelling")
+expect("src/core/multi_engine.hpp",
+       HEADER + "auto t = std::chrono::high_resolution_clock::now();\n",
+       ["R8"],
+       "R8 fires on high_resolution_clock in an engine header")
+expect("src/core/bfs_engine.hpp",
+       HEADER + "clock_gettime(CLOCK_MONOTONIC, &ts);\n", ["R8"],
+       "R8 fires on clock_gettime")
+expect("src/core/delta_engine.cpp",
+       "TimedSection sw(counters_.wall_bucket_time_s, tlane_, cat);\n", [],
+       "R8 allows the obs helpers (they read the clock for the engine)")
+expect("src/obs/trace.cpp",
+       "return std::chrono::steady_clock::now();\n", [],
+       "R8 is scoped to the engine timed paths (obs/ is where helpers "
+       "bottom out)")
+expect("src/core/solver.cpp",
+       "const auto t0 = std::chrono::steady_clock::now();\n", [],
+       "R8 leaves the solver shell free to read clocks")
+expect("src/core/delta_engine.cpp",
+       "// steady_clock::now() is banned here; see R8\n", [],
+       "R8 ignores comments")
+
 # --- the real tree must be clean (catches rule/code drift) ----------------
 REPO = Path(__file__).resolve().parent.parent
 for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
@@ -141,8 +173,9 @@ for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
         FAILURES.append(f"{rel} violates its own layering rules: {errors}")
 
 # The engines themselves must satisfy R7 (the pooled data path is not
-# allowed to regress into per-phase nested buffers).
-for rel in sorted(lint.ENGINE_HOT_PATHS):
+# allowed to regress into per-phase nested buffers) and R8 (all timing
+# goes through the obs/ helpers).
+for rel in sorted(lint.ENGINE_HOT_PATHS | lint.ENGINE_TIMED_PATHS):
     path = REPO / rel
     if not path.is_file():
         FAILURES.append(f"expected engine source {rel} to exist")

@@ -18,19 +18,53 @@
 #                                   repo root and failing if the data-path
 #                                   perf smoke (scripts/perf_smoke.py)
 #                                   detects a regression
+#   scripts/reproduce.sh --trace    only build + run a traced, validated
+#                                   solve (tools/sssp_cli --trace), writing
+#                                   trace.json at the repo root; fails if
+#                                   the trace JSON does not parse or the
+#                                   per-root accounting self-check
+#                                   (check_engine_accounting) fails
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SERVE=0
 MICRO=0
+TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
     --micro) MICRO=1 ;;
-    *) echo "usage: scripts/reproduce.sh [--serve] [--micro]" >&2; exit 2 ;;
+    --trace) TRACE=1 ;;
+    *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" >&2
+       exit 2 ;;
   esac
 done
+
+if [ "$TRACE" -eq 1 ]; then
+  # Fast path for CI observability smoke: a traced + validated solve whose
+  # exit status already encodes the accounting self-check (exit 3 = a
+  # root's span sum disagreed with its reported BktTime/OtherTime).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target sssp_cli
+  ./build/tools/sssp_cli --scale 13 --ranks 4 --lanes 2 --algo opt \
+    --roots 2 --validate --trace trace.json
+  python3 - <<'EOF'
+import json
+with open("trace.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+complete = [e for e in events if e["ph"] == "X"]
+assert complete, "trace.json has no complete ('X') span events"
+names = {e["name"] for e in complete}
+for needed in ("solve", "bucket_scan", "exchange"):
+    assert needed in names, f"span {needed!r} missing from trace"
+assert all(e["dur"] >= 0 for e in complete), "negative span duration"
+print(f"trace.json OK: {len(complete)} spans, names: {sorted(names)}")
+EOF
+  echo "wrote trace.json (load it at ui.perfetto.dev)"
+  exit 0
+fi
 
 if [ "$MICRO" -eq 1 ]; then
   # Fast path for CI perf smoke: no test sweep, no figure benches.

@@ -148,4 +148,42 @@ void write_json(std::ostream& out, const BatchSummary& summary) {
   out << '\n';
 }
 
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  JsonWriter w(out);
+  w.begin_object();
+  // Counters and gauges ride as one flat object each; histograms keep
+  // their summary statistics (the registry stores no raw samples).
+  w.begin_array("counters");
+  for (const auto& c : snapshot.counters) {
+    w.begin_object_in_array();
+    w.field("name", c.name);
+    w.field("value", c.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("gauges");
+  for (const auto& g : snapshot.gauges) {
+    w.begin_object_in_array();
+    w.field("name", g.name);
+    w.field("value", g.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_array("histograms");
+  for (const auto& h : snapshot.histograms) {
+    w.begin_object_in_array();
+    w.field("name", h.name);
+    w.field("count", h.count);
+    w.field("mean", h.mean);
+    w.field("p50", h.p50);
+    w.field("p95", h.p95);
+    w.field("p99", h.p99);
+    w.field("max", h.max);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
 }  // namespace parsssp

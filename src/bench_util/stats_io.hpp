@@ -11,6 +11,7 @@
 
 #include "core/instrumentation.hpp"
 #include "core/solver.hpp"
+#include "obs/metrics.hpp"
 
 namespace parsssp {
 
@@ -50,5 +51,9 @@ void write_json(std::ostream& out, const SsspStats& stats,
 
 /// Serializes a multi-root batch (Graph 500-style report).
 void write_json(std::ostream& out, const BatchSummary& summary);
+
+/// Serializes a metrics snapshot: {"counters": {...}, "gauges": {...},
+/// "histograms": [{name, count, mean, p50, p95, p99, max}, ...]}.
+void write_json(std::ostream& out, const MetricsSnapshot& snapshot);
 
 }  // namespace parsssp

@@ -1,8 +1,8 @@
 #include "core/bfs_engine.hpp"
 
 #include <algorithm>
-#include <chrono>
 
+#include "obs/trace.hpp"
 #include "runtime/send_buffer_pool.hpp"
 
 namespace parsssp {
@@ -56,8 +56,11 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
   const CostModel cost(options.cost_model);
 
   machine_.run([&](RankCtx& ctx) {
-    const auto t0 = std::chrono::steady_clock::now();
     const rank_t r = ctx.rank();
+    RankOut& out = outs[r];
+    // Accumulates into out.wall_s when the lambda returns (lint rule R8:
+    // wall-clock reads go through the obs/ timers).
+    PhaseTimer wall_timer(out.wall_s);
     const rank_t ranks = ctx.num_ranks();
     const vid_t begin = part_.begin(r);
     const vid_t nloc = part_.count(r);
@@ -66,7 +69,6 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
     if (options.track_parents) {
       parent = std::span<vid_t>(result.parent.data() + begin, nloc);
     }
-    RankOut& out = outs[r];
 
     // Bitmap geometry: every rank's slice occupies `words_per_rank` words
     // in the replicated global frontier bitmap (block partition, so all
@@ -233,9 +235,6 @@ BfsResult BfsSolver::solve(vid_t root, const BfsOptions& options) {
       frontier = std::move(next);
       ++cur;
     }
-    out.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
   });
 
   for (const RankOut& o : outs) {

@@ -2,32 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
+#include <string>
 
 #include "core/hybrid.hpp"
 #include "core/load_balance.hpp"
 #include "core/push_pull.hpp"
+#include "obs/trace.hpp"
 
 namespace parsssp {
 namespace {
 
-/// RAII accumulator for wall-clock sections.
-class Stopwatch {
- public:
-  explicit Stopwatch(double& acc)
-      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
-  ~Stopwatch() {
-    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0_)
-                .count();
-  }
-  Stopwatch(const Stopwatch&) = delete;
-  Stopwatch& operator=(const Stopwatch&) = delete;
-
- private:
-  double& acc_;
-  std::chrono::steady_clock::time_point t0_;
-};
+// All wall-clock reads go through the obs/ helpers (PhaseTimer /
+// TimedSection / ScopedSpan) so every accounted interval is also a trace
+// span and the sum-to-wall self-check can audit the BktTime/OtherTime
+// split (lint rule R8 enforces this).
 
 /// Reduction payload for the push/pull decision heuristic.
 struct PpReduce {
@@ -78,10 +66,15 @@ DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
   lane_emitted_.resize(lanes);
   lane_load_.resize(lanes);
   lane_inserts_.resize(lanes);
+
+  if (sh_.options->trace != nullptr) {
+    tlane_ = &sh_.options->trace->thread_lane(
+        "rank" + std::to_string(ctx_.rank()));
+  }
 }
 
 bool DeltaEngine::any_active_globally(bool local_active) {
-  Stopwatch sw(counters_.wall_bucket_time_s);
+  TimedSection sw(counters_.wall_bucket_time_s, tlane_, SpanCat::kBucketScan);
   const bool any =
       ctx_.allreduce(static_cast<std::uint64_t>(local_active), OrOp{}) != 0;
   model_bkt_ns_ += cost_.scan_cost(0);
@@ -98,7 +91,7 @@ DeltaEngine::StepReduce DeltaEngine::account_step(std::uint64_t work,
 }
 
 std::uint64_t DeltaEngine::next_bucket(std::int64_t after) {
-  Stopwatch sw(counters_.wall_bucket_time_s);
+  TimedSection sw(counters_.wall_bucket_time_s, tlane_, SpanCat::kBucketScan);
   const std::uint64_t local = min_unsettled_bucket_above(
       dist_, settled_, after, sh_.options->delta);
   model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
@@ -158,6 +151,7 @@ std::uint64_t DeltaEngine::apply_incoming(std::uint64_t frontier_k,
                                           InsertMode mode) {
   std::uint64_t total = 0;
   for (const auto& batch : relax_pool_.incoming()) total += batch.size();
+  ScopedSpan span(tlane_, SpanCat::kApply, total);
   const SsspOptions& o = *sh_.options;
   if (o.data_path == DataPath::kPooled && o.parallel_apply &&
       ctx_.pool().lanes() > 1 && total != 0) {
@@ -263,6 +257,9 @@ void DeltaEngine::short_phases(std::uint64_t k) {
 
   while (any_active_globally(!frontier_.empty())) {
     ++phases_;
+    ScopedSpan span(tlane_,
+                    bf_regime ? SpanCat::kBellmanFord : SpanCat::kShortPhase,
+                    k);
     // Pop the frontier: stamp epoch membership, clear flags.
     std::vector<vid_t> active = std::move(frontier_);
     frontier_.clear();
@@ -315,6 +312,7 @@ void DeltaEngine::short_phases(std::uint64_t k) {
 bool DeltaEngine::decide_long_mode(std::uint64_t k) {
   const SsspOptions& o = *sh_.options;
   if (!o.pruning && !o.collect_bucket_details) return false;
+  ScopedSpan span(tlane_, SpanCat::kDecision, k);
 
   bool pull = false;
   bool need_estimates = o.collect_bucket_details;
@@ -370,6 +368,7 @@ bool DeltaEngine::decide_long_mode(std::uint64_t k) {
 }
 
 void DeltaEngine::long_phase_push(std::uint64_t k) {
+  ScopedSpan span(tlane_, SpanCat::kLongPush, k);
   const SsspOptions& o = *sh_.options;
   const bool ios = o.ios;
   const dist_t limit = bucket_end(k);
@@ -432,6 +431,7 @@ void DeltaEngine::long_phase_push(std::uint64_t k) {
 }
 
 void DeltaEngine::long_phase_pull(std::uint64_t k) {
+  ScopedSpan span(tlane_, SpanCat::kLongPull, k);
   const SsspOptions& o = *sh_.options;
   const dist_t kdelta = k * static_cast<dist_t>(o.delta);
   const unsigned lanes = ctx_.pool().lanes();
@@ -545,7 +545,8 @@ void DeltaEngine::process_epoch(std::uint64_t k) {
   ++epoch_;
   members_.clear();
   {
-    Stopwatch sw(counters_.wall_bucket_time_s);
+    TimedSection sw(counters_.wall_bucket_time_s, tlane_, SpanCat::kBucketScan,
+                    k);
     frontier_ = collect_bucket_members(dist_, settled_, k, sh_.options->delta);
     for (const vid_t u : frontier_) in_frontier_[u] = 1;
     model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
@@ -564,8 +565,14 @@ void DeltaEngine::process_epoch(std::uint64_t k) {
     pull_decisions_.push_back(pull);
   }
 
-  for (const vid_t u : members_) settled_[u] = 1;
-  settled_local_cum_ += members_.size();
+  {
+    // Settling the epoch's members is bucket bookkeeping: charge it to
+    // BktTime (it used to be an unattributed sliver of OtherTime).
+    TimedSection sw(counters_.wall_bucket_time_s, tlane_, SpanCat::kBucketScan,
+                    k);
+    for (const vid_t u : members_) settled_[u] = 1;
+    settled_local_cum_ += members_.size();
+  }
 }
 
 void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
@@ -573,7 +580,8 @@ void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
   switch_bucket_ = from_bucket;
 
   {
-    Stopwatch sw(counters_.wall_bucket_time_s);
+    TimedSection sw(counters_.wall_bucket_time_s, tlane_, SpanCat::kBucketScan,
+                    from_bucket);
     frontier_ = collect_unsettled_reached(dist_, settled_);
     for (const vid_t u : frontier_) in_frontier_[u] = 1;
     model_bkt_ns_ += cost_.scan_cost(sh_.part.block_size());
@@ -582,6 +590,7 @@ void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
 
   while (any_active_globally(!frontier_.empty())) {
     ++phases_;
+    ScopedSpan span(tlane_, SpanCat::kBellmanFord, from_bucket);
     std::vector<vid_t> active = std::move(frontier_);
     frontier_.clear();
     for (const vid_t u : active) in_frontier_[u] = 0;
@@ -614,18 +623,23 @@ void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
 }
 
 void DeltaEngine::run() {
+  ctx_.set_trace(tlane_);
   double total_wall = 0;
   {
-    Stopwatch total(total_wall);
-    std::fill(dist_.begin(), dist_.end(), kInfDist);
-    if (!parent_.empty()) {
-      std::fill(parent_.begin(), parent_.end(), kInvalidVid);
+    PhaseTimer total(total_wall);
+    ScopedSpan solve(tlane_, SpanCat::kSolve, ctx_.rank());
+    {
+      ScopedSpan init(tlane_, SpanCat::kInit);
+      std::fill(dist_.begin(), dist_.end(), kInfDist);
+      if (!parent_.empty()) {
+        std::fill(parent_.begin(), parent_.end(), kInvalidVid);
+      }
+      if (sh_.part.owner(sh_.root) == ctx_.rank()) {
+        dist_[to_local(sh_.root)] = 0;
+        if (!parent_.empty()) parent_[to_local(sh_.root)] = sh_.root;
+      }
+      ctx_.barrier();
     }
-    if (sh_.part.owner(sh_.root) == ctx_.rank()) {
-      dist_[to_local(sh_.root)] = 0;
-      if (!parent_.empty()) parent_[to_local(sh_.root)] = sh_.root;
-    }
-    ctx_.barrier();
 
     std::uint64_t k = next_bucket(kBeforeFirst);
     while (k != kInfBucket) {
@@ -633,19 +647,29 @@ void DeltaEngine::run() {
       k = next_bucket(static_cast<std::int64_t>(k));
       if (k == kInfBucket) break;
       if (sh_.options->hybrid_tau >= 0.0) {
-        Stopwatch sw(counters_.wall_bucket_time_s);
-        const std::uint64_t settled_total =
-            ctx_.allreduce(settled_local_cum_, SumOp{});
-        model_bkt_ns_ += cost_.scan_cost(0);
-        if (should_switch_to_bellman_ford(
-                settled_total, sh_.part.num_vertices(),
-                sh_.options->hybrid_tau)) {
+        // Only the switch *decision* is bucket bookkeeping. The tail itself
+        // must run outside this timer: it used to be called from inside the
+        // BktTime stopwatch, so its whole wall time landed in BktTime *and*
+        // its own bucket-scan sections were counted a second time, which
+        // could drive OtherTime = total - BktTime negative.
+        bool switch_now = false;
+        {
+          TimedSection sw(counters_.wall_bucket_time_s, tlane_,
+                          SpanCat::kBucketScan, k);
+          const std::uint64_t settled_total =
+              ctx_.allreduce(settled_local_cum_, SumOp{});
+          model_bkt_ns_ += cost_.scan_cost(0);
+          switch_now = should_switch_to_bellman_ford(
+              settled_total, sh_.part.num_vertices(), sh_.options->hybrid_tau);
+        }
+        if (switch_now) {
           bellman_ford_tail(k);
           break;
         }
       }
     }
   }
+  ctx_.set_trace(nullptr);
   counters_.wall_other_time_s = total_wall - counters_.wall_bucket_time_s;
   finalize();
 }

@@ -22,6 +22,7 @@
 #include "core/options.hpp"
 #include "core/sync.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/send_buffer_pool.hpp"
 
@@ -172,6 +173,8 @@ class DeltaEngine {
 
   RankCounters counters_;
   CostModel cost_;
+  /// This rank's trace lane; null unless SsspOptions::trace is set.
+  TraceLane* tlane_ = nullptr;
   // Rank-identical accumulators (derived from collective reductions).
   double model_other_ns_ = 0;
   double model_bkt_ns_ = 0;

@@ -3,30 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <chrono>
+#include <string>
 
 #include "core/buckets.hpp"
+#include "obs/trace.hpp"
 #include "runtime/send_buffer_pool.hpp"
 
 namespace parsssp {
 namespace {
 
-class Stopwatch {
- public:
-  explicit Stopwatch(double& acc)
-      : acc_(acc), t0_(std::chrono::steady_clock::now()) {}
-  ~Stopwatch() {
-    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0_)
-                .count();
-  }
-  Stopwatch(const Stopwatch&) = delete;
-  Stopwatch& operator=(const Stopwatch&) = delete;
-
- private:
-  double& acc_;
-  std::chrono::steady_clock::time_point t0_;
-};
+// Wall-clock reads go through the obs/ helpers (PhaseTimer / TimedSection /
+// ScopedSpan) so every accounted interval is a trace span — lint rule R8.
 
 // Collective slots carry at most kSlotBytes (64) bytes, so per-slot vectors
 // (next buckets, relax counts) are reduced in chunks of eight uint64s.
@@ -94,25 +81,36 @@ class MultiEngine {
     // across intra-rank lanes (multi_engine.hpp). The pool still buys it
     // buffer recycling and the zero-copy exchange.
     pool_.configure(1, ctx.num_ranks());
+
+    if (sh_.options->trace != nullptr) {
+      tlane_ = &sh_.options->trace->thread_lane(
+          "rank" + std::to_string(ctx_.rank()));
+    }
   }
 
   void run() {
+    ctx_.set_trace(tlane_);
     double total_wall = 0;
     {
-      Stopwatch total(total_wall);
-      for (std::size_t s = 0; s < k_; ++s) {
-        std::fill(dist_[s].begin(), dist_[s].end(), kInfDist);
-        const vid_t root = sh_.roots[s];
-        if (sh_.part.owner(root) == ctx_.rank()) {
-          dist_[s][root - begin_] = 0;
+      PhaseTimer total(total_wall);
+      ScopedSpan sweep(tlane_, SpanCat::kMultiSweep, k_);
+      {
+        ScopedSpan init(tlane_, SpanCat::kInit);
+        for (std::size_t s = 0; s < k_; ++s) {
+          std::fill(dist_[s].begin(), dist_[s].end(), kInfDist);
+          const vid_t root = sh_.roots[s];
+          if (sh_.part.owner(root) == ctx_.rank()) {
+            dist_[s][root - begin_] = 0;
+          }
         }
+        ctx_.barrier();
       }
-      ctx_.barrier();
 
       while (advance_buckets()) {
         process_epoch();
       }
     }
+    ctx_.set_trace(nullptr);
     counters_.wall_other_time_s = total_wall - counters_.wall_bucket_time_s;
     finalize();
   }
@@ -126,7 +124,8 @@ class MultiEngine {
   /// Allreduce over the per-slot local minima). Returns false when every
   /// slot is exhausted — batch termination.
   bool advance_buckets() {
-    Stopwatch sw(counters_.wall_bucket_time_s);
+    TimedSection sw(counters_.wall_bucket_time_s, tlane_,
+                    SpanCat::kBucketScan);
     const std::uint32_t delta = sh_.options->delta;
     std::vector<std::uint64_t> local(k_);
     for (std::size_t s = 0; s < k_; ++s) {
@@ -156,7 +155,8 @@ class MultiEngine {
   /// Local slot-activity bitmask reduced with a single 64-bit OR — this is
   /// why kMaxMultiRoots is 64.
   std::uint64_t active_mask_globally() {
-    Stopwatch sw(counters_.wall_bucket_time_s);
+    TimedSection sw(counters_.wall_bucket_time_s, tlane_,
+                    SpanCat::kBucketScan);
     std::uint64_t mask = 0;
     for (std::size_t s = 0; s < k_; ++s) {
       if (!frontier_[s].empty()) mask |= std::uint64_t{1} << s;
@@ -212,6 +212,7 @@ class MultiEngine {
   }
 
   std::uint64_t apply(bool to_frontier) {
+    ScopedSpan span(tlane_, SpanCat::kApply);
     const std::uint32_t delta = sh_.options->delta;
     std::uint64_t applied = 0;
     for (const auto& batch : pool_.incoming()) {
@@ -236,7 +237,8 @@ class MultiEngine {
   void process_epoch() {
     ++epoch_;
     {
-      Stopwatch sw(counters_.wall_bucket_time_s);
+      TimedSection sw(counters_.wall_bucket_time_s, tlane_,
+                      SpanCat::kBucketScan);
       for (std::size_t s = 0; s < k_; ++s) {
         members_[s].clear();
         if (cur_[s] == kInfBucket) continue;
@@ -258,6 +260,9 @@ class MultiEngine {
     // round alive.
     while (active_mask_globally() != 0) {
       ++phases_;
+      ScopedSpan span(
+          tlane_, bf_regime ? SpanCat::kBellmanFord : SpanCat::kShortPhase,
+          epoch_);
       begin_emit();
       std::uint64_t emitted = 0;
       for (std::size_t s = 0; s < k_; ++s) {
@@ -276,6 +281,7 @@ class MultiEngine {
     // its members plus, under IOS, their deferred outer-short arcs.
     if (classify_) {
       ++phases_;
+      ScopedSpan span(tlane_, SpanCat::kLongPush, epoch_);
       begin_emit();
       std::uint64_t emitted = 0;
       for (std::size_t s = 0; s < k_; ++s) {
@@ -289,10 +295,16 @@ class MultiEngine {
                    emitted);
     }
 
-    for (std::size_t s = 0; s < k_; ++s) {
-      if (cur_[s] == kInfBucket) continue;
-      for (const vid_t u : members_[s]) settled_[s][u] = 1;
-      after_[s] = static_cast<std::int64_t>(cur_[s]);
+    {
+      // Settling is bucket bookkeeping; charge it to BktTime like the
+      // single-root engine does.
+      TimedSection sw(counters_.wall_bucket_time_s, tlane_,
+                      SpanCat::kBucketScan);
+      for (std::size_t s = 0; s < k_; ++s) {
+        if (cur_[s] == kInfBucket) continue;
+        for (const vid_t u : members_[s]) settled_[s][u] = 1;
+        after_[s] = static_cast<std::int64_t>(cur_[s]);
+      }
     }
   }
 
@@ -401,6 +413,8 @@ class MultiEngine {
   SenderReducer<dist_t> reducer_;
 
   RankCounters counters_;
+  /// This rank's trace lane; null unless SsspOptions::trace is set.
+  TraceLane* tlane_ = nullptr;
   std::uint64_t epoch_ = 0;
   std::uint64_t epochs_ = 0;
   std::uint64_t phases_ = 0;

@@ -11,6 +11,8 @@
 
 namespace parsssp {
 
+class TraceRecorder;  // obs/trace.hpp
+
 /// How the long-edge phase of each bucket is executed (paper §III-B/C).
 enum class PruneMode : std::uint8_t {
   kPushOnly,        ///< classic push relaxations for every bucket
@@ -110,6 +112,13 @@ struct SsspOptions {
   bool collect_bucket_details = false;  ///< per-bucket push/pull stats (Fig 7)
 
   CostModelParams cost_model;
+
+  /// Observability (docs/OBSERVABILITY.md): when non-null, the engines and
+  /// the runtime exchange path record structured spans into this recorder.
+  /// Never changes results or reported statistics, so it is excluded from
+  /// options_signature(); null keeps every span site a single pointer test
+  /// with no extra clock reads.
+  TraceRecorder* trace = nullptr;
 
   bool bellman_ford_regime() const { return delta == kInfDelta; }
 

@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace parsssp {
+
+std::string_view span_cat_name(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kBucketScan: return "bucket_scan";
+    case SpanCat::kInit: return "init";
+    case SpanCat::kShortPhase: return "short_phase";
+    case SpanCat::kLongPush: return "long_push";
+    case SpanCat::kLongPull: return "long_pull";
+    case SpanCat::kDecision: return "decision";
+    case SpanCat::kBellmanFord: return "bellman_ford";
+    case SpanCat::kSolve: return "solve";
+    case SpanCat::kMultiSweep: return "multi_sweep";
+    case SpanCat::kExchange: return "exchange";
+    case SpanCat::kApply: return "apply";
+    case SpanCat::kAdmission: return "admission";
+    case SpanCat::kBatchClose: return "batch_close";
+    case SpanCat::kCacheLookup: return "cache_lookup";
+    case SpanCat::kServeSolve: return "serve_solve";
+    case SpanCat::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Trace-event "cat" groups, for Perfetto's filtering UI.
+std::string_view span_group(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kBucketScan:
+      return "bucket";
+    case SpanCat::kInit:
+    case SpanCat::kShortPhase:
+    case SpanCat::kLongPush:
+    case SpanCat::kLongPull:
+    case SpanCat::kDecision:
+    case SpanCat::kBellmanFord:
+      return "phase";
+    case SpanCat::kSolve:
+    case SpanCat::kMultiSweep:
+      return "solve";
+    case SpanCat::kExchange:
+    case SpanCat::kApply:
+      return "datapath";
+    default:
+      return "serve";
+  }
+}
+
+/// The engine categories whose spans tile a solve disjointly.
+bool is_top_level_engine(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kBucketScan:
+    case SpanCat::kInit:
+    case SpanCat::kShortPhase:
+    case SpanCat::kLongPush:
+    case SpanCat::kLongPull:
+    case SpanCat::kDecision:
+    case SpanCat::kBellmanFord:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TraceLane& TraceRecorder::thread_lane(std::string_view name_hint) {
+  const auto tid = std::this_thread::get_id();
+  MutexLock lock(mutex_);
+  const auto it = by_thread_.find(tid);
+  if (it != by_thread_.end()) return *it->second;
+  lanes_.emplace_back(std::string(name_hint), capacity_, epoch_);
+  TraceLane* lane = &lanes_.back();
+  by_thread_.emplace(tid, lane);
+  return *lane;
+}
+
+std::vector<TraceRecorder::LaneView> TraceRecorder::snapshot() const {
+  MutexLock lock(mutex_);
+  std::vector<LaneView> out;
+  out.reserve(lanes_.size());
+  for (const TraceLane& lane : lanes_) {
+    out.push_back(LaneView{lane.name(), lane.spans(), lane.dropped()});
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const {
+  MutexLock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const TraceLane& lane : lanes_) total += lane.dropped();
+  return total;
+}
+
+void TraceRecorder::clear() {
+  MutexLock lock(mutex_);
+  for (TraceLane& lane : lanes_) {
+    lane.size_.store(0, std::memory_order_release);
+    lane.dropped_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+  const auto lanes = recorder.snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (std::size_t tid = 0; tid < lanes.size(); ++tid) {
+    // Thread-name metadata event, so Perfetto labels the lane rows.
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << lanes[tid].name << "\"}}";
+    for (const TraceSpan& s : lanes[tid].spans) {
+      out << ",{\"name\":\"" << span_cat_name(s.cat) << "\",\"cat\":\""
+          << span_group(s.cat) << "\",\"ph\":\"X\",\"ts\":";
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(s.start_ns) * 1e-3);
+      out << buf << ",\"dur\":";
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(s.dur_ns) * 1e-3);
+      out << buf << ",\"pid\":0,\"tid\":" << tid;
+      if (s.arg != kNoSpanArg) out << ",\"args\":{\"arg\":" << s.arg << "}";
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+TraceCheckReport check_engine_accounting(const TraceRecorder& recorder,
+                                         const SsspStats& stats,
+                                         double tolerance,
+                                         double abs_slack_s) {
+  TraceCheckReport rep;
+  rep.reported_wall_s = stats.wall_bucket_time_s + stats.wall_other_time_s;
+  rep.reported_bucket_s = stats.wall_bucket_time_s;
+
+  std::size_t engine_lanes = 0;
+  double worst_cover = 0;  // worst |lane top-level sum - lane solve span|
+  for (const auto& lane : recorder.snapshot()) {
+    rep.dropped += lane.dropped;
+    double solve_s = 0;
+    double top_s = 0;
+    double bucket_s = 0;
+    bool has_solve = false;
+    for (const TraceSpan& s : lane.spans) {
+      const double dur = static_cast<double>(s.dur_ns) * 1e-9;
+      if (s.cat == SpanCat::kSolve) {
+        has_solve = true;
+        solve_s += dur;
+      } else if (is_top_level_engine(s.cat)) {
+        top_s += dur;
+        if (s.cat == SpanCat::kBucketScan) bucket_s += dur;
+      }
+    }
+    if (!has_solve) continue;  // not an engine lane (serve dispatcher, ...)
+    ++engine_lanes;
+    worst_cover = std::max(worst_cover, std::abs(top_s - solve_s));
+    rep.span_wall_s = std::max(rep.span_wall_s, top_s);
+    rep.span_bucket_s = std::max(rep.span_bucket_s, bucket_s);
+  }
+
+  const double slack = tolerance * rep.reported_wall_s + abs_slack_s;
+  const bool wall_ok = std::abs(rep.span_wall_s - rep.reported_wall_s) <= slack;
+  const bool bucket_ok =
+      std::abs(rep.span_bucket_s - rep.reported_bucket_s) <= slack;
+  const bool cover_ok = worst_cover <= slack;
+  rep.ok = engine_lanes > 0 && rep.dropped == 0 && wall_ok && bucket_ok &&
+           cover_ok;
+
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s: %zu engine lane(s), span sum %.6fs vs reported %.6fs, "
+      "bucket spans %.6fs vs BktTime %.6fs, worst cover gap %.6fs, "
+      "%llu dropped (slack %.6fs)",
+      rep.ok ? "OK" : "FAIL", engine_lanes, rep.span_wall_s,
+      rep.reported_wall_s, rep.span_bucket_s, rep.reported_bucket_s,
+      worst_cover, static_cast<unsigned long long>(rep.dropped), slack);
+  rep.detail = buf;
+  return rep;
+}
+
+}  // namespace parsssp

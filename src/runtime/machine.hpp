@@ -33,6 +33,7 @@
 
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
+#include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/protocol_check.hpp"
@@ -68,6 +69,15 @@ class RankCtx {
   TrafficCounters& traffic() {
     check_owner("traffic()");
     return traffic_;
+  }
+
+  /// Observability: exchange spans are recorded into `lane` (null = off).
+  /// Engines set this at the start of a traced job and clear it before
+  /// returning — the lane must outlive the interval in between. Rank-owned
+  /// state, like the traffic counters.
+  void set_trace(TraceLane* lane) {
+    check_owner("set_trace()");
+    trace_ = lane;
   }
 
   void barrier() {
@@ -107,6 +117,7 @@ class RankCtx {
                                        PhaseKind kind) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_owner("exchange()");
+    ScopedSpan span(trace_, SpanCat::kExchange);
     const rank_t r = rank_;
     const rank_t ranks = num_ranks();
     const std::uint64_t round = ++exchange_round_;
@@ -150,6 +161,7 @@ class RankCtx {
   void exchange_pooled(SendBufferPool<T>& pool, PhaseKind kind) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_owner("exchange_pooled()");
+    ScopedSpan span(trace_, SpanCat::kExchange);
     const rank_t r = rank_;
     const rank_t ranks = num_ranks();
     const unsigned lanes = pool.lanes();
@@ -248,6 +260,7 @@ class RankCtx {
   bool checked_;
   std::thread::id owner_;
   std::uint64_t exchange_round_ = 0;
+  TraceLane* trace_ = nullptr;  ///< rank-owned; see set_trace()
   ThreadPool pool_;
 };
 

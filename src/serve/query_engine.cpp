@@ -26,6 +26,19 @@ QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
     MutexLock lock(mutex_);
     stats_.batch_size_histogram.assign(config_.max_batch + 1, 0);
   }
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    m_submitted_ = &reg.counter("serve.submitted");
+    m_completed_ = &reg.counter("serve.completed");
+    m_cache_hits_ = &reg.counter("serve.cache_hits");
+    m_cache_misses_ = &reg.counter("serve.cache_misses");
+    g_queue_depth_ = &reg.gauge("serve.queue_depth");
+    h_latency_ = &reg.histogram("serve.latency_s");
+    // Batch sizes are small integers: start the geometric buckets at 1.
+    h_batch_size_ = &reg.histogram("serve.batch_size",
+                                   Histogram::Config{1.0, std::pow(2.0, 0.25),
+                                                     32});
+  }
   dispatcher_ = std::make_unique<ServiceThread>(
       [this] { return dispatch_step(); }, config_.idle_poll);
 }
@@ -73,7 +86,11 @@ std::future<QueryResult> QueryEngine::submit(vid_t root,
     }
     queue_.push_back(std::move(p));
     ++stats_.submitted;
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
   }
+  if (m_submitted_ != nullptr) m_submitted_->inc();
   dispatcher_->wake();
   return fut;
 }
@@ -107,7 +124,12 @@ ServeStats QueryEngine::stats() const {
 }
 
 bool QueryEngine::dispatch_step() {
+  // First step on the dispatcher thread: register its trace lane.
+  if (config_.trace != nullptr && dlane_ == nullptr) {
+    dlane_ = &config_.trace->thread_lane("serve-dispatcher");
+  }
   std::vector<Pending> batch;
+  const std::int64_t t0 = dlane_ != nullptr ? dlane_->now_ns() : 0;
   {
     MutexLock lock(mutex_);
     if (queue_.empty()) return false;
@@ -126,6 +148,23 @@ bool QueryEngine::dispatch_step() {
     }
     ++stats_.batches;
     ++stats_.batch_size_histogram[batch.size()];
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (dlane_ != nullptr) {
+    // The batch-close span covers the queue pop; each query additionally
+    // gets an admission span reconstructed from its submit timestamp — its
+    // time waiting in the queue for batchmates.
+    const std::int64_t closed = dlane_->now_ns();
+    dlane_->record(SpanCat::kBatchClose, t0, closed - t0, batch.size());
+    for (const Pending& p : batch) {
+      const std::int64_t s = dlane_->to_ns(p.submitted_at);
+      dlane_->record(SpanCat::kAdmission, s, closed - s, p.root);
+    }
+  }
+  if (h_batch_size_ != nullptr) {
+    h_batch_size_->record(static_cast<double>(batch.size()));
   }
   serve_batch(std::move(batch));
   return true;
@@ -141,17 +180,27 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
       MutexLock lock(mutex_);
       ++stats_.completed;
     }
-    p.promise.set_value(QueryResult{std::move(answer), from_cache,
-                                    std::chrono::steady_clock::now()});
+    const auto now = std::chrono::steady_clock::now();
+    if (m_completed_ != nullptr) m_completed_->inc();
+    if (h_latency_ != nullptr) {
+      h_latency_->record(
+          std::chrono::duration<double>(now - p.submitted_at).count());
+    }
+    p.promise.set_value(QueryResult{std::move(answer), from_cache, now});
   };
 
   // Cache pass: hits complete immediately, misses proceed to the machine.
   std::vector<Pending> misses;
-  for (Pending& p : batch) {
-    if (auto hit = cache_.lookup(p.root, p.signature)) {
-      fulfill(p, std::move(hit), /*from_cache=*/true);
-    } else {
-      misses.push_back(std::move(p));
+  {
+    ScopedSpan span(dlane_, SpanCat::kCacheLookup, batch.size());
+    for (Pending& p : batch) {
+      if (auto hit = cache_.lookup(p.root, p.signature)) {
+        if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
+        fulfill(p, std::move(hit), /*from_cache=*/true);
+      } else {
+        if (m_cache_misses_ != nullptr) m_cache_misses_->inc();
+        misses.push_back(std::move(p));
+      }
     }
   }
   if (misses.empty()) return;
@@ -181,7 +230,12 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
 }
 
 std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
-    const std::vector<vid_t>& roots, const SsspOptions& options) {
+    const std::vector<vid_t>& roots, const SsspOptions& opts_in) {
+  ScopedSpan span(dlane_, SpanCat::kServeSolve, roots.size());
+  // Served solves trace into the engine's recorder, whatever the client
+  // put in its options (trace is excluded from the batch signature).
+  SsspOptions options = opts_in;
+  options.trace = config_.trace;
   ensure_views(options.delta);
   std::vector<std::shared_ptr<const QueryAnswer>> answers;
   answers.reserve(roots.size());

@@ -45,6 +45,8 @@
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"
 #include "graph/csr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/machine_session.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/service_thread.hpp"
@@ -62,6 +64,18 @@ struct ServeConfig {
   std::size_t cache_capacity = 1024;
   /// Granularity at which the dispatcher re-checks the window deadline.
   std::chrono::nanoseconds idle_poll = std::chrono::microseconds(50);
+
+  // --- Observability (docs/OBSERVABILITY.md) ----------------------------
+
+  /// When non-null, the engine keeps serve-layer counters, gauges and
+  /// latency/batch-size histograms in this registry. Must outlive the
+  /// engine; instruments are shared with whoever else snapshots it.
+  MetricsRegistry* metrics = nullptr;
+  /// When non-null, the dispatcher records admission/batch/cache/solve
+  /// spans into its own lane, and solves propagate the recorder into the
+  /// engines (overriding SsspOptions::trace for served queries). Must
+  /// outlive the engine.
+  TraceRecorder* trace = nullptr;
 };
 
 /// What a submitted query's future resolves to.
@@ -146,6 +160,19 @@ class QueryEngine {
   std::vector<LocalEdgeView> views_;
   std::uint32_t views_delta_ = 0;
   bool views_ready_ = false;
+  /// Dispatcher trace lane, registered on the dispatcher thread's first
+  /// step (null when config_.trace is null).
+  TraceLane* dlane_ = nullptr;
+
+  // Metrics handles (null when config_.metrics is null). The registry owns
+  // the instruments; references stay valid for its lifetime.
+  Counter* m_submitted_ = nullptr;
+  Counter* m_completed_ = nullptr;
+  Counter* m_cache_hits_ = nullptr;
+  Counter* m_cache_misses_ = nullptr;
+  Gauge* g_queue_depth_ = nullptr;
+  Histogram* h_latency_ = nullptr;
+  Histogram* h_batch_size_ = nullptr;
 
   std::unique_ptr<ServiceThread> dispatcher_;  ///< last: stops first
 };

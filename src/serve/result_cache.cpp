@@ -1,8 +1,28 @@
 #include "serve/result_cache.hpp"
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace parsssp {
+
+namespace {
+
+/// Canonical value for signature printing. Folds -0.0 onto +0.0 (they
+/// compare equal and configure identical runs, but print as distinct
+/// hexfloats, which used to split the cache key space). Non-finite values
+/// configure nothing meaningful and would make every lookup of that option
+/// set a miss, so they are rejected at cache admission.
+double canonical(double v, const char* field) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string("options_signature: ") + field +
+                                " must be finite");
+  }
+  return v == 0.0 ? 0.0 : v;
+}
+
+}  // namespace
 
 std::string options_signature(const SsspOptions& options) {
   std::ostringstream out;
@@ -17,8 +37,8 @@ std::string options_signature(const SsspOptions& options) {
       << ";forced=";
   for (const bool pull : options.forced_pull) out << (pull ? '1' : '0');
   out << ";est=" << static_cast<int>(options.estimator)
-      << ";lambda=" << options.load_lambda
-      << ";tau=" << options.hybrid_tau
+      << ";lambda=" << canonical(options.load_lambda, "load_lambda")
+      << ";tau=" << canonical(options.hybrid_tau, "hybrid_tau")
       << ";heavy=" << options.heavy_degree_threshold
       << ";parents=" << options.track_parents
       << ";dp=" << static_cast<int>(options.data_path)
@@ -26,10 +46,10 @@ std::string options_signature(const SsspOptions& options) {
       << ";papply=" << options.parallel_apply
       << ";phasedet=" << options.collect_phase_details
       << ";bucketdet=" << options.collect_bucket_details
-      << ";cm=" << options.cost_model.t_step_ns << ','
-      << options.cost_model.t_relax_ns << ','
-      << options.cost_model.t_byte_ns << ','
-      << options.cost_model.t_scan_ns;
+      << ";cm=" << canonical(options.cost_model.t_step_ns, "t_step_ns") << ','
+      << canonical(options.cost_model.t_relax_ns, "t_relax_ns") << ','
+      << canonical(options.cost_model.t_byte_ns, "t_byte_ns") << ','
+      << canonical(options.cost_model.t_scan_ns, "t_scan_ns");
   return std::move(out).str();
 }
 

@@ -34,8 +34,13 @@
 
 namespace parsssp {
 
-/// Canonical serialization of every SsspOptions field. Equal strings iff
-/// the option sets are observationally equivalent for a served answer.
+/// Canonical serialization of every SsspOptions field that can affect a
+/// served answer (the observability hook SsspOptions::trace is excluded —
+/// it never changes results or reported statistics). Equal strings iff the
+/// option sets are observationally equivalent: double-valued fields print
+/// as exact hexfloats with -0.0 canonicalized to +0.0 (they configure
+/// identical runs). Throws std::invalid_argument on non-finite doubles —
+/// i.e. at cache admission, before such a query could poison the key space.
 std::string options_signature(const SsspOptions& options);
 
 /// One complete, immutable query answer.

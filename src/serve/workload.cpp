@@ -73,10 +73,14 @@ LatencyStats percentile_stats(std::vector<double> latencies_s) {
   double sum = 0;
   for (const double l : latencies_s) sum += l;
   stats.mean = sum / static_cast<double>(latencies_s.size());
+  // Nearest-rank percentile: the ceil(p*n)-th smallest sample (1-based).
+  // The round-half-up interpolation this replaces overstated percentiles —
+  // e.g. the p50 of 10 samples was the 6th smallest, not the 5th.
   const auto at = [&](double p) {
-    const std::size_t idx = static_cast<std::size_t>(
-        p * static_cast<double>(latencies_s.size() - 1) + 0.5);
-    return latencies_s[std::min(idx, latencies_s.size() - 1)];
+    const std::size_t n = latencies_s.size();
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))));
+    return latencies_s[std::min(rank, n) - 1];
   };
   stats.p50 = at(0.50);
   stats.p95 = at(0.95);

@@ -62,6 +62,10 @@ struct LatencyStats {
 };
 
 /// Computes order statistics of `latencies_s` (unsorted input is fine).
+/// Percentiles use the nearest-rank convention: pXX is the ceil(p*n)-th
+/// smallest sample (1-based) — an actual observed latency, never an
+/// interpolation, and exactly the value cross-checked against the
+/// log-bucketed histograms in obs/metrics.hpp.
 LatencyStats percentile_stats(std::vector<double> latencies_s);
 
 }  // namespace parsssp

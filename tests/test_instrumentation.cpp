@@ -1,0 +1,135 @@
+// Wall-clock accounting of the engines, certified through the trace
+// self-check: per-lane top-level spans must tile each solve, the
+// kBucketScan subset must match the reported BktTime, and the
+// BktTime/OtherTime split must stay a partition of the wall clock. The
+// forced-hybrid cases are the regression tests for the switch bug where
+// bellman_ford_tail() ran inside the BktTime stopwatch, double-counting
+// the tail and driving OtherTime negative.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/solver.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "obs/trace.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph test_graph(std::uint32_t scale, std::uint64_t seed) {
+  RmatConfig cfg;
+  cfg.scale = scale;
+  cfg.edge_factor = 12;
+  cfg.seed = seed;
+  return CsrGraph::from_edges(generate_rmat(cfg));
+}
+
+void expect_wall_partition(const SsspStats& s) {
+  EXPECT_GE(s.wall_bucket_time_s, 0.0);
+  EXPECT_GE(s.wall_other_time_s, 0.0)
+      << "OtherTime went negative: BktTime " << s.wall_bucket_time_s
+      << "s of wall " << s.wall_time_s << "s";
+  EXPECT_NEAR(s.wall_bucket_time_s + s.wall_other_time_s, s.wall_time_s,
+              1e-9 + 1e-12 * std::abs(s.wall_time_s));
+}
+
+TEST(Instrumentation, WallTimePartitionsAcrossVariants) {
+  const CsrGraph g = test_graph(/*scale=*/10, /*seed=*/3);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  for (const SsspOptions& opts :
+       {SsspOptions::del(25), SsspOptions::prune(25), SsspOptions::opt(25),
+        SsspOptions::bellman_ford()}) {
+    const SsspResult r = solver.solve(1, opts);
+    expect_wall_partition(r.stats);
+  }
+}
+
+// tau = 0.05 forces the Bellman-Ford switch after the first epoch on this
+// graph. Before the fix, the tail's whole wall time was charged to BktTime
+// on top of its own timed sections, so OtherTime = wall - BktTime could go
+// negative and the span sum could exceed the solve span.
+TEST(Instrumentation, ForcedHybridSwitchKeepsOtherTimeNonNegative) {
+  const CsrGraph g = test_graph(/*scale=*/11, /*seed=*/7);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  SsspOptions opts = SsspOptions::opt(25);
+  opts.hybrid_tau = 0.05;
+  const SsspResult r = solver.solve(0, opts);
+  ASSERT_TRUE(r.stats.switched_to_bf) << "test graph must trigger the tail";
+  expect_wall_partition(r.stats);
+}
+
+TEST(Instrumentation, TraceSelfCheckPassesAcrossVariants) {
+  const CsrGraph g = test_graph(/*scale=*/11, /*seed=*/5);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  TraceRecorder recorder;
+  for (const SsspOptions& base :
+       {SsspOptions::del(25), SsspOptions::prune(25), SsspOptions::opt(25),
+        SsspOptions::bellman_ford()}) {
+    SsspOptions opts = base;
+    opts.trace = &recorder;
+    recorder.clear();
+    const SsspResult r = solver.solve(2, opts);
+    const TraceCheckReport rep = check_engine_accounting(recorder, r.stats);
+    EXPECT_TRUE(rep.ok) << rep.detail;
+    EXPECT_EQ(rep.dropped, 0u);
+    EXPECT_GT(rep.span_wall_s, 0.0);
+  }
+}
+
+TEST(Instrumentation, TraceSelfCheckPassesThroughTheForcedSwitch) {
+  const CsrGraph g = test_graph(/*scale=*/11, /*seed=*/7);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  TraceRecorder recorder;
+  SsspOptions opts = SsspOptions::opt(25);
+  opts.hybrid_tau = 0.05;
+  opts.trace = &recorder;
+  const SsspResult r = solver.solve(0, opts);
+  ASSERT_TRUE(r.stats.switched_to_bf);
+  const TraceCheckReport rep = check_engine_accounting(recorder, r.stats);
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  // The tail's rounds must be visible as kBellmanFord spans, not silently
+  // folded into BktTime.
+  bool saw_bf_span = false;
+  for (const auto& lane : recorder.snapshot()) {
+    for (const TraceSpan& s : lane.spans) {
+      saw_bf_span = saw_bf_span || s.cat == SpanCat::kBellmanFord;
+    }
+  }
+  EXPECT_TRUE(saw_bf_span);
+}
+
+TEST(Instrumentation, TracingDoesNotChangeResults) {
+  const CsrGraph g = test_graph(/*scale=*/10, /*seed=*/11);
+  Solver solver(g, {.machine = {.num_ranks = 4, .lanes_per_rank = 2}});
+  const SsspOptions plain = SsspOptions::opt(25);
+  const SsspResult untraced = solver.solve(3, plain);
+
+  TraceRecorder recorder;
+  SsspOptions traced_opts = plain;
+  traced_opts.trace = &recorder;
+  const SsspResult traced = solver.solve(3, traced_opts);
+
+  ASSERT_EQ(traced.dist.size(), untraced.dist.size());
+  for (vid_t v = 0; v < untraced.dist.size(); ++v) {
+    ASSERT_EQ(traced.dist[v], untraced.dist[v]);
+  }
+  EXPECT_EQ(traced.stats.total_relaxations(),
+            untraced.stats.total_relaxations());
+  EXPECT_EQ(traced.stats.phases, untraced.stats.phases);
+}
+
+TEST(Instrumentation, NoSpansRecordedWhenTraceIsOff) {
+  const CsrGraph g = test_graph(/*scale=*/9, /*seed=*/1);
+  Solver solver(g, {.machine = {.num_ranks = 2, .lanes_per_rank = 2}});
+  TraceRecorder recorder;  // exists but is not wired into the options
+  const SsspResult r = solver.solve(0, SsspOptions::opt(25));
+  expect_wall_partition(r.stats);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.total_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace parsssp

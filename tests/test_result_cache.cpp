@@ -2,8 +2,13 @@
 // option-signature key that keeps distinct configurations from colliding.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "serve/result_cache.hpp"
 
 namespace parsssp {
@@ -42,6 +47,67 @@ TEST(OptionsSignature, DistinguishesEveryResultAffectingField) {
   SsspOptions forced2 = forced;
   forced2.forced_pull = {true, false, false};
   EXPECT_NE(options_signature(forced), options_signature(forced2));
+}
+
+TEST(OptionsSignature, NegativeZeroIsCanonicalizedToPositiveZero) {
+  // -0.0 and +0.0 configure bit-identical runs; a hexfloat print would
+  // otherwise give them different signatures and split the cache key space.
+  SsspOptions pos = SsspOptions::opt(25);
+  pos.load_lambda = 0.0;
+  SsspOptions neg = SsspOptions::opt(25);
+  neg.load_lambda = -0.0;
+  EXPECT_EQ(options_signature(pos), options_signature(neg));
+
+  SsspOptions neg_tau = SsspOptions::del(25);
+  neg_tau.hybrid_tau = -0.0;
+  SsspOptions pos_tau = SsspOptions::del(25);
+  pos_tau.hybrid_tau = 0.0;
+  EXPECT_EQ(options_signature(neg_tau), options_signature(pos_tau));
+  // Canonicalization folds the sign of zero only — a genuinely negative
+  // value still signs differently from its positive counterpart.
+  SsspOptions disabled = SsspOptions::del(25);
+  disabled.hybrid_tau = -1.0;
+  EXPECT_NE(options_signature(disabled), options_signature(pos_tau));
+}
+
+TEST(OptionsSignature, RejectsNonFiniteDoublesAtAdmission) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    SsspOptions lambda = SsspOptions::opt(25);
+    lambda.load_lambda = bad;
+    EXPECT_THROW(options_signature(lambda), std::invalid_argument);
+
+    SsspOptions tau = SsspOptions::opt(25);
+    tau.hybrid_tau = bad;
+    EXPECT_THROW(options_signature(tau), std::invalid_argument);
+
+    SsspOptions cost = SsspOptions::opt(25);
+    cost.cost_model.t_relax_ns = bad;
+    EXPECT_THROW(options_signature(cost), std::invalid_argument);
+  }
+}
+
+TEST(OptionsSignature, IsStableAcrossRepeatedCalls) {
+  SsspOptions opts = SsspOptions::lb_opt(13, 64);
+  opts.load_lambda = 0.30000000000000004;  // not representable in decimal
+  opts.hybrid_tau = 1.0 / 3.0;
+  const std::string first = options_signature(opts);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(options_signature(opts), first);
+  // Hexfloat round-trip: a value one ulp away must not collide.
+  SsspOptions bumped = opts;
+  bumped.hybrid_tau = std::nextafter(opts.hybrid_tau, 1.0);
+  EXPECT_NE(options_signature(bumped), first);
+}
+
+TEST(ResultCache, TraceHookDoesNotAffectTheSignature) {
+  // SsspOptions::trace is observability plumbing: a traced and an untraced
+  // query must share a cache entry.
+  TraceRecorder recorder;
+  SsspOptions traced = SsspOptions::opt(25);
+  traced.trace = &recorder;
+  EXPECT_EQ(options_signature(traced),
+            options_signature(SsspOptions::opt(25)));
 }
 
 TEST(ResultCache, HitsRefreshRecencyAndLruEvicts) {

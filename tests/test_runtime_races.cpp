@@ -10,18 +10,24 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <numeric>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/options.hpp"
 #include "core/solver.hpp"
 #include "graph/csr.hpp"
 #include "graph/rmat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/machine_session.hpp"
 #include "runtime/send_buffer_pool.hpp"
 #include "runtime/thread_pool.hpp"
 #include "seq/dijkstra.hpp"
+#include "serve/query_engine.hpp"
 
 namespace parsssp {
 namespace {
@@ -251,6 +257,82 @@ TEST(RuntimeRaces, PooledSolvesBackToBackChecked) {
     const SsspResult res = solver.solve(0, SsspOptions::opt(25));
     for (vid_t v = 0; v < ref.size(); ++v) ASSERT_EQ(res.dist[v], ref[v]);
   }
+}
+
+// The observability snapshot path under maximal concurrency: client
+// threads submit queries (bumping counters and latency histograms from
+// both the submitter and dispatcher sides) while an observer thread
+// continuously reads stats(), snapshots the metrics registry and exports
+// the trace — the exact pattern serve_cli's periodic metrics snapshots
+// exercise. TSan must see every read as clean; functionally, the final
+// snapshot must balance (completed == submitted, hits + misses ==
+// completed) so no increment was torn or lost.
+TEST(RuntimeRaces, ServeMetricsAndTraceSnapshotsUnderLoad) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = 23;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+
+  MetricsRegistry registry;
+  TraceRecorder recorder;
+  ServeConfig serve;
+  serve.machine = {.num_ranks = 2, .lanes_per_rank = 2};
+  serve.max_batch = 4;
+  serve.cache_capacity = 16;
+  serve.metrics = &registry;
+  serve.trace = &recorder;
+  QueryEngine engine(g, serve);
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 20;
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServeStats stats = engine.stats();
+      ASSERT_LE(stats.completed, stats.submitted);
+      const MetricsSnapshot snap = registry.snapshot();
+      for (const auto& h : snap.histograms) ASSERT_GE(h.max, 0.0);
+      std::ostringstream sink;
+      write_chrome_trace(sink, recorder);
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const SsspOptions opts = SsspOptions::opt(25);
+      std::vector<std::future<QueryResult>> futures;
+      for (int i = 0; i < kPerClient; ++i) {
+        // A small root domain so cache hits and misses interleave.
+        futures.push_back(engine.submit((c * 7 + i) % 8, opts));
+      }
+      for (auto& f : futures) {
+        const QueryResult r = f.get();
+        ASSERT_NE(r.answer, nullptr);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  observer.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  std::uint64_t submitted = 0, completed = 0, hits = 0, misses = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "serve.submitted") submitted = c.value;
+    if (c.name == "serve.completed") completed = c.value;
+    if (c.name == "serve.cache_hits") hits = c.value;
+    if (c.name == "serve.cache_misses") misses = c.value;
+  }
+  EXPECT_EQ(submitted, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(completed, submitted);
+  EXPECT_EQ(hits + misses, completed);
+  std::uint64_t latency_count = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "serve.latency_s") latency_count = h.count;
+  }
+  EXPECT_EQ(latency_count, completed);
+  EXPECT_EQ(recorder.total_dropped(), 0u);
 }
 
 }  // namespace

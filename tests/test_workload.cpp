@@ -2,7 +2,10 @@
 // bounds, Zipf skew, and the percentile summary used in SLO reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "serve/workload.hpp"
 
@@ -104,6 +107,38 @@ TEST(Workload, PercentileStatsOrderStatistics) {
   const LatencyStats empty = percentile_stats({});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_EQ(empty.max, 0.0);
+}
+
+// Exactness of the nearest-rank convention: for samples {1ms..n*1ms}, the
+// p-th percentile must be the ceil(p*n)-th smallest sample (1-based),
+// computed here with a pure-integer reference so a floating-point slip in
+// the implementation cannot hide. n sweeps every size from 1 to 100.
+TEST(Workload, NearestRankPercentilesAreExactForAllSmallSizes) {
+  for (std::size_t n = 1; n <= 100; ++n) {
+    std::vector<double> latencies;
+    for (std::size_t i = n; i >= 1; --i) {  // reversed: must sort internally
+      latencies.push_back(static_cast<double>(i) * 1e-3);
+    }
+    const LatencyStats stats = percentile_stats(std::move(latencies));
+    ASSERT_EQ(stats.count, n);
+    const auto expected = [n](std::size_t pp) {
+      const std::size_t rank = std::max<std::size_t>(1, (pp * n + 99) / 100);
+      return static_cast<double>(rank) * 1e-3;
+    };
+    EXPECT_EQ(stats.p50, expected(50)) << "p50 at n=" << n;
+    EXPECT_EQ(stats.p95, expected(95)) << "p95 at n=" << n;
+    EXPECT_EQ(stats.p99, expected(99)) << "p99 at n=" << n;
+  }
+}
+
+// The specific regression the nearest-rank fix addressed: with 10 samples,
+// the old round-half-up interpolation reported the 6th smallest as p50.
+TEST(Workload, P50OfTenSamplesIsTheFifthSmallest) {
+  std::vector<double> latencies;
+  for (int i = 1; i <= 10; ++i) latencies.push_back(i * 1e-3);
+  const LatencyStats stats = percentile_stats(std::move(latencies));
+  EXPECT_EQ(stats.p50, 5e-3);
+  EXPECT_EQ(stats.p99, 10e-3);  // ceil(0.99*10) = 10th
 }
 
 }  // namespace

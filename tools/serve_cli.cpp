@@ -22,6 +22,10 @@
 //                               (default 1024)
 //     --slo-p99-ms X            fail (exit 1) if p99 latency exceeds X ms
 //     --json PATH               also write the report as JSON
+//     --metrics-json PATH       append periodic metrics snapshots (one JSON
+//                               object per line) while the stream replays
+//     --metrics-every-ms N      snapshot cadence for --metrics-json
+//                               (default 500)
 //     --seed N                  stream + generator seed (default 1)
 //
 // Latency is measured per query from submit to completion; under an
@@ -68,6 +72,8 @@ struct CliConfig {
   std::size_t cache = 1024;
   double slo_p99_ms = 0;  // 0 = no SLO gate
   std::string json_path;
+  std::string metrics_json_path;
+  std::uint64_t metrics_every_ms = 500;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -76,7 +82,8 @@ struct CliConfig {
                "[--edge-factor N] [--algo NAME] [--delta N] [--ranks N] "
                "[--lanes N] [--queries N] [--rate QPS] [--dist uniform|zipf] "
                "[--zipf-s S] [--domain N] [--batch N] [--window-us N] "
-               "[--cache N] [--slo-p99-ms X] [--json PATH] [--seed N]\n",
+               "[--cache N] [--slo-p99-ms X] [--json PATH] "
+               "[--metrics-json PATH] [--metrics-every-ms N] [--seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -131,6 +138,10 @@ CliConfig parse_args(int argc, char** argv) {
       cfg.slo_p99_ms = std::atof(value());
     } else if (arg == "--json") {
       cfg.json_path = value();
+    } else if (arg == "--metrics-json") {
+      cfg.metrics_json_path = value();
+    } else if (arg == "--metrics-every-ms") {
+      cfg.metrics_every_ms = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--seed") {
       cfg.workload.seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
@@ -159,7 +170,9 @@ struct ReplayReport {
 };
 
 ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
-                    const SsspOptions& options, std::uint64_t edges) {
+                    const SsspOptions& options, std::uint64_t edges,
+                    const MetricsRegistry* registry, std::ostream* metrics_out,
+                    std::chrono::milliseconds metrics_every) {
   using Clock = std::chrono::steady_clock;
   std::vector<std::future<QueryResult>> futures;
   std::vector<Clock::time_point> submitted;
@@ -167,12 +180,25 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
   submitted.reserve(stream.size());
 
   const auto start = Clock::now();
+  // Periodic metrics snapshots, emitted inline from the submit loop (this
+  // layer spawns no threads — lint rule R1); a final snapshot after the
+  // stream drains closes the series.
+  auto next_snapshot = start + metrics_every;
+  const auto maybe_snapshot = [&](Clock::time_point now) {
+    if (metrics_out == nullptr || registry == nullptr) return;
+    if (now < next_snapshot) return;
+    write_json(*metrics_out, registry->snapshot());
+    while (next_snapshot <= now) next_snapshot += metrics_every;
+  };
+
   for (const QueryEvent& ev : stream) {
     const auto due =
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(ev.arrival_s));
     if (due > Clock::now()) std::this_thread::sleep_until(due);
-    submitted.push_back(Clock::now());
+    const auto now = Clock::now();
+    maybe_snapshot(now);
+    submitted.push_back(now);
     futures.push_back(engine.submit(ev.root, options));
   }
 
@@ -198,12 +224,26 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
                                : 0;
   report.latency = percentile_stats(std::move(latencies));
   report.stats = engine.stats();
+  if (metrics_out != nullptr && registry != nullptr) {
+    write_json(*metrics_out, registry->snapshot());
+  }
   return report;
+}
+
+/// The registry's log-bucketed latency percentiles, for the exact-vs-
+/// histogram cross-check rows (they must agree to within one histogram
+/// growth factor, ~19%).
+const MetricsSnapshot::HistogramValue* find_histogram(
+    const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 void write_report_json(std::ostream& out, const CliConfig& cfg,
                        const CsrGraph& g, const ReplayReport& r,
-                       bool slo_pass) {
+                       const MetricsSnapshot& metrics, bool slo_pass) {
   JsonWriter w(out);
   w.begin_object();
   w.field("bench", std::string_view{"serve_cli"});
@@ -250,6 +290,14 @@ void write_report_json(std::ostream& out, const CliConfig& cfg,
   w.field("cache_evictions", r.stats.cache.evictions);
   w.field("cache_hit_rate", r.stats.cache.hit_rate());
 
+  // Histogram-estimated percentiles next to the exact ones above: the
+  // continuous cross-check of the log-bucketed estimator.
+  if (const auto* h = find_histogram(metrics, "serve.latency_s")) {
+    w.field("latency_p50_hist_s", h->p50);
+    w.field("latency_p95_hist_s", h->p95);
+    w.field("latency_p99_hist_s", h->p99);
+  }
+
   w.field("slo_p99_ms", cfg.slo_p99_ms);
   w.field("slo_pass", slo_pass);
   w.end_object();
@@ -267,17 +315,32 @@ int main(int argc, char** argv) {
   const CsrGraph g = CsrGraph::from_edges(generate_rmat(gen));
   const SsspOptions options = make_options(cfg);
 
+  MetricsRegistry registry;
   ServeConfig serve;
   serve.machine.num_ranks = cfg.ranks;
   serve.machine.lanes_per_rank = cfg.lanes;
   serve.max_batch = cfg.max_batch;
   serve.batch_window = std::chrono::microseconds(cfg.window_us);
   serve.cache_capacity = cfg.cache;
+  serve.metrics = &registry;
   QueryEngine engine(g, serve);
+
+  std::ofstream metrics_out;
+  if (!cfg.metrics_json_path.empty()) {
+    metrics_out.open(cfg.metrics_json_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   cfg.metrics_json_path.c_str());
+      return 2;
+    }
+  }
 
   const auto stream = make_open_loop_stream(cfg.workload, g.num_vertices());
   const ReplayReport report =
-      replay(engine, stream, options, g.num_undirected_edges());
+      replay(engine, stream, options, g.num_undirected_edges(), &registry,
+             metrics_out.is_open() ? &metrics_out : nullptr,
+             std::chrono::milliseconds(cfg.metrics_every_ms));
+  const MetricsSnapshot metrics = registry.snapshot();
 
   const bool slo_pass =
       cfg.slo_p99_ms <= 0 || report.latency.p99 * 1e3 <= cfg.slo_p99_ms;
@@ -298,6 +361,16 @@ int main(int argc, char** argv) {
                  TextTable::num(report.latency.p95 * 1e3, 4)});
   table.add_row({"latency p99 (ms)",
                  TextTable::num(report.latency.p99 * 1e3, 4)});
+  if (const auto* h = find_histogram(metrics, "serve.latency_s")) {
+    // Exact vs log-bucketed estimate: should agree within ~one growth
+    // factor (~19%) — a drift beyond that means a percentile bug.
+    table.add_row({"latency p50 (ms, histogram)",
+                   TextTable::num(h->p50 * 1e3, 4)});
+    table.add_row({"latency p95 (ms, histogram)",
+                   TextTable::num(h->p95 * 1e3, 4)});
+    table.add_row({"latency p99 (ms, histogram)",
+                   TextTable::num(h->p99 * 1e3, 4)});
+  }
   table.add_row({"batches", TextTable::num(report.stats.batches)});
   table.add_row({"multi sweeps", TextTable::num(report.stats.multi_sweeps)});
   table.add_row({"single solves",
@@ -324,8 +397,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
       return 2;
     }
-    write_report_json(out, cfg, g, report, slo_pass);
+    write_report_json(out, cfg, g, report, metrics, slo_pass);
     std::cout << "wrote " << cfg.json_path << "\n";
+  }
+  if (metrics_out.is_open()) {
+    std::cout << "wrote " << cfg.metrics_json_path << "\n";
   }
   return slo_pass ? 0 : 1;
 }

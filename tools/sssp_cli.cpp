@@ -17,10 +17,14 @@
 //     --validate                check distances against Dijkstra
 //     --csv                     print per-root rows as CSV
 //     --json                    additionally print one JSON line per root
+//     --trace PATH              record spans; write Chrome trace JSON of the
+//                               last root's solve to PATH and self-check
+//                               every solve's accounting (exit 3 on failure)
 //     --seed N                  generator seed (default 1)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -34,6 +38,7 @@
 #include "graph/graph_algos.hpp"
 #include "graph/snap_io.hpp"
 #include "graph/weights.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -56,6 +61,7 @@ struct CliConfig {
   bool validate = false;
   bool csv = false;
   bool json = false;
+  std::string trace_path;
   std::uint64_t seed = 1;
 };
 
@@ -64,7 +70,8 @@ struct CliConfig {
                "usage: %s [--family rmat1|rmat2] [--scale N] "
                "[--edge-factor N] [--load PATH] [--algo NAME] [--delta N] "
                "[--ranks N] [--lanes N] [--roots N] [--root V] [--tau X] "
-               "[--split N] [--parents] [--validate] [--csv] [--json] [--seed N]\n",
+               "[--split N] [--parents] [--validate] [--csv] [--json] "
+               "[--trace PATH] [--seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -109,6 +116,8 @@ CliConfig parse_args(int argc, char** argv) {
       cfg.csv = true;
     } else if (arg == "--json") {
       cfg.json = true;
+    } else if (arg == "--trace") {
+      cfg.trace_path = value();
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else {
@@ -163,7 +172,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.num_vertices()),
               graph.num_undirected_edges());
 
-  const SsspOptions options = make_options(cfg);
+  SsspOptions options = make_options(cfg);
+  std::unique_ptr<TraceRecorder> recorder;
+  if (!cfg.trace_path.empty()) {
+    recorder = std::make_unique<TraceRecorder>();
+    options.trace = recorder.get();
+  }
   std::vector<vid_t> roots;
   if (cfg.explicit_root) {
     roots.push_back(*cfg.explicit_root);
@@ -193,9 +207,20 @@ int main(int argc, char** argv) {
   table.set_header({"root", "reached", "relaxations", "phases", "buckets",
                     "model-ms", "GTEPS(model)", "checks"});
   int failures = 0;
+  int trace_failures = 0;
   for (const vid_t root : roots) {
+    // One recorder window per root: the exported trace holds the last
+    // root's solve, but every solve gets self-checked.
+    if (recorder) recorder->clear();
     const SsspResult r = split_solver ? split_solver->solve(root, options)
                                       : plain_solver->solve(root, options);
+    if (recorder) {
+      const TraceCheckReport rep =
+          check_engine_accounting(*recorder, r.stats);
+      std::printf("# trace check (root %llu): %s\n",
+                  static_cast<unsigned long long>(root), rep.detail.c_str());
+      trace_failures += !rep.ok;
+    }
     std::size_t reached = 0;
     for (const dist_t d : r.dist) reached += d != kInfDist;
 
@@ -232,5 +257,16 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
-  return failures == 0 ? 0 : 1;
+  if (recorder) {
+    std::ofstream out(cfg.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cfg.trace_path.c_str());
+      return 2;
+    }
+    write_chrome_trace(out, *recorder);
+    std::printf("# trace: wrote %s (load it at ui.perfetto.dev)\n",
+                cfg.trace_path.c_str());
+  }
+  if (failures != 0) return 1;
+  return trace_failures == 0 ? 0 : 3;
 }
