@@ -1,0 +1,241 @@
+// Dynamic-update acceptance benchmark (docs/DYNAMIC.md): small-batch edge
+// mutations over RMAT-1, incremental repair vs fresh re-solve.
+//
+// A DynamicSolver holds the graph; each iteration applies one small mixed
+// batch (inserts, deletes, reweights), then answers the same root twice —
+// once via repair(prior, batch) and once via a fresh solve() of the mutated
+// graph — timing both and asserting the results are bit-identical in dist
+// and parent (the repair engine's hard contract). Acceptance: median
+// repair latency at least 5x below median fresh-solve latency.
+//
+// Emits a JSON report (argv[1], default BENCH_update_throughput.json);
+// exit code 0 iff identity held on every iteration and the speedup bar is
+// met.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/stats_io.hpp"
+#include "bench_util/table.hpp"
+#include "serve/workload.hpp"
+#include "update/dynamic_solver.hpp"
+
+namespace parsssp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kScale = 13;
+constexpr rank_t kRanks = 8;
+constexpr std::uint32_t kDelta = 25;
+constexpr int kWarmup = 3;
+constexpr int kMeasured = 24;
+constexpr std::size_t kOpsPerBatch = 8;
+constexpr double kSpeedupBar = 5.0;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic mixed batch: ~half reweights, a quarter deletes, a quarter
+/// inserts, all valid by construction against the current graph.
+EdgeBatch make_batch(const DynamicGraph& g, std::mt19937_64& rng) {
+  EdgeBatch batch;
+  std::uniform_int_distribution<vid_t> pick_vertex(0, g.num_vertices() - 1);
+  std::uniform_int_distribution<weight_t> pick_weight(1, 255);
+  const auto pick_edge = [&](vid_t& u, vid_t& v, weight_t& w) {
+    for (;;) {
+      u = pick_vertex(rng);
+      const std::vector<Arc> arcs = g.arcs_of(u);
+      if (arcs.empty()) continue;
+      std::uniform_int_distribution<std::size_t> pick(0, arcs.size() - 1);
+      const Arc& a = arcs[pick(rng)];
+      v = a.to;
+      w = a.w;
+      return;
+    }
+  };
+  while (batch.size() < kOpsPerBatch) {
+    const auto roll = rng() % 4;
+    vid_t u, v;
+    weight_t w;
+    if (roll == 0) {
+      // Insert a fresh edge.
+      do {
+        u = pick_vertex(rng);
+        v = pick_vertex(rng);
+      } while (u == v || g.has_edge(u, v));
+      batch.insert_edge(u, v, pick_weight(rng));
+    } else if (roll == 1) {
+      pick_edge(u, v, w);
+      batch.delete_edge(u, v);
+    } else {
+      pick_edge(u, v, w);
+      batch.update_weight(u, v, pick_weight(rng));
+    }
+    // The batch validates against the evolving graph: drop collisions with
+    // this batch's own earlier ops by probing a dry-run apply later; here
+    // the cheap guard is enough — distinct ops rarely hit the same pair at
+    // this scale, and apply() would reject an invalid sequence loudly.
+  }
+  return batch;
+}
+
+struct Results {
+  std::size_t iterations = 0;
+  std::size_t ops = 0;
+  bool identical = true;
+  bool planner_only_seen = false;  ///< a repair that skipped the sweep
+  LatencyStats repair;
+  LatencyStats fresh;
+  double speedup_median = 0;
+  double speedup_mean = 0;
+  std::uint64_t final_version = 0;
+  RepairStats last_plan;
+};
+
+Results run(DynamicSolver& solver, vid_t root, const SsspOptions& options) {
+  Results out;
+  std::mt19937_64 rng(0xD15EA5Eu);
+  SsspResult prior = solver.solve(root, options);
+
+  std::vector<double> repair_s;
+  std::vector<double> fresh_s;
+  for (int it = 0; it < kWarmup + kMeasured; ++it) {
+    EdgeBatch batch;
+    AppliedBatch applied;
+    // A randomly drawn batch can collide with itself (two ops on one
+    // pair); such a draw is simply redrawn — apply() is atomic, so a
+    // rejected batch leaves nothing behind.
+    for (;;) {
+      batch = make_batch(solver.graph(), rng);
+      try {
+        applied = solver.apply(batch);
+        break;
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+    }
+    out.ops += applied.ops.size();
+
+    const std::span<const AppliedBatch> batches(&applied, 1);
+    const auto t0 = Clock::now();
+    SsspResult repaired = solver.repair(root, prior, batches, options);
+    const double repair_elapsed = seconds_since(t0);
+
+    const auto t1 = Clock::now();
+    SsspResult fresh = solver.solve(root, options);
+    const double fresh_elapsed = seconds_since(t1);
+
+    if (repaired.dist != fresh.dist || repaired.parent != fresh.parent) {
+      out.identical = false;
+    }
+    if (!solver.last_repair_stats().swept) out.planner_only_seen = true;
+    if (it >= kWarmup) {
+      repair_s.push_back(repair_elapsed);
+      fresh_s.push_back(fresh_elapsed);
+      ++out.iterations;
+    }
+    prior = std::move(repaired);
+  }
+  out.repair = percentile_stats(std::move(repair_s));
+  out.fresh = percentile_stats(std::move(fresh_s));
+  out.speedup_median =
+      out.repair.p50 > 0 ? out.fresh.p50 / out.repair.p50 : 0.0;
+  out.speedup_mean =
+      out.repair.mean > 0 ? out.fresh.mean / out.repair.mean : 0.0;
+  out.final_version = solver.version();
+  out.last_plan = solver.last_repair_stats();
+  return out;
+}
+
+void write_report(std::ostream& os, const DynamicGraph& g, const Results& r) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("bench", std::string_view{"update_throughput"});
+  w.field("family", std::string_view{family_name(RmatFamily::kRmat1)});
+  w.field("scale", std::uint64_t{kScale});
+  w.field("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+  w.field("edges", static_cast<std::uint64_t>(g.num_undirected_edges()));
+  w.field("ranks", std::uint64_t{kRanks});
+  w.field("delta", std::uint64_t{kDelta});
+  w.field("iterations", static_cast<std::uint64_t>(r.iterations));
+  w.field("ops_per_batch", std::uint64_t{kOpsPerBatch});
+  w.field("ops_total", static_cast<std::uint64_t>(r.ops));
+  w.field("final_graph_version", r.final_version);
+  w.field("repair_p50_s", r.repair.p50);
+  w.field("repair_mean_s", r.repair.mean);
+  w.field("fresh_p50_s", r.fresh.p50);
+  w.field("fresh_mean_s", r.fresh.mean);
+  w.field("speedup_median", r.speedup_median);
+  w.field("speedup_mean", r.speedup_mean);
+  w.field("speedup_bar", kSpeedupBar);
+  w.field("bit_identical", r.identical);
+  w.field("pass", r.identical && r.speedup_median >= kSpeedupBar);
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+}  // namespace parsssp
+
+int main(int argc, char** argv) {
+  using namespace parsssp;
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_update_throughput.json";
+
+  CsrGraph base = strip_self_loops(build_rmat_graph(RmatFamily::kRmat1, kScale));
+  std::cout << "update_throughput: RMAT-1 scale " << kScale << " ("
+            << base.num_vertices() << " vertices, "
+            << base.num_undirected_edges() << " edges), " << kRanks
+            << " ranks, del(" << kDelta << ") + parents\n\n";
+
+  DynamicSolverConfig config;
+  config.machine.num_ranks = kRanks;
+  DynamicSolver solver(std::move(base), config);
+
+  // The repair path requires the shortest-path tree.
+  SsspOptions options = SsspOptions::del(kDelta);
+  options.track_parents = true;
+
+  vid_t root = 0;
+  while (solver.graph().degree(root) == 0) ++root;
+
+  const Results r = run(solver, root, options);
+
+  TextTable t("small-batch updates: incremental repair vs fresh solve");
+  t.set_header({"path", "p50 (ms)", "mean (ms)"});
+  t.add_row({"fresh solve", TextTable::num(r.fresh.p50 * 1e3, 4),
+             TextTable::num(r.fresh.mean * 1e3, 4)});
+  t.add_row({"incremental repair", TextTable::num(r.repair.p50 * 1e3, 4),
+             TextTable::num(r.repair.mean * 1e3, 4)});
+  t.print(std::cout);
+  std::cout << "median speedup: " << TextTable::num(r.speedup_median, 2)
+            << "x (bar " << TextTable::num(kSpeedupBar, 1) << "x), "
+            << r.iterations << " iterations, " << r.ops << " ops, dist+parent "
+            << (r.identical ? "bit-identical" : "MISMATCH (BUG)") << "\n";
+
+  print_paper_note(
+      std::cout,
+      "Dynamic updates are an addition beyond the paper: the paper solves "
+      "static instances; this bench measures the incremental-repair layer "
+      "(invalidation planning + seeded Delta-stepping sweep) that answers "
+      "the same query after small graph mutations without a full re-solve.");
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  write_report(out, solver.graph(), r);
+  std::cout << "wrote " << json_path << "\n";
+
+  const bool pass = r.identical && r.speedup_median >= kSpeedupBar;
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -31,7 +31,13 @@ enforce (see docs/STATIC_ANALYSIS.md):
       every measured interval lands in exactly one accounting bucket and,
       when tracing is on, in exactly one span (docs/OBSERVABILITY.md); ad
       hoc Stopwatch-style timing is how the hybrid-switch double-count
-      bug happened.
+      bug happened;
+  R9  update-layer isolation (the dynamic-graph mirror of R6): src/update/
+      may consume the runtime only through the session facade and must not
+      include the engines (delta_engine, multi_engine, bfs_engine,
+      split_solver) or name Machine / ThreadPool / DeltaEngine — the repair
+      path reaches the engines exclusively through core/seeded_solve.hpp
+      and the Solver facade, so engine internals stay swappable.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -87,6 +93,19 @@ THREAD_ALLOWED_DIRS = ("tests/", "bench/")
 # off-limits to the serving layer.
 SERVE_ALLOWED_RUNTIME_INCLUDES = frozenset(
     {"machine_session.hpp", "service_thread.hpp", "partition.hpp"})
+
+# R9: src/update/ gets the same runtime facade as src/serve/, and on top of
+# that may not include the engines directly — seeded sweeps go through
+# core/seeded_solve.hpp, fresh solves through core/solver.hpp.
+UPDATE_ALLOWED_RUNTIME_INCLUDES = SERVE_ALLOWED_RUNTIME_INCLUDES
+UPDATE_BANNED_CORE_INCLUDES = frozenset({
+    "delta_engine.hpp",
+    "multi_engine.hpp",
+    "bfs_engine.hpp",
+    "split_solver.hpp",
+})
+CORE_INCLUDE = re.compile(r'#\s*include\s+"core/([^"]+)"')
+UPDATE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b|\bDeltaEngine\b")
 
 # R7 applies to the engine hot paths — the files whose relax emission the
 # pooled data path rebuilt. The generic plumbing (RankCtx::exchange_merged,
@@ -165,6 +184,7 @@ def lint_text(rel: str, raw: str) -> list[str]:
 
     in_src = rel.startswith("src/")
     in_serve = rel.startswith("src/serve/")
+    in_update = rel.startswith("src/update/")
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header and "#pragma once" not in raw:
@@ -211,6 +231,24 @@ def lint_text(rel: str, raw: str) -> list[str]:
                 err(lineno, "R6",
                     "src/serve/ must not name Machine or ThreadPool — "
                     "consume MachineSession instead")
+        if in_update:
+            m = RUNTIME_INCLUDE.search(include_line)
+            if m and m.group(1) not in UPDATE_ALLOWED_RUNTIME_INCLUDES:
+                err(lineno, "R9",
+                    f'src/update/ may not include "runtime/{m.group(1)}" — '
+                    "only the session facade (machine_session.hpp, "
+                    "service_thread.hpp, partition.hpp)")
+            m = CORE_INCLUDE.search(include_line)
+            if m and m.group(1) in UPDATE_BANNED_CORE_INCLUDES:
+                err(lineno, "R9",
+                    f'src/update/ may not include "core/{m.group(1)}" — '
+                    "seeded sweeps go through core/seeded_solve.hpp, fresh "
+                    "solves through core/solver.hpp")
+            if UPDATE_FORBIDDEN.search(line):
+                err(lineno, "R9",
+                    "src/update/ must not name Machine, ThreadPool or "
+                    "DeltaEngine — consume the solver/session facades "
+                    "instead")
         if rel in ENGINE_HOT_PATHS and NESTED_MSG_VECTOR.search(line):
             err(lineno, "R7",
                 "nested vector-of-vector send buffer of a message type in "

@@ -109,6 +109,40 @@ expect("src/core/solver.cpp", "Machine machine(config);\n", [],
 expect("src/serve/query_engine.cpp", "// Machine is off-limits here\n", [],
        "R6 ignores comments")
 
+# --- R9: update-layer isolation (the dynamic-graph mirror of R6) ----------
+expect("src/update/dynamic_solver.cpp",
+       '#include "runtime/machine.hpp"\n', ["R9"],
+       "R9 fires when src/update/ includes the raw machine")
+expect("src/update/dynamic_solver.cpp",
+       '#include "runtime/thread_pool.hpp"\n', ["R9"],
+       "R9 fires when src/update/ includes the thread pool")
+expect("src/update/repair_engine.cpp",
+       '#include "core/delta_engine.hpp"\n', ["R9"],
+       "R9 fires when src/update/ includes an engine directly")
+expect("src/update/dynamic_solver.cpp",
+       '#include "core/split_solver.hpp"\n', ["R9"],
+       "R9 fires on the split solver too")
+expect("src/update/dynamic_solver.cpp",
+       '#include "runtime/machine_session.hpp"\n'
+       + '#include "runtime/partition.hpp"\n'
+       + '#include "core/seeded_solve.hpp"\n'
+       + '#include "core/solver.hpp"\n', [],
+       "R9 allows the session facade and the solver/seeded-solve facades")
+expect("src/update/dynamic_solver.cpp", "DeltaEngine engine(shared);\n",
+       ["R9"],
+       "R9 fires on the DeltaEngine token in src/update/")
+expect("src/update/dynamic_solver.cpp", "Machine machine(config);\n", ["R9"],
+       "R9 fires on the Machine token in src/update/")
+expect("src/update/dynamic_solver.cpp",
+       "MachineSession session(config.machine);\n"
+       "job.seeds = std::vector<RelaxMsg>{};\n", [],
+       "R9 allows MachineSession / MachineConfig / RelaxMsg tokens")
+expect("src/core/solver.cpp", '#include "core/delta_engine.hpp"\n', [],
+       "R9 is scoped to src/update/")
+expect("src/update/dynamic_solver.cpp", "// DeltaEngine is banned here\n",
+       [],
+       "R9 ignores comments")
+
 # --- R7: no nested send buffers in engine hot paths -----------------------
 expect("src/core/delta_engine.cpp",
        "std::vector<std::vector<RelaxMsg>> out(ranks);\n", ["R7"],
@@ -163,7 +197,11 @@ expect("src/core/delta_engine.cpp",
 # --- the real tree must be clean (catches rule/code drift) ----------------
 REPO = Path(__file__).resolve().parent.parent
 for rel in ("src/serve/query_engine.hpp", "src/serve/query_engine.cpp",
-            "src/serve/result_cache.cpp", "src/serve/workload.cpp"):
+            "src/serve/result_cache.cpp", "src/serve/workload.cpp",
+            "src/update/dynamic_graph.hpp", "src/update/dynamic_graph.cpp",
+            "src/update/dynamic_solver.hpp", "src/update/dynamic_solver.cpp",
+            "src/update/repair_engine.hpp", "src/update/repair_engine.cpp",
+            "src/update/edge_batch.hpp"):
     path = REPO / rel
     if not path.is_file():
         FAILURES.append(f"expected serving source {rel} to exist")

@@ -24,6 +24,13 @@
 #                                   the trace JSON does not parse or the
 #                                   per-root accounting self-check
 #                                   (check_engine_accounting) fails
+#   scripts/reproduce.sh --update   only build + run the dynamic-update
+#                                   acceptance bench (bench/
+#                                   update_throughput), writing
+#                                   BENCH_update_throughput.json at the repo
+#                                   root; fails if repair is not
+#                                   bit-identical to a fresh solve or the
+#                                   median repair speedup is below the bar
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,12 +38,15 @@ cd "$(dirname "$0")/.."
 SERVE=0
 MICRO=0
 TRACE=0
+UPDATE=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
     --micro) MICRO=1 ;;
     --trace) TRACE=1 ;;
-    *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" >&2
+    --update) UPDATE=1 ;;
+    *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" \
+            "[--update]" >&2
        exit 2 ;;
   esac
 done
@@ -66,6 +76,17 @@ EOF
   exit 0
 fi
 
+if [ "$UPDATE" -eq 1 ]; then
+  # Fast path for CI dynamic-update smoke: the bench's exit status encodes
+  # both acceptance gates (repair/fresh bit-identity and the >=5x median
+  # small-batch repair speedup over RMAT-1).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target update_throughput
+  ./build/bench/update_throughput BENCH_update_throughput.json
+  echo "wrote BENCH_update_throughput.json"
+  exit 0
+fi
+
 if [ "$MICRO" -eq 1 ]; then
   # Fast path for CI perf smoke: no test sweep, no figure benches.
   cmake -B build -S . >/dev/null
@@ -82,9 +103,9 @@ scripts/check.sh --quick 2>&1 | tee test_output.txt
 
 {
   for b in build/bench/*; do
-    # serve_throughput is the serving acceptance bench with a JSON side
-    # effect; it runs under --serve below, not in the figure sweep.
-    case "$b" in *serve_throughput*) continue ;; esac
+    # serve_throughput / update_throughput are acceptance benches with JSON
+    # side effects; they run under --serve / --update, not the figure sweep.
+    case "$b" in *serve_throughput*|*update_throughput*) continue ;; esac
     if [ -x "$b" ] && [ ! -d "$b" ]; then
       echo "===== $b ====="
       "$b"

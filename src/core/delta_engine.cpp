@@ -56,7 +56,19 @@ DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
   if (sh_.parent != nullptr) {
     parent_ = std::span<vid_t>(sh_.parent->data() + begin_, nloc_);
   }
-  settled_.assign(nloc_, 0);
+  seeded_ = sh_.settled_init != nullptr;
+  if (seeded_) {
+    const char* preset = sh_.settled_init->data() + begin_;
+    settled_.assign(preset, preset + nloc_);
+    preset_.assign(preset, preset + nloc_);
+    settled_local_cum_ = static_cast<std::uint64_t>(
+        std::count(settled_.begin(), settled_.end(), char{1}));
+    if (sh_.changed != nullptr) {
+      changed_ = std::span<char>(sh_.changed->data() + begin_, nloc_);
+    }
+  } else {
+    settled_.assign(nloc_, 0);
+  }
   member_stamp_.assign(nloc_, kInfBucket);
   in_frontier_.assign(nloc_, 0);
 
@@ -66,6 +78,7 @@ DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
   lane_emitted_.resize(lanes);
   lane_load_.resize(lanes);
   lane_inserts_.resize(lanes);
+  lane_unsettled_.resize(lanes);
 
   if (sh_.options->trace != nullptr) {
     tlane_ = &sh_.options->trace->thread_lane(
@@ -169,8 +182,20 @@ void DeltaEngine::apply_serial(std::uint64_t frontier_k, InsertMode mode) {
       const vid_t local = to_local(m.v);
       assert(local < nloc_);
       if (m.nd >= dist_[local]) continue;
-      assert(!settled_[local] && "relaxation improved a settled vertex");
+      if (seeded_) {
+        // A preset-settled vertex only carried an upper bound; improving
+        // it reopens it (unsettle-on-improve). Strict-< guarantees the
+        // distance drops on every unsettle, so the sweep terminates.
+        if (settled_[local]) {
+          settled_[local] = 0;
+          preset_[local] = 0;
+          --settled_local_cum_;
+        }
+      } else {
+        assert(!settled_[local] && "relaxation improved a settled vertex");
+      }
       dist_[local] = m.nd;
+      if (!changed_.empty()) changed_[local] = 1;
       if (!parent_.empty()) parent_[local] = m.pred;
       if (mode == InsertMode::kNone || in_frontier_[local]) continue;
       if (mode == InsertMode::kBucket &&
@@ -206,6 +231,7 @@ void DeltaEngine::apply_parallel(std::uint64_t frontier_k, InsertMode mode) {
     const vid_t hi = std::min<vid_t>(nloc_, lo + chunk);
     auto& inserts = lane_inserts_[lane].value;
     inserts.clear();
+    lane_unsettled_[lane].value = 0;
     if (lo >= hi) return;
     for (std::size_t i = 0; i < batches.size(); ++i) {
       const auto& batch = batches[i];
@@ -215,8 +241,20 @@ void DeltaEngine::apply_parallel(std::uint64_t frontier_k, InsertMode mode) {
         assert(local < nloc_);
         if (local < lo || local >= hi) continue;
         if (m.nd >= dist_[local]) continue;
-        assert(!settled_[local] && "relaxation improved a settled vertex");
+        if (seeded_) {
+          // Unsettle-on-improve, mirrored from apply_serial. settled_/
+          // preset_ writes stay inside this lane's vertex range; the
+          // settled count is summed from the per-lane counters below.
+          if (settled_[local]) {
+            settled_[local] = 0;
+            preset_[local] = 0;
+            ++lane_unsettled_[lane].value;
+          }
+        } else {
+          assert(!settled_[local] && "relaxation improved a settled vertex");
+        }
         dist_[local] = m.nd;
+        if (!changed_.empty()) changed_[local] = 1;
         if (!parent_.empty()) parent_[local] = m.pred;
         if (mode == InsertMode::kNone || in_frontier_[local]) continue;
         if (mode == InsertMode::kBucket &&
@@ -228,6 +266,11 @@ void DeltaEngine::apply_parallel(std::uint64_t frontier_k, InsertMode mode) {
       }
     }
   });
+  if (seeded_) {
+    for (unsigned l = 0; l < lanes; ++l) {
+      settled_local_cum_ -= lane_unsettled_[l].value;
+    }
+  }
 
   if (mode == InsertMode::kNone) return;
   // Frontier order is observable (it decides next phase's emission order,
@@ -336,7 +379,7 @@ bool DeltaEngine::decide_long_mode(std::uint64_t k) {
 
   const PushPullLocal local = estimate_push_pull_local(
       view_, dist_, settled_, members_, k, o.delta, o.estimator,
-      sh_.graph->max_weight(), o.ios);
+      sh_.max_weight != 0 ? sh_.max_weight : sh_.graph->max_weight(), o.ios);
   const PpReduce global = ctx_.allreduce(
       PpReduce{local.push_volume, local.pull_requests, local.push_volume,
                local.pull_requests},
@@ -472,7 +515,12 @@ void DeltaEngine::long_phase_pull(std::uint64_t k) {
   req_pool_.begin_phase();
   std::uint64_t requests = 0;
   for (vid_t v = 0; v < nloc_; ++v) {
-    if (settled_[v]) continue;
+    // Preset-settled vertices still pull: their distance is an upper bound
+    // the current bucket's members may beat across a long arc, and a pull
+    // phase is the only channel that improvement could arrive on (the
+    // members' push was pruned away). Vertices settled *by this sweep* are
+    // final, exactly as in a standard run.
+    if (settled_[v] && !(seeded_ && preset_[v])) continue;
     const dist_t dv = dist_[v];
     if (bucket_of(dv, o.delta) <= k) continue;
     const dist_t bound = dv == kInfDist ? kInfDist : dv - kdelta;
@@ -622,6 +670,23 @@ void DeltaEngine::bellman_ford_tail(std::uint64_t from_bucket) {
   }
 }
 
+void DeltaEngine::apply_seeds() {
+  if (sh_.seeds == nullptr) return;
+  for (const RelaxMsg& m : *sh_.seeds) {
+    if (sh_.part.owner(m.v) != ctx_.rank()) continue;
+    const vid_t local = to_local(m.v);
+    if (m.nd >= dist_[local]) continue;
+    if (settled_[local]) {
+      settled_[local] = 0;
+      preset_[local] = 0;
+      --settled_local_cum_;
+    }
+    dist_[local] = m.nd;
+    if (!changed_.empty()) changed_[local] = 1;
+    if (!parent_.empty()) parent_[local] = m.pred;
+  }
+}
+
 void DeltaEngine::run() {
   ctx_.set_trace(tlane_);
   double total_wall = 0;
@@ -630,13 +695,19 @@ void DeltaEngine::run() {
     ScopedSpan solve(tlane_, SpanCat::kSolve, ctx_.rank());
     {
       ScopedSpan init(tlane_, SpanCat::kInit);
-      std::fill(dist_.begin(), dist_.end(), kInfDist);
-      if (!parent_.empty()) {
-        std::fill(parent_.begin(), parent_.end(), kInvalidVid);
-      }
-      if (sh_.part.owner(sh_.root) == ctx_.rank()) {
-        dist_[to_local(sh_.root)] = 0;
-        if (!parent_.empty()) parent_[to_local(sh_.root)] = sh_.root;
+      if (seeded_) {
+        // The caller provided complete tentative dist/parent arrays; the
+        // init step only folds in the seed relaxations this rank owns.
+        apply_seeds();
+      } else {
+        std::fill(dist_.begin(), dist_.end(), kInfDist);
+        if (!parent_.empty()) {
+          std::fill(parent_.begin(), parent_.end(), kInvalidVid);
+        }
+        if (sh_.part.owner(sh_.root) == ctx_.rank()) {
+          dist_[to_local(sh_.root)] = 0;
+          if (!parent_.empty()) parent_[to_local(sh_.root)] = sh_.root;
+        }
       }
       ctx_.barrier();
     }

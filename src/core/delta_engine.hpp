@@ -55,6 +55,26 @@ struct EngineShared {
   const SsspOptions* options = nullptr;
   std::vector<RankCounters>* rank_counters = nullptr;  ///< one slot per rank
   SsspStats* stats = nullptr;  ///< structure fields written by rank 0
+
+  // --- Seeded mode (the incremental repair path, docs/DYNAMIC.md) -------
+  // Null settled_init selects the standard run: dist/parent are filled
+  // fresh and the root is seeded. Non-null selects the seeded run: the
+  // caller provides complete tentative dist/parent arrays plus a global
+  // preset-settled bitmap, each rank applies the seed messages it owns
+  // (strict-< with unsettle-on-improve), and the bucket schedule starts
+  // from whatever buckets the seeds and unsettled vertices occupy.
+
+  /// Global preset-settled flags (size num_vertices); non-null => seeded.
+  const std::vector<char>* settled_init = nullptr;
+  /// Seed relaxations, applied at init by each target's owner in order.
+  const std::vector<RelaxMsg>* seeds = nullptr;
+  /// Optional global change flags (size num_vertices): set to 1 by a
+  /// vertex's owner on every distance write (seed or sweep). The repair
+  /// planner uses them to bound canonical re-parenting.
+  std::vector<char>* changed = nullptr;
+  /// Overrides the graph's max weight for the pull estimator (any monotone
+  /// upper bound keeps the decision heuristic sound); 0 = use the graph's.
+  weight_t max_weight = 0;
 };
 
 class DeltaEngine {
@@ -74,6 +94,10 @@ class DeltaEngine {
   void long_phase_pull(std::uint64_t k);
   void bellman_ford_tail(std::uint64_t from_bucket);
   void finalize();
+
+  /// Seeded-mode init: applies the owned subset of EngineShared::seeds to
+  /// the caller-provided tentative state (strict-<, unsettle-on-improve).
+  void apply_seeds();
 
   // -- helpers ------------------------------------------------------------
   struct StepReduce {
@@ -152,6 +176,18 @@ class DeltaEngine {
   std::vector<vid_t> frontier_;
   std::uint64_t epoch_ = 0;
   std::uint64_t settled_local_cum_ = 0;
+
+  // Seeded mode (repair) state; empty/false on standard runs.
+  bool seeded_ = false;
+  /// Preset-settled vertices that have not been unsettled or re-settled
+  /// yet. They skip frontier collection like any settled vertex but must
+  /// still issue pull requests: their tentative distance is only an upper
+  /// bound until the sweep ends.
+  std::vector<char> preset_;
+  std::span<char> changed_;  ///< owned slice of EngineShared::changed
+  /// Per-lane unsettle counts of one parallel apply (lanes may not touch
+  /// settled_local_cum_ directly).
+  std::vector<CacheAligned<std::uint64_t>> lane_unsettled_;
 
   // Relax data path state. The pools are rank-thread-owned; worker lanes
   // only ever touch their own lane's shards (emission) or the disjoint

@@ -111,6 +111,51 @@ void LocalEdgeView::build_histograms() {
   }
 }
 
+void LocalEdgeView::rebuild_histogram_row(vid_t local) {
+  std::uint32_t* bins =
+      hist_.data() + static_cast<std::size_t>(local) * kHistogramBins;
+  std::fill(bins, bins + kHistogramBins, 0u);
+  const double width = bin_width();
+  for (const Arc& a : long_arcs(local)) {
+    // Frozen geometry: weights beyond the original max_long_weight_ clamp
+    // into the last bin (see patch_vertex's contract).
+    auto bin = static_cast<std::uint32_t>(
+        (static_cast<double>(std::max(a.w, delta_)) - delta_) / width);
+    bin = std::min(bin, kHistogramBins - 1);
+    ++bins[bin];
+  }
+}
+
+void LocalEdgeView::patch_vertex(vid_t local, std::vector<Arc> arcs) {
+  if (patch_idx_.empty()) patch_idx_.assign(num_local_, 0);
+
+  Patch p;
+  p.arcs = std::move(arcs);
+  // Canonical layout, identical to from_arcs: shorts first in (to, w)
+  // order, then longs in (w, to) order.
+  const auto mid_it = std::partition(p.arcs.begin(), p.arcs.end(),
+                                     [&](const Arc& a) { return a.w < delta_; });
+  p.mid = static_cast<std::size_t>(mid_it - p.arcs.begin());
+  std::sort(p.arcs.begin(), mid_it, [](const Arc& a, const Arc& b) {
+    if (a.to != b.to) return a.to < b.to;
+    return a.w < b.w;
+  });
+  std::sort(mid_it, p.arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.w != b.w) return a.w < b.w;
+    return a.to < b.to;
+  });
+
+  total_long_ -= long_degree(local);
+  if (patch_idx_[local] == 0) {
+    patches_.push_back(std::move(p));
+    patch_idx_[local] = static_cast<std::uint32_t>(patches_.size());
+  } else {
+    patches_[patch_idx_[local] - 1] = std::move(p);
+  }
+  total_long_ += long_degree(local);
+  rebuild_histogram_row(local);
+}
+
 double LocalEdgeView::bin_width() const {
   const double span = static_cast<double>(max_long_weight_) -
                       static_cast<double>(delta_) + 1.0;

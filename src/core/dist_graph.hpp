@@ -43,27 +43,58 @@ class LocalEdgeView {
   std::uint32_t delta() const { return delta_; }
 
   std::size_t degree(vid_t local) const {
+    if (patched(local)) return patch(local).arcs.size();
     return static_cast<std::size_t>(off_[local + 1] - off_[local]);
   }
   std::size_t short_degree(vid_t local) const {
+    if (patched(local)) return patch(local).mid;
     return static_cast<std::size_t>(mid_[local] - off_[local]);
   }
   std::size_t long_degree(vid_t local) const {
+    if (patched(local)) {
+      const Patch& p = patch(local);
+      return p.arcs.size() - p.mid;
+    }
     return static_cast<std::size_t>(off_[local + 1] - mid_[local]);
   }
 
   /// Arcs with w < delta.
   std::span<const Arc> short_arcs(vid_t local) const {
+    if (patched(local)) {
+      const Patch& p = patch(local);
+      return {p.arcs.data(), p.arcs.data() + p.mid};
+    }
     return {arcs_.data() + off_[local], arcs_.data() + mid_[local]};
   }
   /// Arcs with w >= delta, sorted by ascending weight.
   std::span<const Arc> long_arcs(vid_t local) const {
+    if (patched(local)) {
+      const Patch& p = patch(local);
+      return {p.arcs.data() + p.mid, p.arcs.data() + p.arcs.size()};
+    }
     return {arcs_.data() + mid_[local], arcs_.data() + off_[local + 1]};
   }
   /// Every arc of the vertex (short range followed by long range).
   std::span<const Arc> all_arcs(vid_t local) const {
+    if (patched(local)) {
+      const Patch& p = patch(local);
+      return {p.arcs.data(), p.arcs.data() + p.arcs.size()};
+    }
     return {arcs_.data() + off_[local], arcs_.data() + off_[local + 1]};
   }
+
+  /// Replaces one vertex's adjacency with `arcs` (any order; laid out here
+  /// as short arcs in (to, w) order followed by weight-sorted long arcs,
+  /// matching from_arcs). Used by the dynamic-graph layer to splice an
+  /// update batch into cached views without rebuilding them. The vertex's
+  /// histogram row is refilled under the *frozen* bin geometry (weights
+  /// beyond the original max clamp into the last bin — the histogram is an
+  /// estimator input, and a clamped bin keeps it a sound overcount for
+  /// bounds below the original range while compact() restores exactness).
+  void patch_vertex(vid_t local, std::vector<Arc> arcs);
+
+  /// Number of vertices currently carrying a patch.
+  std::size_t patched_vertices() const { return patches_.size(); }
 
   /// Number of long arcs with w < bound (exact, via binary search).
   std::uint64_t count_long_below(vid_t local, dist_t bound) const;
@@ -81,10 +112,27 @@ class LocalEdgeView {
   static constexpr std::uint32_t kHistogramBins = 16;
 
  private:
+  /// Replacement adjacency of one patched vertex: shorts [0, mid), longs
+  /// [mid, size), each range in the canonical from_arcs() order.
+  struct Patch {
+    std::vector<Arc> arcs;
+    std::size_t mid = 0;
+  };
+
+  bool patched(vid_t local) const {
+    return !patch_idx_.empty() && patch_idx_[local] != 0;
+  }
+  const Patch& patch(vid_t local) const {
+    return patches_[patch_idx_[local] - 1];
+  }
+
   // Bin geometry over the long-weight range [delta_, max_long_weight_].
   double bin_width() const;
   // Fills hist_ / max_long_weight_ from the laid-out arcs.
   void build_histograms();
+  // Refills one vertex's histogram row from its current long arcs, under
+  // the frozen bin geometry.
+  void rebuild_histogram_row(vid_t local);
 
   vid_t num_local_ = 0;
   std::uint32_t delta_ = 0;
@@ -94,6 +142,11 @@ class LocalEdgeView {
   std::vector<Arc> arcs_;
   std::vector<std::uint32_t> hist_;  // num_local_ * kHistogramBins
   std::uint64_t total_long_ = 0;
+  /// patch_idx_[local] = 0 (unpatched) or 1 + index into patches_. Empty
+  /// until the first patch_vertex call, so fresh views pay one emptiness
+  /// test per accessor and no per-vertex storage.
+  std::vector<std::uint32_t> patch_idx_;
+  std::vector<Patch> patches_;
 };
 
 /// Builds the views of all ranks (each rank builds its own when called from

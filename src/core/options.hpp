@@ -94,6 +94,15 @@ struct SsspOptions {
   /// messages carry their source vertex and SsspResult::parent is filled.
   bool track_parents = false;
 
+  /// Canonicalize the parent tree after the solve: parent[v] becomes the
+  /// smallest global id u with dist[u] + w(u,v) == dist[v] (root stays its
+  /// own parent, unreachable vertices stay kInvalidVid). Canonical parents
+  /// are a pure function of (graph, dist), so two runs that agree on
+  /// distances agree on parents bit for bit — the contract the incremental
+  /// repair engine (docs/DYNAMIC.md) is verified against. No effect unless
+  /// track_parents is set.
+  bool canonical_parents = false;
+
   // --- Relax/exchange data path (docs/PERFORMANCE.md) -------------------
 
   DataPath data_path = DataPath::kPooled;

@@ -1,0 +1,16 @@
+#include "core/parent_canon.hpp"
+
+namespace parsssp {
+
+void canonicalize_parents(const CsrGraph& g, vid_t root,
+                          const std::vector<dist_t>& dist,
+                          std::vector<vid_t>& parent) {
+  const vid_t n = g.num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    parent[v] = canonical_parent_of(v, root, dist, [&](auto&& fn) {
+      for (const Arc& a : g.neighbors(v)) fn(a);
+    });
+  }
+}
+
+}  // namespace parsssp

@@ -1,0 +1,53 @@
+// Canonical shortest-path-tree parents (docs/DYNAMIC.md).
+//
+// The engines' tracked parents are correct (every parent is a tight
+// predecessor) but not unique: ties between equal-distance predecessors are
+// broken by message arrival order, which depends on rank count, lane count
+// and data-path options. The canonical form removes that freedom:
+//
+//   parent[v] = min { u : dist[u] + w(u, v) == dist[v] }   (global id order)
+//   parent[root] = root;  parent[v] = kInvalidVid when dist[v] == inf.
+//
+// Canonical parents are a pure function of (graph, dist). Since distances
+// themselves are option-independent, two solves of the same graph agree on
+// canonical parents bit for bit — the contract that lets the incremental
+// repair engine promise bit-identical results against a fresh solve under
+// every option set, and lets it re-derive parents for just the vertices a
+// repair touched.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+/// Canonical parent of one vertex given its final distance and a callback
+/// enumerating its incident arcs: for_each_arc(fn) must invoke fn(Arc{u, w})
+/// for every arc incident to v (order irrelevant — the minimum is taken).
+/// Works for any logical edge set, which is how the dynamic-graph repair
+/// path re-parents without materializing a CSR.
+template <typename ForEachArc>
+vid_t canonical_parent_of(vid_t v, vid_t root,
+                          const std::vector<dist_t>& dist,
+                          ForEachArc&& for_each_arc) {
+  if (v == root) return root;
+  const dist_t dv = dist[v];
+  if (dv == kInfDist) return kInvalidVid;
+  vid_t best = kInvalidVid;
+  for_each_arc([&](const Arc& a) {
+    const dist_t du = dist[a.to];
+    if (du == kInfDist) return;
+    if (du + a.w == dv && a.to < best) best = a.to;
+  });
+  return best;
+}
+
+/// Rewrites `parent` to canonical form over the whole graph. `dist` must be
+/// the exact shortest distances from `root` on `g`.
+void canonicalize_parents(const CsrGraph& g, vid_t root,
+                          const std::vector<dist_t>& dist,
+                          std::vector<vid_t>& parent);
+
+}  // namespace parsssp

@@ -1,0 +1,31 @@
+#include "core/seeded_solve.hpp"
+
+#include <stdexcept>
+
+namespace parsssp {
+
+void run_seeded_solve(MachineSession& session, const SeededSolveJob& job,
+                      const SsspOptions& options) {
+  if (job.settled_init == nullptr) {
+    throw std::invalid_argument(
+        "run_seeded_solve: settled_init is required (use Solver::solve for "
+        "fresh solves)");
+  }
+  EngineShared shared;
+  shared.graph = job.graph;
+  shared.part = job.part;
+  shared.views = job.views;
+  shared.dist = job.dist;
+  shared.parent = job.parent;
+  shared.root = job.root;
+  shared.options = &options;
+  shared.rank_counters = job.rank_counters;
+  shared.stats = job.stats;
+  shared.settled_init = job.settled_init;
+  shared.seeds = job.seeds;
+  shared.changed = job.changed;
+  shared.max_weight = job.max_weight;
+  session.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+}
+
+}  // namespace parsssp

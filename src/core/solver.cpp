@@ -4,7 +4,10 @@
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+
+#include "core/parent_canon.hpp"
 
 namespace parsssp {
 
@@ -32,7 +35,10 @@ void Solver::ensure_views(std::uint32_t delta) {
 
 SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
   if (root >= graph_.num_vertices()) {
-    throw std::invalid_argument("Solver::solve: root out of range");
+    throw std::out_of_range(
+        "Solver::solve: root " + std::to_string(root) +
+        " out of range (graph has " +
+        std::to_string(graph_.num_vertices()) + " vertices)");
   }
   if (options.delta == 0) {
     throw std::invalid_argument("Solver::solve: delta must be >= 1");
@@ -59,6 +65,10 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
 
   machine_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
 
+  if (options.track_parents && options.canonical_parents) {
+    canonicalize_parents(graph_, root, result.dist, result.parent);
+  }
+
   for (const RankCounters& c : rank_counters) {
     result.stats.short_relaxations += c.short_relaxations;
     result.stats.long_push_relaxations += c.long_push_relaxations;
@@ -75,6 +85,14 @@ BatchSummary Solver::solve_batch(std::span<const vid_t> roots,
   BatchSummary summary;
   summary.num_roots = roots.size();
   summary.edges = graph_.num_undirected_edges();
+  for (const vid_t root : roots) {
+    if (root >= graph_.num_vertices()) {
+      throw std::out_of_range(
+          "Solver::solve_batch: root " + std::to_string(root) +
+          " out of range (graph has " +
+          std::to_string(graph_.num_vertices()) + " vertices)");
+    }
+  }
   if (roots.empty()) return summary;
 
   double inv_sum = 0;
@@ -118,7 +136,10 @@ MultiRootResult Solver::solve_multi(std::span<const vid_t> roots,
                                     const SsspOptions& options) {
   for (const vid_t root : roots) {
     if (root >= graph_.num_vertices()) {
-      throw std::invalid_argument("Solver::solve_multi: root out of range");
+      throw std::out_of_range(
+          "Solver::solve_multi: root " + std::to_string(root) +
+          " out of range (graph has " +
+          std::to_string(graph_.num_vertices()) + " vertices)");
     }
   }
   if (options.delta == 0) {

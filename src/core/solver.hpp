@@ -84,6 +84,8 @@ class Solver {
   Solver(const CsrGraph& graph, SolverConfig config);
 
   /// Runs one SSSP from `root`. Thread-compatible (one solve at a time).
+  /// Throws std::out_of_range when root >= num_vertices (as do solve_batch
+  /// and solve_multi) and std::invalid_argument on malformed options.
   SsspResult solve(vid_t root, const SsspOptions& options);
 
   /// Runs SSSP from every root and aggregates (Graph 500 methodology).

@@ -24,6 +24,9 @@ std::string_view span_cat_name(SpanCat cat) {
     case SpanCat::kBatchClose: return "batch_close";
     case SpanCat::kCacheLookup: return "cache_lookup";
     case SpanCat::kServeSolve: return "serve_solve";
+    case SpanCat::kRepairFrontier: return "repair_frontier";
+    case SpanCat::kRepairSweep: return "repair_sweep";
+    case SpanCat::kUpdateApply: return "update_apply";
     case SpanCat::kCount: break;
   }
   return "unknown";
@@ -49,6 +52,10 @@ std::string_view span_group(SpanCat cat) {
     case SpanCat::kExchange:
     case SpanCat::kApply:
       return "datapath";
+    case SpanCat::kRepairFrontier:
+    case SpanCat::kRepairSweep:
+    case SpanCat::kUpdateApply:
+      return "update";
     default:
       return "serve";
   }

@@ -68,6 +68,10 @@ enum class SpanCat : std::uint8_t {
   kBatchClose,   ///< popping + closing one batch off the admission queue
   kCacheLookup,  ///< the batch's result-cache pass
   kServeSolve,   ///< the machine computation of a batch's unique roots
+  // Dynamic-graph update subsystem (docs/DYNAMIC.md).
+  kRepairFrontier,  ///< planning: suspects, downward closure, seed harvest
+  kRepairSweep,     ///< the seeded Delta-stepping sweep of one repair
+  kUpdateApply,     ///< serving: applying one edge batch + view patching
   kCount
 };
 

@@ -37,7 +37,15 @@
 #include "core/dist_builder.hpp"   // IWYU pragma: export
 #include "core/lb_thresholds.hpp"  // IWYU pragma: export
 #include "core/options.hpp"        // IWYU pragma: export
+#include "core/parent_canon.hpp"   // IWYU pragma: export
+#include "core/seeded_solve.hpp"   // IWYU pragma: export
 #include "core/solver.hpp"         // IWYU pragma: export
 #include "core/split_solver.hpp"   // IWYU pragma: export
 #include "core/dist_validate.hpp"  // IWYU pragma: export
 #include "core/validate.hpp"       // IWYU pragma: export
+
+// Dynamic-graph update subsystem (docs/DYNAMIC.md).
+#include "update/dynamic_graph.hpp"   // IWYU pragma: export
+#include "update/dynamic_solver.hpp"  // IWYU pragma: export
+#include "update/edge_batch.hpp"      // IWYU pragma: export
+#include "update/repair_engine.hpp"   // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -14,7 +15,15 @@ std::size_t clamp_batch(std::size_t requested) {
 }  // namespace
 
 QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
+    : QueryEngine(graph, /*dynamic=*/nullptr, std::move(config)) {}
+
+QueryEngine::QueryEngine(DynamicGraph& graph, ServeConfig config)
+    : QueryEngine(graph.base(), &graph, std::move(config)) {}
+
+QueryEngine::QueryEngine(const CsrGraph& graph, DynamicGraph* dynamic,
+                         ServeConfig config)
     : graph_(graph),
+      dynamic_(dynamic),
       config_([&] {
         config.max_batch = clamp_batch(config.max_batch);
         return config;
@@ -22,6 +31,9 @@ QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
       part_(graph.num_vertices(), config_.machine.num_ranks),
       cache_(config_.cache_capacity),
       session_(config_.machine) {
+  if (dynamic_ != nullptr) {
+    version_.store(dynamic_->version(), std::memory_order_release);
+  }
   {
     MutexLock lock(mutex_);
     stats_.batch_size_histogram.assign(config_.max_batch + 1, 0);
@@ -38,6 +50,14 @@ QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
     h_batch_size_ = &reg.histogram("serve.batch_size",
                                    Histogram::Config{1.0, std::pow(2.0, 0.25),
                                                      32});
+    if (dynamic_ != nullptr) {
+      m_updates_ = &reg.counter("serve.updates");
+      g_graph_version_ = &reg.gauge("serve.graph_version");
+      g_cache_evictions_ = &reg.gauge("serve.cache_evictions");
+      g_cache_version_misses_ = &reg.gauge("serve.cache_version_misses");
+      g_cache_invalidations_ = &reg.gauge("serve.cache_invalidations");
+      g_graph_version_->set(static_cast<double>(graph_version()));
+    }
   }
   dispatcher_ = std::make_unique<ServiceThread>(
       [this] { return dispatch_step(); }, config_.idle_poll);
@@ -58,7 +78,7 @@ QueryEngine::~QueryEngine() {
     stats_.cancelled += orphaned.size();
   }
   for (Pending& p : orphaned) {
-    p.promise.set_exception(std::make_exception_ptr(
+    p.fail(std::make_exception_ptr(
         JobCancelled("QueryEngine destroyed before the query was served")));
   }
   // session_ (and its rank threads) is torn down by member destruction.
@@ -67,7 +87,11 @@ QueryEngine::~QueryEngine() {
 std::future<QueryResult> QueryEngine::submit(vid_t root,
                                              const SsspOptions& options) {
   if (root >= graph_.num_vertices()) {
-    throw std::invalid_argument("QueryEngine::submit: root out of range");
+    throw std::out_of_range("QueryEngine::submit: root " +
+                            std::to_string(root) +
+                            " out of range (graph has " +
+                            std::to_string(graph_.num_vertices()) +
+                            " vertices)");
   }
   if (options.delta == 0) {
     throw std::invalid_argument("QueryEngine::submit: delta must be >= 1");
@@ -99,6 +123,36 @@ QueryResult QueryEngine::query(vid_t root, const SsspOptions& options) {
   return submit(root, options).get();
 }
 
+std::future<UpdateResult> QueryEngine::apply_updates(EdgeBatch batch) {
+  if (dynamic_ == nullptr) {
+    throw std::logic_error(
+        "QueryEngine::apply_updates: engine serves an immutable graph "
+        "(construct it from a DynamicGraph to accept updates)");
+  }
+  Pending p;
+  p.kind = Pending::Kind::kUpdate;
+  p.updates = std::move(batch);
+  p.submitted_at = std::chrono::steady_clock::now();
+  std::future<UpdateResult> fut = p.update_promise.get_future();
+  {
+    MutexLock lock(mutex_);
+    if (!accepting_) {
+      throw std::logic_error(
+          "QueryEngine::apply_updates on an engine that is shutting down");
+    }
+    queue_.push_back(std::move(p));
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->set(static_cast<double>(queue_.size()));
+    }
+  }
+  dispatcher_->wake();
+  return fut;
+}
+
+UpdateResult QueryEngine::update(EdgeBatch batch) {
+  return apply_updates(std::move(batch)).get();
+}
+
 std::size_t QueryEngine::cancel_pending() {
   std::deque<Pending> cancelled;
   {
@@ -107,7 +161,7 @@ std::size_t QueryEngine::cancel_pending() {
     stats_.cancelled += cancelled.size();
   }
   for (Pending& p : cancelled) {
-    p.promise.set_exception(std::make_exception_ptr(
+    p.fail(std::make_exception_ptr(
         JobCancelled("query cancelled before its batch closed")));
   }
   return cancelled.size();
@@ -120,6 +174,7 @@ ServeStats QueryEngine::stats() const {
     out = stats_;
   }
   out.cache = cache_.counters();
+  out.graph_version = graph_version();
   return out;
 }
 
@@ -134,23 +189,50 @@ bool QueryEngine::dispatch_step() {
     MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     const auto now = std::chrono::steady_clock::now();
-    const bool full = queue_.size() >= config_.max_batch;
-    const bool due = now - queue_.front().submitted_at >= config_.batch_window;
-    if (!full && !due) return false;  // park; idle_poll re-checks the window
-    // Close the longest same-signature prefix: a batch is one sweep under
-    // one option set. A query with a different signature waits its turn
-    // (FIFO keeps admission order, so no query starves).
-    const std::string signature = queue_.front().signature;
-    while (!queue_.empty() && batch.size() < config_.max_batch &&
-           queue_.front().signature == signature) {
+    // An update at the head closes immediately as its own single-item
+    // batch: it is a barrier between the graph versions on either side,
+    // and making it wait for batchmates would only add latency.
+    if (queue_.front().kind == Pending::Kind::kUpdate) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (g_queue_depth_ != nullptr) {
+        g_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
+    } else {
+      const bool full = queue_.size() >= config_.max_batch;
+      const bool due =
+          now - queue_.front().submitted_at >= config_.batch_window;
+      // An update anywhere in the queue is a fence: later arrivals land
+      // behind it, so waiting can never grow the head prefix — close it now
+      // instead of letting the window run out in front of the fence.
+      const bool fenced =
+          std::any_of(queue_.begin(), queue_.end(), [](const Pending& p) {
+            return p.kind == Pending::Kind::kUpdate;
+          });
+      if (!full && !due && !fenced) {
+        return false;  // park; idle_poll re-checks the window
+      }
+      // Close the longest same-signature query prefix: a batch is one sweep
+      // under one option set. A query with a different signature — or any
+      // update — waits its turn (FIFO keeps admission order, so nothing
+      // starves and updates stay ordered against queries).
+      const std::string signature = queue_.front().signature;
+      while (!queue_.empty() && batch.size() < config_.max_batch &&
+             queue_.front().kind == Pending::Kind::kQuery &&
+             queue_.front().signature == signature) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      ++stats_.batch_size_histogram[batch.size()];
+      if (g_queue_depth_ != nullptr) {
+        g_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
     }
-    ++stats_.batches;
-    ++stats_.batch_size_histogram[batch.size()];
-    if (g_queue_depth_ != nullptr) {
-      g_queue_depth_->set(static_cast<double>(queue_.size()));
-    }
+  }
+  if (batch.front().kind == Pending::Kind::kUpdate) {
+    serve_update(std::move(batch.front()));
+    return true;
   }
   if (dlane_ != nullptr) {
     // The batch-close span covers the queue pop; each query additionally
@@ -190,11 +272,15 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
   };
 
   // Cache pass: hits complete immediately, misses proceed to the machine.
+  // Dynamic mode keys every lookup/insert by the current graph version
+  // (stable for the whole batch: updates only apply on this thread), so a
+  // pre-update answer can never satisfy a post-update query.
+  const std::uint64_t version = graph_version();
   std::vector<Pending> misses;
   {
     ScopedSpan span(dlane_, SpanCat::kCacheLookup, batch.size());
     for (Pending& p : batch) {
-      if (auto hit = cache_.lookup(p.root, p.signature)) {
+      if (auto hit = cache_.lookup(p.root, p.signature, version)) {
         if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
         fulfill(p, std::move(hit), /*from_cache=*/true);
       } else {
@@ -222,11 +308,57 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
       compute(unique, misses.front().options);
 
   for (std::size_t s = 0; s < unique.size(); ++s) {
-    cache_.insert(unique[s], misses.front().signature, answers[s]);
+    cache_.insert(unique[s], misses.front().signature, answers[s], version);
   }
   for (std::size_t i = 0; i < misses.size(); ++i) {
     fulfill(misses[i], answers[slot_of[i]], /*from_cache=*/false);
   }
+  refresh_cache_metrics();
+}
+
+void QueryEngine::serve_update(Pending update) {
+  ScopedSpan span(dlane_, SpanCat::kUpdateApply, update.updates.size());
+  AppliedBatch applied;
+  try {
+    applied = dynamic_->apply(update.updates);
+  } catch (...) {
+    // Validation failure: the graph (and therefore views, cache, version)
+    // is untouched; the client gets the error, serving continues.
+    update.update_promise.set_exception(std::current_exception());
+    return;
+  }
+  if (views_ready_) {
+    if (applied.compacted) {
+      views_ready_ = false;  // rebuilt lazily by the next solve
+    } else {
+      for (const vid_t v : applied.touched) {
+        const rank_t r = part_.owner(v);
+        views_[r].patch_vertex(v - part_.begin(r), dynamic_->arcs_of(v));
+      }
+    }
+  }
+  version_.store(applied.version, std::memory_order_release);
+  {
+    MutexLock lock(mutex_);
+    ++stats_.updates;
+    stats_.graph_version = applied.version;
+  }
+  if (m_updates_ != nullptr) m_updates_->inc();
+  if (g_graph_version_ != nullptr) {
+    g_graph_version_->set(static_cast<double>(applied.version));
+  }
+  refresh_cache_metrics();
+  update.update_promise.set_value(
+      UpdateResult{applied.version, applied.ops.size(), applied.compacted,
+                   std::chrono::steady_clock::now()});
+}
+
+void QueryEngine::refresh_cache_metrics() {
+  if (g_cache_evictions_ == nullptr) return;
+  const ResultCache::Counters c = cache_.counters();
+  g_cache_evictions_->set(static_cast<double>(c.evictions));
+  g_cache_version_misses_->set(static_cast<double>(c.version_misses));
+  g_cache_invalidations_->set(static_cast<double>(c.invalidations));
 }
 
 std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
@@ -263,6 +395,11 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
       shared.options = &options;
       shared.rank_counters = &rank_counters;
       shared.stats = &answer->stats;
+      if (dynamic_ != nullptr) {
+        // The base CSR may lag the logical graph; give the push/pull
+        // estimator the dynamic graph's weight bound instead.
+        shared.max_weight = dynamic_->max_weight();
+      }
 
       session_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
 
@@ -328,7 +465,10 @@ void QueryEngine::ensure_views(std::uint32_t delta) {
   if (views_ready_ && views_delta_ == delta) return;
   views_.assign(session_.num_ranks(), LocalEdgeView{});
   session_.run([this, delta](RankCtx& ctx) {
-    views_[ctx.rank()] = LocalEdgeView::build(graph_, part_, ctx.rank(), delta);
+    views_[ctx.rank()] =
+        dynamic_ != nullptr
+            ? dynamic_->build_local_view(part_, ctx.rank(), delta)
+            : LocalEdgeView::build(graph_, part_, ctx.rank(), delta);
   });
   views_delta_ = delta;
   views_ready_ = true;

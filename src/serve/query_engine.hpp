@@ -29,6 +29,7 @@
 // and a mutex around the queue.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -51,6 +52,8 @@
 #include "runtime/partition.hpp"
 #include "runtime/service_thread.hpp"
 #include "serve/result_cache.hpp"
+#include "update/dynamic_graph.hpp"
+#include "update/edge_batch.hpp"
 
 namespace parsssp {
 
@@ -85,6 +88,14 @@ struct QueryResult {
   std::chrono::steady_clock::time_point completed_at;
 };
 
+/// What an apply_updates() future resolves to (dynamic engines only).
+struct UpdateResult {
+  std::uint64_t version = 0;  ///< graph version the batch produced
+  std::size_t ops = 0;
+  bool compacted = false;
+  std::chrono::steady_clock::time_point completed_at;
+};
+
 /// Counter snapshot for throughput/SLO reporting.
 struct ServeStats {
   std::uint64_t submitted = 0;
@@ -93,6 +104,8 @@ struct ServeStats {
   std::uint64_t batches = 0;
   std::uint64_t single_solves = 0;  ///< roots served by the per-root engine
   std::uint64_t multi_sweeps = 0;   ///< batched multi-root sweeps executed
+  std::uint64_t updates = 0;        ///< update batches applied (dynamic mode)
+  std::uint64_t graph_version = 0;  ///< current graph version (dynamic mode)
   /// batch_size_histogram[s] = closed batches of size s (index 0 unused).
   std::vector<std::uint64_t> batch_size_histogram;
   ResultCache::Counters cache;
@@ -100,9 +113,19 @@ struct ServeStats {
 
 class QueryEngine {
  public:
-  /// `graph` must outlive the engine. Spawns the session's rank threads and
-  /// the dispatcher immediately.
+  /// Static mode: `graph` must outlive the engine. Spawns the session's
+  /// rank threads and the dispatcher immediately.
   QueryEngine(const CsrGraph& graph, ServeConfig config);
+
+  /// Dynamic mode: serves a mutable graph (docs/DYNAMIC.md). `graph` must
+  /// outlive the engine, and while the engine lives the graph may be
+  /// mutated *only* through apply_updates() — updates and queries are
+  /// serialized through the dispatcher FIFO, which is what makes "a stale
+  /// cached answer is never served" a structural property: every answer is
+  /// cached under the graph version it was computed at, every lookup
+  /// carries the current version, and a version mismatch erases the entry
+  /// instead of returning it.
+  QueryEngine(DynamicGraph& graph, ServeConfig config);
 
   /// Fails queued queries with JobCancelled, finishes the in-flight batch,
   /// stops the dispatcher and the session.
@@ -112,12 +135,29 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Enqueues a query. Root/option validation happens here (throws
-  /// std::invalid_argument); the future resolves once the answer is served
-  /// from cache or computed. Thread-safe.
+  /// std::out_of_range on a bad root, std::invalid_argument on malformed
+  /// options); the future resolves once the answer is served from cache or
+  /// computed. Thread-safe.
   std::future<QueryResult> submit(vid_t root, const SsspOptions& options);
 
   /// Convenience: submit + wait.
   QueryResult query(vid_t root, const SsspOptions& options);
+
+  /// Dynamic mode only (throws std::logic_error on a static engine):
+  /// enqueues one atomic mutation batch into the same FIFO as queries. It
+  /// is applied by the dispatcher in admission order — queries submitted
+  /// before it see the old graph, queries after it the new one. The future
+  /// resolves with the new graph version, or with the DynamicGraph::apply
+  /// validation error (in which case the graph is unchanged). Thread-safe.
+  std::future<UpdateResult> apply_updates(EdgeBatch batch);
+
+  /// Convenience: apply_updates + wait.
+  UpdateResult update(EdgeBatch batch);
+
+  /// Current graph version (0 on static engines). Thread-safe.
+  std::uint64_t graph_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Fails every queued-but-unbatched query with JobCancelled; returns how
   /// many. Queries already in a closed batch still complete. Thread-safe.
@@ -129,27 +169,51 @@ class QueryEngine {
 
  private:
   struct Pending {
-    vid_t root;
+    enum class Kind : std::uint8_t { kQuery, kUpdate };
+    Kind kind = Kind::kQuery;
+    vid_t root = 0;
     SsspOptions options;
     std::string signature;
-    std::promise<QueryResult> promise;
+    std::promise<QueryResult> promise;          ///< kQuery only
+    EdgeBatch updates;                          ///< kUpdate only
+    std::promise<UpdateResult> update_promise;  ///< kUpdate only
     std::chrono::steady_clock::time_point submitted_at;
+
+    void fail(std::exception_ptr error) {
+      if (kind == Kind::kQuery) {
+        promise.set_exception(std::move(error));
+      } else {
+        update_promise.set_exception(std::move(error));
+      }
+    }
   };
+
+  /// Delegate of both public constructors.
+  QueryEngine(const CsrGraph& graph, DynamicGraph* dynamic,
+              ServeConfig config);
 
   /// ServiceThread step: closes at most one batch and serves it.
   bool dispatch_step();
   void serve_batch(std::vector<Pending> batch);
+  /// Dispatcher-thread-only: applies one update batch + patches views.
+  void serve_update(Pending update);
+  /// Pushes cache counters / graph version into the metrics registry.
+  void refresh_cache_metrics();
   /// Computes answers for `roots` (unique, uncached) under `options`.
   std::vector<std::shared_ptr<const QueryAnswer>> compute(
       const std::vector<vid_t>& roots, const SsspOptions& options);
   /// Dispatcher-thread-only: (re)build edge views for `delta`.
   void ensure_views(std::uint32_t delta);
 
-  const CsrGraph& graph_;
+  const CsrGraph& graph_;  ///< dynamic mode: the DynamicGraph's base
+  /// Null in static mode. Mutated only on the dispatcher thread.
+  DynamicGraph* const dynamic_;
   const ServeConfig config_;
   BlockPartition part_;
   ResultCache cache_;
   MachineSession session_;
+  /// Mirror of dynamic_->version() for lock-free reads off the dispatcher.
+  std::atomic<std::uint64_t> version_{0};
 
   mutable Mutex mutex_;
   std::deque<Pending> queue_ MPS_GUARDED_BY(mutex_);
@@ -170,7 +234,12 @@ class QueryEngine {
   Counter* m_completed_ = nullptr;
   Counter* m_cache_hits_ = nullptr;
   Counter* m_cache_misses_ = nullptr;
+  Counter* m_updates_ = nullptr;
   Gauge* g_queue_depth_ = nullptr;
+  Gauge* g_graph_version_ = nullptr;
+  Gauge* g_cache_evictions_ = nullptr;
+  Gauge* g_cache_version_misses_ = nullptr;
+  Gauge* g_cache_invalidations_ = nullptr;
   Histogram* h_latency_ = nullptr;
   Histogram* h_batch_size_ = nullptr;
 

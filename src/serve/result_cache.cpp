@@ -41,6 +41,7 @@ std::string options_signature(const SsspOptions& options) {
       << ";tau=" << canonical(options.hybrid_tau, "hybrid_tau")
       << ";heavy=" << options.heavy_degree_threshold
       << ";parents=" << options.track_parents
+      << ";canon=" << options.canonical_parents
       << ";dp=" << static_cast<int>(options.data_path)
       << ";sred=" << options.sender_reduction
       << ";papply=" << options.parallel_apply
@@ -54,10 +55,19 @@ std::string options_signature(const SsspOptions& options) {
 }
 
 std::shared_ptr<const QueryAnswer> ResultCache::lookup(
-    vid_t root, const std::string& signature) {
+    vid_t root, const std::string& signature, std::uint64_t version) {
   MutexLock lock(mutex_);
   const auto it = index_.find(Key{root, signature});
   if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  if (it->second->version != version) {
+    // A stale answer must never be served; drop it eagerly so the slot is
+    // free for the recomputation this miss will trigger.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++counters_.version_misses;
     ++counters_.misses;
     return nullptr;
   }
@@ -67,17 +77,19 @@ std::shared_ptr<const QueryAnswer> ResultCache::lookup(
 }
 
 void ResultCache::insert(vid_t root, const std::string& signature,
-                         std::shared_ptr<const QueryAnswer> answer) {
+                         std::shared_ptr<const QueryAnswer> answer,
+                         std::uint64_t version) {
   if (capacity_ == 0) return;
   MutexLock lock(mutex_);
   Key key{root, signature};
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->answer = std::move(answer);
+    it->second->version = version;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, std::move(answer)});
+  lru_.push_front(Entry{key, std::move(answer), version});
   index_.emplace(std::move(key), lru_.begin());
   ++counters_.insertions;
   if (lru_.size() > capacity_) {
@@ -85,6 +97,24 @@ void ResultCache::insert(vid_t root, const std::string& signature,
     lru_.pop_back();
     ++counters_.evictions;
   }
+}
+
+std::size_t ResultCache::invalidate_all() {
+  MutexLock lock(mutex_);
+  const std::size_t dropped = lru_.size();
+  index_.clear();
+  lru_.clear();
+  counters_.invalidations += dropped;
+  return dropped;
+}
+
+std::size_t ResultCache::clear() {
+  MutexLock lock(mutex_);
+  const std::size_t dropped = lru_.size();
+  index_.clear();
+  lru_.clear();
+  counters_.clears += dropped;
+  return dropped;
 }
 
 std::size_t ResultCache::size() const {

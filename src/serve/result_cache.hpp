@@ -58,6 +58,13 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Misses caused specifically by a graph-version mismatch (the stale
+    /// entry is dropped; also counted in `misses`).
+    std::uint64_t version_misses = 0;
+    /// Entries dropped by invalidate_all().
+    std::uint64_t invalidations = 0;
+    /// Entries dropped by clear().
+    std::uint64_t clears = 0;
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total > 0 ? static_cast<double>(hits) / total : 0.0;
@@ -69,14 +76,30 @@ class ResultCache {
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
   /// Returns the cached answer (refreshing its LRU position) or nullptr.
-  /// Counts a hit or a miss either way.
+  /// Counts a hit or a miss either way. `version` is the graph version the
+  /// caller is serving (docs/DYNAMIC.md): an entry stored under a
+  /// different version can never be returned — it is erased on sight and
+  /// the lookup counts as a (version) miss. Static callers that never
+  /// mutate their graph pass the default 0 throughout and behave as
+  /// before.
   std::shared_ptr<const QueryAnswer> lookup(vid_t root,
-                                            const std::string& signature);
+                                            const std::string& signature,
+                                            std::uint64_t version = 0);
 
-  /// Inserts (or refreshes) an answer, evicting the least recently used
-  /// entry when over capacity.
+  /// Inserts (or refreshes) an answer computed at graph `version`,
+  /// evicting the least recently used entry when over capacity.
   void insert(vid_t root, const std::string& signature,
-              std::shared_ptr<const QueryAnswer> answer);
+              std::shared_ptr<const QueryAnswer> answer,
+              std::uint64_t version = 0);
+
+  /// Drops every entry (generation bump: the graph changed and lazily
+  /// erasing on lookup is not wanted). Returns how many were dropped;
+  /// counted in Counters::invalidations.
+  std::size_t invalidate_all();
+
+  /// Drops every entry for operational reasons (memory pressure, tests).
+  /// Returns how many were dropped; counted in Counters::clears.
+  std::size_t clear();
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
@@ -99,6 +122,7 @@ class ResultCache {
   struct Entry {
     Key key;
     std::shared_ptr<const QueryAnswer> answer;
+    std::uint64_t version = 0;
   };
 
   const std::size_t capacity_;

@@ -1,0 +1,254 @@
+#include "update/dynamic_graph.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace parsssp {
+
+namespace {
+
+const char* kind_name(EdgeOp::Kind k) {
+  switch (k) {
+    case EdgeOp::Kind::kInsert: return "insert";
+    case EdgeOp::Kind::kDelete: return "delete";
+    case EdgeOp::Kind::kUpdateWeight: return "reweight";
+  }
+  return "?";
+}
+
+[[noreturn]] void bad_op(std::size_t index, const EdgeOp& op,
+                         const std::string& why) {
+  throw std::invalid_argument(
+      "DynamicGraph::apply: op " + std::to_string(index) + " (" +
+      kind_name(op.kind) + " " + std::to_string(op.u) + "-" +
+      std::to_string(op.v) + "): " + why);
+}
+
+}  // namespace
+
+CsrGraph strip_self_loops(const CsrGraph& g) {
+  EdgeList edges(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.neighbors(v)) {
+      if (v < a.to) edges.add_edge(v, a.to, a.w);
+    }
+  }
+  edges.canonicalize();
+  return CsrGraph::from_edges(edges);
+}
+
+DynamicGraph::DynamicGraph(CsrGraph base, Config config)
+    : base_(std::move(base)),
+      config_(config),
+      num_undirected_(base_.num_undirected_edges()),
+      max_weight_ub_(base_.max_weight()) {
+  for (vid_t v = 0; v < base_.num_vertices(); ++v) {
+    for (const Arc& a : base_.neighbors(v)) {
+      if (a.to == v) {
+        throw std::invalid_argument(
+            "DynamicGraph: base graph has a self loop at vertex " +
+            std::to_string(v));
+      }
+    }
+  }
+}
+
+bool DynamicGraph::base_has_arc(vid_t u, vid_t v) const {
+  for (const Arc& a : base_.neighbors(u)) {
+    if (a.to == v) return true;
+  }
+  return false;
+}
+
+std::optional<weight_t> DynamicGraph::find_edge(vid_t u, vid_t v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return std::nullopt;
+  const VertexDelta* d = delta_of(u);
+  if (d != nullptr) {
+    for (const Arc& a : d->overlay) {
+      if (a.to == v) return a.w;
+    }
+    if (std::binary_search(d->tombstones.begin(), d->tombstones.end(), v)) {
+      return std::nullopt;
+    }
+  }
+  // Base arcs: the pair invariant makes any parallel base arcs all-dead or
+  // all-alive, and an alive base pair has no overlay arc; min() over the
+  // (normally single) arc keeps the pre-invariant base case well defined.
+  std::optional<weight_t> best;
+  for (const Arc& a : base_.neighbors(u)) {
+    if (a.to == v && (!best || a.w < *best)) best = a.w;
+  }
+  return best;
+}
+
+std::size_t DynamicGraph::degree(vid_t v) const {
+  const VertexDelta* d = delta_of(v);
+  if (d == nullptr) return base_.degree(v);
+  std::size_t n = d->overlay.size();
+  for (const Arc& a : base_.neighbors(v)) {
+    if (!std::binary_search(d->tombstones.begin(), d->tombstones.end(),
+                            a.to)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void DynamicGraph::kill_half(vid_t from, vid_t to) {
+  VertexDelta& d = delta_[from];
+  const auto overlay_end =
+      std::remove_if(d.overlay.begin(), d.overlay.end(),
+                     [to](const Arc& a) { return a.to == to; });
+  delta_entries_ -= static_cast<std::size_t>(d.overlay.end() - overlay_end);
+  d.overlay.erase(overlay_end, d.overlay.end());
+  if (base_has_arc(from, to)) {
+    const auto it =
+        std::lower_bound(d.tombstones.begin(), d.tombstones.end(), to);
+    if (it == d.tombstones.end() || *it != to) {
+      d.tombstones.insert(it, to);
+      ++delta_entries_;
+    }
+  }
+  if (d.overlay.empty() && d.tombstones.empty()) delta_.erase(from);
+}
+
+void DynamicGraph::add_half(vid_t from, vid_t to, weight_t w) {
+  delta_[from].overlay.push_back(Arc{to, w});
+  ++delta_entries_;
+}
+
+AppliedBatch DynamicGraph::apply(const EdgeBatch& batch) {
+  // Phase 1 (validate, no mutation): simulate the batch against a per-pair
+  // state map seeded lazily from the graph, so intra-batch sequences
+  // (insert then delete the same edge) validate exactly as they will apply
+  // and an invalid op leaves the graph untouched (strong guarantee).
+  struct PairState {
+    bool present = false;
+    weight_t w = 0;
+  };
+  std::map<std::pair<vid_t, vid_t>, PairState> sim;
+  AppliedBatch applied;
+  applied.ops.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.ops().size(); ++i) {
+    const EdgeOp& op = batch.ops()[i];
+    if (op.u >= num_vertices() || op.v >= num_vertices()) {
+      bad_op(i, op,
+             "endpoint out of range (graph has " +
+                 std::to_string(num_vertices()) + " vertices)");
+    }
+    if (op.u == op.v) bad_op(i, op, "self loops are not allowed");
+    if (op.kind != EdgeOp::Kind::kDelete && op.w == 0) {
+      bad_op(i, op, "weight must be >= 1");
+    }
+    const auto key = std::minmax(op.u, op.v);
+    auto [it, fresh] = sim.try_emplace(key);
+    if (fresh) {
+      if (const auto w = find_edge(op.u, op.v)) {
+        it->second = {true, *w};
+      }
+    }
+    PairState& st = it->second;
+    AppliedOp rec{op, st.present ? st.w : weight_t{0}};
+    switch (op.kind) {
+      case EdgeOp::Kind::kInsert:
+        if (st.present) bad_op(i, op, "edge already present");
+        st = {true, op.w};
+        break;
+      case EdgeOp::Kind::kDelete:
+        if (!st.present) bad_op(i, op, "edge not present");
+        st = {false, 0};
+        break;
+      case EdgeOp::Kind::kUpdateWeight:
+        if (!st.present) bad_op(i, op, "edge not present");
+        st.w = op.w;
+        break;
+    }
+    applied.ops.push_back(rec);
+  }
+
+  // Phase 2 (apply): cannot fail.
+  for (const AppliedOp& rec : applied.ops) {
+    const EdgeOp& op = rec.op;
+    switch (op.kind) {
+      case EdgeOp::Kind::kInsert:
+        add_half(op.u, op.v, op.w);
+        add_half(op.v, op.u, op.w);
+        ++num_undirected_;
+        max_weight_ub_ = std::max(max_weight_ub_, op.w);
+        ++counters_.inserts;
+        break;
+      case EdgeOp::Kind::kDelete:
+        kill_half(op.u, op.v);
+        kill_half(op.v, op.u);
+        --num_undirected_;
+        ++counters_.deletes;
+        break;
+      case EdgeOp::Kind::kUpdateWeight:
+        kill_half(op.u, op.v);
+        kill_half(op.v, op.u);
+        add_half(op.u, op.v, op.w);
+        add_half(op.v, op.u, op.w);
+        max_weight_ub_ = std::max(max_weight_ub_, op.w);
+        ++counters_.reweights;
+        break;
+    }
+    applied.touched.push_back(op.u);
+    applied.touched.push_back(op.v);
+  }
+  std::sort(applied.touched.begin(), applied.touched.end());
+  applied.touched.erase(
+      std::unique(applied.touched.begin(), applied.touched.end()),
+      applied.touched.end());
+  ++counters_.applied_batches;
+  applied.version = ++version_;
+
+  const auto threshold = static_cast<std::size_t>(
+      config_.compact_ratio * static_cast<double>(base_.num_arcs()));
+  if (delta_entries_ > std::max(threshold, config_.compact_min)) {
+    compact();
+    applied.compacted = true;
+  }
+  return applied;
+}
+
+void DynamicGraph::compact() {
+  base_ = materialize();
+  delta_.clear();
+  delta_entries_ = 0;
+  max_weight_ub_ = base_.max_weight();
+  ++counters_.compactions;
+}
+
+std::vector<Arc> DynamicGraph::arcs_of(vid_t v) const {
+  std::vector<Arc> arcs;
+  arcs.reserve(degree(v));
+  for_each_arc(v, [&](const Arc& a) { arcs.push_back(a); });
+  return arcs;
+}
+
+EdgeList DynamicGraph::materialize_edges() const {
+  EdgeList list(num_vertices());
+  list.reserve(num_undirected_);
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    for_each_arc(v, [&](const Arc& a) {
+      if (v < a.to) list.add_edge(v, a.to, a.w);
+    });
+  }
+  list.canonicalize();
+  return list;
+}
+
+LocalEdgeView DynamicGraph::build_local_view(const BlockPartition& part,
+                                             rank_t rank,
+                                             std::uint32_t delta) const {
+  const vid_t begin = part.begin(rank);
+  const vid_t end = part.end(rank);
+  std::vector<std::pair<vid_t, Arc>> pairs;
+  for (vid_t v = begin; v < end; ++v) {
+    for_each_arc(v, [&](const Arc& a) { pairs.emplace_back(v - begin, a); });
+  }
+  return LocalEdgeView::from_arcs(end - begin, std::move(pairs), delta);
+}
+
+}  // namespace parsssp

@@ -1,0 +1,170 @@
+// Mutable front-end over the immutable CSR graph (docs/DYNAMIC.md).
+//
+// A DynamicGraph is a clean base CsrGraph plus a sparse per-vertex delta:
+// overlay arcs added since the base was built and tombstones killing base
+// arcs. Mutations arrive as atomic EdgeBatches; each successful apply()
+// bumps a monotone version (the cache-invalidation token of the serving
+// layer). When the delta grows past a configurable fraction of the base,
+// apply() compacts — rebuilds a clean CSR from the effective edge set and
+// drops the delta — so read amortized cost stays CSR-like under sustained
+// update streams.
+//
+// Invariants:
+//   * at most one effective edge per vertex pair (apply() enforces insert
+//     on absent / delete and reweight on present),
+//   * no self loops (rejected at construction and in every batch),
+//   * the logical edge set equals materialize_edges() at all times, and
+//     compact() never changes it (nor the version).
+//
+// Thread safety: reads are const and safe concurrently with each other;
+// apply()/compact() require external exclusion against everything (the
+// serving layer serializes updates and queries through the session FIFO).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "runtime/partition.hpp"
+#include "update/edge_batch.hpp"
+
+namespace parsssp {
+
+struct DynamicGraphConfig {
+  /// apply() auto-compacts when delta entries (overlay arcs + tombstones)
+  /// exceed this fraction of the base's stored arcs...
+  double compact_ratio = 0.25;
+  /// ...but never before this many entries accumulate (small graphs would
+  /// otherwise compact on every batch).
+  std::size_t compact_min = 4096;
+};
+
+/// Copy of `g` with self loops dropped. Generated graphs (RMAT, social)
+/// may carry them; DynamicGraph rejects them, and they never affect SSSP
+/// (positive weights), so sanitize at the boundary.
+CsrGraph strip_self_loops(const CsrGraph& g);
+
+class DynamicGraph {
+ public:
+  using Config = DynamicGraphConfig;
+
+  struct Counters {
+    std::uint64_t applied_batches = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t reweights = 0;
+    std::uint64_t compactions = 0;
+  };
+
+  /// Takes the starting graph by value (the base evolves via compact()).
+  /// Throws std::invalid_argument if `base` contains a self loop.
+  explicit DynamicGraph(CsrGraph base, Config config = {});
+
+  vid_t num_vertices() const { return base_.num_vertices(); }
+  std::size_t num_undirected_edges() const { return num_undirected_; }
+
+  /// Monotone graph version: 0 at construction, +1 per successful apply().
+  /// compact() does not change it (the logical graph is unchanged).
+  std::uint64_t version() const { return version_; }
+
+  /// Monotone upper bound on the effective max edge weight (exact right
+  /// after construction or compact(); deletions never lower it in between).
+  weight_t max_weight() const { return max_weight_ub_; }
+
+  /// Applies the batch atomically: validates every op against the graph
+  /// *as mutated by the batch's earlier ops*, then applies. Throws
+  /// std::invalid_argument (naming the offending op) without modifying
+  /// anything when any op is invalid: out-of-range or equal endpoints,
+  /// zero weight on insert/reweight, insert of a present edge, delete or
+  /// reweight of an absent one.
+  AppliedBatch apply(const EdgeBatch& batch);
+
+  /// Rebuilds a clean base CSR from the effective edge set and clears the
+  /// delta. Logical no-op; version unchanged.
+  void compact();
+
+  /// Current effective weight of edge {u, v}, or nullopt when absent.
+  std::optional<weight_t> find_edge(vid_t u, vid_t v) const;
+  bool has_edge(vid_t u, vid_t v) const { return find_edge(u, v).has_value(); }
+
+  std::size_t degree(vid_t v) const;
+
+  /// Invokes fn(Arc) for every effective arc out of `v`: base arcs in CSR
+  /// order minus tombstoned neighbors, then overlay arcs in insertion
+  /// order. Deterministic for a fixed op history.
+  template <typename Fn>
+  void for_each_arc(vid_t v, Fn&& fn) const {
+    const VertexDelta* d = delta_of(v);
+    if (d == nullptr) {
+      for (const Arc& a : base_.neighbors(v)) fn(a);
+      return;
+    }
+    for (const Arc& a : base_.neighbors(v)) {
+      if (!std::binary_search(d->tombstones.begin(), d->tombstones.end(),
+                              a.to)) {
+        fn(a);
+      }
+    }
+    for (const Arc& a : d->overlay) fn(a);
+  }
+
+  /// The effective adjacency of `v`, materialized (for_each_arc order).
+  std::vector<Arc> arcs_of(vid_t v) const;
+
+  /// The effective undirected edge set, canonicalized (each edge once with
+  /// u < v, sorted). materialize() builds the equivalent CSR.
+  EdgeList materialize_edges() const;
+  CsrGraph materialize() const { return CsrGraph::from_edges(materialize_edges()); }
+
+  /// Builds rank `rank`'s engine view of the *effective* graph (the
+  /// dynamic-path equivalent of LocalEdgeView::build).
+  LocalEdgeView build_local_view(const BlockPartition& part, rank_t rank,
+                                 std::uint32_t delta) const;
+
+  /// Current base (changes only at compact()). Exposed for sizing and for
+  /// the estimator fallback; its arcs may lag the logical graph.
+  const CsrGraph& base() const { return base_; }
+
+  /// Overlay arcs + tombstones currently held (0 right after compact()).
+  std::size_t delta_entries() const { return delta_entries_; }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct VertexDelta {
+    std::vector<Arc> overlay;       ///< arcs added on top of the base
+    std::vector<vid_t> tombstones;  ///< sorted neighbor ids with dead base arcs
+  };
+
+  const VertexDelta* delta_of(vid_t v) const {
+    if (delta_.empty()) return nullptr;
+    const auto it = delta_.find(v);
+    return it == delta_.end() ? nullptr : &it->second;
+  }
+
+  bool base_has_arc(vid_t u, vid_t v) const;
+  /// Removes the effective edge {u, v} (must exist). One endpoint's half.
+  void kill_half(vid_t from, vid_t to);
+  /// Adds overlay arc from->to (edge must be effectively absent).
+  void add_half(vid_t from, vid_t to, weight_t w);
+
+  CsrGraph base_;
+  Config config_;
+  /// Never iterated in map order (determinism): lookups only.
+  std::unordered_map<vid_t, VertexDelta> delta_;
+  std::size_t delta_entries_ = 0;
+  std::size_t num_undirected_ = 0;
+  std::uint64_t version_ = 0;
+  weight_t max_weight_ub_ = 0;
+  Counters counters_;
+};
+
+}  // namespace parsssp

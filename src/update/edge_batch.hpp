@@ -1,0 +1,77 @@
+// Batched edge mutations against a dynamic graph (docs/DYNAMIC.md).
+//
+// An EdgeBatch is an ordered list of undirected edge operations that is
+// applied atomically by DynamicGraph::apply: either every op validates and
+// the whole batch lands under one new graph version, or the batch throws
+// and the graph is untouched. The applied form (AppliedBatch) carries what
+// the repair planner needs and the batch itself cannot know — the graph
+// version the batch produced and each op's prior weight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// One undirected edge mutation. Endpoints are unordered (u-v == v-u).
+struct EdgeOp {
+  enum class Kind : std::uint8_t {
+    kInsert,        ///< add edge {u, v} with weight w (edge must be absent)
+    kDelete,        ///< remove edge {u, v} (edge must be present; w unused)
+    kUpdateWeight,  ///< set weight of existing edge {u, v} to w
+  };
+  Kind kind = Kind::kInsert;
+  vid_t u = 0;
+  vid_t v = 0;
+  weight_t w = 0;
+};
+
+/// Builder for one atomic mutation batch. Ops apply in insertion order, so
+/// a batch may insert and later delete the same edge.
+class EdgeBatch {
+ public:
+  EdgeBatch& insert_edge(vid_t u, vid_t v, weight_t w) {
+    ops_.push_back({EdgeOp::Kind::kInsert, u, v, w});
+    return *this;
+  }
+  EdgeBatch& delete_edge(vid_t u, vid_t v) {
+    ops_.push_back({EdgeOp::Kind::kDelete, u, v, 0});
+    return *this;
+  }
+  EdgeBatch& update_weight(vid_t u, vid_t v, weight_t w) {
+    ops_.push_back({EdgeOp::Kind::kUpdateWeight, u, v, w});
+    return *this;
+  }
+
+  const std::vector<EdgeOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<EdgeOp> ops_;
+};
+
+/// One op as applied: the original op plus the effective weight the edge had
+/// immediately before this op (0 for inserts — the edge did not exist).
+struct AppliedOp {
+  EdgeOp op;
+  weight_t w_old = 0;
+};
+
+/// Receipt of one successful DynamicGraph::apply.
+struct AppliedBatch {
+  /// Graph version the batch produced (DynamicGraph::version() after apply).
+  std::uint64_t version = 0;
+  std::vector<AppliedOp> ops;
+  /// Endpoints whose adjacency the batch changed, sorted and deduplicated.
+  /// This is the view-patch set and part of the repair dirty set.
+  std::vector<vid_t> touched;
+  /// True when this apply() triggered an auto-compact: per-vertex view
+  /// patching is insufficient, views must be rebuilt.
+  bool compacted = false;
+};
+
+}  // namespace parsssp

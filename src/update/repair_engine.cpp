@@ -1,0 +1,133 @@
+#include "update/repair_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace parsssp {
+
+RepairPlan plan_repair(const DynamicGraph& g, vid_t root,
+                       std::vector<dist_t>& dist, std::vector<vid_t>& parent,
+                       std::span<const AppliedBatch> batches,
+                       RepairStats* stats) {
+  const vid_t n = g.num_vertices();
+  if (root >= n || parent.size() != n || dist.size() != n ||
+      parent[root] != root || dist[root] != 0) {
+    throw std::invalid_argument(
+        "plan_repair: prior result is not a rooted SSSP of this graph");
+  }
+  RepairPlan plan;
+  RepairStats local;
+
+  // 1. Suspects: endpoints whose prior tree edge a delete/increase broke.
+  // The root is never a suspect (parent[root] == root), so dist[root] == 0
+  // survives every plan.
+  std::vector<vid_t> suspects;
+  std::vector<std::pair<vid_t, vid_t>> pairs;  // mutated pairs, normalized
+  for (const AppliedBatch& batch : batches) {
+    for (const AppliedOp& rec : batch.ops) {
+      ++local.ops;
+      const EdgeOp& op = rec.op;
+      pairs.push_back(std::minmax(op.u, op.v));
+      const bool breaks =
+          op.kind == EdgeOp::Kind::kDelete ||
+          (op.kind == EdgeOp::Kind::kUpdateWeight && op.w > rec.w_old);
+      if (!breaks) continue;
+      if (parent[op.v] == op.u) suspects.push_back(op.v);
+      if (parent[op.u] == op.v) suspects.push_back(op.u);
+    }
+  }
+  std::sort(suspects.begin(), suspects.end());
+  suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                 suspects.end());
+  local.suspects = suspects.size();
+
+  // 2. Downward closure of the suspects over the tree (CSR-style children
+  // index, built only when needed).
+  std::vector<char> invalid(n, 0);
+  if (!suspects.empty()) {
+    std::vector<std::uint64_t> child_off(n + 1, 0);
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t p = parent[v];
+      if (p != kInvalidVid && p != v) ++child_off[p + 1];
+    }
+    for (vid_t v = 0; v < n; ++v) child_off[v + 1] += child_off[v];
+    std::vector<vid_t> children(child_off[n]);
+    {
+      std::vector<std::uint64_t> head(child_off.begin(), child_off.end() - 1);
+      for (vid_t v = 0; v < n; ++v) {
+        const vid_t p = parent[v];
+        if (p != kInvalidVid && p != v) children[head[p]++] = v;
+      }
+    }
+    std::vector<vid_t> stack;
+    for (const vid_t s : suspects) {
+      if (invalid[s]) continue;
+      invalid[s] = 1;
+      stack.push_back(s);
+      while (!stack.empty()) {
+        const vid_t v = stack.back();
+        stack.pop_back();
+        plan.invalidated.push_back(v);
+        for (std::uint64_t i = child_off[v]; i < child_off[v + 1]; ++i) {
+          const vid_t c = children[i];
+          if (!invalid[c]) {
+            invalid[c] = 1;
+            stack.push_back(c);
+          }
+        }
+      }
+    }
+    std::sort(plan.invalidated.begin(), plan.invalidated.end());
+  }
+  local.invalidated = plan.invalidated.size();
+
+  // 3. Invalidate in place; everything else is preset-settled (its prior
+  // entry is a valid upper bound on the new distance — see header).
+  plan.settled.assign(n, 1);
+  for (const vid_t v : plan.invalidated) {
+    plan.settled[v] = 0;
+    dist[v] = kInfDist;
+    parent[v] = kInvalidVid;
+  }
+
+  // 4a. Boundary seeds: clean finite neighbors relaxing into the
+  // invalidated region (the only way it can be reattached).
+  for (const vid_t t : plan.invalidated) {
+    g.for_each_arc(t, [&](const Arc& a) {
+      const vid_t s = a.to;
+      if (invalid[s] || dist[s] == kInfDist) return;
+      plan.seeds.push_back(RelaxMsg{t, dist[s] + a.w, s});
+      ++local.boundary_seeds;
+    });
+  }
+
+  // 4b. Mutated-pair seeds: every touched pair still present in the final
+  // graph is relaxed both ways (inserts and net decreases propagate from
+  // here; stale intra-stream weights are irrelevant because only the final
+  // effective weight is consulted).
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [u, v] : pairs) {
+    const auto w = g.find_edge(u, v);
+    if (!w) continue;
+    local.edge_seeds += 2;
+    if (dist[u] != kInfDist) plan.seeds.push_back(RelaxMsg{v, dist[u] + *w, u});
+    if (dist[v] != kInfDist) plan.seeds.push_back(RelaxMsg{u, dist[v] + *w, v});
+  }
+
+  // Host-side filter: only strictly improving seeds reach the sweep. With
+  // none, the post-invalidation state is already the exact answer.
+  std::erase_if(plan.seeds,
+                [&](const RelaxMsg& m) { return m.nd >= dist[m.v]; });
+  local.seeds = plan.seeds.size();
+  plan.needs_sweep = !plan.seeds.empty();
+
+  if (stats != nullptr) {
+    local.swept = plan.needs_sweep;
+    *stats = local;
+  }
+  return plan;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,202 @@
+// DynamicGraph: batch apply semantics (atomicity, intra-batch sequencing),
+// version monotonicity, delta-overlay reads, and compaction as a logical
+// no-op.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "update/dynamic_graph.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph path_graph() {
+  // 0 -1- 1 -2- 2 -3- 3, plus chord 0-3 (weight 10).
+  EdgeList edges(4);
+  edges.add_edge(0, 1, 1);
+  edges.add_edge(1, 2, 2);
+  edges.add_edge(2, 3, 3);
+  edges.add_edge(0, 3, 10);
+  edges.canonicalize();
+  return CsrGraph::from_edges(edges);
+}
+
+/// The effective undirected edge set as a sorted map {u,v}->w (u < v).
+std::map<std::pair<vid_t, vid_t>, weight_t> edge_map(const DynamicGraph& g) {
+  std::map<std::pair<vid_t, vid_t>, weight_t> out;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    g.for_each_arc(v, [&](const Arc& a) {
+      if (v < a.to) out[{v, a.to}] = a.w;
+    });
+  }
+  return out;
+}
+
+TEST(DynamicGraph, ConstructionRejectsSelfLoopsAndStripHelperDropsThem) {
+  EdgeList edges(3);
+  edges.add_edge(0, 1, 1);
+  edges.add_edge(1, 1, 5);
+  edges.canonicalize();
+  const CsrGraph looped = CsrGraph::from_edges(edges);
+  EXPECT_THROW(DynamicGraph{looped}, std::invalid_argument);
+
+  const CsrGraph clean = strip_self_loops(looped);
+  DynamicGraph g(clean);
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(DynamicGraph, InsertDeleteReweightAcrossBatches) {
+  DynamicGraph g(path_graph());
+  EXPECT_EQ(g.version(), 0u);
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+
+  const AppliedBatch b1 = g.apply(EdgeBatch{}
+                                      .insert_edge(1, 3, 7)
+                                      .delete_edge(0, 3)
+                                      .update_weight(0, 1, 4));
+  EXPECT_EQ(b1.version, 1u);
+  EXPECT_EQ(g.version(), 1u);
+  EXPECT_EQ(b1.ops.size(), 3u);
+  EXPECT_EQ(b1.ops[2].w_old, 1u);  // reweight records the prior weight
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+  EXPECT_EQ(g.find_edge(1, 3), weight_t{7});
+  EXPECT_EQ(g.find_edge(3, 1), weight_t{7});  // symmetric
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.find_edge(0, 1), weight_t{4});
+  EXPECT_EQ(g.degree(3), 2u);  // lost 0, gained 1
+
+  // touched = affected endpoints, sorted and deduped.
+  EXPECT_EQ(b1.touched, (std::vector<vid_t>{0, 1, 3}));
+
+  const AppliedBatch b2 = g.apply(EdgeBatch{}.delete_edge(1, 3));
+  EXPECT_EQ(b2.version, 2u);
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+
+  const auto& c = g.counters();
+  EXPECT_EQ(c.applied_batches, 2u);
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.deletes, 2u);
+  EXPECT_EQ(c.reweights, 1u);
+}
+
+TEST(DynamicGraph, InvalidBatchThrowsAndLeavesEverythingUntouched) {
+  DynamicGraph g(path_graph());
+  const auto before = edge_map(g);
+
+  // Each batch starts with a valid op; the later invalid one must roll the
+  // whole batch back (strong guarantee).
+  const EdgeBatch bad[] = {
+      EdgeBatch{}.insert_edge(1, 3, 7).insert_edge(0, 1, 5),  // present
+      EdgeBatch{}.delete_edge(0, 1).delete_edge(1, 3),        // absent
+      EdgeBatch{}.update_weight(0, 1, 9).update_weight(1, 3, 2),  // absent
+      EdgeBatch{}.insert_edge(1, 3, 0),                       // zero weight
+      EdgeBatch{}.insert_edge(2, 2, 1),                       // self loop
+      EdgeBatch{}.insert_edge(0, 99, 1),                      // out of range
+      // Intra-batch collision: the eighth op re-deletes what the batch
+      // itself already deleted.
+      EdgeBatch{}.delete_edge(0, 1).delete_edge(0, 1),
+  };
+  for (const EdgeBatch& batch : bad) {
+    EXPECT_THROW(g.apply(batch), std::invalid_argument);
+    EXPECT_EQ(g.version(), 0u);
+    EXPECT_EQ(edge_map(g), before);
+    EXPECT_EQ(g.counters().applied_batches, 0u);
+  }
+}
+
+TEST(DynamicGraph, IntraBatchSequencingValidatesAgainstEarlierOps) {
+  DynamicGraph g(path_graph());
+  // delete then re-insert the same pair in one batch: legal, net reweight.
+  g.apply(EdgeBatch{}.delete_edge(0, 1).insert_edge(0, 1, 9));
+  EXPECT_EQ(g.find_edge(0, 1), weight_t{9});
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+
+  // insert then delete: legal, net no-op on the edge set.
+  g.apply(EdgeBatch{}.insert_edge(1, 3, 2).delete_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_EQ(g.num_undirected_edges(), 4u);
+
+  // insert then reweight the new edge: legal.
+  g.apply(EdgeBatch{}.insert_edge(1, 3, 2).update_weight(1, 3, 8));
+  EXPECT_EQ(g.find_edge(1, 3), weight_t{8});
+  EXPECT_EQ(g.version(), 3u);
+}
+
+TEST(DynamicGraph, RandomOpsMatchAMapMirrorAndSurviveCompaction) {
+  std::mt19937_64 rng(42);
+  const vid_t n = 24;
+  EdgeList edges(n);
+  for (vid_t v = 1; v < n; ++v) edges.add_edge(v - 1, v, 1 + v % 7);
+  edges.canonicalize();
+  DynamicGraph g(CsrGraph::from_edges(edges),
+                 DynamicGraphConfig{.compact_ratio = 0.25, .compact_min = 16});
+
+  std::map<std::pair<vid_t, vid_t>, weight_t> mirror = edge_map(g);
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+  bool compacted_once = false;
+  for (int round = 0; round < 60; ++round) {
+    EdgeBatch batch;
+    std::map<std::pair<vid_t, vid_t>, weight_t> next = mirror;
+    for (int op = 0; op < 3; ++op) {
+      vid_t u = pick(rng), v = pick(rng);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const auto it = next.find({u, v});
+      const weight_t w = static_cast<weight_t>(1 + rng() % 50);
+      if (it == next.end()) {
+        batch.insert_edge(u, v, w);
+        next[{u, v}] = w;
+      } else if (rng() % 2 == 0) {
+        batch.delete_edge(u, v);
+        next.erase(it);
+      } else {
+        batch.update_weight(u, v, w);
+        it->second = w;
+      }
+    }
+    if (batch.size() == 0) continue;
+    const AppliedBatch applied = g.apply(batch);
+    mirror = std::move(next);
+    compacted_once |= applied.compacted;
+
+    ASSERT_EQ(edge_map(g), mirror) << "round " << round;
+    ASSERT_EQ(g.num_undirected_edges(), mirror.size());
+  }
+  EXPECT_TRUE(compacted_once) << "auto-compaction threshold never crossed";
+  EXPECT_GE(g.counters().compactions, 1u);
+
+  // Explicit compact: logical no-op, version unchanged, delta gone.
+  const auto version = g.version();
+  g.compact();
+  EXPECT_EQ(g.version(), version);
+  EXPECT_EQ(g.delta_entries(), 0u);
+  EXPECT_EQ(edge_map(g), mirror);
+
+  // materialize() round-trips the same edge set.
+  const DynamicGraph fresh(g.materialize());
+  EXPECT_EQ(edge_map(fresh), mirror);
+}
+
+TEST(DynamicGraph, MaxWeightIsAnUpperBoundAndExactAfterCompact) {
+  DynamicGraph g(path_graph());
+  EXPECT_EQ(g.max_weight(), 10u);
+  g.apply(EdgeBatch{}.insert_edge(1, 3, 200));
+  EXPECT_EQ(g.max_weight(), 200u);
+  g.apply(EdgeBatch{}.delete_edge(1, 3));
+  EXPECT_GE(g.max_weight(), 10u);  // bound may lag after a delete...
+  g.compact();
+  EXPECT_EQ(g.max_weight(), 10u);  // ...and snaps back at compaction
+}
+
+}  // namespace
+}  // namespace parsssp

@@ -108,7 +108,7 @@ TEST(EngineBasic, ZeroWeightProxyEdges) {
 TEST(EngineBasic, RootOutOfRangeThrows) {
   const auto g = small_weighted();
   Solver solver(g, {.machine = {.num_ranks = 1}});
-  EXPECT_THROW(solver.solve(99, SsspOptions::del(5)), std::invalid_argument);
+  EXPECT_THROW(solver.solve(99, SsspOptions::del(5)), std::out_of_range);
 }
 
 TEST(EngineBasic, ZeroDeltaThrows) {

@@ -162,8 +162,10 @@ TEST(MultiEngine, InvalidArgumentsThrow) {
   const auto g = rmat_graph(1, /*scale=*/6);
   Solver solver(g, {.machine = {.num_ranks = 2}});
   const std::vector<vid_t> bad_root = {g.num_vertices()};
+  // Out-of-range roots are a range error (malformed options stay
+  // invalid_argument below).
   EXPECT_THROW(solver.solve_multi(bad_root, SsspOptions::del(25)),
-               std::invalid_argument);
+               std::out_of_range);
   SsspOptions zero_delta = SsspOptions::del(25);
   zero_delta.delta = 0;
   const std::vector<vid_t> ok = {0};

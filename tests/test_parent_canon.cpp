@@ -1,0 +1,89 @@
+// Canonical parent trees: min-id tie-breaking, option independence, and
+// equality between the solver's canonical mode and a post-hoc rewrite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parent_canon.hpp"
+#include "core/solver.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/rmat.hpp"
+#include "seq/dijkstra.hpp"
+
+namespace parsssp {
+namespace {
+
+CsrGraph diamond() {
+  // Two equal-cost two-hop paths 0->1->3 and 0->2->3: parent of 3 is
+  // ambiguous (1 or 2) until canonicalized.
+  EdgeList edges(5);
+  edges.add_edge(0, 1, 1);
+  edges.add_edge(0, 2, 1);
+  edges.add_edge(1, 3, 1);
+  edges.add_edge(2, 3, 1);
+  edges.canonicalize();
+  return CsrGraph::from_edges(edges);  // vertex 4 stays unreachable
+}
+
+TEST(ParentCanon, PicksTheMinimumTightPredecessor) {
+  const CsrGraph g = diamond();
+  const std::vector<dist_t> dist = dijkstra(g, 0).dist;
+  std::vector<vid_t> parent = {0, 0, 0, 2, kInvalidVid};  // 3's parent: the
+                                                          // non-canonical tie
+  canonicalize_parents(g, 0, dist, parent);
+  EXPECT_EQ(parent[0], 0u);  // root self-parents
+  EXPECT_EQ(parent[1], 0u);
+  EXPECT_EQ(parent[2], 0u);
+  EXPECT_EQ(parent[3], 1u);  // min id among {1, 2}
+  EXPECT_EQ(parent[4], kInvalidVid);  // unreachable
+
+  // The per-vertex form agrees with the whole-graph rewrite.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const vid_t canon = canonical_parent_of(
+        v, 0, dist, [&](auto&& fn) {
+          for (const Arc& a : g.neighbors(v)) fn(a);
+        });
+    EXPECT_EQ(canon, parent[v]) << "v=" << v;
+  }
+}
+
+TEST(ParentCanon, SolverCanonicalModeIsOptionIndependent) {
+  RmatConfig cfg;
+  cfg.scale = 8;
+  cfg.edge_factor = 8;
+  cfg.seed = 3;
+  const CsrGraph g = CsrGraph::from_edges(generate_rmat(cfg));
+  SsspOptions a = SsspOptions::del(20);
+  a.track_parents = true;
+  a.canonical_parents = true;
+  SsspOptions b = SsspOptions::opt(40);
+  b.track_parents = true;
+  b.canonical_parents = true;
+
+  std::vector<vid_t> first;
+  for (const rank_t ranks : {rank_t{1}, rank_t{4}}) {
+    Solver s1(g, {.machine = {.num_ranks = ranks}});
+    Solver s2(g, {.machine = {.num_ranks = ranks}});
+    const SsspResult ra = s1.solve(0, a);
+    const SsspResult rb = s2.solve(0, b);
+    ASSERT_EQ(ra.dist, rb.dist);
+    ASSERT_EQ(ra.parent, rb.parent) << "ranks=" << ranks;
+    if (first.empty()) {
+      first = ra.parent;
+    } else {
+      EXPECT_EQ(ra.parent, first);  // rank count must not matter either
+    }
+  }
+
+  // And the mode matches canonicalizing a non-canonical run after the fact.
+  Solver plain_solver(g, {.machine = {.num_ranks = 2}});
+  SsspOptions plain = SsspOptions::del(20);
+  plain.track_parents = true;
+  SsspResult r = plain_solver.solve(0, plain);
+  canonicalize_parents(g, 0, r.dist, r.parent);
+  EXPECT_EQ(r.parent, first);
+}
+
+}  // namespace
+}  // namespace parsssp

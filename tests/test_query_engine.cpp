@@ -214,8 +214,9 @@ TEST(QueryEngine, DestructorFailsQueuedQueries) {
 TEST(QueryEngine, SubmitValidatesUpFront) {
   const auto g = rmat_graph(9, /*scale=*/6);
   QueryEngine engine(g, serve_config(2, 2));
+  // An out-of-range root is a range error, distinct from malformed options.
   EXPECT_THROW(engine.submit(g.num_vertices(), SsspOptions::del(25)),
-               std::invalid_argument);
+               std::out_of_range);
   SsspOptions zero_delta = SsspOptions::del(25);
   zero_delta.delta = 0;
   EXPECT_THROW(engine.submit(0, zero_delta), std::invalid_argument);

@@ -157,6 +157,61 @@ TEST(ResultCache, ReinsertRefreshesInsteadOfDuplicating) {
   EXPECT_EQ(cache.counters().evictions, 0u);
 }
 
+TEST(OptionsSignature, CanonicalParentsChangesTheSignature) {
+  SsspOptions plain = SsspOptions::del(25);
+  plain.track_parents = true;
+  SsspOptions canon = plain;
+  canon.canonical_parents = true;
+  EXPECT_NE(options_signature(plain), options_signature(canon));
+  EXPECT_NE(options_signature(canon).find(";canon="), std::string::npos);
+}
+
+TEST(ResultCache, VersionMismatchMissesAndDropsTheStaleEntry) {
+  ResultCache cache(4);
+  const std::string sig = options_signature(SsspOptions::del(25));
+  cache.insert(1, sig, answer_for(1), /*version=*/3);
+  EXPECT_NE(cache.lookup(1, sig, 3), nullptr);  // same generation: hit
+
+  // A newer graph generation must never surface the stale answer — and the
+  // entry is gone afterwards, even for the old version.
+  EXPECT_EQ(cache.lookup(1, sig, 4), nullptr);
+  EXPECT_EQ(cache.lookup(1, sig, 3), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.version_misses, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 2u);  // the version miss counts as a miss too
+}
+
+TEST(ResultCache, ReinsertUnderNewVersionServesAgain) {
+  ResultCache cache(4);
+  const std::string sig = options_signature(SsspOptions::opt(25));
+  cache.insert(7, sig, answer_for(7), 1);
+  EXPECT_EQ(cache.lookup(7, sig, 2), nullptr);
+  cache.insert(7, sig, answer_for(7), 2);
+  EXPECT_NE(cache.lookup(7, sig, 2), nullptr);
+}
+
+TEST(ResultCache, InvalidateAllAndClearDropEverythingAndCount) {
+  ResultCache cache(8);
+  const std::string sig = options_signature(SsspOptions::del(25));
+  cache.insert(1, sig, answer_for(1));
+  cache.insert(2, sig, answer_for(2));
+  EXPECT_EQ(cache.invalidate_all(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1, sig), nullptr);
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+
+  cache.insert(3, sig, answer_for(3));
+  EXPECT_EQ(cache.clear(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().clears, 1u);
+  EXPECT_EQ(cache.counters().invalidations, 2u);  // distinct counters
+  EXPECT_EQ(cache.invalidate_all(), 0u);          // empty: counts nothing
+  EXPECT_EQ(cache.counters().invalidations, 2u);
+}
+
 TEST(ResultCache, CapacityZeroDisables) {
   ResultCache cache(0);
   const std::string sig = options_signature(SsspOptions::del(25));

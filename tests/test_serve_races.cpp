@@ -14,6 +14,7 @@
 #include "runtime/machine_session.hpp"
 #include "seq/dijkstra.hpp"
 #include "serve/query_engine.hpp"
+#include "update/dynamic_graph.hpp"
 
 namespace parsssp {
 namespace {
@@ -177,6 +178,91 @@ TEST(ServeRaces, ConcurrentSubmitAndCancelOnEngine) {
   const ServeStats stats = engine.stats();
   EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed.load()));
   EXPECT_EQ(stats.cancelled, static_cast<std::uint64_t>(cancelled.load()));
+}
+
+TEST(ServeRaces, ConcurrentQueriesAndUpdatesOnDynamicEngine) {
+  // TSan target for the dynamic-serving path: client threads querying while
+  // another thread streams edge-update batches through the same FIFO. The
+  // update sequence is pre-generated against a host-side mirror, so every
+  // batch is valid when the dispatcher (the only graph mutator) applies it
+  // in admission order.
+  RmatConfig cfg;
+  cfg.scale = 7;
+  cfg.edge_factor = 8;
+  cfg.seed = 13;
+  DynamicGraph graph(strip_self_loops(CsrGraph::from_edges(generate_rmat(cfg))));
+  const vid_t n = graph.num_vertices();
+
+  constexpr int kUpdates = 12;
+  std::vector<EdgeBatch> updates;
+  {
+    // Mirror tracks cumulative effect; only weights change or fresh pairs
+    // appear, so batches stay valid in sequence.
+    DynamicGraph mirror(graph.base());
+    for (int i = 0; i < kUpdates; ++i) {
+      EdgeBatch batch;
+      const vid_t u = static_cast<vid_t>((i * 37 + 5) % n);
+      const std::vector<Arc> arcs = mirror.arcs_of(u);
+      if (!arcs.empty()) {
+        batch.update_weight(u, arcs.front().to,
+                            static_cast<weight_t>(1 + i % 9));
+      }
+      vid_t v = (u + 1) % n;
+      while (v == u || mirror.has_edge(u, v)) v = (v + 1) % n;
+      batch.insert_edge(u, v, static_cast<weight_t>(2 + i % 7));
+      mirror.apply(batch);
+      updates.push_back(std::move(batch));
+    }
+  }
+
+  ServeConfig config;
+  config.machine.num_ranks = 3;
+  config.machine.checked_exchange = true;
+  config.max_batch = 4;
+  config.batch_window = 100us;
+  config.cache_capacity = 16;
+  QueryEngine engine(graph, config);
+  const SsspOptions options = SsspOptions::del(25);
+
+  std::atomic<int> wrong{0};
+  std::thread updater([&] {
+    for (const EdgeBatch& batch : updates) {
+      const UpdateResult r = engine.update(batch);
+      if (r.version == 0) wrong.fetch_add(1);
+    }
+  });
+  constexpr int kThreads = 3;
+  constexpr int kQueriesPerThread = 10;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const vid_t root = static_cast<vid_t>((t * 29 + q * 11) % n);
+        const QueryResult r = engine.query(root, options);
+        // The graph version is a moving target mid-stream; check the
+        // invariants that hold at every version.
+        if (r.answer == nullptr || r.answer->dist.size() != n ||
+            r.answer->dist[root] != 0) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  updater.join();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(engine.graph_version(), static_cast<std::uint64_t>(kUpdates));
+
+  // Quiescent now: a fresh query must match the final graph exactly, and
+  // nothing stale may be served for it.
+  const CsrGraph final_graph = graph.materialize();
+  for (const vid_t root : {vid_t{0}, vid_t{9}}) {
+    const QueryResult r = engine.query(root, options);
+    EXPECT_EQ(r.answer->dist, dijkstra_distances(final_graph, root));
+  }
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.updates, static_cast<std::uint64_t>(kUpdates));
+  EXPECT_EQ(stats.cancelled, 0u);
 }
 
 TEST(ServeRaces, DestructionWithInFlightClients) {

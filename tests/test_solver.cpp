@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "graph/rmat.hpp"
 #include "seq/dijkstra.hpp"
 
@@ -60,6 +64,29 @@ TEST(Solver, GraphAccessor) {
   const auto g = rmat_graph();
   Solver solver(g, {.machine = {.num_ranks = 1}});
   EXPECT_EQ(&solver.graph(), &g);
+}
+
+TEST(Solver, OutOfRangeRootThrowsDescriptively) {
+  const auto g = rmat_graph();
+  Solver solver(g, {.machine = {.num_ranks = 2}});
+  EXPECT_THROW(solver.solve(g.num_vertices(), SsspOptions::del(25)),
+               std::out_of_range);
+  const std::vector<vid_t> roots = {0, g.num_vertices() + 7};
+  EXPECT_THROW(solver.solve_batch(roots, SsspOptions::del(25)),
+               std::out_of_range);
+  EXPECT_THROW(solver.solve_multi(roots, SsspOptions::del(25)),
+               std::out_of_range);
+  // The message names the offending root and the valid bound — debuggable
+  // without a stack trace.
+  try {
+    solver.solve(g.num_vertices(), SsspOptions::del(25));
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(g.num_vertices())), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("root"), std::string::npos) << what;
+  }
 }
 
 TEST(Solver, ManyRanksOnTinyGraph) {

@@ -20,6 +20,10 @@
 //     --window-us N             batch-window deadline in us (default 200)
 //     --cache N                 result-cache capacity; 0 disables
 //                               (default 1024)
+//     --updates N               mixed-stream mode: interleave N edge-update
+//                               batches evenly into the query stream (runs
+//                               the engine on a DynamicGraph; default 0)
+//     --update-ops M            ops per update batch (default 8)
 //     --slo-p99-ms X            fail (exit 1) if p99 latency exceeds X ms
 //     --json PATH               also write the report as JSON
 //     --metrics-json PATH       append periodic metrics snapshots (one JSON
@@ -39,8 +43,12 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
+#include <optional>
+#include <random>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_util/runner.hpp"
@@ -48,6 +56,7 @@
 #include "bench_util/table.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/workload.hpp"
+#include "update/dynamic_graph.hpp"
 
 namespace {
 
@@ -70,6 +79,8 @@ struct CliConfig {
   std::size_t max_batch = 8;
   std::uint64_t window_us = 200;
   std::size_t cache = 1024;
+  std::size_t updates = 0;     // >0 switches to the dynamic engine
+  std::size_t update_ops = 8;  // ops per interleaved batch
   double slo_p99_ms = 0;  // 0 = no SLO gate
   std::string json_path;
   std::string metrics_json_path;
@@ -82,7 +93,8 @@ struct CliConfig {
                "[--edge-factor N] [--algo NAME] [--delta N] [--ranks N] "
                "[--lanes N] [--queries N] [--rate QPS] [--dist uniform|zipf] "
                "[--zipf-s S] [--domain N] [--batch N] [--window-us N] "
-               "[--cache N] [--slo-p99-ms X] [--json PATH] "
+               "[--cache N] [--updates N] [--update-ops M] "
+               "[--slo-p99-ms X] [--json PATH] "
                "[--metrics-json PATH] [--metrics-every-ms N] [--seed N]\n",
                argv0);
   std::exit(2);
@@ -134,6 +146,10 @@ CliConfig parse_args(int argc, char** argv) {
       cfg.window_us = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--cache") {
       cfg.cache = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--updates") {
+      cfg.updates = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--update-ops") {
+      cfg.update_ops = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--slo-p99-ms") {
       cfg.slo_p99_ms = std::atof(value());
     } else if (arg == "--json") {
@@ -161,16 +177,78 @@ SsspOptions make_options(const CliConfig& cfg) {
   std::exit(2);
 }
 
+/// Host-side mirror of the engine graph's edge set. Update batches are
+/// generated against the mirror (which tracks their cumulative effect), so
+/// every batch is valid by construction when the dispatcher applies it —
+/// the driver never has to read the DynamicGraph while the engine owns it.
+class HostMirror {
+ public:
+  explicit HostMirror(const CsrGraph& g) {
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      for (const Arc& a : g.neighbors(v)) {
+        if (v < a.to) {
+          index_[{v, a.to}] = edges_.size();
+          edges_.emplace_back(v, a.to, a.w);
+        }
+      }
+    }
+  }
+
+  EdgeBatch make_batch(std::size_t ops, vid_t n, std::mt19937_64& rng) {
+    EdgeBatch batch;
+    std::uniform_int_distribution<vid_t> pick_vertex(0, n - 1);
+    std::uniform_int_distribution<weight_t> pick_weight(1, 255);
+    while (batch.size() < ops) {
+      const auto roll = rng() % 4;
+      if (roll == 0 || edges_.empty()) {
+        vid_t u, v;
+        do {
+          u = pick_vertex(rng);
+          v = pick_vertex(rng);
+          if (u > v) std::swap(u, v);
+        } while (u == v || index_.count({u, v}) != 0);
+        const weight_t w = pick_weight(rng);
+        batch.insert_edge(u, v, w);
+        index_[{u, v}] = edges_.size();
+        edges_.emplace_back(u, v, w);
+      } else {
+        std::uniform_int_distribution<std::size_t> pick(0, edges_.size() - 1);
+        const std::size_t i = pick(rng);
+        const auto [u, v, w] = edges_[i];
+        if (roll == 1) {
+          batch.delete_edge(u, v);
+          index_[{std::get<0>(edges_.back()), std::get<1>(edges_.back())}] = i;
+          edges_[i] = edges_.back();
+          edges_.pop_back();
+          index_.erase({u, v});
+        } else {
+          const weight_t nw = pick_weight(rng);
+          batch.update_weight(u, v, nw);
+          std::get<2>(edges_[i]) = nw;
+        }
+      }
+    }
+    return batch;
+  }
+
+ private:
+  std::vector<std::tuple<vid_t, vid_t, weight_t>> edges_;
+  std::map<std::pair<vid_t, vid_t>, std::size_t> index_;
+};
+
 struct ReplayReport {
   double elapsed_s = 0;
   double queries_per_s = 0;
   double aggregate_gteps = 0;  ///< wall-clock edges*queries/elapsed
   LatencyStats latency;
   ServeStats stats;
+  std::size_t updates_applied = 0;
+  std::uint64_t final_version = 0;
 };
 
 ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
                     const SsspOptions& options, std::uint64_t edges,
+                    const std::vector<EdgeBatch>& updates,
                     const MetricsRegistry* registry, std::ostream* metrics_out,
                     std::chrono::milliseconds metrics_every) {
   using Clock = std::chrono::steady_clock;
@@ -191,7 +269,24 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
     while (next_snapshot <= now) next_snapshot += metrics_every;
   };
 
-  for (const QueryEvent& ev : stream) {
+  // Mixed-stream mode: update batches are spread evenly over the query
+  // stream and submitted into the same FIFO (so every query is answered
+  // against a well-defined graph version).
+  std::vector<std::future<UpdateResult>> update_futures;
+  update_futures.reserve(updates.size());
+  const std::size_t update_stride =
+      updates.empty() ? 0 : std::max<std::size_t>(
+                                1, stream.size() / (updates.size() + 1));
+
+  for (std::size_t qi = 0; qi < stream.size(); ++qi) {
+    const QueryEvent& ev = stream[qi];
+    if (update_stride != 0 && qi % update_stride == 0) {
+      const std::size_t ui = qi / update_stride;
+      if (ui >= 1 && ui - 1 < updates.size() &&
+          update_futures.size() == ui - 1) {
+        update_futures.push_back(engine.apply_updates(updates[ui - 1]));
+      }
+    }
     const auto due =
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(ev.arrival_s));
@@ -200,6 +295,10 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
     maybe_snapshot(now);
     submitted.push_back(now);
     futures.push_back(engine.submit(ev.root, options));
+  }
+  // Any batches the stride never reached (short streams) go in at the end.
+  for (std::size_t ui = update_futures.size(); ui < updates.size(); ++ui) {
+    update_futures.push_back(engine.apply_updates(updates[ui]));
   }
 
   ReplayReport report;
@@ -222,6 +321,11 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
                                      static_cast<double>(stream.size()) /
                                      report.elapsed_s / 1e9
                                : 0;
+  for (auto& uf : update_futures) {
+    const UpdateResult ur = uf.get();
+    ++report.updates_applied;
+    report.final_version = std::max(report.final_version, ur.version);
+  }
   report.latency = percentile_stats(std::move(latencies));
   report.stats = engine.stats();
   if (metrics_out != nullptr && registry != nullptr) {
@@ -289,6 +393,11 @@ void write_report_json(std::ostream& out, const CliConfig& cfg,
   w.field("cache_misses", r.stats.cache.misses);
   w.field("cache_evictions", r.stats.cache.evictions);
   w.field("cache_hit_rate", r.stats.cache.hit_rate());
+  w.field("updates", static_cast<std::uint64_t>(r.updates_applied));
+  w.field("update_ops", static_cast<std::uint64_t>(cfg.update_ops));
+  w.field("graph_version", r.final_version);
+  w.field("cache_version_misses", r.stats.cache.version_misses);
+  w.field("cache_invalidations", r.stats.cache.invalidations);
 
   // Histogram-estimated percentiles next to the exact ones above: the
   // continuous cross-check of the log-bucketed estimator.
@@ -323,7 +432,25 @@ int main(int argc, char** argv) {
   serve.batch_window = std::chrono::microseconds(cfg.window_us);
   serve.cache_capacity = cfg.cache;
   serve.metrics = &registry;
-  QueryEngine engine(g, serve);
+
+  // With --updates the engine runs over a DynamicGraph (mixed stream);
+  // otherwise the static fast path is unchanged.
+  std::optional<DynamicGraph> dynamic;
+  std::optional<QueryEngine> engine_store;
+  std::vector<EdgeBatch> updates;
+  if (cfg.updates > 0) {
+    dynamic.emplace(strip_self_loops(g));
+    engine_store.emplace(*dynamic, serve);
+    HostMirror mirror(dynamic->base());
+    std::mt19937_64 rng(cfg.workload.seed * 0x9E3779B97F4A7C15ull + 1);
+    for (std::size_t i = 0; i < cfg.updates; ++i) {
+      updates.push_back(
+          mirror.make_batch(cfg.update_ops, g.num_vertices(), rng));
+    }
+  } else {
+    engine_store.emplace(g, serve);
+  }
+  QueryEngine& engine = *engine_store;
 
   std::ofstream metrics_out;
   if (!cfg.metrics_json_path.empty()) {
@@ -337,8 +464,8 @@ int main(int argc, char** argv) {
 
   const auto stream = make_open_loop_stream(cfg.workload, g.num_vertices());
   const ReplayReport report =
-      replay(engine, stream, options, g.num_undirected_edges(), &registry,
-             metrics_out.is_open() ? &metrics_out : nullptr,
+      replay(engine, stream, options, g.num_undirected_edges(), updates,
+             &registry, metrics_out.is_open() ? &metrics_out : nullptr,
              std::chrono::milliseconds(cfg.metrics_every_ms));
   const MetricsSnapshot metrics = registry.snapshot();
 
@@ -377,6 +504,13 @@ int main(int argc, char** argv) {
                  TextTable::num(report.stats.single_solves)});
   table.add_row({"cache hit rate",
                  TextTable::num(report.stats.cache.hit_rate(), 4)});
+  if (cfg.updates > 0) {
+    table.add_row({"update batches", TextTable::num(static_cast<std::uint64_t>(
+                                         report.updates_applied))});
+    table.add_row({"graph version", TextTable::num(report.final_version)});
+    table.add_row({"cache version misses",
+                   TextTable::num(report.stats.cache.version_misses)});
+  }
   table.print(std::cout);
 
   std::cout << "batch size histogram:";
