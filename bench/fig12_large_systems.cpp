@@ -7,7 +7,6 @@
 
 #include "bench_util/runner.hpp"
 #include "bench_util/table.hpp"
-#include "graph/degree_stats.hpp"
 #include "graph/graph_algos.hpp"
 #include "graph/vertex_split.hpp"
 

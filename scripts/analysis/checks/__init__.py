@@ -1,0 +1,6 @@
+"""Check families A1-A5 (see docs/STATIC_ANALYSIS.md).
+
+Every module exposes `run(...) -> list[model.Finding]` and consumes only
+the frontend-independent TU model, so a check behaves identically under
+the libclang frontend and the lexical fallback.
+"""

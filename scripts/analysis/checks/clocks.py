@@ -1,0 +1,71 @@
+"""A5: direct clock reads in engine timed paths (regex rule R8, done right).
+
+The engine timed paths may only sample wall-clock time through the obs/
+helpers (PhaseTimer, TimedSection, ScopedSpan) so every measured
+interval lands in exactly one accounting bucket and, under tracing, in
+exactly one span. The retired regex rule matched raw lines, so a clock
+name quoted in a log string false-positived and `using Clock =
+std::chrono::steady_clock; Clock::now()` hid the read entirely. This
+version works on the token model: string/comment text is gone before
+matching, and the per-TU alias table is closed transitively so a clock
+read keeps its identity through any chain of `using`/`typedef` renames.
+"""
+
+from __future__ import annotations
+
+from model import Call, Finding, TU
+
+CHECK = "A5"
+
+
+def run(tus: dict[str, TU], policy: dict) -> list[Finding]:
+    cfg = policy.get("clocks")
+    if not cfg:
+        return []
+    files = set(cfg.get("files", []))
+    clock_names = set(cfg.get("clock_names", []))
+    banned = set(cfg.get("banned_functions", []))
+
+    findings: list[Finding] = []
+    for rel in sorted(files & set(tus)):
+        tu = tus[rel]
+        clocks = _alias_closure(clock_names, tu.aliases)
+        for fn in tu.functions:
+            for ev in fn.events:
+                if not isinstance(ev, Call):
+                    continue
+                if ev.name == "now" and ev.qualifier in clocks:
+                    findings.append(Finding(
+                        check=CHECK, rule="direct-clock-read", file=rel,
+                        line=ev.line,
+                        message=f"{ev.qualifier}::now() in an engine timed "
+                                "path — sample time through the obs/ "
+                                "helpers (PhaseTimer, TimedSection, "
+                                "ScopedSpan) so the interval lands in "
+                                "exactly one accounting bucket",
+                        symbol=f"clock:{ev.qualifier}"))
+                elif ev.name in banned and ev.obj_expr is None:
+                    findings.append(Finding(
+                        check=CHECK, rule="banned-time-call", file=rel,
+                        line=ev.line,
+                        message=f"{ev.name}() in an engine timed path — "
+                                "use the obs/ helpers, not raw OS time "
+                                "calls",
+                        symbol=f"clock:{ev.name}"))
+    return findings
+
+
+def _alias_closure(clock_names: set[str],
+                   aliases: dict[str, str]) -> set[str]:
+    """Every alias whose expansion (transitively) names a clock."""
+    clocks = set(clock_names)
+    changed = True
+    while changed:
+        changed = False
+        for name, rhs in aliases.items():
+            if name in clocks:
+                continue
+            if clocks & set(rhs.split()):
+                clocks.add(name)
+                changed = True
+    return clocks

@@ -1,0 +1,66 @@
+"""A4: unordered-container iteration in determinism-scoped paths.
+
+The engines' bit-exactness contract (identical distances *and* identical
+statistics across runs and thread counts) survives only because nothing
+order-sensitive ever walks a hash container: unordered maps/sets are
+lookup tables, never iteration sources. Inside the scoped directories
+([determinism] in policy.toml) this check flags every range-for or
+iterator walk whose subject resolves to a variable declared with an
+unordered container type — whether it feeds message emission, float
+accumulation, or anything else, iteration order is load-bearing the
+moment it exists, and the fix (switch to an ordered container, or sort
+before walking) is the same.
+
+Names are collected globally (locals, members, and across TUs) because
+a member declared in a header is iterated from its .cpp; the cost is
+that an *ordered* container sharing a name with an unordered one
+elsewhere in scope would false-positive. The tree's naming makes that
+collision empty today; if it ever happens, rename or waive.
+"""
+
+from __future__ import annotations
+
+from model import Finding, IterWalk, RangeFor, TU
+
+CHECK = "A4"
+
+
+def run(tus: dict[str, TU], policy: dict) -> list[Finding]:
+    cfg = policy.get("determinism")
+    if not cfg:
+        return []
+    dirs = [d.rstrip("/") for d in cfg.get("dirs", [])]
+
+    def in_scope(rel: str) -> bool:
+        return any(d in ("", ".") or rel == d or rel.startswith(d + "/")
+                   for d in dirs)
+
+    scoped = {rel: tu for rel, tu in tus.items() if in_scope(rel)}
+    unordered: set[str] = set()
+    for tu in scoped.values():
+        unordered.update(tu.unordered_vars)
+
+    findings: list[Finding] = []
+    for rel in sorted(scoped):
+        for fn in scoped[rel].functions:
+            for ev in fn.events:
+                if isinstance(ev, RangeFor) and ev.expr_name in unordered:
+                    findings.append(Finding(
+                        check=CHECK, rule="unordered-iteration", file=rel,
+                        line=ev.line,
+                        message=f"range-for over unordered container "
+                                f"'{ev.expr_name}' in a determinism-scoped "
+                                "path — iteration order is unspecified and "
+                                "breaks the bit-exactness contract; use an "
+                                "ordered container or sort first",
+                        symbol=f"unordered-iter:{ev.expr_name}"))
+                elif isinstance(ev, IterWalk) and ev.expr_name in unordered:
+                    findings.append(Finding(
+                        check=CHECK, rule="unordered-iteration", file=rel,
+                        line=ev.line,
+                        message=f"iterator walk over unordered container "
+                                f"'{ev.expr_name}' in a determinism-scoped "
+                                "path — iteration order is unspecified and "
+                                "breaks the bit-exactness contract",
+                        symbol=f"unordered-iter:{ev.expr_name}"))
+    return findings

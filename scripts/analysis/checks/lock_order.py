@@ -1,0 +1,366 @@
+"""A1: lock-order graph extraction and deadlock-potential detection.
+
+Builds a lock-acquisition-order graph over the whole project: an edge
+A -> B means some function acquires B while holding A (directly, or
+transitively through a resolved call). A cycle in that graph is deadlock
+potential; a self-edge is a re-entrant acquisition of a non-recursive
+mutex. Lock identity is `Class::member`, resolved through the class
+member tables, so two methods locking the same `mutex_` member agree on
+the node and two different classes' `mutex_` members do not collide.
+
+Noise control (the lexical frontend over-approximates events):
+  * adopt_lock acquisitions are *held* (for guarded-field auditing) but
+    never create order edges or transitive acquisitions — the real
+    acquisition happened at the caller under its own name;
+  * a lock expression that does not resolve to a known mutex member gets
+    a per-function unique node, so unresolved locals can never fabricate
+    a cross-function cycle;
+  * calls whose callee cannot be resolved to a single known function are
+    skipped rather than guessed.
+
+The family also cross-checks the Clang thread-safety annotations:
+  * unguarded-field — a member written while a mutex of its class is
+    held, but carrying no GUARDED_BY annotation (atomics, constants and
+    the synchronization primitives themselves are exempt);
+  * bad-guard — a GUARDED_BY argument that names no mutex member of the
+    class, i.e. an annotation that type-checks but guards nothing.
+"""
+
+from __future__ import annotations
+
+from model import (Acquire, BlockExit, Call, ClassInfo, Finding, Function,
+                   Release, TU, Write)
+
+CHECK = "A1"
+
+_SYNC_TYPES = ("CondVar", "condition_variable")
+
+
+def run(tus: dict[str, TU]) -> list[Finding]:
+    classes = _merge_classes(tus)
+    free_defs: dict[str, list[Function]] = {}
+    method_defs: dict[str, list[Function]] = {}
+    all_defs: list[tuple[str, Function]] = []
+    for rel, tu in tus.items():
+        for fn in tu.functions:
+            all_defs.append((rel, fn))
+            (method_defs if fn.class_name else free_defs).setdefault(
+                fn.qualname, []).append(fn)
+
+    # Per-definition simulation: direct edges, resolved call sites with the
+    # held set at the call, direct acquisitions, writes under lock.
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}  # witness
+    acq_of: dict[str, set[str]] = {}
+    calls_of: list[tuple[str, str, list[str], str, int]] = []
+    writes: list[tuple[str, Function, str, int, list[str]]] = []
+    for rel, fn in all_defs:
+        sim = _simulate(rel, fn, classes, free_defs)
+        for (a, b), wit in sim.edges.items():
+            edges.setdefault((a, b), wit)
+        acq_of.setdefault(fn.qualname, set()).update(sim.acquired)
+        for callee, held, line in sim.calls:
+            calls_of.append((fn.qualname, callee, held, rel, line))
+        for name, line, held in sim.writes:
+            writes.append((rel, fn, name, line, held))
+
+    # Transitive closure: a function's acquisition set includes everything
+    # its resolved callees acquire.
+    changed = True
+    while changed:
+        changed = False
+        for caller, callee, _held, _rel, _line in calls_of:
+            extra = acq_of.get(callee, set()) - acq_of.setdefault(caller, set())
+            if extra:
+                acq_of[caller] |= extra
+                changed = True
+    # Self-edges are kept: holding A while calling something that
+    # re-acquires A is a real self-deadlock on a non-recursive mutex.
+    for _caller, callee, held, rel, line in calls_of:
+        for b in acq_of.get(callee, ()):
+            for a in held:
+                edges.setdefault((a, b), (rel, line, callee))
+
+    findings = _cycle_findings(edges)
+    findings += _annotation_findings(classes, writes, tus)
+    return findings
+
+
+# --- model assembly ---------------------------------------------------------
+
+def _merge_classes(tus: dict[str, TU]) -> dict[str, ClassInfo]:
+    """One member table per class name across all TUs (hpp declares the
+    members, cpp re-opens nothing but may add method definitions)."""
+    merged: dict[str, ClassInfo] = {}
+    for tu in tus.values():
+        for name, ci in tu.classes.items():
+            if name not in merged:
+                merged[name] = ClassInfo(name=name, line=ci.line,
+                                         members=dict(ci.members),
+                                         method_names=set(ci.method_names))
+            else:
+                tgt = merged[name]
+                for mn, m in ci.members.items():
+                    tgt.members.setdefault(mn, m)
+                tgt.method_names |= ci.method_names
+    return merged
+
+
+class _Sim:
+    __slots__ = ("edges", "acquired", "calls", "writes")
+
+    def __init__(self) -> None:
+        self.edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        self.acquired: set[str] = set()
+        self.calls: list[tuple[str, list[str], int]] = []
+        self.writes: list[tuple[str, int, list[str]]] = []
+
+
+def _simulate(rel: str, fn: Function, classes: dict[str, ClassInfo],
+              free_defs: dict[str, list[Function]]) -> _Sim:
+    sim = _Sim()
+    # held: (lock_id, depth, kind); kind "requires" locks are held at entry.
+    held: list[tuple[str, int, str]] = []
+    unresolved = 0
+    for req in fn.requires:
+        lid = _resolve_lock(fn, req, classes)
+        if lid:
+            held.append((lid, 0, "requires"))
+
+    for ev in fn.events:
+        if isinstance(ev, Acquire):
+            lid = _resolve_lock(fn, ev.lock_expr, classes)
+            if lid is None:
+                unresolved += 1
+                lid = f"<{rel}:{fn.qualname}:#{unresolved}>"
+            if ev.kind != "adopt":
+                for hid, _d, hkind in held:
+                    if hkind != "adopt":
+                        sim.edges.setdefault((hid, lid), (rel, ev.line,
+                                                          fn.qualname))
+                sim.acquired.add(lid)
+            held.append((lid, ev.depth, ev.kind))
+        elif isinstance(ev, Release):
+            lid = _resolve_lock(fn, ev.lock_expr, classes)
+            for idx in range(len(held) - 1, -1, -1):
+                hid, _d, hkind = held[idx]
+                if (lid is not None and hid == lid) or \
+                        (lid is None and hkind == "manual"):
+                    held.pop(idx)
+                    break
+        elif isinstance(ev, BlockExit):
+            held = [h for h in held
+                    if not (h[2] in ("raii", "adopt") and h[1] >= ev.depth)]
+        elif isinstance(ev, Call):
+            callee = _resolve_call(fn, ev, classes, free_defs)
+            if callee is not None:
+                sim.calls.append(
+                    (callee, [h[0] for h in held if h[2] != "adopt"],
+                     ev.line))
+        elif isinstance(ev, Write):
+            if held:
+                sim.writes.append((ev.name, ev.line, [h[0] for h in held]))
+    return sim
+
+
+def _resolve_lock(fn: Function, expr: str,
+                  classes: dict[str, ClassInfo]) -> str | None:
+    """`mutex_` / `this->mutex_` / `session_.mutex_` -> "Class::member"
+    when the chain types out to a known mutex member, else None."""
+    e = expr.replace("->", ".").replace("*", " ").replace("&", " ")
+    parts = [p.strip() for p in e.split(".")]
+    parts = [p for p in parts if p]
+    if parts and parts[0] == "this":
+        parts = parts[1:]
+    if not parts or any(" " in p or not p.isidentifier() for p in parts):
+        return None
+    cur = classes.get(fn.class_name) if fn.class_name else None
+    for part in parts[:-1]:
+        cur = _member_class(cur, part, classes)
+        if cur is None:
+            return None
+    last = parts[-1]
+    if cur is not None:
+        m = cur.members.get(last)
+        if m is not None and m.is_mutex:
+            return f"{cur.name}::{last}"
+    return None
+
+
+def _member_class(cur: ClassInfo | None, member: str,
+                  classes: dict[str, ClassInfo]) -> ClassInfo | None:
+    if cur is None:
+        return None
+    m = cur.members.get(member)
+    if m is None:
+        return None
+    for tok in m.type_text.split():
+        if tok in classes:
+            return classes[tok]
+    return None
+
+
+def _resolve_call(fn: Function, ev: Call, classes: dict[str, ClassInfo],
+                  free_defs: dict[str, list[Function]]) -> str | None:
+    if ev.qualifier is not None:
+        cls = classes.get(ev.qualifier)
+        if cls is not None and ev.name in cls.method_names:
+            return f"{ev.qualifier}::{ev.name}"
+        return None
+    if ev.obj_expr is not None:
+        parts = [p for p in ev.obj_expr.split(".") if p]
+        if parts and parts[0] == "this":
+            parts = parts[1:]
+        cur = classes.get(fn.class_name) if fn.class_name else None
+        for part in parts:
+            cur = _member_class(cur, part, classes)
+        if cur is not None and ev.name in cur.method_names:
+            return f"{cur.name}::{ev.name}"
+        return None
+    # Unqualified: same-class method first, then a uniquely-named free
+    # function; anything ambiguous is skipped, not guessed.
+    if fn.class_name:
+        cls = classes.get(fn.class_name)
+        if cls is not None and ev.name in cls.method_names:
+            return f"{fn.class_name}::{ev.name}"
+    if ev.name in free_defs and len(free_defs[ev.name]) >= 1:
+        return ev.name
+    return None
+
+
+# --- findings ---------------------------------------------------------------
+
+def _cycle_findings(
+        edges: dict[tuple[str, str], tuple[str, int, str]]) -> list[Finding]:
+    graph: dict[str, set[str]] = {}
+    for (a, b), _w in edges.items():
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    sccs = _tarjan(graph)
+    findings: list[Finding] = []
+    for scc in sccs:
+        scc_set = set(scc)
+        cyclic = len(scc) > 1
+        for (a, b), (rel, line, ctx) in sorted(edges.items(),
+                                               key=lambda kv: kv[1][:2]):
+            if a == b and a in scc_set:
+                findings.append(Finding(
+                    check=CHECK, rule="reentrant-lock", file=rel, line=line,
+                    message=f"re-entrant acquisition of {a} (via {ctx}) — "
+                            "Mutex is non-recursive; this self-deadlocks",
+                    symbol=f"reentrant:{a}"))
+            elif cyclic and a in scc_set and b in scc_set:
+                cycle = "->".join(sorted(scc_set))
+                findings.append(Finding(
+                    check=CHECK, rule="lock-cycle", file=rel, line=line,
+                    message=f"lock-order cycle {{{cycle}}}: {a} held while "
+                            f"acquiring {b} (via {ctx}) — deadlock "
+                            "potential; pick one acquisition order",
+                    symbol=f"cycle-edge:{a}->{b}"))
+    return findings
+
+
+def _tarjan(graph: dict[str, set[str]]) -> list[list[str]]:
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan (fixture graphs are tiny but recursion limits
+        # are not worth meeting halfway).
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                out.append(scc)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+def _annotation_findings(classes: dict[str, ClassInfo],
+                         writes: list[tuple[str, Function, str, int,
+                                            list[str]]],
+                         tus: dict[str, TU]) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # unguarded-field: written under a class mutex, no GUARDED_BY.
+    reported: set[str] = set()
+    for rel, fn, name, line, held in sorted(
+            writes, key=lambda w: (w[0], w[3])):
+        cls = classes.get(fn.class_name) if fn.class_name else None
+        if cls is None or fn.name == cls.name:   # constructors initialize
+            continue
+        if not any(h.startswith(cls.name + "::") for h in held):
+            continue
+        m = cls.members.get(name)
+        if m is None:
+            continue
+        if (m.guarded_by() is not None or m.is_atomic or m.is_const
+                or m.is_static or m.is_mutex
+                or any(s in m.type_text for s in _SYNC_TYPES)):
+            continue
+        key = f"{cls.name}::{name}"
+        if key in reported:
+            continue
+        reported.add(key)
+        findings.append(Finding(
+            check=CHECK, rule="unguarded-field", file=rel, line=line,
+            message=f"{key} is written while a {cls.name} mutex is held "
+                    "but carries no GUARDED_BY annotation — the "
+                    "thread-safety analysis cannot see this invariant",
+            symbol=f"unguarded:{key}"))
+
+    # bad-guard: a GUARDED_BY argument naming no mutex member.
+    for rel, tu in sorted(tus.items()):
+        for cname, ci in tu.classes.items():
+            cls = classes.get(cname, ci)
+            for m in ci.members.values():
+                guard = m.guarded_by()
+                if guard is None:
+                    continue
+                tokens = [t for t in guard.replace("->", " ").replace(
+                    ".", " ").split() if t.isidentifier() and t != "this"]
+                target = tokens[-1] if tokens else ""
+                gm = cls.members.get(target)
+                if gm is None or not gm.is_mutex:
+                    findings.append(Finding(
+                        check=CHECK, rule="bad-guard", file=rel, line=m.line,
+                        message=f"{cname}::{m.name} is GUARDED_BY({guard}) "
+                                "but that names no mutex member of "
+                                f"{cname} — the annotation guards nothing",
+                        symbol=f"bad-guard:{cname}::{m.name}"))
+    return findings

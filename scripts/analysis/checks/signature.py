@@ -1,0 +1,85 @@
+"""A2: options-signature completeness.
+
+Every non-static field of SsspOptions must be named inside
+options_signature()'s body, or be listed on the policy's explicit
+exclusion allowlist. Struct-valued fields named in [signature]
+nested_structs get the same treatment field-by-field (serializing
+`cost_model` alone would not prove each parameter is keyed). An
+exclusion that matches no field is itself a finding, so the allowlist
+cannot drift as fields are renamed — the exact failure mode this check
+exists to prevent in the cache key.
+"""
+
+from __future__ import annotations
+
+from model import Finding, TU
+
+CHECK = "A2"
+
+
+def run(tus: dict[str, TU], policy: dict) -> list[Finding]:
+    cfg = policy.get("signature")
+    if not cfg:
+        return []
+    findings: list[Finding] = []
+    header = cfg["options_header"]
+    struct = cfg["options_struct"]
+    impl_file = cfg["impl_file"]
+    impl_function = cfg["impl_function"]
+    excludes = {e["field"]: e.get("reason", "")
+                for e in cfg.get("exclude", [])}
+
+    htu = tus.get(header)
+    if htu is None or struct not in htu.classes:
+        findings.append(Finding(
+            check=CHECK, rule="config-error", file=header, line=1,
+            message=f"struct {struct} not found in {header} — "
+                    "[signature] policy is stale",
+            symbol=f"missing-struct:{struct}"))
+        return findings
+
+    itu = tus.get(impl_file)
+    body_tokens: set[str] | None = None
+    if itu is not None:
+        for fn in itu.functions:
+            if fn.name == impl_function:
+                body_tokens = set(fn.body_text.split())
+                break
+    if body_tokens is None:
+        findings.append(Finding(
+            check=CHECK, rule="config-error", file=impl_file, line=1,
+            message=f"function {impl_function}() not found in {impl_file} — "
+                    "[signature] policy is stale",
+            symbol=f"missing-impl:{impl_function}"))
+        return findings
+
+    structs = [struct] + [s for s in cfg.get("nested_structs", [])
+                          if s in htu.classes]
+    known_fields: set[str] = set()
+    for sname in structs:
+        cls = htu.classes[sname]
+        for m in cls.members.values():
+            if m.is_static:
+                continue
+            known_fields.add(m.name)
+            if m.name in excludes:
+                continue
+            if m.name not in body_tokens:
+                findings.append(Finding(
+                    check=CHECK, rule="unserialized-field", file=header,
+                    line=m.line,
+                    message=f"{sname}::{m.name} is not serialized by "
+                            f"{impl_function}() and is not on the exclusion "
+                            "allowlist — a query differing only in this "
+                            "field would hit a stale cache entry",
+                    symbol=f"field:{sname}::{m.name}"))
+
+    for name in sorted(set(excludes) - known_fields):
+        findings.append(Finding(
+            check=CHECK, rule="stale-exclusion", file=header,
+            line=htu.classes[struct].line,
+            message=f"[signature] excludes field '{name}' but no such field "
+                    f"exists on {' or '.join(structs)} — remove the stale "
+                    "allowlist entry",
+            symbol=f"exclude:{name}"))
+    return findings

@@ -1,0 +1,235 @@
+"""C++ token stream for the AST-lite frontend (scripts/analysis/).
+
+Produces a flat list of tokens with line numbers, with comments and the
+*contents* of string/character literals removed — the two classic sources
+of regex-lint false positives (a clock call quoted in a log message, a
+banned token in a comment). Raw strings, line continuations and
+preprocessor directives are handled; the preprocessor line survives as a
+single `pp` token so include paths and macro definitions stay visible to
+the model builder.
+
+This is a lexer, not a parser: it guarantees token identity and line
+numbers, nothing else. frontend_lex.py layers the structural heuristics
+(scopes, declarations, call sites) on top.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds:
+#   id     identifier / keyword
+#   num    numeric literal
+#   str    string literal (text replaced by "")
+#   char   character literal (text replaced by '')
+#   punct  operator / punctuation (longest-match, e.g. '::', '->', '+=')
+#   pp     one whole preprocessor directive (continuations folded)
+KINDS = ("id", "num", "str", "char", "punct", "pp")
+
+# Longest-first so '::' wins over ':', '+=' over '+', etc.
+_PUNCTS = sorted(
+    [
+        "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+        "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "##", "{", "}", "(", ")", "[", "]", ";", ",",
+        ":", "?", ".", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+        "=", "<", ">", "#",
+    ],
+    key=len,
+    reverse=True,
+)
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+_RAW_OPEN = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
+_LITERAL_PREFIX = re.compile(r'(?:u8|[uUL])["\']')
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenizes one translation-unit's worth of text."""
+    toks: list[Token] = []
+    i = 0
+    n = len(source)
+    line = 1
+
+    def advance_lines(text: str) -> None:
+        nonlocal line
+        line += text.count("\n")
+
+    while i < n:
+        c = source[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Line comment.
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            # A backslash-continued line comment swallows the next line too.
+            while j >= 0 and source[:j].endswith("\\"):
+                j = source.find("\n", j + 1)
+            if j < 0:
+                break
+            advance_lines(source[i:j])
+            i = j
+            continue
+
+        # Block comment.
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                break
+            advance_lines(source[i:j + 2])
+            i = j + 2
+            continue
+
+        # Preprocessor directive: one token, continuations folded.
+        if c == "#" and _at_line_start(toks, source, i):
+            start_line = line
+            j = i
+            while True:
+                nl = source.find("\n", j)
+                if nl < 0:
+                    nl = n
+                seg = source[j:nl]
+                # Strip trailing comment from the directive segment (a
+                # // comment does not continue the directive even if the
+                # comment text ends in a backslash).
+                seg_no_comment = _strip_directive_comment(seg)
+                if seg_no_comment.rstrip().endswith("\\"):
+                    j = nl + 1
+                    continue
+                end = nl
+                break
+            text = source[i:end]
+            toks.append(Token("pp", text, start_line))
+            advance_lines(text)
+            i = end
+            continue
+
+        # Raw string literal.
+        m = _RAW_OPEN.match(source, i)
+        if m:
+            delim = m.group(1)
+            close = ')' + delim + '"'
+            j = source.find(close, m.end())
+            if j < 0:
+                j = n - len(close)
+            full = source[i:j + len(close)]
+            toks.append(Token("str", '""', line))
+            advance_lines(full)
+            i = j + len(close)
+            continue
+
+        # String / char literals (with encoding prefixes u8 / u / U / L).
+        if c in "\"'" or _LITERAL_PREFIX.match(source, i):
+            j = i
+            while j < n and source[j] not in "\"'":
+                j += 1
+            quote = source[j]
+            k = j + 1
+            while k < n:
+                if source[k] == "\\":
+                    k += 2
+                    continue
+                if source[k] == quote:
+                    break
+                if source[k] == "\n" and quote == "'":
+                    break  # unterminated char literal: bail at newline
+                k += 1
+            tok_kind = "str" if quote == '"' else "char"
+            toks.append(Token(tok_kind, quote + quote, line))
+            advance_lines(source[i:min(k + 1, n)])
+            i = min(k + 1, n)
+            continue
+
+        # Identifier / keyword.
+        if _ID_START.match(c):
+            m = _ID.match(source, i)
+            assert m is not None
+            toks.append(Token("id", m.group(0), line))
+            i = m.end()
+            continue
+
+        # Number.
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            m = _NUM.match(source, i)
+            assert m is not None
+            toks.append(Token("num", m.group(0), line))
+            i = m.end()
+            continue
+
+        # Punctuation, longest match.
+        for p in _PUNCTS:
+            if source.startswith(p, i):
+                toks.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            i += 1  # unknown byte: skip
+
+    return toks
+
+
+def _at_line_start(toks: list[Token], source: str, i: int) -> bool:
+    """True if only whitespace precedes position i on its line."""
+    j = source.rfind("\n", 0, i)
+    return source[j + 1:i].strip() == ""
+
+
+def _strip_directive_comment(seg: str) -> str:
+    """Removes a trailing // comment from a directive segment, ignoring
+    comment markers inside string literals ("path//x" stays intact)."""
+    in_str = False
+    k = 0
+    while k < len(seg):
+        ch = seg[k]
+        if in_str:
+            if ch == "\\":
+                k += 2
+                continue
+            if ch == '"':
+                in_str = False
+        elif ch == '"':
+            in_str = True
+        elif ch == "/" and seg.startswith("//", k):
+            return seg[:k]
+        k += 1
+    return seg
+
+
+_INCLUDE_RE = re.compile(r'#\s*include\s+(<([^>]+)>|"([^"]+)")')
+_DEFINE_RE = re.compile(r"#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_include(pp_text: str) -> tuple[str, bool] | None:
+    """Returns (path, is_system) for an #include directive, else None."""
+    m = _INCLUDE_RE.match(pp_text.strip())
+    if not m:
+        return None
+    if m.group(2) is not None:
+        return m.group(2), True
+    return m.group(3), False
+
+
+def parse_define(pp_text: str) -> str | None:
+    """Returns the macro name for a #define directive, else None."""
+    m = _DEFINE_RE.match(pp_text.strip())
+    return m.group(1) if m else None

@@ -1,0 +1,29 @@
+// A5 fixture: direct clock reads in a file the group policy declares an
+// engine timed path. The alias chain (Clock -> Tick) must not hide the
+// read, and the clock name inside a string literal must not fire — the
+// two failure modes of the retired regex rule R8.
+#include <chrono>
+#include <ctime>
+
+using Clock = std::chrono::steady_clock;
+using Tick = Clock;
+
+long direct_read() {
+  auto t0 = std::chrono::steady_clock::now();  // SEED(A5/direct-clock-read)
+  return t0.time_since_epoch().count();
+}
+
+long aliased_read() {
+  auto t0 = Tick::now();  // SEED(A5/direct-clock-read)
+  return t0.time_since_epoch().count();
+}
+
+long os_read() {
+  timespec ts{};
+  clock_gettime(0, &ts);  // SEED(A5/banned-time-call)
+  return ts.tv_sec;
+}
+
+const char* innocent() {
+  return "calling steady_clock::now() here would be a bug";
+}

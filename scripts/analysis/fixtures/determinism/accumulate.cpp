@@ -1,0 +1,36 @@
+// A4 fixture: iteration over unordered containers in a determinism-scoped
+// path (group policy scopes the whole directory). The vector walk at the
+// bottom is the negative control.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Acc {
+  std::unordered_map<int, double> pending_;
+  std::unordered_set<int> touched_;
+  std::vector<double> out_;
+  void flush();
+  double total();
+  void drain();
+};
+
+void Acc::flush() {
+  for (const auto& kv : pending_) {  // SEED(A4/unordered-iteration)
+    out_.push_back(kv.second);
+  }
+}
+
+double Acc::total() {
+  double t = 0.0;
+  for (auto it = touched_.begin(); it != touched_.end(); ++it) {  // SEED(A4/unordered-iteration)
+    t += static_cast<double>(*it);
+  }
+  return t;
+}
+
+void Acc::drain() {
+  // Ordered container: iteration order is defined, no finding.
+  for (double v : out_) {
+    (void)v;
+  }
+}

@@ -1,0 +1,6 @@
+// A3 fixture: the facade header mid/ is allowed to use.
+#pragma once
+
+struct Api {
+  int go();
+};

@@ -1,0 +1,9 @@
+// A3 fixture: base may include nothing above itself — this edge inverts
+// the declared DAG.
+#pragma once
+
+#include "mid/widget.hpp"  // SEED(A3/layer-violation)
+
+struct UpwardDependency {
+  Widget* w = nullptr;
+};

@@ -1,0 +1,6 @@
+// A3 fixture: base-internal header; mid/ reaching it bypasses the facade.
+#pragma once
+
+struct Impl {
+  int detail = 0;
+};

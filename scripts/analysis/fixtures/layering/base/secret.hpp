@@ -1,0 +1,6 @@
+// A3 fixture: explicitly banned header.
+#pragma once
+
+struct Secret {
+  int key = 0;
+};

@@ -1,0 +1,8 @@
+// A3 fixture: one half of an include cycle.
+#pragma once
+
+#include "mid/c2.hpp"  // SEED(A3/include-cycle)
+
+struct C1 {
+  C2* peer = nullptr;
+};

@@ -1,0 +1,8 @@
+// A3 fixture: the other half of the include cycle.
+#pragma once
+
+#include "mid/c1.hpp"  // SEED(A3/include-cycle)
+
+struct C2 {
+  C1* peer = nullptr;
+};

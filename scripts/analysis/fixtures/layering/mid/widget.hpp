@@ -1,0 +1,16 @@
+// A3 fixture: mid/ may use base only through base/api.hpp. The impl
+// include bypasses the facade, the secret include is banned outright,
+// and RawEngine is a forbidden token in this layer.
+#pragma once
+
+#include "base/api.hpp"
+#include "base/impl.hpp"    // SEED(A3/facade-violation)
+#include "base/secret.hpp"  // SEED(A3/banned-include)
+
+using RawEngine = int;  // SEED(A3/forbidden-token)
+
+struct Widget {
+  Api api;
+  Impl impl;
+  Secret secret;
+};

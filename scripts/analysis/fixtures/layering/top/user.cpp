@@ -1,0 +1,8 @@
+// A3 fixture: top/ may include anything layer-wise, but the api.hpp
+// include is unused — IWYU-lite must flag it.
+#include "base/api.hpp"  // SEED(A3/unused-include)
+#include "mid/widget.hpp"
+
+int poke(Widget& w) {
+  return w.impl.detail;
+}

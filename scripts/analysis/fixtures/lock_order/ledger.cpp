@@ -1,0 +1,36 @@
+// Out-of-line definitions for ledger.hpp (markers explained there).
+#include "ledger.hpp"
+
+void Vault::settle() {
+  MutexLock self(mu_);
+  MutexLock other(bank_->mu_);  // SEED(A1/lock-cycle)
+}
+
+void Bank::audit() {
+  MutexLock self(mu_);
+  MutexLock other(vault_->mu_);  // SEED(A1/lock-cycle)
+}
+
+void Journal::append() {
+  MutexLock guard(jmu_);
+}
+
+void Journal::flush() {
+  MutexLock guard(jmu_);
+  append();  // SEED(A1/reentrant-lock)
+}
+
+void Counter::bump() {
+  MutexLock guard(mu_);
+  total_ += 1;
+  dropped_ += 1;  // SEED(A1/unguarded-field)
+}
+
+// Negative: a lock taken and dropped before the second acquisition is not
+// an ordering edge — no finding here.
+void ordered_fine(Vault& v) {
+  {
+    MutexLock first(v.mu_);
+  }
+  MutexLock second(v.bank_->mu_);
+}

@@ -1,0 +1,56 @@
+// A1 fixture: seeded lock-order violations. Each `SEED(A1/<rule>)` marker
+// names the finding the analyzer must produce on exactly that line;
+// everything unmarked must stay clean (the selftest asserts both
+// directions). The file is parsed, never compiled.
+#pragma once
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+
+#define MPS_GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+struct Bank;
+
+// Vault and Bank acquire each other's mutexes in opposite orders: the
+// classic AB/BA deadlock (see ledger.cpp).
+struct Vault {
+  void settle();
+  Mutex mu_;
+  Bank* bank_;
+};
+
+struct Bank {
+  void audit();
+  Mutex mu_;
+  Vault* vault_;
+};
+
+// flush() holds jmu_ and calls append(), which re-acquires it: a
+// transitive self-deadlock on a non-recursive mutex (see ledger.cpp).
+struct Journal {
+  void append();
+  void flush();
+  Mutex jmu_;
+};
+
+// dropped_ is written under mu_ but carries no GUARDED_BY (ledger.cpp);
+// total_ is annotated and must NOT fire.
+struct Counter {
+  void bump();
+  Mutex mu_;
+  long total_ MPS_GUARDED_BY(mu_);
+  long dropped_;
+};
+
+// size_ claims to be guarded by a member that does not exist: the
+// annotation type-checks (macro swallows anything) but guards nothing.
+struct Registry {
+  Mutex mu_;
+  int size_ MPS_GUARDED_BY(lock_);  // SEED(A1/bad-guard)
+};

@@ -1,0 +1,17 @@
+// A2 fixture: an option struct whose signature function (sig.cpp) misses
+// two fields, plus a stale allowlist entry (policy.toml excludes a field
+// named `ghost` that does not exist). Markers as in the other groups.
+#pragma once
+
+struct Knobs {
+  double t_cost = 1.0;
+  double t_skip = 2.0;  // SEED(A2/unserialized-field)
+};
+
+struct Opts {  // SEED(A2/stale-exclusion)
+  double delta = 0.0;
+  bool fast = false;  // SEED(A2/unserialized-field)
+  void* debug_hook = nullptr;  // excluded by policy: observability only
+  Knobs knobs;
+  static constexpr double kBig = 1.0;  // static: never part of the key
+};

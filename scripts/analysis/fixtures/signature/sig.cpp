@@ -1,0 +1,12 @@
+// A2 fixture: serializes delta and knobs.t_cost, misses fast and
+// knobs.t_skip (seeded in opts.hpp).
+#include <string>
+
+#include "opts.hpp"
+
+std::string signature_of(const Opts& o) {
+  std::string s;
+  s += "d=" + std::to_string(o.delta) + ";";
+  s += "kc=" + std::to_string(o.knobs.t_cost) + ";";
+  return s;
+}

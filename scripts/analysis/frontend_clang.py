@@ -1,0 +1,201 @@
+"""libclang frontend: builds the TU model from a real AST when available.
+
+Uses the `clang.cindex` Python bindings, with compile flags pulled from
+compile_commands.json, to produce the declaration side of the model with
+compiler accuracy: class member tables carry the *resolved* type
+spelling (so the A1 lock resolver types out member chains exactly),
+includes come from the preprocessing record, and aliases from real
+TYPEDEF/TYPE_ALIAS cursors.
+
+Function-body *events* (acquisitions, calls, writes, loops) reuse the
+lexical walker on the same source: the event stream is deliberately a
+shared code path so both frontends disagree only where the AST is
+genuinely more precise (declarations), never in what counts as an
+event. The fixture selftest runs both frontends when libclang is
+loadable and asserts identical findings, pinning them together.
+
+This module must import cleanly without libclang installed; everything
+clang-specific happens lazily inside available()/parse_file_compdb().
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import frontend_lex
+from model import ClassInfo, Include, Member, TU
+
+_INDEX = None
+_AVAILABLE: bool | None = None
+
+_DEFAULT_ARGS = ["-std=c++20", "-xc++"]
+
+
+def available() -> bool:
+    """True when clang.cindex imports AND libclang actually loads."""
+    global _AVAILABLE, _INDEX
+    if _AVAILABLE is not None:
+        return _AVAILABLE
+    try:
+        from clang import cindex
+        _INDEX = cindex.Index.create()
+        _AVAILABLE = True
+    except Exception:
+        _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _args_for(path: Path, compdb: Path | None) -> list[str]:
+    from clang import cindex
+    if compdb is not None and compdb.is_file():
+        try:
+            db = cindex.CompilationDatabase.fromDirectory(str(compdb.parent))
+            cmds = db.getCompileCommands(str(path))
+            if cmds:
+                args = list(cmds[0].arguments)[1:]  # drop the compiler
+                # Drop the output/input operands; keep flags and -I/-D.
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == str(path) or a.endswith(path.name):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        except Exception:
+            pass
+    # Headers and files without a compile command: project-shaped defaults.
+    src = path
+    while src.name != "src" and src.parent != src:
+        src = src.parent
+    inc = str(src) if src.name == "src" else str(path.parent)
+    return _DEFAULT_ARGS + [f"-I{inc}"]
+
+
+def parse_file_compdb(path: str | Path, rel: str,
+                      compdb: Path | None = None) -> TU:
+    if not available():
+        raise RuntimeError("libclang is not loadable")
+    from clang import cindex
+
+    path = Path(path)
+    # Shared event extraction first (see module docstring).
+    tu = frontend_lex.parse_file(path, rel)
+
+    ast = _INDEX.parse(str(path), args=_args_for(path, compdb),
+                       options=cindex.TranslationUnit
+                       .PARSE_DETAILED_PROCESSING_RECORD)
+
+    # Includes from the preprocessing record: only directives written in
+    # this file, with system-ness from the include style.
+    includes = []
+    for inc in ast.get_includes():
+        if inc.depth != 1:
+            continue
+        loc = inc.location
+        if loc.file is None or Path(loc.file.name) != path:
+            continue
+        spelling = _include_spelling(path, loc.line)
+        if spelling is not None:
+            includes.append(Include(path=spelling[0], line=loc.line,
+                                    is_system=spelling[1]))
+    if includes:
+        tu.includes = includes
+
+    _walk(ast.cursor, path, tu)
+    return tu
+
+
+def parse_file(path: str | Path, rel: str) -> TU:
+    return parse_file_compdb(path, rel, None)
+
+
+def _include_spelling(path: Path, line: int) -> tuple[str, bool] | None:
+    try:
+        text = path.read_text(encoding="utf-8",
+                              errors="replace").splitlines()[line - 1]
+    except IndexError:
+        return None
+    from cpp_lexer import parse_include
+    return parse_include(text.strip())
+
+
+def _walk(cursor, path: Path, tu: TU) -> None:
+    from clang import cindex
+    K = cindex.CursorKind
+    for c in cursor.get_children():
+        if c.location.file is None or Path(c.location.file.name) != path:
+            continue
+        if c.kind in (K.NAMESPACE, K.LINKAGE_SPEC):
+            _walk(c, path, tu)
+        elif c.kind in (K.CLASS_DECL, K.STRUCT_DECL) and c.is_definition():
+            _record_class(c, path, tu)
+            tu.toplevel_names.add(c.spelling)
+            _walk(c, path, tu)  # nested classes
+        elif c.kind in (K.TYPEDEF_DECL, K.TYPE_ALIAS_DECL):
+            tu.aliases[c.spelling] = \
+                c.underlying_typedef_type.spelling.replace("::", " :: ")
+            tu.toplevel_names.add(c.spelling)
+        elif c.kind in (K.ENUM_DECL, K.FUNCTION_DECL, K.VAR_DECL):
+            if c.spelling:
+                tu.toplevel_names.add(c.spelling)
+
+
+def _record_class(cursor, path: Path, tu: TU) -> None:
+    from clang import cindex
+    K = cindex.CursorKind
+    name = cursor.spelling or "<anon>"
+    # The lexical pass already recorded this class; clang's member table
+    # (resolved type spellings) overrides field-by-field.
+    ci = tu.classes.get(name)
+    if ci is None:
+        ci = ClassInfo(name=name, line=cursor.location.line)
+        tu.classes[name] = ci
+    for c in cursor.get_children():
+        if c.kind == K.FIELD_DECL or (c.kind == K.VAR_DECL):
+            ci.members[c.spelling] = _field_to_member(c)
+        elif c.kind in (K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR):
+            ci.method_names.add(c.spelling.lstrip("~"))
+
+
+def _field_to_member(cursor) -> Member:
+    from clang import cindex
+    type_text = cursor.type.spelling.replace("::", " :: ").replace(
+        "<", " < ").replace(">", " > ")
+    annotations: dict[str, str] = {}
+    # Thread-safety attributes survive as tokens on the declaration; scan
+    # them the same way the lexical frontend does so guarded_by() agrees.
+    toks = [t.spelling for t in cursor.get_tokens()]
+    for i, t in enumerate(toks):
+        if t in frontend_lex._ANNOTATION_MACROS:
+            arg = ""
+            if i + 1 < len(toks) and toks[i + 1] == "(":
+                depth, j = 0, i + 1
+                parts = []
+                while j < len(toks):
+                    if toks[j] == "(":
+                        depth += 1
+                    elif toks[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif depth >= 1:
+                        parts.append(toks[j])
+                    j += 1
+                arg = " ".join(parts)
+            annotations[t] = arg
+    storage = getattr(cursor, "storage_class", None)
+    is_static = storage == cindex.StorageClass.STATIC \
+        if storage is not None else False
+    return Member(
+        name=cursor.spelling,
+        type_text=type_text,
+        line=cursor.location.line,
+        annotations=annotations,
+        is_static=is_static,
+        is_const=cursor.type.is_const_qualified(),
+    )

@@ -2,15 +2,18 @@
 # Single entry point for the verification layers (docs/STATIC_ANALYSIS.md):
 #
 #   1. lint          scripts/lint.py project invariants
-#   2. clang-tidy    .clang-tidy profile (skipped if clang-tidy not installed)
-#   3. plain         canonical build + ctest (the tier-1 configuration)
-#   4. asan+ubsan    Debug build with -DMPS_SANITIZE=address;undefined + ctest
-#   5. tsan          Debug build with -DMPS_SANITIZE=thread + ctest
+#   2. analyzer      scripts/analysis/ AST-grade checks A1-A5 (+ selftest)
+#   3. clang-tidy    .clang-tidy profile (skipped if clang-tidy not installed)
+#   4. plain         canonical build + ctest (the tier-1 configuration)
+#   5. asan+ubsan    Debug build with -DMPS_SANITIZE=address;undefined + ctest
+#   6. tsan          Debug build with -DMPS_SANITIZE=thread + ctest
 #
 # Usage:
 #   scripts/check.sh            run everything
 #   scripts/check.sh --quick    lint + plain build/ctest only (what
 #                               scripts/reproduce.sh runs; tier-1 authority)
+#   scripts/check.sh --analyze  lint + static analyzer only (no build needed;
+#                               uses build/compile_commands.json if present)
 #
 # Build trees: build/ (plain, shared with the tier-1 command),
 # build-asan/, build-tsan/. Sanitizer configs build as Debug so the checked
@@ -20,10 +23,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 QUICK=0
+ANALYZE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+    --analyze) ANALYZE_ONLY=1 ;;
+    *) echo "usage: scripts/check.sh [--quick|--analyze]" >&2; exit 2 ;;
   esac
 done
 
@@ -38,10 +43,24 @@ python3 scripts/lint_selftest.py
 step "lint (scripts/lint.py)"
 python3 scripts/lint.py
 
+step "analyzer selftest (scripts/analysis/selftest.py)"
+python3 scripts/analysis/selftest.py
+
+step "static analyzer (scripts/analysis/analyze.py)"
+# set -e propagates the analyzer's exit code: findings or stale waivers
+# fail the whole check run.
+python3 scripts/analysis/analyze.py --compdb build/compile_commands.json
+
+if [ "$ANALYZE_ONLY" -eq 1 ]; then
+  echo
+  echo "check.sh --analyze: OK"
+  exit 0
+fi
+
 if [ "$QUICK" -eq 0 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy"
-    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    cmake -B build -S . >/dev/null
     # Library sources only: tests/benches are covered by the build itself.
     find src -name '*.cpp' | xargs clang-tidy -p build --quiet
   else

@@ -16,28 +16,21 @@ enforce (see docs/STATIC_ANALYSIS.md):
   R4  include hygiene: headers use #pragma once; no parent-relative
       ("../") includes; project includes use quoted module-relative paths;
   R5  no using namespace at file scope in headers;
-  R6  serving-layer isolation: src/serve/ may consume the runtime only
-      through its session facade (machine_session.hpp, service_thread.hpp,
-      partition.hpp) and must not name the raw Machine or ThreadPool — the
-      serving layer schedules work, it never owns threads;
   R7  engine hot paths (the files listed in ENGINE_HOT_PATHS) must not
       build nested vector-of-vector send buffers of message types — relax
       emission goes through SendBufferPool so buffers are pooled and
       exchanged zero-copy (docs/PERFORMANCE.md); the seed's per-phase
-      std::vector<std::vector<RelaxMsg>> churn must not creep back in;
-  R8  engine timed paths (the files listed in ENGINE_TIMED_PATHS) must not
-      read std::chrono clocks directly — all wall-clock sampling goes
-      through the obs/ helpers (PhaseTimer, TimedSection, ScopedSpan) so
-      every measured interval lands in exactly one accounting bucket and,
-      when tracing is on, in exactly one span (docs/OBSERVABILITY.md); ad
-      hoc Stopwatch-style timing is how the hybrid-switch double-count
-      bug happened;
-  R9  update-layer isolation (the dynamic-graph mirror of R6): src/update/
-      may consume the runtime only through the session facade and must not
-      include the engines (delta_engine, multi_engine, bfs_engine,
-      split_solver) or name Machine / ThreadPool / DeltaEngine — the repair
-      path reaches the engines exclusively through core/seeded_solve.hpp
-      and the Solver facade, so engine internals stay swappable.
+      std::vector<std::vector<RelaxMsg>> churn must not creep back in.
+
+Retired rules (numbers are not reused):
+
+  R6, R9  the serve/ and update/ isolation rules are now enforced from the
+      real include graph by the AST-grade analyzer's layering check
+      (scripts/analysis/, check A3 against scripts/analysis/layers.toml),
+      which also catches transitive leaks the per-line regexes missed;
+  R8  the engine timed-path clock rule is now check A5 in the analyzer,
+      which resolves type aliases (a `using Tick = Clock;` chain no longer
+      hides a read) and never fires on comments or string literals.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -68,44 +61,17 @@ TIME_SEED = re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)")
 VOLATILE = re.compile(r"\bvolatile\b")
 PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
-RUNTIME_INCLUDE = re.compile(r'#\s*include\s+"runtime/([^"]+)"')
-SERVE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b")
 # R7: a nested vector whose inner element is a message type (RelaxMsg,
 # PullReqMsg, BfsMsg, MultiRelaxMsg, ...). Deliberately narrow: nested
 # vectors of non-message types (per-slot engine state like
 # vector<vector<char>>) are legitimate and must not fire.
 NESTED_MSG_VECTOR = re.compile(
     r"std::vector<\s*std::vector<\s*\w*Msg\s*>")
-# R8: any direct std::chrono clock read. Matches both qualified
-# (std::chrono::steady_clock::now()) and using-abbreviated
-# (steady_clock::now()) spellings, and clock_gettime for good measure.
-CLOCK_CALL = re.compile(
-    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
-    r"|\bclock_gettime\s*\(")
 
 # Files allowed to spawn threads: the simulated machine's runtime and the
 # tests/benches that exercise it directly.
 THREAD_ALLOWED_PREFIXES = ("src/runtime/",)
 THREAD_ALLOWED_DIRS = ("tests/", "bench/")
-
-# The runtime facade src/serve/ is allowed to build on (R6). Everything
-# else in runtime/ (Machine, ThreadPool, the exchange board internals) is
-# off-limits to the serving layer.
-SERVE_ALLOWED_RUNTIME_INCLUDES = frozenset(
-    {"machine_session.hpp", "service_thread.hpp", "partition.hpp"})
-
-# R9: src/update/ gets the same runtime facade as src/serve/, and on top of
-# that may not include the engines directly — seeded sweeps go through
-# core/seeded_solve.hpp, fresh solves through core/solver.hpp.
-UPDATE_ALLOWED_RUNTIME_INCLUDES = SERVE_ALLOWED_RUNTIME_INCLUDES
-UPDATE_BANNED_CORE_INCLUDES = frozenset({
-    "delta_engine.hpp",
-    "multi_engine.hpp",
-    "bfs_engine.hpp",
-    "split_solver.hpp",
-})
-CORE_INCLUDE = re.compile(r'#\s*include\s+"core/([^"]+)"')
-UPDATE_FORBIDDEN = re.compile(r"\bMachine\b|\bThreadPool\b|\bDeltaEngine\b")
 
 # R7 applies to the engine hot paths — the files whose relax emission the
 # pooled data path rebuilt. The generic plumbing (RankCtx::exchange_merged,
@@ -115,21 +81,6 @@ ENGINE_HOT_PATHS = frozenset({
     "src/core/delta_engine.cpp",
     "src/core/delta_engine.hpp",
     "src/core/bfs_engine.cpp",
-    "src/core/multi_engine.cpp",
-    "src/core/multi_engine.hpp",
-})
-
-# R8 applies to the engine timed paths — the files whose wall-clock
-# accounting the trace self-check (check_engine_accounting) certifies.
-# A raw clock read here is an interval the helpers cannot attribute, which
-# is exactly how the pre-fix hybrid switch double-counted BktTime. The obs
-# helpers themselves (src/obs/) and the solver shell are free to read
-# clocks; they are where the helpers bottom out.
-ENGINE_TIMED_PATHS = frozenset({
-    "src/core/delta_engine.cpp",
-    "src/core/delta_engine.hpp",
-    "src/core/bfs_engine.cpp",
-    "src/core/bfs_engine.hpp",
     "src/core/multi_engine.cpp",
     "src/core/multi_engine.hpp",
 })
@@ -183,8 +134,6 @@ def lint_text(rel: str, raw: str) -> list[str]:
         errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
 
     in_src = rel.startswith("src/")
-    in_serve = rel.startswith("src/serve/")
-    in_update = rel.startswith("src/update/")
     is_header = rel.endswith((".hpp", ".h"))
 
     if is_header and "#pragma once" not in raw:
@@ -220,46 +169,11 @@ def lint_text(rel: str, raw: str) -> list[str]:
                 "module-relative path")
         if is_header and USING_NAMESPACE.match(line):
             err(lineno, "R5", "using namespace at file scope in a header")
-        if in_serve:
-            m = RUNTIME_INCLUDE.search(include_line)
-            if m and m.group(1) not in SERVE_ALLOWED_RUNTIME_INCLUDES:
-                err(lineno, "R6",
-                    f'src/serve/ may not include "runtime/{m.group(1)}" — '
-                    "only the session facade (machine_session.hpp, "
-                    "service_thread.hpp, partition.hpp)")
-            if SERVE_FORBIDDEN.search(line):
-                err(lineno, "R6",
-                    "src/serve/ must not name Machine or ThreadPool — "
-                    "consume MachineSession instead")
-        if in_update:
-            m = RUNTIME_INCLUDE.search(include_line)
-            if m and m.group(1) not in UPDATE_ALLOWED_RUNTIME_INCLUDES:
-                err(lineno, "R9",
-                    f'src/update/ may not include "runtime/{m.group(1)}" — '
-                    "only the session facade (machine_session.hpp, "
-                    "service_thread.hpp, partition.hpp)")
-            m = CORE_INCLUDE.search(include_line)
-            if m and m.group(1) in UPDATE_BANNED_CORE_INCLUDES:
-                err(lineno, "R9",
-                    f'src/update/ may not include "core/{m.group(1)}" — '
-                    "seeded sweeps go through core/seeded_solve.hpp, fresh "
-                    "solves through core/solver.hpp")
-            if UPDATE_FORBIDDEN.search(line):
-                err(lineno, "R9",
-                    "src/update/ must not name Machine, ThreadPool or "
-                    "DeltaEngine — consume the solver/session facades "
-                    "instead")
         if rel in ENGINE_HOT_PATHS and NESTED_MSG_VECTOR.search(line):
             err(lineno, "R7",
                 "nested vector-of-vector send buffer of a message type in "
                 "an engine hot path — emit into a SendBufferPool shard "
                 "(docs/PERFORMANCE.md)")
-        if rel in ENGINE_TIMED_PATHS and CLOCK_CALL.search(line):
-            err(lineno, "R8",
-                "direct clock read in an engine timed path — sample time "
-                "through the obs/ helpers (PhaseTimer, TimedSection, "
-                "ScopedSpan) so the interval lands in exactly one "
-                "accounting bucket (docs/OBSERVABILITY.md)")
 
     return errors
 

@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/instrumentation.hpp"
 #include "core/options.hpp"
 #include "core/types.hpp"
 #include "graph/csr.hpp"

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "core/buckets.hpp"
 #include "core/hybrid.hpp"
 #include "core/load_balance.hpp"
 #include "core/push_pull.hpp"

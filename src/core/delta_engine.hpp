@@ -16,7 +16,6 @@
 #include <utility>
 #include <vector>
 
-#include "core/buckets.hpp"
 #include "core/dist_graph.hpp"
 #include "core/instrumentation.hpp"
 #include "core/options.hpp"

@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "core/options.hpp"
-#include "core/types.hpp"
 
 namespace parsssp {
 

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/types.hpp"
 
 namespace parsssp {
 

@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "core/delta_engine.hpp"
+#include "core/delta_engine.hpp"  // IWYU pragma: export (RelaxMsg is part of the job API)
 #include "core/instrumentation.hpp"
 #include "core/options.hpp"
 #include "runtime/machine_session.hpp"

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/delta_engine.hpp"
 #include "core/parent_canon.hpp"
 
 namespace parsssp {

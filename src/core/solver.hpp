@@ -15,7 +15,6 @@
 #include <span>
 #include <vector>
 
-#include "core/delta_engine.hpp"
 #include "core/dist_graph.hpp"
 #include "core/instrumentation.hpp"
 #include "core/multi_engine.hpp"

@@ -5,7 +5,6 @@
 #include <cmath>
 
 #include "graph/rmat.hpp"
-#include "graph/weights.hpp"
 
 namespace parsssp {
 namespace {

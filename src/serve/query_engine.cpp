@@ -1,5 +1,8 @@
 #include "serve/query_engine.hpp"
 
+#include "core/delta_engine.hpp"
+#include "core/multi_engine.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>

@@ -39,9 +39,7 @@
 #include <string>
 #include <vector>
 
-#include "core/delta_engine.hpp"
 #include "core/dist_graph.hpp"
-#include "core/multi_engine.hpp"
 #include "core/options.hpp"
 #include "core/sync.hpp"
 #include "core/thread_annotations.hpp"

@@ -28,7 +28,7 @@
 #include <span>
 #include <vector>
 
-#include "core/seeded_solve.hpp"
+#include "core/seeded_solve.hpp"  // IWYU pragma: export (RelaxMsg seeds API)
 #include "core/types.hpp"
 #include "update/dynamic_graph.hpp"
 #include "update/edge_batch.hpp"

@@ -88,10 +88,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(Algo::kDijkstra, Algo::kBellmanFord, Algo::kDel25,
                           Algo::kPrune25, Algo::kOpt25, Algo::kLbOpt25),
         ::testing::Values(rank_t{1}, rank_t{3}, rank_t{8})),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
-             algo_name(std::get<1>(info.param)) + "_ranks" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<Param>& tpi) {
+      return "seed" + std::to_string(std::get<0>(tpi.param)) + "_" +
+             algo_name(std::get<1>(tpi.param)) + "_ranks" +
+             std::to_string(std::get<2>(tpi.param));
     });
 
 // Delta sweep at fixed algorithm shape: classification+IOS+pruning must be

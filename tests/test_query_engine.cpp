@@ -71,9 +71,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, QueryEngineProperty,
     ::testing::Combine(::testing::Values(1u, 25u, 256u),
                        ::testing::Values(rank_t{1}, rank_t{2}, rank_t{5})),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "delta" + std::to_string(std::get<0>(info.param)) + "_ranks" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& tpi) {
+      return "delta" + std::to_string(std::get<0>(tpi.param)) + "_ranks" +
+             std::to_string(std::get<1>(tpi.param));
     });
 
 TEST(QueryEngine, SecondIdenticalQueryIsServedFromCache) {
