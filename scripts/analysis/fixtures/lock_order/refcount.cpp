@@ -1,0 +1,35 @@
+// Out-of-line definitions for refcount.hpp (markers explained there).
+#include "refcount.hpp"
+
+void Publisher::publish() {
+  MutexLock guard(mu_);
+  head_seq_ += 1;  // SEED(A1/unguarded-field)
+  live_ += 1;
+  refs_published_ += 1;
+  // Dropping the superseded slot's reference while holding mu_: release
+  // acquires Slot::mu_ (order edge) and, on last reference, re-enters
+  // collect() which re-acquires mu_ (self-deadlock). Both fire here.
+  slot_->release();  // SEED(A1/lock-cycle) SEED(A1/reentrant-lock)
+}
+
+void Publisher::collect() {
+  MutexLock guard(mu_);
+  live_ -= 1;
+}
+
+void Slot::release() {
+  MutexLock guard(mu_);
+  refs_ -= 1;
+  owner_->collect();  // SEED(A1/lock-cycle)
+}
+
+// Negative: publish-then-retire done right — the head swap commits and the
+// lock is released before the superseded reference is dropped, so the
+// callback into collect() runs with nothing held. No ordering edge.
+void Publisher::publish_then_retire() {
+  {
+    MutexLock guard(mu_);
+    live_ += 1;
+  }
+  slot_->release();
+}

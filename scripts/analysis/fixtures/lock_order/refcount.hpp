@@ -1,0 +1,31 @@
+// A1 fixture: the refcount-publish pattern (MVCC snapshot managers).
+// Publisher::publish swaps the head under mu_ and drops the superseded
+// slot's reference while still holding it; if that was the last reference,
+// Slot::release calls back into Publisher::collect, which re-acquires
+// mu_ — the classic publish/retire callback deadlock (see refcount.cpp).
+// The safe shape (drop the lock, then release) is seeded as a negative.
+#pragma once
+
+#include "ledger.hpp"
+
+struct Slot;
+
+struct Publisher {
+  void publish();
+  void publish_then_retire();
+  void collect();
+  Mutex mu_;
+  Slot* slot_;
+  // head_seq_ is written under mu_ but carries no GUARDED_BY; live_ is
+  // annotated and must NOT fire; refs_published_ is atomic and exempt.
+  long head_seq_;
+  long live_ MPS_GUARDED_BY(mu_);
+  std::atomic<long> refs_published_;
+};
+
+struct Slot {
+  void release();
+  Mutex mu_;
+  Publisher* owner_;
+  std::atomic<long> refs_;
+};

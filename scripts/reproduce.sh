@@ -31,6 +31,14 @@
 #                                   root; fails if repair is not
 #                                   bit-identical to a fresh solve or the
 #                                   median repair speedup is below the bar
+#   scripts/reproduce.sh --mvcc     only build + run the MVCC serving
+#                                   acceptance bench (bench/mvcc_serving),
+#                                   writing BENCH_mvcc_serving.json at the
+#                                   repo root; fails if the mixed-stream
+#                                   query p99 exceeds 1.2x the update-free
+#                                   control run or any sampled answer is
+#                                   stale (dist/parent mismatch vs a fresh
+#                                   solve of its stamped version)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,14 +47,16 @@ SERVE=0
 MICRO=0
 TRACE=0
 UPDATE=0
+MVCC=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
     --micro) MICRO=1 ;;
     --trace) TRACE=1 ;;
     --update) UPDATE=1 ;;
+    --mvcc) MVCC=1 ;;
     *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" \
-            "[--update]" >&2
+            "[--update] [--mvcc]" >&2
        exit 2 ;;
   esac
 done
@@ -87,6 +97,17 @@ if [ "$UPDATE" -eq 1 ]; then
   exit 0
 fi
 
+if [ "$MVCC" -eq 1 ]; then
+  # Fast path for CI perf smoke: the bench's exit status encodes the MVCC
+  # acceptance gates (query p99 within 1.2x of the update-free control and
+  # zero stale answers across the sampled versions).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target mvcc_serving
+  ./build/bench/mvcc_serving BENCH_mvcc_serving.json
+  echo "wrote BENCH_mvcc_serving.json"
+  exit 0
+fi
+
 if [ "$MICRO" -eq 1 ]; then
   # Fast path for CI perf smoke: no test sweep, no figure benches.
   cmake -B build -S . >/dev/null
@@ -105,7 +126,7 @@ scripts/check.sh --quick 2>&1 | tee test_output.txt
   for b in build/bench/*; do
     # serve_throughput / update_throughput are acceptance benches with JSON
     # side effects; they run under --serve / --update, not the figure sweep.
-    case "$b" in *serve_throughput*|*update_throughput*) continue ;; esac
+    case "$b" in *serve_throughput*|*update_throughput*|*mvcc_serving*) continue ;; esac
     if [ -x "$b" ] && [ ! -d "$b" ]; then
       echo "===== $b ====="
       "$b"

@@ -27,6 +27,8 @@ std::string_view span_cat_name(SpanCat cat) {
     case SpanCat::kRepairFrontier: return "repair_frontier";
     case SpanCat::kRepairSweep: return "repair_sweep";
     case SpanCat::kUpdateApply: return "update_apply";
+    case SpanCat::kSnapshotPublish: return "snapshot_publish";
+    case SpanCat::kSnapshotRetire: return "snapshot_retire";
     case SpanCat::kCount: break;
   }
   return "unknown";
@@ -56,6 +58,9 @@ std::string_view span_group(SpanCat cat) {
     case SpanCat::kRepairSweep:
     case SpanCat::kUpdateApply:
       return "update";
+    case SpanCat::kSnapshotPublish:
+    case SpanCat::kSnapshotRetire:
+      return "snapshot";
     default:
       return "serve";
   }

@@ -72,6 +72,9 @@ enum class SpanCat : std::uint8_t {
   kRepairFrontier,  ///< planning: suspects, downward closure, seed harvest
   kRepairSweep,     ///< the seeded Delta-stepping sweep of one repair
   kUpdateApply,     ///< serving: applying one edge batch + view patching
+  // MVCC snapshot layer (docs/SNAPSHOTS.md; publish-thread lane).
+  kSnapshotPublish,  ///< installing a new head + reader-gate drain
+  kSnapshotRetire,   ///< one snapshot's limbo: supersession to reclamation
   kCount
 };
 

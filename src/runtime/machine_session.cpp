@@ -38,9 +38,11 @@ MachineSession::~MachineSession() {
   for (auto& t : threads_) t.join();
 }
 
-std::future<void> MachineSession::submit(std::function<void(RankCtx&)> job) {
+std::future<void> MachineSession::submit(std::function<void(RankCtx&)> job,
+                                         std::shared_ptr<void> keepalive) {
   auto j = std::make_unique<Job>();
   j->fn = std::move(job);
+  j->keepalive = std::move(keepalive);
   std::future<void> fut = j->done.get_future();
   bool published = false;
   {

@@ -71,7 +71,14 @@ class MachineSession {
   /// Enqueues `job` for collective execution on every rank. The returned
   /// future becomes ready when all ranks finished the job (value) or any
   /// rank threw (the first exception). Thread-safe.
-  std::future<void> submit(std::function<void(RankCtx&)> job);
+  ///
+  /// `keepalive` is an opaque resource pinned for the job's whole lifetime
+  /// and released only after the job leaves the session (fulfilled or
+  /// cancelled). The serving layer passes the GraphSnapshot its job reads
+  /// through, so the data a rank may touch can never be reclaimed mid-job
+  /// — whatever the submitting thread does with its own reference.
+  std::future<void> submit(std::function<void(RankCtx&)> job,
+                           std::shared_ptr<void> keepalive = nullptr);
 
   /// Convenience: submit + wait, rethrowing the job's error. The
   /// session-backed equivalent of Machine::run.
@@ -101,6 +108,8 @@ class MachineSession {
   /// session mutex_ (not annotatable on a nested struct member).
   struct Job {
     std::function<void(RankCtx&)> fn;
+    /// Pinned resource (e.g. a serving snapshot), released at Job death.
+    std::shared_ptr<void> keepalive;
     std::promise<void> done;
     std::exception_ptr error;
     rank_t finished = 0;

@@ -18,23 +18,31 @@ std::size_t clamp_batch(std::size_t requested) {
 }  // namespace
 
 QueryEngine::QueryEngine(const CsrGraph& graph, ServeConfig config)
-    : QueryEngine(graph, /*dynamic=*/nullptr, std::move(config)) {}
+    : QueryEngine(&graph, /*dynamic=*/nullptr, std::move(config)) {}
 
 QueryEngine::QueryEngine(DynamicGraph& graph, ServeConfig config)
-    : QueryEngine(graph.base(), &graph, std::move(config)) {}
+    : QueryEngine(nullptr, &graph, std::move(config)) {}
 
-QueryEngine::QueryEngine(const CsrGraph& graph, DynamicGraph* dynamic,
+QueryEngine::QueryEngine(const CsrGraph* graph, DynamicGraph* dynamic,
                          ServeConfig config)
-    : graph_(graph),
+    : static_graph_(graph),
       dynamic_(dynamic),
+      manager_(dynamic != nullptr ? dynamic->snapshot_manager() : nullptr),
       config_([&] {
         config.max_batch = clamp_batch(config.max_batch);
         return config;
       }()),
-      part_(graph.num_vertices(), config_.machine.num_ranks),
+      num_vertices_(dynamic_ != nullptr ? dynamic_->num_vertices()
+                                        : static_graph_->num_vertices()),
+      part_(num_vertices_, config_.machine.num_ranks),
       cache_(config_.cache_capacity),
       session_(config_.machine) {
   if (dynamic_ != nullptr) {
+    if (manager_ == nullptr) {
+      throw std::invalid_argument(
+          "QueryEngine: dynamic serving pins MVCC snapshots; construct the "
+          "DynamicGraph with Config::snapshots enabled");
+    }
     version_.store(dynamic_->version(), std::memory_order_release);
   }
   {
@@ -59,11 +67,18 @@ QueryEngine::QueryEngine(const CsrGraph& graph, DynamicGraph* dynamic,
       g_cache_evictions_ = &reg.gauge("serve.cache_evictions");
       g_cache_version_misses_ = &reg.gauge("serve.cache_version_misses");
       g_cache_invalidations_ = &reg.gauge("serve.cache_invalidations");
+      g_snapshots_live_ = &reg.gauge("serve.snapshots_live");
+      g_oldest_pinned_ = &reg.gauge("serve.oldest_pinned_version");
+      g_retire_latency_ = &reg.gauge("serve.snapshot_retire_latency_s");
       g_graph_version_->set(static_cast<double>(graph_version()));
     }
   }
   dispatcher_ = std::make_unique<ServiceThread>(
       [this] { return dispatch_step(); }, config_.idle_poll);
+  if (mvcc()) {
+    builder_ = std::make_unique<ServiceThread>(
+        [this] { return builder_step(); }, config_.idle_poll);
+  }
 }
 
 QueryEngine::~QueryEngine() {
@@ -71,13 +86,18 @@ QueryEngine::~QueryEngine() {
     MutexLock lock(mutex_);
     accepting_ = false;
   }
-  // Stop the dispatcher first: after this join no new batch can open, so
-  // draining the queue below races with nothing.
+  // Stop the service threads first: after these joins no new batch can
+  // open and no update can start, so draining the queues races with
+  // nothing. Clients keeping SnapshotRefs are unaffected — their versions
+  // are self-contained and reclaim themselves on the last unpin.
   dispatcher_.reset();
+  builder_.reset();
   std::deque<Pending> orphaned;
   {
     MutexLock lock(mutex_);
     orphaned.swap(queue_);
+    for (Pending& p : update_queue_) orphaned.push_back(std::move(p));
+    update_queue_.clear();
     stats_.cancelled += orphaned.size();
   }
   for (Pending& p : orphaned) {
@@ -89,11 +109,11 @@ QueryEngine::~QueryEngine() {
 
 std::future<QueryResult> QueryEngine::submit(vid_t root,
                                              const SsspOptions& options) {
-  if (root >= graph_.num_vertices()) {
+  if (root >= num_vertices_) {
     throw std::out_of_range("QueryEngine::submit: root " +
                             std::to_string(root) +
                             " out of range (graph has " +
-                            std::to_string(graph_.num_vertices()) +
+                            std::to_string(num_vertices_) +
                             " vertices)");
   }
   if (options.delta == 0) {
@@ -137,18 +157,21 @@ std::future<UpdateResult> QueryEngine::apply_updates(EdgeBatch batch) {
   p.updates = std::move(batch);
   p.submitted_at = std::chrono::steady_clock::now();
   std::future<UpdateResult> fut = p.update_promise.get_future();
+  const bool to_builder = mvcc();
   {
     MutexLock lock(mutex_);
     if (!accepting_) {
       throw std::logic_error(
           "QueryEngine::apply_updates on an engine that is shutting down");
     }
-    queue_.push_back(std::move(p));
-    if (g_queue_depth_ != nullptr) {
+    // MVCC: updates queue for the builder thread and never fence queries.
+    // Fenced: updates ride the query FIFO as barriers.
+    (to_builder ? update_queue_ : queue_).push_back(std::move(p));
+    if (!to_builder && g_queue_depth_ != nullptr) {
       g_queue_depth_->set(static_cast<double>(queue_.size()));
     }
   }
-  dispatcher_->wake();
+  (to_builder ? builder_ : dispatcher_)->wake();
   return fut;
 }
 
@@ -156,11 +179,21 @@ UpdateResult QueryEngine::update(EdgeBatch batch) {
   return apply_updates(std::move(batch)).get();
 }
 
+SnapshotRef QueryEngine::current_snapshot() const {
+  if (manager_ == nullptr) {
+    throw std::logic_error(
+        "QueryEngine::current_snapshot: static engines have no snapshots");
+  }
+  return manager_->current();
+}
+
 std::size_t QueryEngine::cancel_pending() {
   std::deque<Pending> cancelled;
   {
     MutexLock lock(mutex_);
     cancelled.swap(queue_);
+    for (Pending& p : update_queue_) cancelled.push_back(std::move(p));
+    update_queue_.clear();
     stats_.cancelled += cancelled.size();
   }
   for (Pending& p : cancelled) {
@@ -178,6 +211,14 @@ ServeStats QueryEngine::stats() const {
   }
   out.cache = cache_.counters();
   out.graph_version = graph_version();
+  if (manager_ != nullptr) {
+    manager_->collect();
+    const SnapshotManager::Stats s = manager_->stats();
+    out.snapshots_published = s.published;
+    out.snapshots_reclaimed = s.reclaimed;
+    out.snapshots_live = s.live;
+    out.oldest_pinned_version = s.oldest_pinned_version;
+  }
   return out;
 }
 
@@ -192,9 +233,11 @@ bool QueryEngine::dispatch_step() {
     MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     const auto now = std::chrono::steady_clock::now();
-    // An update at the head closes immediately as its own single-item
-    // batch: it is a barrier between the graph versions on either side,
-    // and making it wait for batchmates would only add latency.
+    // Fenced mode only — MVCC routes updates to the builder, so the query
+    // FIFO never contains one. An update at the head closes immediately as
+    // its own single-item batch: it is a barrier between the graph
+    // versions on either side, and making it wait for batchmates would
+    // only add latency.
     if (queue_.front().kind == Pending::Kind::kUpdate) {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
@@ -255,10 +298,36 @@ bool QueryEngine::dispatch_step() {
   return true;
 }
 
+bool QueryEngine::builder_step() {
+  // First step on the builder thread: register its trace lane and route
+  // the manager's publish/retire spans into it.
+  if (config_.trace != nullptr && blane_ == nullptr) {
+    blane_ = &config_.trace->thread_lane("serve-builder");
+    manager_->set_trace_lane(blane_);
+  }
+  Pending update;
+  {
+    MutexLock lock(mutex_);
+    if (update_queue_.empty()) return false;
+    update = std::move(update_queue_.front());
+    update_queue_.pop_front();
+  }
+  serve_update(std::move(update));
+  return true;
+}
+
 void QueryEngine::serve_batch(std::vector<Pending> batch) {
-  const auto fulfill = [this](Pending& p,
-                              std::shared_ptr<const QueryAnswer> answer,
-                              bool from_cache) {
+  // Pin the newest published version for the whole batch. Queries keep
+  // this snapshot — base CSR included — alive through solve and cache
+  // admission, whatever the builder publishes or compacts meanwhile.
+  SnapshotRef snap;
+  if (manager_ != nullptr) snap = manager_->current();
+  const std::uint64_t version = snap ? snap->version() : 0;
+
+  const auto fulfill = [this, version](
+                           Pending& p,
+                           std::shared_ptr<const QueryAnswer> answer,
+                           bool from_cache) {
     // Count before fulfilling: a client whose future has resolved must
     // already see itself in stats().completed.
     {
@@ -271,14 +340,15 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
       h_latency_->record(
           std::chrono::duration<double>(now - p.submitted_at).count());
     }
-    p.promise.set_value(QueryResult{std::move(answer), from_cache, now});
+    p.promise.set_value(
+        QueryResult{std::move(answer), from_cache, version, now});
   };
 
   // Cache pass: hits complete immediately, misses proceed to the machine.
-  // Dynamic mode keys every lookup/insert by the current graph version
-  // (stable for the whole batch: updates only apply on this thread), so a
-  // pre-update answer can never satisfy a post-update query.
-  const std::uint64_t version = graph_version();
+  // Every lookup/insert is keyed by the pinned snapshot's version — the
+  // version this batch actually serves, not whatever is newest — so a
+  // pre-update answer can never satisfy a post-update query and vice
+  // versa.
   std::vector<Pending> misses;
   {
     ScopedSpan span(dlane_, SpanCat::kCacheLookup, batch.size());
@@ -292,53 +362,54 @@ void QueryEngine::serve_batch(std::vector<Pending> batch) {
       }
     }
   }
-  if (misses.empty()) return;
-
-  // Dedup roots: batchmates querying the same root share one computation.
-  std::vector<vid_t> unique;
-  std::vector<std::size_t> slot_of(misses.size());
-  {
-    std::unordered_map<vid_t, std::size_t> index;
-    for (std::size_t i = 0; i < misses.size(); ++i) {
-      const auto [it, inserted] =
-          index.emplace(misses[i].root, unique.size());
-      if (inserted) unique.push_back(misses[i].root);
-      slot_of[i] = it->second;
+  if (!misses.empty()) {
+    // Dedup roots: batchmates querying the same root share one computation.
+    std::vector<vid_t> unique;
+    std::vector<std::size_t> slot_of(misses.size());
+    {
+      std::unordered_map<vid_t, std::size_t> index;
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        const auto [it, inserted] =
+            index.emplace(misses[i].root, unique.size());
+        if (inserted) unique.push_back(misses[i].root);
+        slot_of[i] = it->second;
+      }
     }
-  }
 
-  const std::vector<std::shared_ptr<const QueryAnswer>> answers =
-      compute(unique, misses.front().options);
+    const std::vector<std::shared_ptr<const QueryAnswer>> answers =
+        compute(unique, misses.front().options, snap);
 
-  for (std::size_t s = 0; s < unique.size(); ++s) {
-    cache_.insert(unique[s], misses.front().signature, answers[s], version);
+    for (std::size_t s = 0; s < unique.size(); ++s) {
+      cache_.insert(unique[s], misses.front().signature, answers[s], version);
+    }
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      fulfill(misses[i], answers[slot_of[i]], /*from_cache=*/false);
+    }
+    refresh_cache_metrics();
   }
-  for (std::size_t i = 0; i < misses.size(); ++i) {
-    fulfill(misses[i], answers[slot_of[i]], /*from_cache=*/false);
+  if (manager_ != nullptr) {
+    // Drop the batch's pin before refreshing the gauges, so a snapshot
+    // kept alive only by this batch is reclaimed (and counted) now rather
+    // than at the next update.
+    snap.reset();
+    refresh_snapshot_metrics();
   }
-  refresh_cache_metrics();
 }
 
 void QueryEngine::serve_update(Pending update) {
-  ScopedSpan span(dlane_, SpanCat::kUpdateApply, update.updates.size());
+  // Runs on the builder thread in MVCC mode, the dispatcher in fenced
+  // mode; either way this is the DynamicGraph's only mutator.
+  TraceLane* lane = mvcc() ? blane_ : dlane_;
+  if (lane != nullptr && !mvcc()) manager_->set_trace_lane(lane);
+  ScopedSpan span(lane, SpanCat::kUpdateApply, update.updates.size());
   AppliedBatch applied;
   try {
     applied = dynamic_->apply(update.updates);
   } catch (...) {
-    // Validation failure: the graph (and therefore views, cache, version)
-    // is untouched; the client gets the error, serving continues.
+    // Validation failure: the graph (and therefore snapshots, cache,
+    // version) is untouched; the client gets the error, serving continues.
     update.update_promise.set_exception(std::current_exception());
     return;
-  }
-  if (views_ready_) {
-    if (applied.compacted) {
-      views_ready_ = false;  // rebuilt lazily by the next solve
-    } else {
-      for (const vid_t v : applied.touched) {
-        const rank_t r = part_.owner(v);
-        views_[r].patch_vertex(v - part_.begin(r), dynamic_->arcs_of(v));
-      }
-    }
   }
   version_.store(applied.version, std::memory_order_release);
   {
@@ -347,10 +418,7 @@ void QueryEngine::serve_update(Pending update) {
     stats_.graph_version = applied.version;
   }
   if (m_updates_ != nullptr) m_updates_->inc();
-  if (g_graph_version_ != nullptr) {
-    g_graph_version_->set(static_cast<double>(applied.version));
-  }
-  refresh_cache_metrics();
+  refresh_snapshot_metrics();
   update.update_promise.set_value(
       UpdateResult{applied.version, applied.ops.size(), applied.compacted,
                    std::chrono::steady_clock::now()});
@@ -364,14 +432,34 @@ void QueryEngine::refresh_cache_metrics() {
   g_cache_invalidations_->set(static_cast<double>(c.invalidations));
 }
 
+void QueryEngine::refresh_snapshot_metrics() {
+  if (manager_ == nullptr) return;
+  manager_->collect();
+  if (g_graph_version_ == nullptr) return;
+  const SnapshotManager::Stats s = manager_->stats();
+  g_graph_version_->set(static_cast<double>(s.head_version));
+  g_snapshots_live_->set(static_cast<double>(s.live));
+  g_oldest_pinned_->set(static_cast<double>(s.oldest_pinned_version));
+  g_retire_latency_->set(s.retire_latency_last_s);
+}
+
 std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
-    const std::vector<vid_t>& roots, const SsspOptions& opts_in) {
+    const std::vector<vid_t>& roots, const SsspOptions& opts_in,
+    const SnapshotRef& snap) {
   ScopedSpan span(dlane_, SpanCat::kServeSolve, roots.size());
   // Served solves trace into the engine's recorder, whatever the client
   // put in its options (trace is excluded from the batch signature).
   SsspOptions options = opts_in;
   options.trace = config_.trace;
-  ensure_views(options.delta);
+  ensure_views(options.delta, snap);
+  // The graph the engines see: the snapshot's base CSR (its arcs may lag
+  // the logical graph — engines read adjacency through the views, which
+  // ensure_views synced to the snapshot) or the static graph. The session
+  // job additionally pins the snapshot for its own lifetime, so the data
+  // it reads outlives even an engine teardown racing a late rank.
+  const CsrGraph* graph = snap ? &snap->base() : static_graph_;
+  const std::shared_ptr<void> keepalive =
+      snap ? std::make_shared<SnapshotRef>(snap) : nullptr;
   std::vector<std::shared_ptr<const QueryAnswer>> answers;
   answers.reserve(roots.size());
 
@@ -382,14 +470,14 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
     for (const vid_t root : roots) {
       auto answer = std::make_shared<QueryAnswer>();
       answer->root = root;
-      answer->dist.assign(graph_.num_vertices(), kInfDist);
+      answer->dist.assign(num_vertices_, kInfDist);
       if (options.track_parents) {
-        answer->parent.assign(graph_.num_vertices(), kInvalidVid);
+        answer->parent.assign(num_vertices_, kInvalidVid);
       }
       std::vector<RankCounters> rank_counters(session_.num_ranks());
 
       EngineShared shared;
-      shared.graph = &graph_;
+      shared.graph = graph;
       shared.part = part_;
       shared.views = &views_;
       shared.dist = &answer->dist;
@@ -398,13 +486,16 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
       shared.options = &options;
       shared.rank_counters = &rank_counters;
       shared.stats = &answer->stats;
-      if (dynamic_ != nullptr) {
+      if (snap) {
         // The base CSR may lag the logical graph; give the push/pull
-        // estimator the dynamic graph's weight bound instead.
-        shared.max_weight = dynamic_->max_weight();
+        // estimator the snapshot's weight bound instead.
+        shared.max_weight = snap->max_weight();
       }
 
-      session_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+      session_
+          .submit([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); },
+                  keepalive)
+          .get();
 
       for (const RankCounters& c : rank_counters) {
         answer->stats.short_relaxations += c.short_relaxations;
@@ -427,14 +518,14 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   for (std::size_t s = 0; s < roots.size(); ++s) {
     building[s] = std::make_shared<QueryAnswer>();
     building[s]->root = roots[s];
-    building[s]->dist.assign(graph_.num_vertices(), kInfDist);
+    building[s]->dist.assign(num_vertices_, kInfDist);
     slabs[s] = &building[s]->dist;
   }
   MultiStats multi_stats;
   std::vector<RankCounters> rank_counters(session_.num_ranks());
 
   MultiEngineShared shared;
-  shared.graph = &graph_;
+  shared.graph = graph;
   shared.part = part_;
   shared.views = &views_;
   shared.roots = std::span<const vid_t>(roots);
@@ -443,7 +534,10 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   shared.rank_counters = &rank_counters;
   shared.stats = &multi_stats;
 
-  session_.run([&shared](RankCtx& ctx) { run_multi_sssp_job(ctx, shared); });
+  session_
+      .submit([&shared](RankCtx& ctx) { run_multi_sssp_job(ctx, shared); },
+              keepalive)
+      .get();
 
   for (std::size_t s = 0; s < roots.size(); ++s) {
     // Batched-path statistics: relaxations are per root (exact), structure
@@ -464,16 +558,39 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   return answers;
 }
 
-void QueryEngine::ensure_views(std::uint32_t delta) {
-  if (views_ready_ && views_delta_ == delta) return;
+void QueryEngine::ensure_views(std::uint32_t delta, const SnapshotRef& snap) {
+  const std::uint64_t seq = snap ? snap->publish_seq() : 1;
+  if (views_ready_ && views_delta_ == delta && views_seq_ == seq) return;
+  if (snap && views_ready_ && views_delta_ == delta && views_seq_ < seq) {
+    // Patch forward through the manager's bounded publish log: cheaper
+    // than a rebuild when few vertices changed since the views' sequence.
+    // nullopt means the range crossed a compaction or aged out.
+    if (const auto touched = manager_->touched_between(views_seq_, seq)) {
+      for (const vid_t v : *touched) {
+        const rank_t r = part_.owner(v);
+        views_[r].patch_vertex(v - part_.begin(r), snap->arcs_of(v));
+      }
+      views_seq_ = seq;
+      return;
+    }
+  }
   views_.assign(session_.num_ranks(), LocalEdgeView{});
-  session_.run([this, delta](RankCtx& ctx) {
-    views_[ctx.rank()] =
-        dynamic_ != nullptr
-            ? dynamic_->build_local_view(part_, ctx.rank(), delta)
-            : LocalEdgeView::build(graph_, part_, ctx.rank(), delta);
-  });
+  const GraphSnapshot* s = snap.get();
+  const std::shared_ptr<void> keepalive =
+      snap ? std::make_shared<SnapshotRef>(snap) : nullptr;
+  session_
+      .submit(
+          [this, delta, s](RankCtx& ctx) {
+            views_[ctx.rank()] =
+                s != nullptr
+                    ? s->build_local_view(part_, ctx.rank(), delta)
+                    : LocalEdgeView::build(*static_graph_, part_, ctx.rank(),
+                                           delta);
+          },
+          keepalive)
+      .get();
   views_delta_ = delta;
+  views_seq_ = seq;
   views_ready_ = true;
 }
 

@@ -23,10 +23,22 @@
 //     bit-identical between both paths and Solver::solve; batched-path
 //     statistics are batch-level (see docs/SERVING.md).
 //
+// Dynamic serving is MVCC by default (docs/SNAPSHOTS.md): every batch pins
+// the latest immutable GraphSnapshot at close and solves on it, while
+// update batches build the next version on a separate builder
+// ServiceThread — queries never stall behind a repair, and a pinned
+// version (including its base CSR) outlives any number of concurrent
+// mutations and compactions. Correctness is carried by the version-stamped
+// result cache: an answer computed on snapshot V is cached at V and a
+// lookup at V' != V can never return it. ServeConfig::fence_updates
+// restores the strict PR-5 ordering — updates ride the query FIFO as
+// barriers and every query sees the newest version at admission order.
+//
 // All machine work happens on the dispatcher thread; submit() never blocks
-// on a solve. Layering (lint rule R6): this layer spawns no threads — the
-// only concurrency primitives it touches are MachineSession, ServiceThread
-// and a mutex around the queue.
+// on a solve. Layering (analyzer rule A3): this layer spawns no threads —
+// the only concurrency primitives it touches are MachineSession,
+// ServiceThread and a mutex around the queues; the snapshot layer is
+// consumed through the GraphSnapshot/SnapshotManager facade only.
 #pragma once
 
 #include <atomic>
@@ -50,6 +62,8 @@
 #include "runtime/partition.hpp"
 #include "runtime/service_thread.hpp"
 #include "serve/result_cache.hpp"
+#include "snapshot/graph_snapshot.hpp"
+#include "snapshot/snapshot_manager.hpp"
 #include "update/dynamic_graph.hpp"
 #include "update/edge_batch.hpp"
 
@@ -65,6 +79,12 @@ struct ServeConfig {
   std::size_t cache_capacity = 1024;
   /// Granularity at which the dispatcher re-checks the window deadline.
   std::chrono::nanoseconds idle_poll = std::chrono::microseconds(50);
+  /// Strict PR-5 ordering for dynamic engines: updates share the query
+  /// FIFO and fence it (a batch never spans an update; queries behind an
+  /// update wait for it). Off by default — MVCC serving lets queries run
+  /// on their pinned snapshot while updates build the next version
+  /// concurrently (docs/SNAPSHOTS.md).
+  bool fence_updates = false;
 
   // --- Observability (docs/OBSERVABILITY.md) ----------------------------
 
@@ -73,9 +93,10 @@ struct ServeConfig {
   /// engine; instruments are shared with whoever else snapshots it.
   MetricsRegistry* metrics = nullptr;
   /// When non-null, the dispatcher records admission/batch/cache/solve
-  /// spans into its own lane, and solves propagate the recorder into the
-  /// engines (overriding SsspOptions::trace for served queries). Must
-  /// outlive the engine.
+  /// spans into its own lane (and the update builder publish/retire spans
+  /// into its lane), and solves propagate the recorder into the engines
+  /// (overriding SsspOptions::trace for served queries). Must outlive the
+  /// engine.
   TraceRecorder* trace = nullptr;
 };
 
@@ -83,6 +104,9 @@ struct ServeConfig {
 struct QueryResult {
   std::shared_ptr<const QueryAnswer> answer;
   bool from_cache = false;
+  /// Graph version the answer was computed (or cache-validated) at; 0 on
+  /// static engines. The snapshot actually solved on, not the newest one.
+  std::uint64_t version = 0;
   std::chrono::steady_clock::time_point completed_at;
 };
 
@@ -103,7 +127,12 @@ struct ServeStats {
   std::uint64_t single_solves = 0;  ///< roots served by the per-root engine
   std::uint64_t multi_sweeps = 0;   ///< batched multi-root sweeps executed
   std::uint64_t updates = 0;        ///< update batches applied (dynamic mode)
-  std::uint64_t graph_version = 0;  ///< current graph version (dynamic mode)
+  std::uint64_t graph_version = 0;  ///< latest published version (dynamic)
+  // MVCC snapshot health (dynamic mode; docs/SNAPSHOTS.md).
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t snapshots_reclaimed = 0;
+  std::uint64_t snapshots_live = 0;
+  std::uint64_t oldest_pinned_version = 0;
   /// batch_size_histogram[s] = closed batches of size s (index 0 unused).
   std::vector<std::uint64_t> batch_size_histogram;
   ResultCache::Counters cache;
@@ -116,17 +145,17 @@ class QueryEngine {
   QueryEngine(const CsrGraph& graph, ServeConfig config);
 
   /// Dynamic mode: serves a mutable graph (docs/DYNAMIC.md). `graph` must
-  /// outlive the engine, and while the engine lives the graph may be
-  /// mutated *only* through apply_updates() — updates and queries are
-  /// serialized through the dispatcher FIFO, which is what makes "a stale
-  /// cached answer is never served" a structural property: every answer is
-  /// cached under the graph version it was computed at, every lookup
-  /// carries the current version, and a version mismatch erases the entry
-  /// instead of returning it.
+  /// outlive the engine, have snapshots enabled (throws
+  /// std::invalid_argument otherwise) and, while the engine lives, be
+  /// mutated *only* through apply_updates(). Queries are answered on
+  /// pinned snapshots and cached under the version actually solved on, so
+  /// a stale cached answer is never served — in fenced and MVCC mode
+  /// alike.
   QueryEngine(DynamicGraph& graph, ServeConfig config);
 
-  /// Fails queued queries with JobCancelled, finishes the in-flight batch,
-  /// stops the dispatcher and the session.
+  /// Fails queued queries with JobCancelled, finishes the in-flight batch
+  /// and update, stops the builder, the dispatcher and the session.
+  /// Outstanding SnapshotRefs held by clients survive the engine.
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
@@ -142,28 +171,35 @@ class QueryEngine {
   QueryResult query(vid_t root, const SsspOptions& options);
 
   /// Dynamic mode only (throws std::logic_error on a static engine):
-  /// enqueues one atomic mutation batch into the same FIFO as queries. It
-  /// is applied by the dispatcher in admission order — queries submitted
-  /// before it see the old graph, queries after it the new one. The future
-  /// resolves with the new graph version, or with the DynamicGraph::apply
+  /// enqueues one atomic mutation batch. MVCC mode applies it on the
+  /// builder thread, concurrently with query serving; fenced mode applies
+  /// it on the dispatcher in admission order (queries submitted before it
+  /// see the old graph, queries after it the new one). The future resolves
+  /// with the new graph version, or with the DynamicGraph::apply
   /// validation error (in which case the graph is unchanged). Thread-safe.
   std::future<UpdateResult> apply_updates(EdgeBatch batch);
 
   /// Convenience: apply_updates + wait.
   UpdateResult update(EdgeBatch batch);
 
-  /// Current graph version (0 on static engines). Thread-safe.
+  /// Latest published graph version (0 on static engines). Thread-safe.
   std::uint64_t graph_version() const {
     return version_.load(std::memory_order_acquire);
   }
 
-  /// Fails every queued-but-unbatched query with JobCancelled; returns how
-  /// many. Queries already in a closed batch still complete. Thread-safe.
+  /// Pins the latest published snapshot (dynamic mode; throws
+  /// std::logic_error on a static engine). What a batch closing right now
+  /// would serve on. Thread-safe.
+  SnapshotRef current_snapshot() const;
+
+  /// Fails every queued-but-unbatched query and unapplied update with
+  /// JobCancelled; returns how many. Queries already in a closed batch
+  /// still complete. Thread-safe.
   std::size_t cancel_pending();
 
   ServeStats stats() const;
   const ServeConfig& config() const { return config_; }
-  const CsrGraph& graph() const { return graph_; }
+  vid_t num_vertices() const { return num_vertices_; }
 
  private:
   struct Pending {
@@ -187,44 +223,71 @@ class QueryEngine {
   };
 
   /// Delegate of both public constructors.
-  QueryEngine(const CsrGraph& graph, DynamicGraph* dynamic,
+  QueryEngine(const CsrGraph* graph, DynamicGraph* dynamic,
               ServeConfig config);
 
-  /// ServiceThread step: closes at most one batch and serves it.
-  bool dispatch_step();
-  void serve_batch(std::vector<Pending> batch);
-  /// Dispatcher-thread-only: applies one update batch + patches views.
-  void serve_update(Pending update);
-  /// Pushes cache counters / graph version into the metrics registry.
-  void refresh_cache_metrics();
-  /// Computes answers for `roots` (unique, uncached) under `options`.
-  std::vector<std::shared_ptr<const QueryAnswer>> compute(
-      const std::vector<vid_t>& roots, const SsspOptions& options);
-  /// Dispatcher-thread-only: (re)build edge views for `delta`.
-  void ensure_views(std::uint32_t delta);
+  bool mvcc() const { return dynamic_ != nullptr && !config_.fence_updates; }
 
-  const CsrGraph& graph_;  ///< dynamic mode: the DynamicGraph's base
-  /// Null in static mode. Mutated only on the dispatcher thread.
+  /// Dispatcher ServiceThread step: closes at most one batch and serves
+  /// it (fenced mode also applies updates here, in FIFO order).
+  bool dispatch_step();
+  /// Builder ServiceThread step (MVCC mode only): applies one update.
+  bool builder_step();
+  void serve_batch(std::vector<Pending> batch);
+  /// Applies one update batch and publishes the new version. Runs on the
+  /// builder thread (MVCC) or the dispatcher (fenced) — the only mutator
+  /// of the DynamicGraph either way.
+  void serve_update(Pending update);
+  /// Pushes cache counters into the metrics registry.
+  void refresh_cache_metrics();
+  /// Reclaims droppable snapshots and refreshes the snapshot gauges
+  /// (graph version, live count, oldest pinned, retire latency).
+  void refresh_snapshot_metrics();
+  /// Computes answers for `roots` (unique, uncached) under `options`,
+  /// reading the graph through `snap` (null = static mode).
+  std::vector<std::shared_ptr<const QueryAnswer>> compute(
+      const std::vector<vid_t>& roots, const SsspOptions& options,
+      const SnapshotRef& snap);
+  /// Dispatcher-thread-only: sync the per-rank edge views to (`delta`,
+  /// `snap`) — patched forward through the manager's patch log when
+  /// possible, rebuilt otherwise.
+  void ensure_views(std::uint32_t delta, const SnapshotRef& snap);
+
+  /// Static mode only; null when serving a DynamicGraph.
+  const CsrGraph* const static_graph_;
+  /// Null in static mode. Mutated only on the builder (MVCC) or
+  /// dispatcher (fenced) thread.
   DynamicGraph* const dynamic_;
+  /// dynamic_->snapshot_manager(), cached; null in static mode.
+  SnapshotManager* const manager_;
   const ServeConfig config_;
+  /// Vertex count is version-invariant (updates never add vertices).
+  const vid_t num_vertices_;
   BlockPartition part_;
   ResultCache cache_;
   MachineSession session_;
-  /// Mirror of dynamic_->version() for lock-free reads off the dispatcher.
+  /// Mirror of the latest published version for lock-free reads.
   std::atomic<std::uint64_t> version_{0};
 
   mutable Mutex mutex_;
   std::deque<Pending> queue_ MPS_GUARDED_BY(mutex_);
+  /// MVCC mode: updates wait here for the builder instead of fencing the
+  /// query FIFO. Unused (always empty) in fenced and static mode.
+  std::deque<Pending> update_queue_ MPS_GUARDED_BY(mutex_);
   bool accepting_ MPS_GUARDED_BY(mutex_) = true;
   ServeStats stats_ MPS_GUARDED_BY(mutex_);
 
   // Dispatcher-thread-only state (no lock: one owner).
   std::vector<LocalEdgeView> views_;
   std::uint32_t views_delta_ = 0;
+  /// Publish sequence the views reflect (0 = never built).
+  std::uint64_t views_seq_ = 0;
   bool views_ready_ = false;
   /// Dispatcher trace lane, registered on the dispatcher thread's first
   /// step (null when config_.trace is null).
   TraceLane* dlane_ = nullptr;
+  /// Builder trace lane (MVCC mode; fenced updates trace into dlane_).
+  TraceLane* blane_ = nullptr;
 
   // Metrics handles (null when config_.metrics is null). The registry owns
   // the instruments; references stay valid for its lifetime.
@@ -238,10 +301,15 @@ class QueryEngine {
   Gauge* g_cache_evictions_ = nullptr;
   Gauge* g_cache_version_misses_ = nullptr;
   Gauge* g_cache_invalidations_ = nullptr;
+  Gauge* g_snapshots_live_ = nullptr;
+  Gauge* g_oldest_pinned_ = nullptr;
+  Gauge* g_retire_latency_ = nullptr;
   Histogram* h_latency_ = nullptr;
   Histogram* h_batch_size_ = nullptr;
 
-  std::unique_ptr<ServiceThread> dispatcher_;  ///< last: stops first
+  std::unique_ptr<ServiceThread> dispatcher_;  ///< stopped first
+  /// MVCC mode only: the single thread that mutates the DynamicGraph.
+  std::unique_ptr<ServiceThread> builder_;
 };
 
 }  // namespace parsssp

@@ -1,0 +1,103 @@
+#include "snapshot/graph_snapshot.hpp"
+
+#include <chrono>
+
+namespace parsssp {
+
+void FrozenDelta::append(vid_t v, std::span<const Arc> overlay,
+                         std::span<const vid_t> tombstones) {
+  verts_.push_back(v);
+  overlay_.insert(overlay_.end(), overlay.begin(), overlay.end());
+  tombs_.insert(tombs_.end(), tombstones.begin(), tombstones.end());
+  overlay_off_.push_back(overlay_.size());
+  tomb_off_.push_back(tombs_.size());
+}
+
+std::optional<std::size_t> FrozenDelta::find(vid_t v) const {
+  const auto it = std::lower_bound(verts_.begin(), verts_.end(), v);
+  if (it == verts_.end() || *it != v) return std::nullopt;
+  return static_cast<std::size_t>(it - verts_.begin());
+}
+
+GraphSnapshot::GraphSnapshot(Build build, std::uint64_t publish_seq,
+                             std::shared_ptr<SnapshotTallies> tallies)
+    : base_(std::move(build.base)),
+      delta_(std::move(build.delta)),
+      version_(build.version),
+      publish_seq_(publish_seq),
+      max_weight_(build.max_weight),
+      num_undirected_(build.num_undirected),
+      touched_(std::move(build.touched)),
+      new_base_(build.new_base),
+      tallies_(std::move(tallies)) {}
+
+void GraphSnapshot::unpin() const {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last reference: record how long the snapshot lingered past its
+  // supersession (0 when it was never superseded — manager shutdown).
+  const std::int64_t retired_at =
+      retired_at_ns_.load(std::memory_order_relaxed);
+  if (retired_at != 0 && tallies_ != nullptr) {
+    const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count();
+    const auto lat = static_cast<std::uint64_t>(
+        now > retired_at ? now - retired_at : 0);
+    tallies_->reclaimed.fetch_add(1, std::memory_order_relaxed);
+    tallies_->retire_ns_total.fetch_add(lat, std::memory_order_relaxed);
+    tallies_->retire_ns_last.store(lat, std::memory_order_relaxed);
+    std::uint64_t prev = tallies_->retire_ns_max.load(std::memory_order_relaxed);
+    while (prev < lat && !tallies_->retire_ns_max.compare_exchange_weak(
+                             prev, lat, std::memory_order_relaxed)) {
+    }
+  }
+  delete this;
+}
+
+std::vector<Arc> GraphSnapshot::arcs_of(vid_t v) const {
+  std::vector<Arc> arcs;
+  arcs.reserve(degree(v));
+  for_each_arc(v, [&](const Arc& a) { arcs.push_back(a); });
+  return arcs;
+}
+
+std::size_t GraphSnapshot::degree(vid_t v) const {
+  const auto index = delta_.find(v);
+  if (!index) return base_->degree(v);
+  const std::span<const vid_t> tombs = delta_.tombstones_of(*index);
+  std::size_t n = delta_.overlay_of(*index).size();
+  for (const Arc& a : base_->neighbors(v)) {
+    if (!std::binary_search(tombs.begin(), tombs.end(), a.to)) ++n;
+  }
+  return n;
+}
+
+std::optional<weight_t> GraphSnapshot::find_edge(vid_t u, vid_t v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return std::nullopt;
+  if (const auto index = delta_.find(u)) {
+    for (const Arc& a : delta_.overlay_of(*index)) {
+      if (a.to == v) return a.w;
+    }
+    const std::span<const vid_t> tombs = delta_.tombstones_of(*index);
+    if (std::binary_search(tombs.begin(), tombs.end(), v)) return std::nullopt;
+  }
+  std::optional<weight_t> best;
+  for (const Arc& a : base_->neighbors(u)) {
+    if (a.to == v && (!best || a.w < *best)) best = a.w;
+  }
+  return best;
+}
+
+LocalEdgeView GraphSnapshot::build_local_view(const BlockPartition& part,
+                                              rank_t rank,
+                                              std::uint32_t delta) const {
+  const vid_t begin = part.begin(rank);
+  const vid_t end = part.end(rank);
+  std::vector<std::pair<vid_t, Arc>> pairs;
+  for (vid_t v = begin; v < end; ++v) {
+    for_each_arc(v, [&](const Arc& a) { pairs.emplace_back(v - begin, a); });
+  }
+  return LocalEdgeView::from_arcs(end - begin, std::move(pairs), delta);
+}
+
+}  // namespace parsssp

@@ -1,0 +1,265 @@
+// One immutable version of a dynamic graph, shared by reference counting
+// (docs/SNAPSHOTS.md).
+//
+// A GraphSnapshot is a compacted CSR base (held by shared_ptr — several
+// snapshot generations typically share one base) plus a FrozenDelta: a
+// flat, immutable copy of the overlay/tombstone state the DynamicGraph had
+// at publish time. Together they answer adjacency queries for exactly one
+// logical graph version, forever — queries pin a snapshot and keep solving
+// on it while newer versions are published and older ones are reclaimed.
+//
+// Lifetime is intrusive atomic refcounting: the SnapshotManager holds one
+// reference from publish until reclamation, every SnapshotRef holds one,
+// and the last unpin() deletes the snapshot (recording its retire latency
+// into the shared SnapshotTallies block, which outlives both the manager
+// and the snapshots). A snapshot is therefore fully self-contained — a
+// SnapshotRef stays valid after the DynamicGraph, the SnapshotManager and
+// the QueryEngine that produced it are all gone.
+//
+// Thread safety: everything const is safe from any number of threads
+// concurrently (the whole object is immutable after construction except
+// the refcount and the retire stamp, which are atomics).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+/// Reclamation tallies shared by every snapshot of one manager. Held by
+/// shared_ptr from the manager *and* from each snapshot, so a snapshot
+/// that outlives its manager still has somewhere safe to record its own
+/// reclamation. Plain atomics; meaningful under concurrent readers.
+struct SnapshotTallies {
+  std::atomic<std::uint64_t> reclaimed{0};
+  std::atomic<std::uint64_t> retire_ns_total{0};
+  std::atomic<std::uint64_t> retire_ns_last{0};
+  std::atomic<std::uint64_t> retire_ns_max{0};
+};
+
+/// Immutable flat copy of a DynamicGraph's per-vertex delta: for each
+/// touched vertex (sorted), the overlay arcs added on top of the base and
+/// the sorted neighbor ids whose base arcs are dead. Lookup is one binary
+/// search over the touched-vertex index.
+class FrozenDelta {
+ public:
+  FrozenDelta() = default;
+
+  /// Build-time only: vertices must be appended in strictly increasing
+  /// order (the DynamicGraph freezes its delta map through a sorted key
+  /// pass).
+  void append(vid_t v, std::span<const Arc> overlay,
+              std::span<const vid_t> tombstones);
+
+  bool empty() const { return verts_.empty(); }
+  std::size_t vertices() const { return verts_.size(); }
+  std::size_t entries() const { return overlay_.size() + tombs_.size(); }
+
+  /// Index of `v` in the touched set, or nullopt when the base adjacency
+  /// of `v` is untouched by this delta.
+  std::optional<std::size_t> find(vid_t v) const;
+
+  std::span<const Arc> overlay_of(std::size_t index) const {
+    return {overlay_.data() + overlay_off_[index],
+            overlay_off_[index + 1] - overlay_off_[index]};
+  }
+  std::span<const vid_t> tombstones_of(std::size_t index) const {
+    return {tombs_.data() + tomb_off_[index],
+            tomb_off_[index + 1] - tomb_off_[index]};
+  }
+
+ private:
+  std::vector<vid_t> verts_;  ///< touched vertices, strictly increasing
+  std::vector<std::size_t> overlay_off_{0};
+  std::vector<std::size_t> tomb_off_{0};
+  std::vector<Arc> overlay_;
+  std::vector<vid_t> tombs_;
+};
+
+class GraphSnapshot;
+
+/// RAII pin on one GraphSnapshot. Copy pins again, move steals the pin;
+/// the destructor unpins (which may reclaim the snapshot). Default
+/// constructed = empty (static-mode serving passes these around too).
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  /// Adopts an already-counted reference (manager internal).
+  static SnapshotRef adopt(const GraphSnapshot* snap) {
+    return SnapshotRef(snap);
+  }
+
+  SnapshotRef(const SnapshotRef& other);
+  SnapshotRef& operator=(const SnapshotRef& other);
+  SnapshotRef(SnapshotRef&& other) noexcept
+      : snap_(std::exchange(other.snap_, nullptr)) {}
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept;
+  ~SnapshotRef() { reset(); }
+
+  void reset();
+  const GraphSnapshot* get() const { return snap_; }
+  const GraphSnapshot& operator*() const { return *snap_; }
+  const GraphSnapshot* operator->() const { return snap_; }
+  explicit operator bool() const { return snap_ != nullptr; }
+
+ private:
+  explicit SnapshotRef(const GraphSnapshot* snap) : snap_(snap) {}
+  const GraphSnapshot* snap_ = nullptr;
+};
+
+class GraphSnapshot {
+ public:
+  /// Everything the publisher knows about the version being frozen.
+  struct Build {
+    std::shared_ptr<const CsrGraph> base;
+    FrozenDelta delta;
+    std::uint64_t version = 0;
+    weight_t max_weight = 0;
+    std::size_t num_undirected = 0;
+    /// Vertices whose adjacency changed vs the previously published
+    /// snapshot (the view-patch set; empty when new_base).
+    std::vector<vid_t> touched;
+    /// True when this publish swapped in a fresh base CSR (construction,
+    /// compaction): per-vertex view patching cannot bridge it.
+    bool new_base = false;
+  };
+
+  GraphSnapshot(Build build, std::uint64_t publish_seq,
+                std::shared_ptr<SnapshotTallies> tallies);
+
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  /// Logical graph version (DynamicGraph::version() at publish). A
+  /// compaction republishes the *same* version — same logical graph.
+  std::uint64_t version() const { return version_; }
+  /// Unique, monotone per-publish sequence number; unlike version() it
+  /// distinguishes the pre- and post-compaction publishes.
+  std::uint64_t publish_seq() const { return publish_seq_; }
+
+  const CsrGraph& base() const { return *base_; }
+  const std::shared_ptr<const CsrGraph>& base_ptr() const { return base_; }
+  vid_t num_vertices() const { return base_->num_vertices(); }
+  std::size_t num_undirected_edges() const { return num_undirected_; }
+  /// Upper bound on the effective max edge weight at this version.
+  weight_t max_weight() const { return max_weight_; }
+  bool new_base() const { return new_base_; }
+  std::span<const vid_t> touched() const { return touched_; }
+  const FrozenDelta& delta() const { return delta_; }
+
+  /// Invokes fn(Arc) for every effective arc out of `v`: base arcs in CSR
+  /// order minus tombstoned neighbors, then overlay arcs in insertion
+  /// order — bit-compatible with DynamicGraph::for_each_arc at the same
+  /// version.
+  template <typename Fn>
+  void for_each_arc(vid_t v, Fn&& fn) const {
+    const auto index = delta_.find(v);
+    if (!index) {
+      for (const Arc& a : base_->neighbors(v)) fn(a);
+      return;
+    }
+    const std::span<const vid_t> tombs = delta_.tombstones_of(*index);
+    for (const Arc& a : base_->neighbors(v)) {
+      if (!std::binary_search(tombs.begin(), tombs.end(), a.to)) fn(a);
+    }
+    for (const Arc& a : delta_.overlay_of(*index)) fn(a);
+  }
+
+  /// The effective adjacency of `v`, materialized (for_each_arc order).
+  std::vector<Arc> arcs_of(vid_t v) const;
+
+  std::size_t degree(vid_t v) const;
+
+  /// Current effective weight of edge {u, v}, or nullopt when absent.
+  std::optional<weight_t> find_edge(vid_t u, vid_t v) const;
+
+  /// Rank `rank`'s engine view of this version (the snapshot-path
+  /// equivalent of LocalEdgeView::build / DynamicGraph::build_local_view).
+  LocalEdgeView build_local_view(const BlockPartition& part, rank_t rank,
+                                 std::uint32_t delta) const;
+
+  // --- Lifetime ---------------------------------------------------------
+
+  /// Takes one reference. Only legal while holding another reference (a
+  /// SnapshotRef copy) or inside the manager's EpochGate reader window.
+  void pin() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drops one reference; the last drop records retire latency into the
+  /// tallies and deletes the snapshot.
+  void unpin() const;
+
+  /// Current reference count (diagnostics/tests; racy by nature).
+  std::uint64_t ref_count() const {
+    return refs_.load(std::memory_order_acquire);
+  }
+
+  /// Manager only, under its writer mutex, after the snapshot has been
+  /// superseded as head: stamps the moment the retire clock starts.
+  void mark_retired(std::int64_t now_ns) const {
+    retired_at_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+  /// Absolute steady-clock ns of the supersession (0 = still head).
+  std::int64_t retired_at_ns() const {
+    return retired_at_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ~GraphSnapshot() = default;  ///< via unpin() only
+
+  std::shared_ptr<const CsrGraph> base_;
+  FrozenDelta delta_;
+  std::uint64_t version_;
+  std::uint64_t publish_seq_;
+  weight_t max_weight_;
+  std::size_t num_undirected_;
+  std::vector<vid_t> touched_;
+  bool new_base_;
+  std::shared_ptr<SnapshotTallies> tallies_;
+
+  /// Constructed at 1: the publisher (manager) owns the first reference.
+  mutable std::atomic<std::uint64_t> refs_{1};
+  /// 0 while this snapshot is (or has never stopped being) the head.
+  mutable std::atomic<std::int64_t> retired_at_ns_{0};
+};
+
+inline SnapshotRef::SnapshotRef(const SnapshotRef& other) : snap_(other.snap_) {
+  if (snap_ != nullptr) snap_->pin();
+}
+
+inline SnapshotRef& SnapshotRef::operator=(const SnapshotRef& other) {
+  if (this != &other) {
+    if (other.snap_ != nullptr) other.snap_->pin();
+    reset();
+    snap_ = other.snap_;
+  }
+  return *this;
+}
+
+inline SnapshotRef& SnapshotRef::operator=(SnapshotRef&& other) noexcept {
+  if (this != &other) {
+    reset();
+    snap_ = std::exchange(other.snap_, nullptr);
+  }
+  return *this;
+}
+
+inline void SnapshotRef::reset() {
+  if (snap_ != nullptr) {
+    snap_->unpin();
+    snap_ = nullptr;
+  }
+}
+
+}  // namespace parsssp

@@ -1,0 +1,166 @@
+#include "snapshot/snapshot_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace parsssp {
+
+namespace {
+
+/// Absolute steady-clock nanoseconds — the retire stamp's timebase (shared
+/// with GraphSnapshot::unpin, which computes the latency).
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::chrono::steady_clock::time_point steady_point(std::int64_t ns) {
+  return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(GraphSnapshot::Build first)
+    : tallies_(std::make_shared<SnapshotTallies>()) {
+  publish(std::move(first));  // seed: sequence 1, the caller's version
+}
+
+SnapshotManager::~SnapshotManager() {
+  MutexLock lock(mutex_);
+  head_.store(nullptr, std::memory_order_seq_cst);
+  gate_.advance_and_drain();
+  // Drop the manager's references. Snapshots without external pins die
+  // here; pinned ones live on self-contained until their last ref drops.
+  for (const GraphSnapshot* s : live_) s->unpin();
+  live_.clear();
+}
+
+SnapshotRef SnapshotManager::current() const {
+  const GraphSnapshot* snap = gate_.read([this] {
+    const GraphSnapshot* p = head_.load(std::memory_order_seq_cst);
+    p->pin();
+    return p;
+  });
+  return SnapshotRef::adopt(snap);
+}
+
+SnapshotRef SnapshotManager::publish(GraphSnapshot::Build build) {
+  MutexLock lock(mutex_);
+  const std::int64_t t0 = lane_ != nullptr ? lane_->now_ns() : 0;
+  auto* snap = new GraphSnapshot(std::move(build), next_seq_++, tallies_);
+  patches_.push_back(PatchEntry{
+      snap->publish_seq(), snap->new_base(),
+      std::vector<vid_t>(snap->touched().begin(), snap->touched().end())});
+  while (patches_.size() > kPatchLogCap) patches_.pop_front();
+  live_.push_back(snap);
+  ++published_;
+  const GraphSnapshot* old = head_.exchange(snap, std::memory_order_seq_cst);
+  // After the drain every in-flight current() holds its own pin (or will
+  // re-read the new head); the old head's manager reference may now be
+  // reclaimed as soon as its external pins drop.
+  gate_.advance_and_drain();
+  if (old != nullptr) old->mark_retired(steady_now_ns());
+  collect_locked(lane_);
+  if (lane_ != nullptr) {
+    lane_->record(SpanCat::kSnapshotPublish, t0, lane_->now_ns() - t0,
+                  snap->version());
+  }
+  snap->pin();
+  return SnapshotRef::adopt(snap);
+}
+
+std::optional<std::vector<vid_t>> SnapshotManager::touched_between(
+    std::uint64_t from_seq, std::uint64_t to_seq) const {
+  if (from_seq > to_seq) return std::nullopt;
+  if (from_seq == to_seq) return std::vector<vid_t>{};
+  MutexLock lock(mutex_);
+  // Publish sequences are contiguous, so coverage is a range check against
+  // the bounded log's ends.
+  if (patches_.empty() || patches_.front().seq > from_seq + 1 ||
+      patches_.back().seq < to_seq) {
+    return std::nullopt;
+  }
+  std::vector<vid_t> touched;
+  for (const PatchEntry& e : patches_) {
+    if (e.seq <= from_seq || e.seq > to_seq) continue;
+    if (e.new_base) return std::nullopt;  // view patching cannot bridge it
+    touched.insert(touched.end(), e.touched.begin(), e.touched.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+std::size_t SnapshotManager::collect() {
+  MutexLock lock(mutex_);
+  return collect_locked(nullptr);
+}
+
+std::size_t SnapshotManager::collect_locked(TraceLane* lane) {
+  const GraphSnapshot* head = head_.load(std::memory_order_relaxed);
+  std::size_t freed = 0;
+  auto it = live_.begin();
+  while (it != live_.end()) {
+    const GraphSnapshot* s = *it;
+    // Reclaimable iff superseded and only the manager's reference remains:
+    // current() can no longer return it (not head, and the publish that
+    // superseded it drained the reader gate) and external pins only ever
+    // copy existing ones — the acquire load makes the last reader's
+    // accesses happen-before the delete.
+    if (s == head || s->ref_count() > 1) {
+      ++it;
+      continue;
+    }
+    if (lane != nullptr) {
+      // Span = the snapshot's limbo interval: supersession to reclamation.
+      const std::int64_t retired_at =
+          lane->to_ns(steady_point(s->retired_at_ns()));
+      lane->record(SpanCat::kSnapshotRetire, retired_at,
+                   lane->now_ns() - retired_at, s->version());
+    }
+    ++freed;
+    it = live_.erase(it);
+    s->unpin();  // 1 -> 0: records retire tallies and deletes
+  }
+  return freed;
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  MutexLock lock(mutex_);
+  Stats out;
+  out.published = published_;
+  out.reclaimed = tallies_->reclaimed.load(std::memory_order_relaxed);
+  out.live = live_.size();
+  const GraphSnapshot* head = head_.load(std::memory_order_relaxed);
+  if (head != nullptr) {
+    out.head_version = head->version();
+    out.head_seq = head->publish_seq();
+    out.oldest_pinned_version = head->version();
+  }
+  for (const GraphSnapshot* s : live_) {
+    if (s != head && s->ref_count() > 1) {
+      out.oldest_pinned_version =
+          std::min(out.oldest_pinned_version, s->version());
+    }
+  }
+  const auto ns_total =
+      tallies_->retire_ns_total.load(std::memory_order_relaxed);
+  const auto ns_last = tallies_->retire_ns_last.load(std::memory_order_relaxed);
+  const auto ns_max = tallies_->retire_ns_max.load(std::memory_order_relaxed);
+  out.retire_latency_last_s = static_cast<double>(ns_last) * 1e-9;
+  out.retire_latency_max_s = static_cast<double>(ns_max) * 1e-9;
+  out.retire_latency_mean_s =
+      out.reclaimed > 0
+          ? static_cast<double>(ns_total) * 1e-9 /
+                static_cast<double>(out.reclaimed)
+          : 0.0;
+  return out;
+}
+
+void SnapshotManager::set_trace_lane(TraceLane* lane) {
+  MutexLock lock(mutex_);
+  lane_ = lane;
+}
+
+}  // namespace parsssp

@@ -1,0 +1,124 @@
+// Publication and reclamation of GraphSnapshots (docs/SNAPSHOTS.md).
+//
+// The manager owns the MVCC machinery of one dynamic graph:
+//
+//   * current()  — the reader hot path: pins and returns the latest
+//     published snapshot without taking any lock (an EpochGate closes the
+//     load-then-pin window against concurrent retirement).
+//   * publish()  — the writer path, serialized by an internal mutex:
+//     installs a new head with a unique monotone publish sequence, drains
+//     the reader gate, stamps the superseded head's retire clock and
+//     opportunistically reclaims every snapshot whose last external pin
+//     has dropped (epoch-style deferred reclamation — nothing is freed
+//     while any reader can still reach it).
+//   * touched_between() — the bounded patch log: which vertices' adjacency
+//     changed between two publish sequences, so a serving layer can patch
+//     its per-rank edge views instead of rebuilding them (nullopt across a
+//     base swap or when the log no longer covers the range).
+//
+// The manager keeps one reference per live snapshot; dropping the manager
+// releases those references but never invalidates outstanding SnapshotRefs
+// — a pinned snapshot is fully self-contained (shared base CSR + own
+// frozen delta) and reclaims itself when its last ref drops.
+//
+// Stats surface the health of the scheme: live snapshot count, the oldest
+// pinned version (a leaked SnapshotRef shows up as this gauge going stale)
+// and retire latencies (supersession to reclamation).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "core/types.hpp"
+#include "obs/trace.hpp"
+#include "snapshot/epoch_gate.hpp"
+#include "snapshot/graph_snapshot.hpp"
+
+namespace parsssp {
+
+class SnapshotManager {
+ public:
+  struct Stats {
+    std::uint64_t published = 0;         ///< publish() calls (incl. the seed)
+    std::uint64_t reclaimed = 0;         ///< snapshots freed so far
+    std::uint64_t live = 0;              ///< published minus reclaimed
+    std::uint64_t head_version = 0;
+    std::uint64_t head_seq = 0;
+    /// Smallest version still reachable through a pin (== head_version
+    /// when nothing old is pinned). A leaked SnapshotRef pins this gauge.
+    std::uint64_t oldest_pinned_version = 0;
+    double retire_latency_last_s = 0.0;
+    double retire_latency_mean_s = 0.0;
+    double retire_latency_max_s = 0.0;
+  };
+
+  /// Publishes the seed snapshot (sequence 1) immediately.
+  explicit SnapshotManager(GraphSnapshot::Build first);
+
+  /// Releases the manager's references. Snapshots still pinned elsewhere
+  /// survive and reclaim themselves when their last SnapshotRef drops.
+  ~SnapshotManager();
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Pins and returns the latest published snapshot. Lock-free reader hot
+  /// path; safe from any thread, any time before the manager dies.
+  SnapshotRef current() const;
+
+  /// Publishes a new version and returns it pinned. Thread-safe, but
+  /// publishes serialize on the writer mutex; the caller (DynamicGraph)
+  /// already guarantees one writer. Blocks only for the reader-gate drain
+  /// (readers hold the gate for a handful of instructions).
+  SnapshotRef publish(GraphSnapshot::Build build);
+
+  /// Union of touched vertices over publishes in (from_seq, to_seq],
+  /// sorted and deduplicated — the set a view built at from_seq must
+  /// re-patch to reach to_seq. nullopt when the range crosses a base swap
+  /// or has aged out of the bounded log (rebuild instead).
+  std::optional<std::vector<vid_t>> touched_between(std::uint64_t from_seq,
+                                                    std::uint64_t to_seq) const;
+
+  /// Reclaims every superseded snapshot whose external pins are gone.
+  /// publish() does this too; call it from serving checkpoints so gauges
+  /// do not wait for the next update. Returns snapshots freed.
+  std::size_t collect();
+
+  Stats stats() const;
+
+  /// Publish/retire spans go to this lane. Owned by the (single) publish
+  /// thread; call from that thread only.
+  void set_trace_lane(TraceLane* lane);
+
+ private:
+  std::size_t collect_locked(TraceLane* lane) MPS_REQUIRES(mutex_);
+
+  struct PatchEntry {
+    std::uint64_t seq = 0;
+    bool new_base = false;
+    std::vector<vid_t> touched;
+  };
+  /// Patch entries beyond this age out; ensure_views falls back to a full
+  /// rebuild across larger gaps.
+  static constexpr std::size_t kPatchLogCap = 64;
+
+  std::shared_ptr<SnapshotTallies> tallies_;
+  EpochGate gate_;
+  std::atomic<const GraphSnapshot*> head_{nullptr};
+
+  mutable Mutex mutex_;
+  std::vector<const GraphSnapshot*> live_ MPS_GUARDED_BY(mutex_);
+  std::deque<PatchEntry> patches_ MPS_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ MPS_GUARDED_BY(mutex_) = 1;
+  std::uint64_t published_ MPS_GUARDED_BY(mutex_) = 0;
+  TraceLane* lane_ MPS_GUARDED_BY(mutex_) = nullptr;
+};
+
+}  // namespace parsssp

@@ -39,12 +39,12 @@ CsrGraph strip_self_loops(const CsrGraph& g) {
 }
 
 DynamicGraph::DynamicGraph(CsrGraph base, Config config)
-    : base_(std::move(base)),
+    : base_(std::make_shared<const CsrGraph>(std::move(base))),
       config_(config),
-      num_undirected_(base_.num_undirected_edges()),
-      max_weight_ub_(base_.max_weight()) {
-  for (vid_t v = 0; v < base_.num_vertices(); ++v) {
-    for (const Arc& a : base_.neighbors(v)) {
+      num_undirected_(base_->num_undirected_edges()),
+      max_weight_ub_(base_->max_weight()) {
+  for (vid_t v = 0; v < base_->num_vertices(); ++v) {
+    for (const Arc& a : base_->neighbors(v)) {
       if (a.to == v) {
         throw std::invalid_argument(
             "DynamicGraph: base graph has a self loop at vertex " +
@@ -52,10 +52,14 @@ DynamicGraph::DynamicGraph(CsrGraph base, Config config)
       }
     }
   }
+  if (config_.snapshots) {
+    snapshots_ = std::make_unique<SnapshotManager>(
+        make_build(/*touched=*/{}, /*new_base=*/true));
+  }
 }
 
 bool DynamicGraph::base_has_arc(vid_t u, vid_t v) const {
-  for (const Arc& a : base_.neighbors(u)) {
+  for (const Arc& a : base_->neighbors(u)) {
     if (a.to == v) return true;
   }
   return false;
@@ -76,7 +80,7 @@ std::optional<weight_t> DynamicGraph::find_edge(vid_t u, vid_t v) const {
   // all-alive, and an alive base pair has no overlay arc; min() over the
   // (normally single) arc keeps the pre-invariant base case well defined.
   std::optional<weight_t> best;
-  for (const Arc& a : base_.neighbors(u)) {
+  for (const Arc& a : base_->neighbors(u)) {
     if (a.to == v && (!best || a.w < *best)) best = a.w;
   }
   return best;
@@ -84,9 +88,9 @@ std::optional<weight_t> DynamicGraph::find_edge(vid_t u, vid_t v) const {
 
 std::size_t DynamicGraph::degree(vid_t v) const {
   const VertexDelta* d = delta_of(v);
-  if (d == nullptr) return base_.degree(v);
+  if (d == nullptr) return base_->degree(v);
   std::size_t n = d->overlay.size();
-  for (const Arc& a : base_.neighbors(v)) {
+  for (const Arc& a : base_->neighbors(v)) {
     if (!std::binary_search(d->tombstones.begin(), d->tombstones.end(),
                             a.to)) {
       ++n;
@@ -95,12 +99,14 @@ std::size_t DynamicGraph::degree(vid_t v) const {
   return n;
 }
 
-void DynamicGraph::kill_half(vid_t from, vid_t to) {
+std::size_t DynamicGraph::kill_half(vid_t from, vid_t to) {
   VertexDelta& d = delta_[from];
   const auto overlay_end =
       std::remove_if(d.overlay.begin(), d.overlay.end(),
                      [to](const Arc& a) { return a.to == to; });
-  delta_entries_ -= static_cast<std::size_t>(d.overlay.end() - overlay_end);
+  std::size_t killed =
+      static_cast<std::size_t>(d.overlay.end() - overlay_end);
+  delta_entries_ -= killed;
   d.overlay.erase(overlay_end, d.overlay.end());
   if (base_has_arc(from, to)) {
     const auto it =
@@ -108,9 +114,14 @@ void DynamicGraph::kill_half(vid_t from, vid_t to) {
     if (it == d.tombstones.end() || *it != to) {
       d.tombstones.insert(it, to);
       ++delta_entries_;
+      // A fresh tombstone suppresses every parallel base arc at once.
+      for (const Arc& a : base_->neighbors(from)) {
+        if (a.to == to) ++killed;
+      }
     }
   }
   if (d.overlay.empty() && d.tombstones.empty()) delta_.erase(from);
+  return killed;
 }
 
 void DynamicGraph::add_half(vid_t from, vid_t to, weight_t w) {
@@ -178,20 +189,28 @@ AppliedBatch DynamicGraph::apply(const EdgeBatch& batch) {
         max_weight_ub_ = std::max(max_weight_ub_, op.w);
         ++counters_.inserts;
         break;
-      case EdgeOp::Kind::kDelete:
-        kill_half(op.u, op.v);
+      case EdgeOp::Kind::kDelete: {
+        // kill_half reports how many live arcs it removed; with parallel
+        // base arcs for the pair, one tombstone kills all of them, so the
+        // undirected count drops by the pair's multiplicity (sides match
+        // by arc symmetry).
+        const std::size_t killed = kill_half(op.u, op.v);
         kill_half(op.v, op.u);
-        --num_undirected_;
+        num_undirected_ -= killed;
         ++counters_.deletes;
         break;
-      case EdgeOp::Kind::kUpdateWeight:
-        kill_half(op.u, op.v);
+      }
+      case EdgeOp::Kind::kUpdateWeight: {
+        // Reweight collapses a parallel pair to one arc: -killed, +1.
+        const std::size_t killed = kill_half(op.u, op.v);
         kill_half(op.v, op.u);
         add_half(op.u, op.v, op.w);
         add_half(op.v, op.u, op.w);
+        num_undirected_ -= killed - 1;
         max_weight_ub_ = std::max(max_weight_ub_, op.w);
         ++counters_.reweights;
         break;
+      }
     }
     applied.touched.push_back(op.u);
     applied.touched.push_back(op.v);
@@ -204,20 +223,80 @@ AppliedBatch DynamicGraph::apply(const EdgeBatch& batch) {
   applied.version = ++version_;
 
   const auto threshold = static_cast<std::size_t>(
-      config_.compact_ratio * static_cast<double>(base_.num_arcs()));
-  if (delta_entries_ > std::max(threshold, config_.compact_min)) {
-    compact();
+      config_.compact_ratio * static_cast<double>(base_->num_arcs()));
+  const bool will_compact =
+      delta_entries_ > std::max(threshold, config_.compact_min);
+  if (will_compact) {
+    // do_compact publishes the rebuilt base under this same version; a
+    // separate pre-compaction delta publish would be dead on arrival.
+    do_compact();
     applied.compacted = true;
+  } else if (snapshots_ != nullptr) {
+    snapshots_->publish(make_build(applied.touched, /*new_base=*/false));
   }
   return applied;
 }
 
 void DynamicGraph::compact() {
-  base_ = materialize();
+  if (snapshots_ == nullptr) {
+    throw std::logic_error(
+        "DynamicGraph::compact: snapshots are disabled "
+        "(DynamicGraphConfig::snapshots = false), so the old base cannot "
+        "be retired safely under concurrent readers — enable snapshots, "
+        "or rebuild explicitly via materialize() under your own "
+        "exclusion");
+  }
+  do_compact();
+}
+
+void DynamicGraph::do_compact() {
+  base_ = std::make_shared<const CsrGraph>(materialize());
   delta_.clear();
   delta_entries_ = 0;
-  max_weight_ub_ = base_.max_weight();
+  max_weight_ub_ = base_->max_weight();
   ++counters_.compactions;
+  if (snapshots_ != nullptr) {
+    // Publish-then-retire: the rebuilt base goes out under the unchanged
+    // logical version; readers pinned to pre-compaction snapshots keep the
+    // old base alive through their shared_ptr until the last pin drops.
+    snapshots_->publish(make_build(/*touched=*/{}, /*new_base=*/true));
+  }
+}
+
+SnapshotRef DynamicGraph::snapshot() const {
+  if (snapshots_ == nullptr) {
+    throw std::logic_error(
+        "DynamicGraph::snapshot: snapshots are disabled "
+        "(DynamicGraphConfig::snapshots = false)");
+  }
+  return snapshots_->current();
+}
+
+FrozenDelta DynamicGraph::freeze_delta() const {
+  FrozenDelta frozen;
+  if (delta_.empty()) return frozen;
+  std::vector<vid_t> verts;
+  verts.reserve(delta_.size());
+  for (const auto& [v, d] : delta_) verts.push_back(v);
+  std::sort(verts.begin(), verts.end());
+  for (const vid_t v : verts) {
+    const VertexDelta& d = delta_.at(v);
+    frozen.append(v, d.overlay, d.tombstones);
+  }
+  return frozen;
+}
+
+GraphSnapshot::Build DynamicGraph::make_build(std::vector<vid_t> touched,
+                                              bool new_base) const {
+  GraphSnapshot::Build build;
+  build.base = base_;
+  build.delta = freeze_delta();
+  build.version = version_;
+  build.max_weight = max_weight_ub_;
+  build.num_undirected = num_undirected_;
+  build.touched = std::move(touched);
+  build.new_base = new_base;
+  return build;
 }
 
 std::vector<Arc> DynamicGraph::arcs_of(vid_t v) const {

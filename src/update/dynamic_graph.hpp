@@ -16,14 +16,26 @@
 //   * the logical edge set equals materialize_edges() at all times, and
 //     compact() never changes it (nor the version).
 //
-// Thread safety: reads are const and safe concurrently with each other;
-// apply()/compact() require external exclusion against everything (the
-// serving layer serializes updates and queries through the session FIFO).
+// MVCC snapshots (docs/SNAPSHOTS.md): unless Config::snapshots is turned
+// off, the graph owns a SnapshotManager and publishes an immutable
+// GraphSnapshot after construction and every apply()/compact(). snapshot()
+// pins the latest version; pinned readers keep their version — including
+// its base CSR — alive across any number of later mutations and
+// compactions, which is what lets a serving layer run queries concurrently
+// with updates.
+//
+// Thread safety: apply()/compact() require external exclusion against each
+// other and against the direct read accessors below (one writer; the
+// serving layer funnels mutations through a single builder thread).
+// Concurrent readers use snapshot(): pinning is lock-free and the returned
+// view is immutable. With snapshots disabled the PR-5 contract stands —
+// external exclusion against everything.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -34,6 +46,8 @@
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
 #include "runtime/partition.hpp"
+#include "snapshot/graph_snapshot.hpp"
+#include "snapshot/snapshot_manager.hpp"
 #include "update/edge_batch.hpp"
 
 namespace parsssp {
@@ -45,6 +59,12 @@ struct DynamicGraphConfig {
   /// ...but never before this many entries accumulate (small graphs would
   /// otherwise compact on every batch).
   std::size_t compact_min = 4096;
+  /// MVCC snapshots (docs/SNAPSHOTS.md): publish an immutable
+  /// GraphSnapshot per mutation so readers can pin versions concurrently
+  /// with updates. On by default; turning it off saves the per-apply
+  /// delta-freeze copy but restores the PR-5 exclusive-access contract
+  /// (and makes explicit compact() illegal — see below).
+  bool snapshots = true;
 };
 
 /// Copy of `g` with self loops dropped. Generated graphs (RMAT, social)
@@ -68,7 +88,7 @@ class DynamicGraph {
   /// Throws std::invalid_argument if `base` contains a self loop.
   explicit DynamicGraph(CsrGraph base, Config config = {});
 
-  vid_t num_vertices() const { return base_.num_vertices(); }
+  vid_t num_vertices() const { return base_->num_vertices(); }
   std::size_t num_undirected_edges() const { return num_undirected_; }
 
   /// Monotone graph version: 0 at construction, +1 per successful apply().
@@ -88,7 +108,13 @@ class DynamicGraph {
   AppliedBatch apply(const EdgeBatch& batch);
 
   /// Rebuilds a clean base CSR from the effective edge set and clears the
-  /// delta. Logical no-op; version unchanged.
+  /// delta, publishing the rebuilt base through the SnapshotManager
+  /// (publish-then-retire: readers pinned to the old base keep it alive).
+  /// Logical no-op; version unchanged. Throws std::logic_error when the
+  /// graph was constructed with Config::snapshots off — without the
+  /// manager there is no way to retire the old base safely under
+  /// concurrent readers (apply()'s auto-compaction remains available
+  /// there: it runs under apply()'s exclusive-access contract).
   void compact();
 
   /// Current effective weight of edge {u, v}, or nullopt when absent.
@@ -104,10 +130,10 @@ class DynamicGraph {
   void for_each_arc(vid_t v, Fn&& fn) const {
     const VertexDelta* d = delta_of(v);
     if (d == nullptr) {
-      for (const Arc& a : base_.neighbors(v)) fn(a);
+      for (const Arc& a : base_->neighbors(v)) fn(a);
       return;
     }
-    for (const Arc& a : base_.neighbors(v)) {
+    for (const Arc& a : base_->neighbors(v)) {
       if (!std::binary_search(d->tombstones.begin(), d->tombstones.end(),
                               a.to)) {
         fn(a);
@@ -131,12 +157,24 @@ class DynamicGraph {
 
   /// Current base (changes only at compact()). Exposed for sizing and for
   /// the estimator fallback; its arcs may lag the logical graph.
-  const CsrGraph& base() const { return base_; }
+  const CsrGraph& base() const { return *base_; }
 
   /// Overlay arcs + tombstones currently held (0 right after compact()).
   std::size_t delta_entries() const { return delta_entries_; }
 
   const Counters& counters() const { return counters_; }
+
+  // --- MVCC snapshots (docs/SNAPSHOTS.md) -------------------------------
+
+  bool snapshots_enabled() const { return snapshots_ != nullptr; }
+
+  /// Pins the latest published snapshot (lock-free; safe concurrently
+  /// with apply()). Throws std::logic_error when snapshots are disabled.
+  SnapshotRef snapshot() const;
+
+  /// The owned manager, or null when snapshots are disabled. The serving
+  /// layer uses it for pinning, patch-log queries and reclamation stats.
+  SnapshotManager* snapshot_manager() const { return snapshots_.get(); }
 
  private:
   struct VertexDelta {
@@ -152,11 +190,21 @@ class DynamicGraph {
 
   bool base_has_arc(vid_t u, vid_t v) const;
   /// Removes the effective edge {u, v} (must exist). One endpoint's half.
-  void kill_half(vid_t from, vid_t to);
+  /// Returns the number of live arcs killed on this side: >1 when the base
+  /// CSR carries parallel arcs for the pair, all suppressed by one
+  /// tombstone, so the undirected-edge counter can account exactly.
+  std::size_t kill_half(vid_t from, vid_t to);
   /// Adds overlay arc from->to (edge must be effectively absent).
   void add_half(vid_t from, vid_t to, weight_t w);
+  /// compact() without the snapshots-enabled guard (auto-compact path).
+  void do_compact();
+  /// Flat immutable copy of the current delta map (publish payload).
+  FrozenDelta freeze_delta() const;
+  /// Assembles the publish payload for the current state.
+  GraphSnapshot::Build make_build(std::vector<vid_t> touched,
+                                  bool new_base) const;
 
-  CsrGraph base_;
+  std::shared_ptr<const CsrGraph> base_;
   Config config_;
   /// Never iterated in map order (determinism): lookups only.
   std::unordered_map<vid_t, VertexDelta> delta_;
@@ -165,6 +213,8 @@ class DynamicGraph {
   std::uint64_t version_ = 0;
   weight_t max_weight_ub_ = 0;
   Counters counters_;
+  /// Null when Config::snapshots is off.
+  std::unique_ptr<SnapshotManager> snapshots_;
 };
 
 }  // namespace parsssp

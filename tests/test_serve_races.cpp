@@ -181,11 +181,15 @@ TEST(ServeRaces, ConcurrentSubmitAndCancelOnEngine) {
 }
 
 TEST(ServeRaces, ConcurrentQueriesAndUpdatesOnDynamicEngine) {
-  // TSan target for the dynamic-serving path: client threads querying while
-  // another thread streams edge-update batches through the same FIFO. The
-  // update sequence is pre-generated against a host-side mirror, so every
-  // batch is valid when the dispatcher (the only graph mutator) applies it
-  // in admission order.
+  // TSan target for the dynamic-serving path in its default MVCC mode:
+  // client threads querying (each batch pinned to a snapshot) while
+  // another thread streams edge-update batches through the builder thread,
+  // which publishes new versions concurrently with serving. The update
+  // sequence is pre-generated against a host-side mirror, so every batch
+  // is valid when the builder (the only graph mutator) applies it in
+  // order. Snapshot-layer churn with forced compactions lives in
+  // test_snapshot.cpp; the fenced (FIFO) mode is covered by
+  // test_update_serving.cpp.
   RmatConfig cfg;
   cfg.scale = 7;
   cfg.edge_factor = 8;

@@ -1,7 +1,9 @@
-// QueryEngine in dynamic mode: update batches serialized through the same
-// FIFO as queries, versioned cache invalidation (a stale answer is never
-// served), failed batches leaving the graph and the cache untouched, and
-// exactness across compactions.
+// QueryEngine in dynamic mode: versioned cache invalidation (a stale
+// answer is never served), failed batches leaving the graph and the cache
+// untouched, exactness across compactions, and — under the opt-in
+// ServeConfig::fence_updates — update batches serialized through the same
+// FIFO as queries. MVCC-specific behaviour (concurrent serving, snapshot
+// lifecycle) lives in test_snapshot.cpp and test_serve_races.cpp.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -105,6 +107,7 @@ TEST(UpdateServing, FifoOrderSplitsOldAndNewGraphQueries) {
 
   ServeConfig config = serve_config(2, /*cache=*/0);
   config.batch_window = 60s;  // only an update fence can close a batch
+  config.fence_updates = true;
   QueryEngine engine(graph, config);
   const SsspOptions options = SsspOptions::del(25);
 

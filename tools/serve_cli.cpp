@@ -24,6 +24,12 @@
 //                               batches evenly into the query stream (runs
 //                               the engine on a DynamicGraph; default 0)
 //     --update-ops M            ops per update batch (default 8)
+//     --fence                   serialize updates through the query FIFO
+//                               (ServeConfig::fence_updates) instead of the
+//                               default MVCC concurrent serving
+//     --no-baseline             skip the update-free control run that the
+//                               mixed-stream degradation ratios compare
+//                               against
 //     --slo-p99-ms X            fail (exit 1) if p99 latency exceeds X ms
 //     --json PATH               also write the report as JSON
 //     --metrics-json PATH       append periodic metrics snapshots (one JSON
@@ -81,6 +87,8 @@ struct CliConfig {
   std::size_t cache = 1024;
   std::size_t updates = 0;     // >0 switches to the dynamic engine
   std::size_t update_ops = 8;  // ops per interleaved batch
+  bool fence = false;          // fenced (PR-5) ordering instead of MVCC
+  bool baseline = true;        // mixed mode: also run an update-free control
   double slo_p99_ms = 0;  // 0 = no SLO gate
   std::string json_path;
   std::string metrics_json_path;
@@ -93,8 +101,8 @@ struct CliConfig {
                "[--edge-factor N] [--algo NAME] [--delta N] [--ranks N] "
                "[--lanes N] [--queries N] [--rate QPS] [--dist uniform|zipf] "
                "[--zipf-s S] [--domain N] [--batch N] [--window-us N] "
-               "[--cache N] [--updates N] [--update-ops M] "
-               "[--slo-p99-ms X] [--json PATH] "
+               "[--cache N] [--updates N] [--update-ops M] [--fence] "
+               "[--no-baseline] [--slo-p99-ms X] [--json PATH] "
                "[--metrics-json PATH] [--metrics-every-ms N] [--seed N]\n",
                argv0);
   std::exit(2);
@@ -150,6 +158,10 @@ CliConfig parse_args(int argc, char** argv) {
       cfg.updates = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--update-ops") {
       cfg.update_ops = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--fence") {
+      cfg.fence = true;
+    } else if (arg == "--no-baseline") {
+      cfg.baseline = false;
     } else if (arg == "--slo-p99-ms") {
       cfg.slo_p99_ms = std::atof(value());
     } else if (arg == "--json") {
@@ -240,7 +252,8 @@ struct ReplayReport {
   double elapsed_s = 0;
   double queries_per_s = 0;
   double aggregate_gteps = 0;  ///< wall-clock edges*queries/elapsed
-  LatencyStats latency;
+  LatencyStats latency;         ///< query job class (submit → completion)
+  LatencyStats update_latency;  ///< update job class (mixed-stream mode)
   ServeStats stats;
   std::size_t updates_applied = 0;
   std::uint64_t final_version = 0;
@@ -270,10 +283,13 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
   };
 
   // Mixed-stream mode: update batches are spread evenly over the query
-  // stream and submitted into the same FIFO (so every query is answered
-  // against a well-defined graph version).
+  // stream. Under MVCC they build new versions concurrently with serving;
+  // under --fence they ride the query FIFO as barriers. Either way every
+  // query is answered against a well-defined (version-stamped) snapshot.
   std::vector<std::future<UpdateResult>> update_futures;
+  std::vector<Clock::time_point> update_submitted;
   update_futures.reserve(updates.size());
+  update_submitted.reserve(updates.size());
   const std::size_t update_stride =
       updates.empty() ? 0 : std::max<std::size_t>(
                                 1, stream.size() / (updates.size() + 1));
@@ -284,6 +300,7 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
       const std::size_t ui = qi / update_stride;
       if (ui >= 1 && ui - 1 < updates.size() &&
           update_futures.size() == ui - 1) {
+        update_submitted.push_back(Clock::now());
         update_futures.push_back(engine.apply_updates(updates[ui - 1]));
       }
     }
@@ -298,6 +315,7 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
   }
   // Any batches the stride never reached (short streams) go in at the end.
   for (std::size_t ui = update_futures.size(); ui < updates.size(); ++ui) {
+    update_submitted.push_back(Clock::now());
     update_futures.push_back(engine.apply_updates(updates[ui]));
   }
 
@@ -321,12 +339,19 @@ ReplayReport replay(QueryEngine& engine, const std::vector<QueryEvent>& stream,
                                      static_cast<double>(stream.size()) /
                                      report.elapsed_s / 1e9
                                : 0;
-  for (auto& uf : update_futures) {
-    const UpdateResult ur = uf.get();
+  std::vector<double> update_latencies;
+  update_latencies.reserve(update_futures.size());
+  for (std::size_t ui = 0; ui < update_futures.size(); ++ui) {
+    const UpdateResult ur = update_futures[ui].get();
     ++report.updates_applied;
     report.final_version = std::max(report.final_version, ur.version);
+    update_latencies.push_back(std::chrono::duration<double>(
+        ur.completed_at - update_submitted[ui]).count());
   }
   report.latency = percentile_stats(std::move(latencies));
+  if (!update_latencies.empty()) {
+    report.update_latency = percentile_stats(std::move(update_latencies));
+  }
   report.stats = engine.stats();
   if (metrics_out != nullptr && registry != nullptr) {
     write_json(*metrics_out, registry->snapshot());
@@ -347,6 +372,7 @@ const MetricsSnapshot::HistogramValue* find_histogram(
 
 void write_report_json(std::ostream& out, const CliConfig& cfg,
                        const CsrGraph& g, const ReplayReport& r,
+                       const ReplayReport* baseline,
                        const MetricsSnapshot& metrics, bool slo_pass) {
   JsonWriter w(out);
   w.begin_object();
@@ -398,6 +424,32 @@ void write_report_json(std::ostream& out, const CliConfig& cfg,
   w.field("graph_version", r.final_version);
   w.field("cache_version_misses", r.stats.cache.version_misses);
   w.field("cache_invalidations", r.stats.cache.invalidations);
+  if (r.updates_applied > 0) {
+    w.field("mode", std::string_view{cfg.fence ? "fenced" : "mvcc"});
+    // Per-job-class latency split: queries above, updates here.
+    w.field("update_latency_mean_s", r.update_latency.mean);
+    w.field("update_latency_p50_s", r.update_latency.p50);
+    w.field("update_latency_p95_s", r.update_latency.p95);
+    w.field("update_latency_p99_s", r.update_latency.p99);
+    w.field("snapshots_published", r.stats.snapshots_published);
+    w.field("snapshots_reclaimed", r.stats.snapshots_reclaimed);
+    w.field("snapshots_live", r.stats.snapshots_live);
+    w.field("oldest_pinned_version", r.stats.oldest_pinned_version);
+  }
+  if (baseline != nullptr) {
+    // Update-free control replay of the same stream (same seed, arrivals
+    // and engine shape): the degradation ratios are what mixing updates
+    // into the stream cost each query percentile.
+    w.field("baseline_latency_p50_s", baseline->latency.p50);
+    w.field("baseline_latency_p95_s", baseline->latency.p95);
+    w.field("baseline_latency_p99_s", baseline->latency.p99);
+    const auto ratio = [](double mixed, double control) {
+      return control > 0 ? mixed / control : 0.0;
+    };
+    w.field("degradation_p50", ratio(r.latency.p50, baseline->latency.p50));
+    w.field("degradation_p95", ratio(r.latency.p95, baseline->latency.p95));
+    w.field("degradation_p99", ratio(r.latency.p99, baseline->latency.p99));
+  }
 
   // Histogram-estimated percentiles next to the exact ones above: the
   // continuous cross-check of the log-bucketed estimator.
@@ -431,6 +483,7 @@ int main(int argc, char** argv) {
   serve.max_batch = cfg.max_batch;
   serve.batch_window = std::chrono::microseconds(cfg.window_us);
   serve.cache_capacity = cfg.cache;
+  serve.fence_updates = cfg.fence;
   serve.metrics = &registry;
 
   // With --updates the engine runs over a DynamicGraph (mixed stream);
@@ -463,6 +516,22 @@ int main(int argc, char** argv) {
   }
 
   const auto stream = make_open_loop_stream(cfg.workload, g.num_vertices());
+
+  // Update-free control: the same stream on a fresh engine of the same
+  // shape (dynamic, same config, its own metrics-free registry slot), run
+  // first so the measured engine's caches/threads are untouched. The mixed
+  // run's degradation ratios are relative to this.
+  std::optional<ReplayReport> baseline;
+  if (cfg.updates > 0 && cfg.baseline) {
+    DynamicGraph control_graph(strip_self_loops(g));
+    ServeConfig control_serve = serve;
+    control_serve.metrics = nullptr;
+    QueryEngine control(control_graph, control_serve);
+    baseline = replay(control, stream, options, g.num_undirected_edges(),
+                      /*updates=*/{}, nullptr, nullptr,
+                      std::chrono::milliseconds(cfg.metrics_every_ms));
+  }
+
   const ReplayReport report =
       replay(engine, stream, options, g.num_undirected_edges(), updates,
              &registry, metrics_out.is_open() ? &metrics_out : nullptr,
@@ -505,11 +574,37 @@ int main(int argc, char** argv) {
   table.add_row({"cache hit rate",
                  TextTable::num(report.stats.cache.hit_rate(), 4)});
   if (cfg.updates > 0) {
+    table.add_row({"mode", cfg.fence ? "fenced" : "mvcc"});
     table.add_row({"update batches", TextTable::num(static_cast<std::uint64_t>(
                                          report.updates_applied))});
+    table.add_row({"update p50 (ms)",
+                   TextTable::num(report.update_latency.p50 * 1e3, 4)});
+    table.add_row({"update p95 (ms)",
+                   TextTable::num(report.update_latency.p95 * 1e3, 4)});
+    table.add_row({"update p99 (ms)",
+                   TextTable::num(report.update_latency.p99 * 1e3, 4)});
     table.add_row({"graph version", TextTable::num(report.final_version)});
     table.add_row({"cache version misses",
                    TextTable::num(report.stats.cache.version_misses)});
+    table.add_row({"snapshots published",
+                   TextTable::num(report.stats.snapshots_published)});
+    table.add_row({"snapshots reclaimed",
+                   TextTable::num(report.stats.snapshots_reclaimed)});
+    if (baseline) {
+      const auto ratio = [](double mixed, double control) {
+        return control > 0 ? mixed / control : 0.0;
+      };
+      table.add_row({"baseline p99 (ms)",
+                     TextTable::num(baseline->latency.p99 * 1e3, 4)});
+      table.add_row(
+          {"query degradation p50",
+           TextTable::num(ratio(report.latency.p50, baseline->latency.p50),
+                          4)});
+      table.add_row(
+          {"query degradation p99",
+           TextTable::num(ratio(report.latency.p99, baseline->latency.p99),
+                          4)});
+    }
   }
   table.print(std::cout);
 
@@ -531,7 +626,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", cfg.json_path.c_str());
       return 2;
     }
-    write_report_json(out, cfg, g, report, metrics, slo_pass);
+    write_report_json(out, cfg, g, report, baseline ? &*baseline : nullptr,
+                      metrics, slo_pass);
     std::cout << "wrote " << cfg.json_path << "\n";
   }
   if (metrics_out.is_open()) {
