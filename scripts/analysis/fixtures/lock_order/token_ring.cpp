@@ -1,0 +1,36 @@
+// Out-of-line definitions for token_ring.hpp (markers explained there).
+#include "token_ring.hpp"
+
+void RankBox::forward_token() {
+  MutexLock guard(mu_);
+  round_ += 1;  // SEED(A1/unguarded-field)
+  balance_ -= 1;
+  hops_ += 1;
+  // Posting into the successor's slot while this rank's inbox lock is
+  // still held: post acquires TokenSlot::mu_ (order edge) and delivers
+  // back into an inbox, re-acquiring RankBox::mu_ (self-deadlock when the
+  // ring wraps). Both fire here.
+  next_slot_->post();  // SEED(A1/lock-cycle) SEED(A1/reentrant-lock)
+}
+
+void RankBox::accept() {
+  MutexLock guard(mu_);
+  balance_ += 1;
+}
+
+void TokenSlot::post() {
+  MutexLock guard(mu_);
+  parked_ += 1;
+  owner_->accept();  // SEED(A1/lock-cycle)
+}
+
+// Negative: the detector's real shape — the token's fate is decided under
+// the inbox lock, the lock is dropped, and only then is the token posted
+// to the successor, so the slot/inbox locks never nest. No ordering edge.
+void RankBox::forward_token_safe() {
+  {
+    MutexLock guard(mu_);
+    balance_ -= 1;
+  }
+  next_slot_->post();
+}

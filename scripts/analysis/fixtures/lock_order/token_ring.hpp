@@ -1,0 +1,36 @@
+// A1 fixture: the token-under-inbox-lock pattern (asynchronous quiescence
+// rings, runtime/quiescence.hpp + runtime/async_channel.hpp).
+// RankBox::forward_token decides the token's fate and posts it to the ring
+// successor's slot while still holding its own inbox mutex; TokenSlot::post
+// takes the slot lock and delivers back into the owning rank's inbox,
+// which re-acquires an inbox mutex — the slot/inbox AB/BA cycle, plus a
+// re-entrant inbox acquisition when the ring wraps (see token_ring.cpp).
+// The production shape (decide under the lock, drop it, then post) is
+// seeded as a negative.
+#pragma once
+
+#include "ledger.hpp"
+
+struct RankBox;
+
+// One parked token per rank: post parks a token under the slot lock and
+// hands it to the owning rank's inbox.
+struct TokenSlot {
+  void post();
+  Mutex mu_;
+  RankBox* owner_;
+  long parked_ MPS_GUARDED_BY(mu_);
+};
+
+struct RankBox {
+  void forward_token();
+  void forward_token_safe();
+  void accept();
+  Mutex mu_;
+  TokenSlot* next_slot_;
+  // round_ is written under mu_ but carries no GUARDED_BY; balance_ is
+  // annotated and must NOT fire; hops_ is atomic and exempt.
+  long round_;
+  long balance_ MPS_GUARDED_BY(mu_);
+  std::atomic<long> hops_;
+};

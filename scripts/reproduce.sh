@@ -39,6 +39,15 @@
 #                                   control run or any sampled answer is
 #                                   stale (dist/parent mismatch vs a fresh
 #                                   solve of its stamped version)
+#   scripts/reproduce.sh --async    only build + run the asynchronous-
+#                                   engine acceptance bench (bench/
+#                                   async_latency), writing
+#                                   BENCH_async_latency.json at the repo
+#                                   root; fails if ASYNC distances are not
+#                                   bit-identical to OPT, the global-sync
+#                                   reduction is below 10x on RMAT-1, or
+#                                   ASYNC wins cold single-root p50 on no
+#                                   row (docs/ASYNC.md)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,6 +57,7 @@ MICRO=0
 TRACE=0
 UPDATE=0
 MVCC=0
+ASYNC=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
@@ -55,8 +65,9 @@ for arg in "$@"; do
     --trace) TRACE=1 ;;
     --update) UPDATE=1 ;;
     --mvcc) MVCC=1 ;;
+    --async) ASYNC=1 ;;
     *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" \
-            "[--update] [--mvcc]" >&2
+            "[--update] [--mvcc] [--async]" >&2
        exit 2 ;;
   esac
 done
@@ -108,6 +119,18 @@ if [ "$MVCC" -eq 1 ]; then
   exit 0
 fi
 
+if [ "$ASYNC" -eq 1 ]; then
+  # Fast path for CI perf smoke: the bench's exit status encodes the
+  # asynchronous engine's acceptance gates (bit-exact distances vs OPT on
+  # every measured solve, >=10x fewer global syncs on RMAT-1, and a cold
+  # single-root p50 win on at least one row).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target async_latency
+  ./build/bench/async_latency BENCH_async_latency.json
+  echo "wrote BENCH_async_latency.json"
+  exit 0
+fi
+
 if [ "$MICRO" -eq 1 ]; then
   # Fast path for CI perf smoke: no test sweep, no figure benches.
   cmake -B build -S . >/dev/null
@@ -126,7 +149,10 @@ scripts/check.sh --quick 2>&1 | tee test_output.txt
   for b in build/bench/*; do
     # serve_throughput / update_throughput are acceptance benches with JSON
     # side effects; they run under --serve / --update, not the figure sweep.
-    case "$b" in *serve_throughput*|*update_throughput*|*mvcc_serving*) continue ;; esac
+    case "$b" in
+      *serve_throughput*|*update_throughput*|*mvcc_serving*|*async_latency*)
+        continue ;;
+    esac
     if [ -x "$b" ] && [ ! -d "$b" ]; then
       echo "===== $b ====="
       "$b"

@@ -102,9 +102,15 @@ void write_stats_fields(JsonWriter& w, const SsspStats& s,
   w.field("pull_requests", s.pull_requests);
   w.field("pull_responses", s.pull_responses);
   w.field("bf_relaxations", s.bf_relaxations);
+  w.field("async_relaxations", s.async_relaxations);
   w.field("phases", s.phases);
   w.field("buckets", s.buckets);
   w.field("switched_to_bf", s.switched_to_bf);
+  w.field("sync_allreduces", s.sync_allreduces);
+  w.field("sync_barriers", s.sync_barriers);
+  w.field("global_syncs", s.global_syncs());
+  w.field("quiescence_rounds", s.quiescence_rounds);
+  w.field("token_hops", s.token_hops);
   w.field("model_time_s", s.model_time_s);
   w.field("model_bucket_time_s", s.model_bucket_time_s);
   w.field("model_other_time_s", s.model_other_time_s);

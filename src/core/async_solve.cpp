@@ -1,0 +1,44 @@
+#include "core/async_solve.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/async_engine.hpp"
+#include "core/parent_canon.hpp"
+
+namespace parsssp {
+
+void run_async_solve(MachineSession& session, const AsyncSolveJob& job,
+                     const SsspOptions& options,
+                     std::shared_ptr<void> keepalive) {
+  if (options.algo != SsspAlgo::kAsync) {
+    throw std::invalid_argument(
+        "run_async_solve: options.algo must be SsspAlgo::kAsync");
+  }
+  AsyncChannel<RelaxMsg> channel(session.num_ranks());
+  LevelBoard board(session.num_ranks());
+  AsyncEngineShared shared;
+  shared.graph = job.graph;
+  shared.part = job.part;
+  shared.views = job.views;
+  shared.dist = job.dist;
+  shared.parent = job.parent;
+  shared.root = job.root;
+  shared.options = &options;
+  shared.rank_counters = job.rank_counters;
+  shared.stats = job.stats;
+  shared.channel = &channel;
+  shared.board = &board;
+  session
+      .submit([&shared](RankCtx& ctx) { run_async_sssp_job(ctx, shared); },
+              std::move(keepalive))
+      .get();
+  if (job.parent != nullptr) {
+    // Always canonical: async relax order is schedule-dependent, so the
+    // raw predecessor tree is not reproducible — re-deriving parents from
+    // (graph, dist) is what makes them bit-comparable across engines.
+    canonicalize_parents(*job.graph, job.root, *job.dist, *job.parent);
+  }
+}
+
+}  // namespace parsssp

@@ -1,0 +1,45 @@
+// Facade over the asynchronous engine, for layers that may not drive
+// AsyncEngine directly (the serve/update isolation rules in
+// scripts/analysis/layers.toml: src/serve/ and src/update/ reach the
+// engines only through the solver/session facades).
+//
+// One call runs one cold single-root solve on a MachineSession: it owns
+// the AsyncChannel for the solve's duration, runs the collective job, and
+// canonicalizes the parent tree (core/parent_canon.hpp) so parents are a
+// pure function of graph + dist — the bit-identity contract with the
+// bucket-synchronous OPT engine (docs/ASYNC.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/types.hpp"
+#include "runtime/machine_session.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+/// Inputs of one asynchronous solve. All pointers must outlive the call;
+/// `dist` and `parent` (optional) are sized by the caller and overwritten.
+struct AsyncSolveJob {
+  const CsrGraph* graph = nullptr;
+  BlockPartition part;
+  const std::vector<LocalEdgeView>* views = nullptr;
+  std::vector<dist_t>* dist = nullptr;
+  std::vector<vid_t>* parent = nullptr;  ///< null disables tracking
+  vid_t root = 0;
+  std::vector<RankCounters>* rank_counters = nullptr;
+  SsspStats* stats = nullptr;
+};
+
+/// Runs the async solve collectively on `session`. Blocks until done.
+/// `keepalive` is pinned for the job's lifetime (the serving layer passes
+/// its GraphSnapshot, same contract as MachineSession::submit).
+void run_async_solve(MachineSession& session, const AsyncSolveJob& job,
+                     const SsspOptions& options,
+                     std::shared_ptr<void> keepalive = nullptr);
+
+}  // namespace parsssp

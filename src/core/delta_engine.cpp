@@ -81,6 +81,9 @@ DeltaEngine::DeltaEngine(RankCtx& ctx, const EngineShared& shared)
   lane_inserts_.resize(lanes);
   lane_unsettled_.resize(lanes);
 
+  sync0_allreduces_ = ctx_.traffic().allreduces;
+  sync0_barriers_ = ctx_.traffic().barriers;
+
   if (sh_.options->trace != nullptr) {
     tlane_ = &sh_.options->trace->thread_lane(
         "rank" + std::to_string(ctx_.rank()));
@@ -747,6 +750,11 @@ void DeltaEngine::run() {
 }
 
 void DeltaEngine::finalize() {
+  // Synchronization cost of the solve body (this final reduction included:
+  // +1 below). Collective discipline makes the counts rank-identical, but
+  // the reduction maxes anyway so a straggler shows rather than hides.
+  counters_.allreduces = ctx_.traffic().allreduces - sync0_allreduces_ + 1;
+  counters_.barriers = ctx_.traffic().barriers - sync0_barriers_;
   (*sh_.rank_counters)[ctx_.rank()] = counters_;
   // Wall time of the run: bottleneck across ranks.
   const double wall =
@@ -754,17 +762,25 @@ void DeltaEngine::finalize() {
   struct WallReduce {
     double total;
     double bucket;
+    std::uint64_t allreduces;
+    std::uint64_t barriers;
   };
   struct WallReduceOp {
     WallReduce operator()(const WallReduce& a, const WallReduce& b) const {
-      return {std::max(a.total, b.total), std::max(a.bucket, b.bucket)};
+      return {std::max(a.total, b.total), std::max(a.bucket, b.bucket),
+              std::max(a.allreduces, b.allreduces),
+              std::max(a.barriers, b.barriers)};
     }
   };
   const WallReduce wr = ctx_.allreduce(
-      WallReduce{wall, counters_.wall_bucket_time_s}, WallReduceOp{});
+      WallReduce{wall, counters_.wall_bucket_time_s, counters_.allreduces,
+                 counters_.barriers},
+      WallReduceOp{});
 
   if (ctx_.rank() == 0) {
     SsspStats& s = *sh_.stats;
+    s.sync_allreduces = wr.allreduces;
+    s.sync_barriers = wr.barriers;
     s.phases = phases_;
     s.buckets = buckets_;
     s.switched_to_bf = switched_;

@@ -207,6 +207,10 @@ class DeltaEngine {
   std::vector<std::pair<std::uint64_t, vid_t>> merged_inserts_;  ///< scratch
 
   RankCounters counters_;
+  /// TrafficCounters sync tallies at construction; finalize() reports the
+  /// solve's own allreduce/barrier count as the delta against these.
+  std::uint64_t sync0_allreduces_ = 0;
+  std::uint64_t sync0_barriers_ = 0;
   CostModel cost_;
   /// This rank's trace lane; null unless SsspOptions::trace is set.
   TraceLane* tlane_ = nullptr;

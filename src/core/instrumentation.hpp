@@ -47,9 +47,12 @@ struct SsspStats {
   std::uint64_t pull_requests = 0;
   std::uint64_t pull_responses = 0;
   std::uint64_t bf_relaxations = 0;
+  /// Relax operations of the asynchronous engine (docs/ASYNC.md); its
+  /// speculative re-relaxations are real work and count individually.
+  std::uint64_t async_relaxations = 0;
   std::uint64_t total_relaxations() const {
     return short_relaxations + long_push_relaxations + pull_requests +
-           pull_responses + bf_relaxations;
+           pull_responses + bf_relaxations + async_relaxations;
   }
 
   // Structure.
@@ -58,6 +61,19 @@ struct SsspStats {
   bool switched_to_bf = false;
   std::uint64_t bf_switch_bucket = 0;
   std::vector<bool> pull_decisions;  ///< one entry per processed bucket
+
+  // Global synchronization cost (max over ranks; ranks agree on collective
+  // counts by construction). For the bucket-synchronous engines this is
+  // the per-bucket allreduce/exchange tax; the asynchronous engine pays
+  // only its init/finalize handful and reports its token-ring probes in
+  // quiescence_rounds instead.
+  std::uint64_t sync_allreduces = 0;
+  std::uint64_t sync_barriers = 0;
+  std::uint64_t global_syncs() const { return sync_allreduces + sync_barriers; }
+  /// Safra probe circuits rank 0 launched (async engine only).
+  std::uint64_t quiescence_rounds = 0;
+  /// Point-to-point token passes on the quiescence ring (async engine).
+  std::uint64_t token_hops = 0;
 
   // Measured wall-clock (seconds), bottleneck (max) across ranks.
   double wall_time_s = 0;
@@ -93,6 +109,11 @@ struct RankCounters {
   std::uint64_t pull_requests = 0;
   std::uint64_t pull_responses = 0;
   std::uint64_t bf_relaxations = 0;
+  std::uint64_t async_relaxations = 0;
+  /// Collective/barrier participations of this rank during the solve
+  /// (deltas of the rank's TrafficCounters; see SsspStats::global_syncs).
+  std::uint64_t allreduces = 0;
+  std::uint64_t barriers = 0;
   double wall_bucket_time_s = 0;
   double wall_other_time_s = 0;
 };

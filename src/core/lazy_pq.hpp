@@ -1,0 +1,80 @@
+// Lazy-batched bucket priority queue for the asynchronous engine
+// (docs/ASYNC.md), after the lazy-batched structure of rho-stepping /
+// Delta*-stepping: insertions are O(1) appends into Delta-wide buckets,
+// deletions are lazy (an entry whose recorded distance no longer matches
+// the vertex's tentative distance is skipped at pop time), and extraction
+// returns the *entire* lowest non-empty bucket as one batch — the unit of
+// speculative relaxation work between inbox drains.
+//
+// Laziness is what keeps speculation cheap: a re-relaxation that improves
+// a queued vertex just pushes a second, lower entry; the stale one costs
+// one comparison when its bucket is reached. The engine filters staleness
+// (it owns the distance array); the queue only promises that pop_batch
+// yields the minimum non-empty bucket and that entries within a batch
+// come out in push order (determinism of the local relax order — not
+// load-bearing for results, which monotone re-relaxation makes exact
+// under any order, but it keeps single-rank runs reproducible).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+class LazyBucketQueue {
+ public:
+  /// `delta` is the bucket width (SsspOptions::kInfDelta degenerates to a
+  /// single bucket, the Bellman-Ford regime).
+  explicit LazyBucketQueue(std::uint32_t delta) : delta_(delta) {}
+
+  /// Queues (vertex, tentative distance). Lazy: does not remove any
+  /// previous entry for `v`.
+  void push(vid_t v, dist_t d) {
+    const std::size_t b = static_cast<std::size_t>(bucket_of(d, delta_));
+    if (b >= buckets_.size()) buckets_.resize(b + 1);
+    buckets_[b].push_back({v, d});
+    ++entries_;
+    if (b < cursor_) cursor_ = b;
+  }
+
+  /// Entries currently queued, stale ones included (an upper bound on
+  /// live work).
+  std::size_t size() const { return entries_; }
+  bool empty() const { return entries_ == 0; }
+
+  /// Lowest non-empty bucket index without popping, kInfBucket when empty.
+  /// (The bucket may hold only stale entries — the engine treats a pop
+  /// that yields no live work as a no-op, so the peek stays O(1) amortized
+  /// rather than chasing staleness here.)
+  std::uint64_t min_bucket() const {
+    if (entries_ == 0) return kInfBucket;
+    std::size_t b = cursor_;
+    while (buckets_[b].empty()) ++b;
+    return b;
+  }
+
+  /// Moves the lowest non-empty bucket's entries into `out` (cleared
+  /// first) and returns its bucket index, or kInfBucket when the queue is
+  /// empty. The popped bucket keeps its capacity for future pushes.
+  std::uint64_t pop_batch(std::vector<std::pair<vid_t, dist_t>>& out) {
+    out.clear();
+    if (entries_ == 0) return kInfBucket;
+    while (buckets_[cursor_].empty()) ++cursor_;
+    std::swap(out, buckets_[cursor_]);
+    buckets_[cursor_].clear();
+    entries_ -= out.size();
+    return cursor_;
+  }
+
+ private:
+  std::uint32_t delta_;
+  std::vector<std::vector<std::pair<vid_t, dist_t>>> buckets_;
+  std::size_t cursor_ = 0;  ///< no non-empty bucket below this index
+  std::size_t entries_ = 0;
+};
+
+}  // namespace parsssp

@@ -53,4 +53,17 @@ SsspOptions SsspOptions::lb_opt(std::uint32_t delta,
   return o;
 }
 
+SsspOptions SsspOptions::async_opt(std::uint32_t delta) {
+  SsspOptions o;
+  o.algo = SsspAlgo::kAsync;
+  o.delta = delta;
+  // The bucket-synchronous work-shaping knobs are inert under kAsync;
+  // keep them at their neutral settings so the signature reads honestly.
+  o.edge_classification = false;
+  o.ios = false;
+  o.pruning = false;
+  o.hybrid_tau = -1.0;
+  return o;
+}
+
 }  // namespace parsssp

@@ -32,6 +32,23 @@ enum class DataPath : std::uint8_t {
   kReference,
 };
 
+/// Which execution model runs the solve (docs/ASYNC.md). Both produce
+/// bit-identical distances; parents agree once canonicalized.
+enum class SsspAlgo : std::uint8_t {
+  /// The bulk-synchronous Delta-stepping family (Del/Prune/Opt/BF): one
+  /// allreduce-fenced epoch per bucket. The default.
+  kBucketSync,
+  /// The barrier-free engine: ranks drain an inbound relax queue, keep a
+  /// lazy-batched local priority structure, forward speculatively, and
+  /// terminate via distributed quiescence detection. Ignores the
+  /// bucket-synchronous work-shaping knobs (pruning, ios, hybrid_tau,
+  /// heavy_degree_threshold, parallel_apply); honors delta (priority
+  /// granularity), data_path and track_parents. Parents are always
+  /// canonicalized (core/parent_canon.hpp) so they stay a pure function
+  /// of graph + dist.
+  kAsync,
+};
+
 /// How the pull-request volume is estimated by the decision heuristic.
 /// The paper discusses all three: binary search over weight-sorted lists,
 /// histograms for "approximate estimates", and (what its implementation
@@ -65,6 +82,9 @@ struct SsspOptions {
   /// Bucket width. kInfDelta selects the Bellman-Ford regime (one bucket).
   static constexpr std::uint32_t kInfDelta = 0xffffffffu;
   std::uint32_t delta = 25;
+
+  /// Execution model; see SsspAlgo.
+  SsspAlgo algo = SsspAlgo::kBucketSync;
 
   /// Meyer-Sanders short/long edge classification (§III-A).
   bool edge_classification = true;
@@ -145,6 +165,9 @@ struct SsspOptions {
   /// LB-OPT-D: OPT-D + intra-rank heavy-vertex load balancing.
   static SsspOptions lb_opt(std::uint32_t delta,
                             std::size_t heavy_threshold = 256);
+  /// ASYNC-D: the barrier-free engine (SsspAlgo::kAsync) at priority
+  /// granularity Delta. Distances bit-identical to opt(delta).
+  static SsspOptions async_opt(std::uint32_t delta);
 };
 
 }  // namespace parsssp

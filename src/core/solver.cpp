@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/async_engine.hpp"
 #include "core/delta_engine.hpp"
 #include "core/parent_canon.hpp"
 
@@ -53,20 +54,43 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
   }
   std::vector<RankCounters> rank_counters(machine_.num_ranks());
 
-  EngineShared shared;
-  shared.graph = &graph_;
-  shared.part = part_;
-  shared.views = &views_;
-  shared.dist = &result.dist;
-  shared.parent = options.track_parents ? &result.parent : nullptr;
-  shared.root = root;
-  shared.options = &options;
-  shared.rank_counters = &rank_counters;
-  shared.stats = &result.stats;
+  if (options.algo == SsspAlgo::kAsync) {
+    AsyncChannel<RelaxMsg> channel(machine_.num_ranks());
+    LevelBoard board(machine_.num_ranks());
+    AsyncEngineShared shared;
+    shared.graph = &graph_;
+    shared.part = part_;
+    shared.views = &views_;
+    shared.dist = &result.dist;
+    shared.parent = options.track_parents ? &result.parent : nullptr;
+    shared.root = root;
+    shared.options = &options;
+    shared.rank_counters = &rank_counters;
+    shared.stats = &result.stats;
+    shared.channel = &channel;
+    shared.board = &board;
 
-  machine_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+    machine_.run(
+        [&shared](RankCtx& ctx) { run_async_sssp_job(ctx, shared); });
+  } else {
+    EngineShared shared;
+    shared.graph = &graph_;
+    shared.part = part_;
+    shared.views = &views_;
+    shared.dist = &result.dist;
+    shared.parent = options.track_parents ? &result.parent : nullptr;
+    shared.root = root;
+    shared.options = &options;
+    shared.rank_counters = &rank_counters;
+    shared.stats = &result.stats;
 
-  if (options.track_parents && options.canonical_parents) {
+    machine_.run([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); });
+  }
+
+  if (options.track_parents &&
+      (options.canonical_parents || options.algo == SsspAlgo::kAsync)) {
+    // Async parent trees depend on the message schedule; canonicalizing
+    // makes them a pure function of (graph, dist) — see docs/ASYNC.md.
     canonicalize_parents(graph_, root, result.dist, result.parent);
   }
 
@@ -76,6 +100,7 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
     result.stats.pull_requests += c.pull_requests;
     result.stats.pull_responses += c.pull_responses;
     result.stats.bf_relaxations += c.bf_relaxations;
+    result.stats.async_relaxations += c.async_relaxations;
   }
   return result;
 }
@@ -145,6 +170,11 @@ MultiRootResult Solver::solve_multi(std::span<const vid_t> roots,
   }
   if (options.delta == 0) {
     throw std::invalid_argument("Solver::solve_multi: delta must be >= 1");
+  }
+  if (options.algo == SsspAlgo::kAsync) {
+    throw std::invalid_argument(
+        "Solver::solve_multi: the asynchronous engine is single-root only "
+        "(use solve/solve_batch, or SsspAlgo::kBucketSync for multi-root)");
   }
   MultiRootResult result;
   result.roots.assign(roots.begin(), roots.end());

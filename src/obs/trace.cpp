@@ -29,6 +29,9 @@ std::string_view span_cat_name(SpanCat cat) {
     case SpanCat::kUpdateApply: return "update_apply";
     case SpanCat::kSnapshotPublish: return "snapshot_publish";
     case SpanCat::kSnapshotRetire: return "snapshot_retire";
+    case SpanCat::kAsyncDrain: return "async_drain";
+    case SpanCat::kAsyncRelax: return "async_relax";
+    case SpanCat::kQuiescence: return "quiescence";
     case SpanCat::kCount: break;
   }
   return "unknown";
@@ -61,6 +64,10 @@ std::string_view span_group(SpanCat cat) {
     case SpanCat::kSnapshotPublish:
     case SpanCat::kSnapshotRetire:
       return "snapshot";
+    case SpanCat::kAsyncDrain:
+    case SpanCat::kAsyncRelax:
+    case SpanCat::kQuiescence:
+      return "async";
     default:
       return "serve";
   }

@@ -75,6 +75,11 @@ enum class SpanCat : std::uint8_t {
   // MVCC snapshot layer (docs/SNAPSHOTS.md; publish-thread lane).
   kSnapshotPublish,  ///< installing a new head + reader-gate drain
   kSnapshotRetire,   ///< one snapshot's limbo: supersession to reclamation
+  // Asynchronous engine (docs/ASYNC.md; rank lanes, no tiling contract —
+  // the barrier-free loop has no phase structure to sum against).
+  kAsyncDrain,   ///< draining + applying one inbox swap
+  kAsyncRelax,   ///< relaxing one popped priority batch + flushing sends
+  kQuiescence,   ///< token handling / idle parking between work
   kCount
 };
 

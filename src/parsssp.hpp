@@ -32,6 +32,7 @@
 #include "seq/dijkstra.hpp"        // IWYU pragma: export
 
 // The distributed SSSP core.
+#include "core/async_solve.hpp"    // IWYU pragma: export
 #include "core/bfs_engine.hpp"     // IWYU pragma: export
 #include "core/delta_choice.hpp"   // IWYU pragma: export
 #include "core/dist_builder.hpp"   // IWYU pragma: export

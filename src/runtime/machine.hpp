@@ -82,6 +82,7 @@ class RankCtx {
 
   void barrier() {
     check_owner("barrier()");
+    ++traffic_.barriers;
     collectives_.barrier();
   }
 
@@ -118,6 +119,7 @@ class RankCtx {
     static_assert(std::is_trivially_copyable_v<T>);
     check_owner("exchange()");
     ScopedSpan span(trace_, SpanCat::kExchange);
+    traffic_.barriers += 2;  // the post/take fences below
     const rank_t r = rank_;
     const rank_t ranks = num_ranks();
     const std::uint64_t round = ++exchange_round_;
@@ -162,6 +164,7 @@ class RankCtx {
     static_assert(std::is_trivially_copyable_v<T>);
     check_owner("exchange_pooled()");
     ScopedSpan span(trace_, SpanCat::kExchange);
+    traffic_.barriers += 2;  // the post/take fences below
     const rank_t r = rank_;
     const rank_t ranks = num_ranks();
     const unsigned lanes = pool.lanes();
@@ -246,6 +249,9 @@ class RankCtx {
 
   template <typename T>
   void count_control() {
+    // Every collective is one global synchronization point, whatever its
+    // payload — the latency term the async engine eliminates.
+    ++traffic_.allreduces;
     traffic_.add(PhaseKind::kControl, num_ranks() - 1,
                  (num_ranks() - 1) * sizeof(T));
   }

@@ -1,0 +1,159 @@
+// Distributed quiescence detection for the asynchronous data path
+// (docs/ASYNC.md): a Safra-style token ring in the EWD-998 formulation.
+//
+// The asynchronous engine has no bucket barriers, so "everyone is done" is
+// itself a distributed predicate: a rank with an empty queue may be
+// reactivated at any moment by a relaxation still in flight. Safra's
+// algorithm detects the stable state "every rank passive AND no message in
+// flight" with plain point-to-point token passes:
+//
+//   * every rank keeps a cumulative message balance c_i = sent - received
+//     and a color; *receiving* a message blackens the rank;
+//   * rank 0, when passive, launches a white token carrying a balance
+//     accumulator; each rank holds the token until passive, then folds in
+//     its balance, dyes the token black if it is black itself, whitens,
+//     and forwards to the next rank on the ring;
+//   * when the token returns to rank 0: if the token is white, rank 0 is
+//     white, and the accumulated balance plus c_0 is zero, the ring was
+//     globally passive with no message in flight for the whole circuit —
+//     termination. Otherwise rank 0 launches a fresh round.
+//
+// The color rule is what makes the count sound: a message can be received
+// by a rank the token already passed (so the token's balance sum misses
+// it and can read zero with traffic still in flight), but that delivery
+// blackens the receiver, which either dyes this token on a later hop or
+// forces the next round. test_quiescence.cpp drives exactly that
+// false-termination shape as a must-fail negative case.
+//
+// This class is the *protocol state machine only*: it owns no queues, no
+// locks and no threads. The engine (or a test harness) delivers events —
+// on_send / on_receive / receive_token — and asks poll() what to do next.
+// That keeps the detector exhaustively unit-testable under adversarial
+// message schedules, and keeps token handling outside any queue lock (the
+// deadlock shape seeded in scripts/analysis/fixtures/lock_order/).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace parsssp {
+
+/// The probe token. `balance` accumulates the visited ranks' message
+/// balances; `black` records whether any visited rank was black when it
+/// forwarded; `round` counts completed circuits (diagnostics only).
+struct QuiescenceToken {
+  std::int64_t balance = 0;
+  bool black = false;
+  std::uint32_t round = 0;
+};
+
+/// Per-rank Safra state. One instance per rank, driven by that rank only.
+class QuiescenceRank {
+ public:
+  QuiescenceRank(rank_t rank, rank_t num_ranks)
+      : rank_(rank), num_ranks_(num_ranks) {}
+
+  /// `n` payload messages handed to the transport for another rank.
+  /// Self-delivered work never crosses the network and must not be
+  /// counted (the harness contract: every on_send(n) is matched by
+  /// exactly one on_receive(n) at the destination, eventually).
+  void on_send(std::uint64_t n) { balance_ += static_cast<std::int64_t>(n); }
+
+  /// `n` payload messages taken off the transport. Blackens the rank:
+  /// this delivery may have happened behind the token's back.
+  void on_receive(std::uint64_t n) {
+    balance_ -= static_cast<std::int64_t>(n);
+    black_ = true;
+  }
+
+  /// The ring delivered the token to this rank; it parks here until the
+  /// next passive poll(). At most one token exists per ring.
+  void receive_token(const QuiescenceToken& token) {
+    token_ = token;
+    holds_token_ = true;
+  }
+
+  bool holds_token() const { return holds_token_; }
+
+  /// What poll() wants the caller to do.
+  enum class ActionKind : std::uint8_t {
+    kNone,       ///< keep working (or keep holding the token)
+    kForward,    ///< pass `token` to rank `dest`
+    kTerminate,  ///< global quiescence proven; announce shutdown
+  };
+  struct Action {
+    ActionKind kind = ActionKind::kNone;
+    rank_t dest = 0;
+    QuiescenceToken token;
+  };
+
+  /// Drives the protocol. `passive` means: inbound queue drained empty AND
+  /// no local work pending — the caller must re-check this every loop
+  /// iteration, since a delivery can reactivate the rank at any time.
+  /// Active ranks always get kNone (the token waits). A passive rank 0
+  /// launches the first probe; a passive token holder folds its balance
+  /// and forwards (whitening itself); rank 0 closing a clean circuit
+  /// returns kTerminate, otherwise relaunches.
+  Action poll(bool passive) {
+    if (!passive || num_ranks_ == 1) {
+      if (passive) return {ActionKind::kTerminate, 0, token_};
+      return {};
+    }
+    if (rank_ == 0 && !probing_) {
+      // Launch the first probe: a white token with an empty accumulator.
+      probing_ = true;
+      black_ = false;
+      ++rounds_started_;
+      return {ActionKind::kForward, 1, QuiescenceToken{}};
+    }
+    if (!holds_token_) return {};
+    if (rank_ == 0) {
+      // The circuit closed. Clean iff nobody (token or self) is black and
+      // the ring-wide message balance — every other rank's fold plus our
+      // own — is zero: no delivery can be outstanding.
+      token_.round += 1;
+      if (!token_.black && !black_ && token_.balance + balance_ == 0) {
+        holds_token_ = false;
+        return {ActionKind::kTerminate, 0, token_};
+      }
+      // Relaunch: fresh accumulator, rank 0 whitens.
+      holds_token_ = false;
+      black_ = false;
+      ++rounds_started_;
+      return {ActionKind::kForward, 1,
+              QuiescenceToken{0, false, token_.round}};
+    }
+    // Interior rank: fold, dye, whiten, pass on.
+    QuiescenceToken out = token_;
+    out.balance += balance_;
+    out.black = out.black || black_;
+    black_ = false;
+    holds_token_ = false;
+    return {ActionKind::kForward,
+            static_cast<rank_t>((rank_ + 1) % num_ranks_), out};
+  }
+
+  /// Probe circuits started by rank 0 (0 on other ranks): the async
+  /// path's analogue of a global synchronization, reported as
+  /// SsspStats::quiescence_rounds.
+  std::uint32_t rounds_started() const { return rounds_started_; }
+
+  /// Cumulative sent - received (tests / diagnostics).
+  std::int64_t balance() const { return balance_; }
+  bool black() const { return black_; }
+
+ private:
+  rank_t rank_;
+  rank_t num_ranks_;
+  std::int64_t balance_ = 0;
+  /// A rank starts black: it may not certify a circuit it has not been
+  /// whitened into (EWD 998's initial condition).
+  bool black_ = true;
+  bool holds_token_ = false;
+  bool probing_ = false;
+  QuiescenceToken token_;
+  std::uint32_t rounds_started_ = 0;
+};
+
+}  // namespace parsssp

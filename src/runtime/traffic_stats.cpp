@@ -19,6 +19,8 @@ std::string_view phase_kind_name(PhaseKind kind) {
       return "bellman-ford";
     case PhaseKind::kControl:
       return "control";
+    case PhaseKind::kAsync:
+      return "async";
     case PhaseKind::kCount:
       break;
   }
@@ -38,6 +40,8 @@ TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& other) {
     messages[i] += other.messages[i];
     bytes[i] += other.bytes[i];
   }
+  allreduces += other.allreduces;
+  barriers += other.barriers;
   return *this;
 }
 

@@ -29,22 +29,33 @@ enum class PhaseKind : std::uint8_t {
   kPullResponse,
   kBellmanFord,
   kControl,
-  kCount  // sentinel
+  kAsync,  ///< barrier-free relax batches (runtime/async_channel.hpp)
+  kCount   // sentinel
 };
 
 std::string_view phase_kind_name(PhaseKind kind);
 
-/// Per-kind message/byte totals.
+/// Per-kind message/byte totals, plus the global-synchronization tally the
+/// asynchronous engine exists to eliminate (docs/ASYNC.md): every barrier
+/// and every collective a rank participates in is counted here, so a
+/// solve's synchronization cost is a first-class measured quantity
+/// (SsspStats::sync_allreduces / sync_barriers), not a guess.
 struct TrafficCounters {
   std::array<std::uint64_t, static_cast<std::size_t>(PhaseKind::kCount)>
       messages{};
   std::array<std::uint64_t, static_cast<std::size_t>(PhaseKind::kCount)>
       bytes{};
+  /// Collective reductions (allreduce/broadcast/allgather) entered.
+  std::uint64_t allreduces = 0;
+  /// Barrier waits entered, the two inside each exchange round included.
+  std::uint64_t barriers = 0;
 
   void add(PhaseKind kind, std::uint64_t msg_count, std::uint64_t byte_count) {
     messages[static_cast<std::size_t>(kind)] += msg_count;
     bytes[static_cast<std::size_t>(kind)] += byte_count;
   }
+  /// Global synchronization points this rank participated in.
+  std::uint64_t global_syncs() const { return allreduces + barriers; }
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
   TrafficCounters& operator+=(const TrafficCounters& other);

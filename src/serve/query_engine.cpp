@@ -1,5 +1,6 @@
 #include "serve/query_engine.hpp"
 
+#include "core/async_solve.hpp"
 #include "core/delta_engine.hpp"
 #include "core/multi_engine.hpp"
 
@@ -55,6 +56,7 @@ QueryEngine::QueryEngine(const CsrGraph* graph, DynamicGraph* dynamic,
     m_completed_ = &reg.counter("serve.completed");
     m_cache_hits_ = &reg.counter("serve.cache_hits");
     m_cache_misses_ = &reg.counter("serve.cache_misses");
+    m_barriers_ = &reg.counter("sssp.barriers");
     g_queue_depth_ = &reg.gauge("serve.queue_depth");
     h_latency_ = &reg.histogram("serve.latency_s");
     // Batch sizes are small integers: start the geometric buckets at 1.
@@ -465,8 +467,20 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
 
   // Parent tracking (and the degenerate one-root batch) runs the full
   // per-root engine: parents come out exactly as from Solver::solve, and
-  // single queries skip the batched engine's slot overhead.
-  if (options.track_parents || roots.size() == 1) {
+  // single queries skip the batched engine's slot overhead. The async
+  // engine is single-root by construction, so it rides this path too.
+  if (options.track_parents || roots.size() == 1 ||
+      options.algo == SsspAlgo::kAsync) {
+    // Cold single-root queries run barrier-free when the engine is
+    // configured for it (compute() only sees cache misses); parents must
+    // be canonical for the answers to stay interchangeable. Explicit
+    // SsspAlgo::kAsync requests are honored unconditionally.
+    const bool serve_async =
+        options.algo == SsspAlgo::kAsync ||
+        (config_.async_cold_queries && roots.size() == 1 &&
+         (!options.track_parents || options.canonical_parents));
+    SsspOptions async_options = options;
+    async_options.algo = SsspAlgo::kAsync;
     for (const vid_t root : roots) {
       auto answer = std::make_shared<QueryAnswer>();
       answer->root = root;
@@ -476,26 +490,39 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
       }
       std::vector<RankCounters> rank_counters(session_.num_ranks());
 
-      EngineShared shared;
-      shared.graph = graph;
-      shared.part = part_;
-      shared.views = &views_;
-      shared.dist = &answer->dist;
-      shared.parent = options.track_parents ? &answer->parent : nullptr;
-      shared.root = root;
-      shared.options = &options;
-      shared.rank_counters = &rank_counters;
-      shared.stats = &answer->stats;
-      if (snap) {
-        // The base CSR may lag the logical graph; give the push/pull
-        // estimator the snapshot's weight bound instead.
-        shared.max_weight = snap->max_weight();
-      }
+      if (serve_async) {
+        AsyncSolveJob job;
+        job.graph = graph;
+        job.part = part_;
+        job.views = &views_;
+        job.dist = &answer->dist;
+        job.parent = options.track_parents ? &answer->parent : nullptr;
+        job.root = root;
+        job.rank_counters = &rank_counters;
+        job.stats = &answer->stats;
+        run_async_solve(session_, job, async_options, keepalive);
+      } else {
+        EngineShared shared;
+        shared.graph = graph;
+        shared.part = part_;
+        shared.views = &views_;
+        shared.dist = &answer->dist;
+        shared.parent = options.track_parents ? &answer->parent : nullptr;
+        shared.root = root;
+        shared.options = &options;
+        shared.rank_counters = &rank_counters;
+        shared.stats = &answer->stats;
+        if (snap) {
+          // The base CSR may lag the logical graph; give the push/pull
+          // estimator the snapshot's weight bound instead.
+          shared.max_weight = snap->max_weight();
+        }
 
-      session_
-          .submit([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); },
-                  keepalive)
-          .get();
+        session_
+            .submit([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); },
+                    keepalive)
+            .get();
+      }
 
       for (const RankCounters& c : rank_counters) {
         answer->stats.short_relaxations += c.short_relaxations;
@@ -503,6 +530,10 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
         answer->stats.pull_requests += c.pull_requests;
         answer->stats.pull_responses += c.pull_responses;
         answer->stats.bf_relaxations += c.bf_relaxations;
+        answer->stats.async_relaxations += c.async_relaxations;
+      }
+      if (m_barriers_ != nullptr) {
+        m_barriers_->inc(answer->stats.global_syncs());
       }
       answers.push_back(std::move(answer));
       MutexLock lock(mutex_);

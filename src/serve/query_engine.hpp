@@ -85,6 +85,14 @@ struct ServeConfig {
   /// on their pinned snapshot while updates build the next version
   /// concurrently (docs/SNAPSHOTS.md).
   bool fence_updates = false;
+  /// Serve cold single-root queries on the asynchronous engine
+  /// (docs/ASYNC.md): a one-query batch that misses the cache runs
+  /// barrier-free instead of bucket-synchronous. Distances are
+  /// bit-identical, so the answer is cached under the client's own option
+  /// signature; queries tracking non-canonical parents are exempted (the
+  /// async engine always canonicalizes). Clients can also opt in per query
+  /// via SsspOptions::algo, whatever this flag says.
+  bool async_cold_queries = false;
 
   // --- Observability (docs/OBSERVABILITY.md) ----------------------------
 
@@ -296,6 +304,9 @@ class QueryEngine {
   Counter* m_cache_hits_ = nullptr;
   Counter* m_cache_misses_ = nullptr;
   Counter* m_updates_ = nullptr;
+  /// Global synchronizations (allreduces + barriers) the per-root solves
+  /// paid, cumulatively — the latency tax async_cold_queries removes.
+  Counter* m_barriers_ = nullptr;
   Gauge* g_queue_depth_ = nullptr;
   Gauge* g_graph_version_ = nullptr;
   Gauge* g_cache_evictions_ = nullptr;

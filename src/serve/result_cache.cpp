@@ -30,6 +30,7 @@ std::string options_signature(const SsspOptions& options) {
   // the 17th digit of load_lambda are different configurations.
   out << std::hexfloat;
   out << "delta=" << options.delta
+      << ";algo=" << static_cast<int>(options.algo)
       << ";cls=" << options.edge_classification
       << ";ios=" << options.ios
       << ";prune=" << options.pruning

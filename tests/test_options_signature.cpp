@@ -28,6 +28,7 @@ struct FieldMutation {
 const std::vector<FieldMutation>& mutations() {
   static const std::vector<FieldMutation> kMutations = {
       {"delta", [](SsspOptions& o) { o.delta = 7; }},
+      {"algo", [](SsspOptions& o) { o.algo = SsspAlgo::kAsync; }},
       {"edge_classification",
        [](SsspOptions& o) { o.edge_classification = false; }},
       {"ios", [](SsspOptions& o) { o.ios = false; }},

@@ -1,0 +1,251 @@
+// Safra-style quiescence detection (runtime/quiescence.hpp) under
+// adversarial message schedules. The detector is a pure state machine, so
+// these tests play transport: they deliver sends, receives and token hops
+// in hand-picked (and randomized) orders, including the classic
+// false-termination shape — balances sum to zero and the token is white,
+// yet a message crossed behind the token — which the color rule must veto.
+#include "runtime/quiescence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace parsssp {
+namespace {
+
+using Action = QuiescenceRank::Action;
+using Kind = QuiescenceRank::ActionKind;
+
+TEST(Quiescence, SingleRankTerminatesOnFirstPassivePoll) {
+  QuiescenceRank r(0, 1);
+  EXPECT_EQ(r.poll(false).kind, Kind::kNone);
+  EXPECT_EQ(r.poll(true).kind, Kind::kTerminate);
+}
+
+TEST(Quiescence, ActiveRankNeverActsAndHoldsTheToken) {
+  QuiescenceRank r(1, 3);
+  r.receive_token(QuiescenceToken{});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.poll(false).kind, Kind::kNone);
+    EXPECT_TRUE(r.holds_token());  // the token parks until the rank idles
+  }
+  EXPECT_EQ(r.poll(true).kind, Kind::kForward);
+  EXPECT_FALSE(r.holds_token());
+}
+
+TEST(Quiescence, NonZeroRanksNeverLaunchAProbe) {
+  QuiescenceRank r(2, 4);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(r.poll(true).kind, Kind::kNone);
+  EXPECT_EQ(r.rounds_started(), 0u);
+}
+
+TEST(Quiescence, RingDestinationWrapsAtTheLastRank) {
+  QuiescenceRank last(3, 4);
+  last.receive_token(QuiescenceToken{});
+  const Action a = last.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_EQ(a.dest, 0u);
+}
+
+// A ring that never exchanged a payload message still needs two circuits:
+// every rank starts black (it cannot certify a probe it was never whitened
+// into), so circuit one dyes the token and only circuit two is clean.
+TEST(Quiescence, IdleRingTerminatesInExactlyTwoRounds) {
+  constexpr rank_t kN = 4;
+  std::vector<QuiescenceRank> ranks;
+  for (rank_t r = 0; r < kN; ++r) ranks.emplace_back(r, kN);
+
+  bool terminated = false;
+  Action a = ranks[0].poll(true);  // rank 0 launches
+  ASSERT_EQ(a.kind, Kind::kForward);
+  for (rank_t hop = 0; hop < 4 * kN && !terminated; ++hop) {
+    ranks[a.dest].receive_token(a.token);
+    const Action next = ranks[a.dest].poll(true);
+    ASSERT_NE(next.kind, Kind::kNone);
+    if (next.kind == Kind::kTerminate) {
+      terminated = true;
+      break;
+    }
+    a = next;
+  }
+  EXPECT_TRUE(terminated);
+  EXPECT_EQ(ranks[0].rounds_started(), 2u);
+  for (rank_t r = 1; r < kN; ++r) EXPECT_EQ(ranks[r].rounds_started(), 0u);
+}
+
+// The soundness centerpiece: a message chain 2 -> 1 -> 0 races the token.
+// Rank 1 forwards the token while still clean, *then* receives; rank 2
+// folds +1 (it sent one message); rank 0 already absorbed the final hop,
+// so token.balance + c_0 == +1 - 1 == 0 with a white token — the naive
+// count certifies termination while work was clearly in flight. Rank 0's
+// own color (blackened by the receive) must veto the circuit, and rank 1's
+// color must dye the next one; only the fourth circuit may certify.
+TEST(Quiescence, MessageCrossingBehindTheTokenIsNotFalseTermination) {
+  QuiescenceRank r0(0, 3), r1(1, 3), r2(2, 3);
+
+  // Circuit 1: whitening lap (all ranks start black).
+  Action a = r0.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  ASSERT_EQ(a.dest, 1u);
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_TRUE(a.token.black);
+  r2.receive_token(a.token);
+  a = r2.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  r0.receive_token(a.token);
+  a = r0.poll(true);  // dirty circuit: relaunch
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_FALSE(a.token.black);
+
+  // Circuit 2: the token passes rank 1 first...
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_FALSE(a.token.black);
+  EXPECT_EQ(a.token.balance, 0);
+  // ...then the message chain crosses behind it: 2 -> 1, then 1 -> 0.
+  r2.on_send(1);
+  r1.on_receive(1);  // blackens rank 1 — the token is already past it
+  r1.on_send(1);
+  r0.on_receive(1);  // blackens rank 0
+  r2.receive_token(a.token);
+  a = r2.poll(true);  // folds +1; rank 2 itself is still white
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_FALSE(a.token.black);
+  EXPECT_EQ(a.token.balance, 1);
+  r0.receive_token(a.token);
+  a = r0.poll(true);
+  // White token, balances sum to zero — and still no termination.
+  ASSERT_EQ(a.kind, Kind::kForward) << "false termination certified";
+
+  // Circuit 3: rank 1 is black from the crossed receive; it whitens itself
+  // but dyes the token, so this circuit cannot certify either.
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_TRUE(a.token.black);
+  r2.receive_token(a.token);
+  a = r2.poll(true);
+  r0.receive_token(a.token);
+  a = r0.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);
+
+  // Circuit 4: everyone white, nothing in flight — clean certification.
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  r2.receive_token(a.token);
+  a = r2.poll(true);
+  EXPECT_FALSE(a.token.black);
+  r0.receive_token(a.token);
+  a = r0.poll(true);
+  EXPECT_EQ(a.kind, Kind::kTerminate);
+  EXPECT_EQ(r0.rounds_started(), 4u);
+}
+
+// Reactivation after a clean-looking lull: the ring goes quiet, traffic
+// restarts before rank 0 closes the circuit, and detection must wait for
+// the new traffic to settle too.
+TEST(Quiescence, ReactivationBeforeCircuitCloseDelaysTermination) {
+  QuiescenceRank r0(0, 2), r1(1, 2);
+
+  Action a = r0.poll(true);  // launch circuit 1 (whitening lap)
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  r0.receive_token(a.token);
+  a = r0.poll(true);  // black lap: relaunch
+  ASSERT_EQ(a.kind, Kind::kForward);
+
+  // Rank 1 is busy again when the token arrives; it parks the token,
+  // receives one message and sends one back before going passive.
+  r1.receive_token(a.token);
+  EXPECT_EQ(r1.poll(false).kind, Kind::kNone);
+  r0.on_send(1);
+  r1.on_receive(1);
+  r1.on_send(1);
+  r0.on_receive(1);
+  a = r1.poll(true);  // black (it received): dyes the token
+  ASSERT_EQ(a.kind, Kind::kForward);
+  EXPECT_TRUE(a.token.black);
+  r0.receive_token(a.token);
+  a = r0.poll(true);
+  ASSERT_EQ(a.kind, Kind::kForward);  // not yet
+
+  // One more clean lap certifies.
+  r1.receive_token(a.token);
+  a = r1.poll(true);
+  r0.receive_token(a.token);
+  EXPECT_EQ(r0.poll(true).kind, Kind::kTerminate);
+}
+
+// Randomized schedules: messages are delivered out of order and interleave
+// arbitrarily with token hops. Whenever the detector certifies, nothing may
+// be in flight; and once traffic drains, it must certify within a bounded
+// number of laps (liveness).
+TEST(Quiescence, RandomizedSchedulesNeverCertifyWithTrafficInFlight) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto rnd = [&state](std::uint64_t m) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::size_t>((state >> 33) % m);
+  };
+
+  for (int trial = 0; trial < 64; ++trial) {
+    const rank_t n = static_cast<rank_t>(2 + rnd(6));
+    std::vector<QuiescenceRank> ranks;
+    for (rank_t r = 0; r < n; ++r) ranks.emplace_back(r, n);
+
+    std::vector<rank_t> in_flight;  // destination of each undelivered msg
+    std::size_t budget = 1 + rnd(40);  // sends the "computation" may make
+    for (std::size_t i = 0; i < 1 + rnd(4); ++i) {
+      const rank_t from = static_cast<rank_t>(rnd(n));
+      ranks[from].on_send(1);
+      in_flight.push_back(static_cast<rank_t>(rnd(n)));
+    }
+
+    bool token_in_flight = false;
+    rank_t token_dest = 0;
+    QuiescenceToken token;
+    bool terminated = false;
+
+    for (int step = 0; step < 200000 && !terminated; ++step) {
+      const bool deliver = !in_flight.empty() && rnd(2) == 0;
+      if (deliver) {
+        // Out-of-order delivery: pick any in-flight message.
+        const std::size_t i = rnd(in_flight.size());
+        const rank_t dest = in_flight[i];
+        in_flight[i] = in_flight.back();
+        in_flight.pop_back();
+        ranks[dest].on_receive(1);
+        if (budget > 0 && rnd(3) == 0) {  // receipt may trigger more sends
+          --budget;
+          ranks[dest].on_send(1);
+          in_flight.push_back(static_cast<rank_t>(rnd(n)));
+        }
+        continue;
+      }
+      if (token_in_flight && rnd(2) == 0) {
+        ranks[token_dest].receive_token(token);
+        token_in_flight = false;
+      }
+      const rank_t r = static_cast<rank_t>(rnd(n));
+      const Action a = ranks[r].poll(true);
+      if (a.kind == Kind::kForward) {
+        token = a.token;
+        token_dest = a.dest;
+        token_in_flight = true;
+      } else if (a.kind == Kind::kTerminate) {
+        // Soundness: certification with messages in flight is a bug.
+        EXPECT_TRUE(in_flight.empty())
+            << "trial " << trial << ": certified with " << in_flight.size()
+            << " message(s) in flight";
+        terminated = true;
+      }
+    }
+    EXPECT_TRUE(terminated) << "trial " << trial << " never terminated";
+  }
+}
+
+}  // namespace
+}  // namespace parsssp

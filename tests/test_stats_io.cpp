@@ -56,13 +56,24 @@ TEST(StatsJson, SsspStatsRoundTripKeys) {
   s.buckets = 2;
   s.model_time_s = 0.001;
   s.pull_decisions = {true, false};
+  s.async_relaxations = 4;
+  s.sync_allreduces = 20;
+  s.sync_barriers = 22;
+  s.quiescence_rounds = 3;
+  s.token_hops = 9;
   std::ostringstream os;
   write_json(os, s, 1000);
   const std::string j = os.str();
-  EXPECT_NE(j.find("\"relaxations\":13"), std::string::npos);
+  EXPECT_NE(j.find("\"relaxations\":17"), std::string::npos);
+  EXPECT_NE(j.find("\"async_relaxations\":4"), std::string::npos);
   EXPECT_NE(j.find("\"phases\":7"), std::string::npos);
   EXPECT_NE(j.find("\"pull_decisions\":[true,false]"), std::string::npos);
   EXPECT_NE(j.find("\"gteps_model\":"), std::string::npos);
+  EXPECT_NE(j.find("\"sync_allreduces\":20"), std::string::npos);
+  EXPECT_NE(j.find("\"sync_barriers\":22"), std::string::npos);
+  EXPECT_NE(j.find("\"global_syncs\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"quiescence_rounds\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"token_hops\":9"), std::string::npos);
 }
 
 TEST(StatsJson, BatchSummarySerialized) {

@@ -5,7 +5,9 @@
 //     --scale N                 log2 vertices (default 12)
 //     --edge-factor N           undirected edges per vertex (default 16)
 //     --load PATH               load a SNAP edge list instead of generating
-//     --algo NAME               dijkstra|bf|del|prune|opt|lbopt (default opt)
+//     --algo NAME               dijkstra|bf|del|prune|opt|lbopt|async
+//                               (default opt; async = barrier-free engine,
+//                               docs/ASYNC.md)
 //     --delta N                 bucket width (default 25)
 //     --ranks N                 simulated ranks (default 8)
 //     --lanes N                 worker lanes per rank (default 1)
@@ -141,6 +143,8 @@ SsspOptions make_options(const CliConfig& cfg) {
     o = SsspOptions::opt(cfg.delta);
   } else if (cfg.algo == "lbopt") {
     o = SsspOptions::lb_opt(cfg.delta);
+  } else if (cfg.algo == "async") {
+    o = SsspOptions::async_opt(cfg.delta);
   } else {
     std::fprintf(stderr, "unknown --algo %s\n", cfg.algo.c_str());
     std::exit(2);
@@ -204,8 +208,10 @@ int main(int argc, char** argv) {
   }
 
   TextTable table("per-root results (" + cfg.algo + ")");
+  // "syncs" counts global synchronizations (allreduces + barriers) of the
+  // solve — the --validate evidence that async really is barrier-free.
   table.set_header({"root", "reached", "relaxations", "phases", "buckets",
-                    "model-ms", "GTEPS(model)", "checks"});
+                    "syncs", "model-ms", "GTEPS(model)", "checks"});
   int failures = 0;
   int trace_failures = 0;
   for (const vid_t root : roots) {
@@ -215,11 +221,20 @@ int main(int argc, char** argv) {
     const SsspResult r = split_solver ? split_solver->solve(root, options)
                                       : plain_solver->solve(root, options);
     if (recorder) {
-      const TraceCheckReport rep =
-          check_engine_accounting(*recorder, r.stats);
-      std::printf("# trace check (root %llu): %s\n",
-                  static_cast<unsigned long long>(root), rep.detail.c_str());
-      trace_failures += !rep.ok;
+      if (options.algo == SsspAlgo::kAsync) {
+        // The accounting self-check sums top-level phase spans against the
+        // solve span; the async engine has no phase tiling (or solve span)
+        // to audit. Its spans still land in the exported trace.
+        std::printf("# trace check (root %llu): skipped (async engine has "
+                    "no phase tiling to audit)\n",
+                    static_cast<unsigned long long>(root));
+      } else {
+        const TraceCheckReport rep =
+            check_engine_accounting(*recorder, r.stats);
+        std::printf("# trace check (root %llu): %s\n",
+                    static_cast<unsigned long long>(root), rep.detail.c_str());
+        trace_failures += !rep.ok;
+      }
     }
     std::size_t reached = 0;
     for (const dist_t d : r.dist) reached += d != kInfDist;
@@ -248,6 +263,7 @@ int main(int argc, char** argv) {
         {std::to_string(root), std::to_string(reached),
          TextTable::num(r.stats.total_relaxations()),
          TextTable::num(r.stats.phases), TextTable::num(r.stats.buckets),
+         TextTable::num(r.stats.global_syncs()),
          TextTable::num(r.stats.model_time_s * 1e3, 3),
          TextTable::num(r.stats.gteps(graph.num_undirected_edges()), 4),
          checks});
