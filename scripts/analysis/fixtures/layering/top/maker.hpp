@@ -1,0 +1,12 @@
+// A3 negative control (frontend): a prototype whose parameter list
+// carries a braced default argument. The '{' of `= {}` is not a scope
+// opener; the declaration must flush intact at its ';' so make_thing is
+// recorded as a provided name (otherwise maker_user.cpp's include would
+// be falsely flagged unused).
+#pragma once
+
+struct ThingOpts {
+  int n = 0;
+};
+
+int make_thing(int side, const ThingOpts& opts = {});

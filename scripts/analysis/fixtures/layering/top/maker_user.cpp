@@ -1,0 +1,8 @@
+// A3 negative control: maker.hpp provides make_thing despite the braced
+// default argument in its parameter list, and it is used here — no
+// unused-include finding.
+#include "top/maker.hpp"
+
+int build_thing() {
+  return make_thing(3);
+}

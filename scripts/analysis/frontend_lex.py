@@ -212,6 +212,25 @@ class _Walker:
             self.scopes.append(_Scope("block", fn=fn, open_idx=i))
             return i + 1
 
+        if sum(1 for t in p if t.text == "(") > \
+                sum(1 for t in p if t.text == ")"):
+            # The '{' sits inside a still-open paren group — a braced
+            # default argument in a declaration's parameter list, e.g.
+            # `void f(const std::function<int(int)>& g = {});`. Not a
+            # scope opener: skip the balanced group so the declaration
+            # flushes intact at its ';'.
+            depth = 0
+            j = i
+            while j < len(toks):
+                if toks[j].text == "{" and toks[j].kind == "punct":
+                    depth += 1
+                elif toks[j].text == "}" and toks[j].kind == "punct":
+                    depth -= 1
+                    if depth == 0:
+                        return j + 1
+                j += 1
+            return j
+
         ptexts = [t.text for t in p]
 
         if "namespace" in ptexts:

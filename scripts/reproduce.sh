@@ -48,6 +48,15 @@
 #                                   reduction is below 10x on RMAT-1, or
 #                                   ASYNC wins cold single-root p50 on no
 #                                   row (docs/ASYNC.md)
+#   scripts/reproduce.sh --tuner    only build + run the auto-tuner bake-off
+#                                   bench (bench/tuner_bakeoff), writing
+#                                   BENCH_tuner.json at the repo root; fails
+#                                   if any engine's distances are not
+#                                   bit-identical to OPT, the tuned config
+#                                   loses more than 10% to the best
+#                                   hand-picked config on any row, or it
+#                                   beats the best single global config by
+#                                   >5% on no row (docs/STEPPING.md)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -58,6 +67,7 @@ TRACE=0
 UPDATE=0
 MVCC=0
 ASYNC=0
+TUNER=0
 for arg in "$@"; do
   case "$arg" in
     --serve) SERVE=1 ;;
@@ -66,8 +76,9 @@ for arg in "$@"; do
     --update) UPDATE=1 ;;
     --mvcc) MVCC=1 ;;
     --async) ASYNC=1 ;;
+    --tuner) TUNER=1 ;;
     *) echo "usage: scripts/reproduce.sh [--serve] [--micro] [--trace]" \
-            "[--update] [--mvcc] [--async]" >&2
+            "[--update] [--mvcc] [--async] [--tuner]" >&2
        exit 2 ;;
   esac
 done
@@ -131,6 +142,18 @@ if [ "$ASYNC" -eq 1 ]; then
   exit 0
 fi
 
+if [ "$TUNER" -eq 1 ]; then
+  # Fast path for CI perf smoke: the bench's exit status encodes the
+  # stepping/auto-tuner acceptance gates (every engine bit-identical to
+  # OPT, tuned config within 10% of the best hand-picked config on every
+  # row, and a >5% win over the best single global config somewhere).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target tuner_bakeoff
+  ./build/bench/tuner_bakeoff BENCH_tuner.json
+  echo "wrote BENCH_tuner.json"
+  exit 0
+fi
+
 if [ "$MICRO" -eq 1 ]; then
   # Fast path for CI perf smoke: no test sweep, no figure benches.
   cmake -B build -S . >/dev/null
@@ -150,7 +173,7 @@ scripts/check.sh --quick 2>&1 | tee test_output.txt
     # serve_throughput / update_throughput are acceptance benches with JSON
     # side effects; they run under --serve / --update, not the figure sweep.
     case "$b" in
-      *serve_throughput*|*update_throughput*|*mvcc_serving*|*async_latency*)
+      *serve_throughput*|*update_throughput*|*mvcc_serving*|*async_latency*|*tuner_bakeoff*)
         continue ;;
     esac
     if [ -x "$b" ] && [ ! -d "$b" ]; then

@@ -103,6 +103,7 @@ void write_stats_fields(JsonWriter& w, const SsspStats& s,
   w.field("pull_responses", s.pull_responses);
   w.field("bf_relaxations", s.bf_relaxations);
   w.field("async_relaxations", s.async_relaxations);
+  w.field("stepping_relaxations", s.stepping_relaxations);
   w.field("phases", s.phases);
   w.field("buckets", s.buckets);
   w.field("switched_to_bf", s.switched_to_bf);

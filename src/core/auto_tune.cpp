@@ -1,0 +1,192 @@
+#include "core/auto_tune.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace parsssp {
+namespace {
+
+// Decision-table thresholds (docs/STEPPING.md has the rationale and the
+// bake-off evidence). Deliberately coarse: the table only shortlists;
+// the scored probes make the actual call.
+constexpr double kHighSkew = 8.0;      ///< max/mean degree of power laws
+constexpr std::uint64_t kDeep = 64;    ///< settled buckets of road-likes
+
+double algo_code(SsspAlgo a) {
+  switch (a) {
+    case SsspAlgo::kBucketSync: return 0;
+    case SsspAlgo::kAsync: return 1;
+    case SsspAlgo::kRho: return 2;
+    case SsspAlgo::kDeltaStar: return 3;
+    case SsspAlgo::kRadius: return 4;
+  }
+  return -1;
+}
+
+}  // namespace
+
+SsspOptions TunedConfig::apply(SsspOptions base) const {
+  base.algo = algo;
+  base.delta = delta;
+  base.rho = rho;
+  base.radius_k = radius_k;
+  return base;
+}
+
+std::string TunedConfig::name() const {
+  const std::string d = "-d" + std::to_string(delta);
+  switch (algo) {
+    case SsspAlgo::kBucketSync: return "opt" + d;
+    case SsspAlgo::kAsync: return "async" + d;
+    case SsspAlgo::kRho: return "rho-" + std::to_string(rho) + d;
+    case SsspAlgo::kDeltaStar: return "dstar" + d;
+    case SsspAlgo::kRadius: return "radius-k" + std::to_string(radius_k) + d;
+  }
+  return "unknown" + d;
+}
+
+GraphProfile profile_graph(const CsrGraph& graph) {
+  GraphProfile p;
+  p.vertices = graph.num_vertices();
+  p.arcs = graph.num_arcs();
+  std::size_t max_deg = 0;
+  for (vid_t v = 0; v < graph.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, graph.degree(v));
+  }
+  p.mean_degree = p.vertices > 0
+                      ? static_cast<double>(p.arcs) /
+                            static_cast<double>(p.vertices)
+                      : 0.0;
+  p.degree_skew = p.mean_degree > 0
+                      ? static_cast<double>(max_deg) / p.mean_degree
+                      : 1.0;
+  return p;
+}
+
+void profile_probe(GraphProfile& p, const SsspStats& probe) {
+  p.relax_ratio = p.arcs > 0
+                      ? static_cast<double>(probe.total_relaxations()) /
+                            static_cast<double>(p.arcs)
+                      : 0.0;
+  p.probe_buckets = probe.buckets;
+  p.phases_per_bucket =
+      probe.buckets > 0 ? static_cast<double>(probe.phases) /
+                              static_cast<double>(probe.buckets)
+                        : 0.0;
+  if (!probe.phase_details.empty()) {
+    std::uint64_t sum = 0;
+    for (const PhaseDetail& d : probe.phase_details) sum += d.relaxations;
+    p.mean_frontier = static_cast<double>(sum) /
+                      static_cast<double>(probe.phase_details.size());
+  } else if (probe.phases > 0) {
+    p.mean_frontier = static_cast<double>(probe.total_relaxations()) /
+                      static_cast<double>(probe.phases);
+  }
+}
+
+std::vector<TunedConfig> tuner_shortlist(const GraphProfile& p,
+                                         std::uint32_t incumbent_delta) {
+  std::vector<TunedConfig> out;
+  // The incumbent is always candidate 0: ties break toward it, so tuning
+  // can never pick a strictly worse engine than not tuning.
+  out.push_back({SsspAlgo::kBucketSync, incumbent_delta, 2048, 4});
+  const bool high_skew = p.degree_skew >= kHighSkew;
+  const bool deep = p.probe_buckets >= kDeep;
+  if (high_skew) {
+    // Power-law families: hub relaxations dominate, so batch-extraction
+    // rules that settle many entries per global step amortize them.
+    out.push_back({SsspAlgo::kRho, incumbent_delta, 1024, 4});
+    out.push_back({SsspAlgo::kRho, incumbent_delta, 4096, 4});
+    out.push_back({SsspAlgo::kDeltaStar, incumbent_delta, 2048, 4});
+  } else if (deep) {
+    // Deep, low-skew graphs (roads, grids): step count is the cost, so
+    // radius rules that leap past sparse buckets win.
+    out.push_back({SsspAlgo::kRadius, incumbent_delta, 2048, 2});
+    out.push_back({SsspAlgo::kRadius, incumbent_delta, 2048, 4});
+    out.push_back({SsspAlgo::kDeltaStar, incumbent_delta, 2048, 4});
+  } else {
+    // Ambiguous middle: one representative per family; the scoring pass
+    // decides.
+    out.push_back({SsspAlgo::kRho, incumbent_delta, 2048, 4});
+    out.push_back({SsspAlgo::kDeltaStar, incumbent_delta, 2048, 4});
+    out.push_back({SsspAlgo::kRadius, incumbent_delta, 2048, 4});
+  }
+  return out;
+}
+
+AutoTuner::AutoTuner(MetricsRegistry* metrics) : metrics_(metrics) {}
+
+TunedConfig AutoTuner::tune(std::uint64_t version, const CsrGraph& graph,
+                            const SsspOptions& base, const ProbeFn& probe) {
+  // Held across the probes on purpose: concurrent callers for the same
+  // version serialize, and the loser reuses the winner's entry instead of
+  // paying the probe solves twice.
+  MutexLock lock(mutex_);
+  if (const auto it = by_version_.find(version); it != by_version_.end()) {
+    return it->second;
+  }
+
+  SsspOptions incumbent = base;
+  incumbent.algo = SsspAlgo::kBucketSync;
+  incumbent.collect_phase_details = true;
+  const SsspStats probe0 = probe(incumbent);
+
+  GraphProfile p = profile_graph(graph);
+  profile_probe(p, probe0);
+  if (metrics_ != nullptr) {
+    metrics_->gauge("tuner.degree_skew").set(p.degree_skew);
+    metrics_->gauge("tuner.relax_ratio").set(p.relax_ratio);
+    metrics_->gauge("tuner.probe_buckets")
+        .set(static_cast<double>(p.probe_buckets));
+    metrics_->gauge("tuner.mean_frontier").set(p.mean_frontier);
+  }
+
+  const std::vector<TunedConfig> shortlist =
+      tuner_shortlist(p, base.delta);
+  TunedConfig best = shortlist[0];
+  double best_time = probe0.model_time_s;
+  std::uint64_t probes = 1;
+  for (std::size_t i = 1; i < shortlist.size(); ++i) {
+    const SsspStats s = probe(shortlist[i].apply(base));
+    ++probes;
+    // Modeled time is counts-based, so this comparison — and therefore the
+    // learned config — is deterministic. Strict <: ties keep the earlier
+    // (incumbent-first) candidate.
+    if (s.model_time_s < best_time) {
+      best_time = s.model_time_s;
+      best = shortlist[i];
+    }
+  }
+
+  by_version_[version] = best;
+  ++tunes_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("tuner.tunes").inc();
+    metrics_->counter("tuner.probe_solves").inc(probes);
+    metrics_->gauge("tuner.shortlist_size")
+        .set(static_cast<double>(shortlist.size()));
+    metrics_->gauge("tuner.algo").set(algo_code(best.algo));
+  }
+  return best;
+}
+
+std::optional<TunedConfig> AutoTuner::learned(std::uint64_t version) const {
+  MutexLock lock(mutex_);
+  if (const auto it = by_version_.find(version); it != by_version_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void AutoTuner::forget(std::uint64_t version) {
+  MutexLock lock(mutex_);
+  by_version_.erase(version);
+}
+
+std::uint64_t AutoTuner::tunes() const {
+  MutexLock lock(mutex_);
+  return tunes_;
+}
+
+}  // namespace parsssp

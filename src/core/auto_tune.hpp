@@ -1,0 +1,133 @@
+// Online auto-tuner for the SSSP engine family (docs/STEPPING.md).
+//
+// The tuner answers one question per graph: which engine and step
+// parameter should default-algorithm queries run on? It learns the answer
+// online, from the graph it is actually serving:
+//
+//   1. Profile. A probe solve under the incumbent configuration (OPT-Delta
+//      with per-phase details) yields the work-shape features: relax
+//      ratio (relaxations per arc), settled depth (buckets), phase fanout
+//      (phases per bucket) and mean frontier size; the graph itself yields
+//      the degree skew (max/mean). Features are published as gauges in the
+//      MetricsRegistry (docs/OBSERVABILITY.md) when one is supplied.
+//   2. Shortlist. A decision table (tuner_shortlist, kept deliberately
+//      small and inspectable) maps the profile to 3-5 candidate
+//      configurations: high skew favors rho / Delta*-stepping (frontier
+//      batching amortizes hub vertices), deep low-skew graphs favor
+//      Radius Stepping and wider buckets (fewer global steps), and the
+//      incumbent is always included so tuning can never lose to not
+//      tuning by more than the probe cost.
+//   3. Score. Each candidate runs one probe solve; the winner is the one
+//      with the lowest *modeled* time. Modeled time is a pure function of
+//      the deterministic work/traffic counters, so the whole decision is
+//      reproducible: same graph + same probe root => same TunedConfig,
+//      bit for bit (the property tests/test_auto_tune.cpp pins).
+//
+// Learned configs persist per graph version (AutoTuner::learned), so a
+// serving engine tunes once per published version and routes every later
+// cold query straight to the winner. All engines in the candidate space
+// produce bit-identical distances (and canonical parents), so rewriting a
+// query's engine choice never changes its answer — only its cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/sync.hpp"
+#include "core/thread_annotations.hpp"
+#include "graph/csr.hpp"
+
+namespace parsssp {
+
+class MetricsRegistry;  // obs/metrics.hpp
+
+/// One point in the tuner's search space: an engine plus its step
+/// parameters. Everything else about a query (parents, data path, cost
+/// model, ...) belongs to the client and is preserved by apply().
+struct TunedConfig {
+  SsspAlgo algo = SsspAlgo::kBucketSync;
+  std::uint32_t delta = 25;
+  std::uint32_t rho = 2048;
+  std::uint32_t radius_k = 4;
+
+  /// Projects the decision onto `base`: only algo and the step parameters
+  /// change; the client's option set is otherwise untouched.
+  SsspOptions apply(SsspOptions base) const;
+  /// Stable display name, e.g. "opt-d25", "rho-2048-d25", "radius-k4-d25".
+  std::string name() const;
+
+  friend bool operator==(const TunedConfig&, const TunedConfig&) = default;
+};
+
+/// Work-shape features the decision table reads. Graph-side fields come
+/// from profile_graph(); probe-side fields from profile_probe().
+struct GraphProfile {
+  // Graph shape.
+  std::uint64_t vertices = 0;
+  std::uint64_t arcs = 0;
+  double degree_skew = 1.0;  ///< max degree / mean degree
+  double mean_degree = 0.0;
+  // Probe solve shape (incumbent configuration).
+  double relax_ratio = 0.0;       ///< probe relaxations / arcs
+  std::uint64_t probe_buckets = 0;  ///< settled depth under the incumbent
+  double phases_per_bucket = 0.0;
+  double mean_frontier = 0.0;  ///< mean relaxations per phase
+};
+
+/// Fills the graph-side features (single O(n) degree pass).
+GraphProfile profile_graph(const CsrGraph& graph);
+/// Fills the probe-side features from the incumbent probe's statistics.
+/// `probe` should have run with collect_phase_details enabled; without
+/// details, mean_frontier falls back to relaxations/phases.
+void profile_probe(GraphProfile& p, const SsspStats& probe);
+
+/// The decision table: profile -> candidate configurations, incumbent
+/// (index 0) first. Pure and deterministic; exposed so the bake-off bench
+/// and the tests can inspect the shortlist the tuner actually scored.
+std::vector<TunedConfig> tuner_shortlist(const GraphProfile& p,
+                                         std::uint32_t incumbent_delta);
+
+class AutoTuner {
+ public:
+  /// Runs one full solve under the given options and returns its
+  /// statistics. Must be deterministic in everything the tuner reads
+  /// (work counters and modeled time are; wall clock is not read).
+  using ProbeFn = std::function<SsspStats(const SsspOptions&)>;
+
+  /// `metrics` may be null; when set it must outlive the tuner and
+  /// receives the tuner.* gauges/counters.
+  explicit AutoTuner(MetricsRegistry* metrics = nullptr);
+
+  /// Returns the learned config for `version`, tuning first if this is the
+  /// version's first call. `base` carries the client-side fields candidate
+  /// probes must respect (delta of the incumbent, cost model, data path);
+  /// probes run with algo/step parameters rewritten per candidate.
+  /// Thread-safe; concurrent callers for the same version serialize and
+  /// the second one reuses the first's result.
+  TunedConfig tune(std::uint64_t version, const CsrGraph& graph,
+                   const SsspOptions& base, const ProbeFn& probe);
+
+  /// The already-learned config for `version`, if any. Thread-safe.
+  std::optional<TunedConfig> learned(std::uint64_t version) const;
+
+  /// Drops the learned config for `version` (e.g. after a mutation burst
+  /// invalidated the profile). Thread-safe.
+  void forget(std::uint64_t version);
+
+  /// Versions tuned so far (monotone; never reset by forget).
+  std::uint64_t tunes() const;
+
+ private:
+  MetricsRegistry* metrics_;
+  mutable Mutex mutex_;
+  std::map<std::uint64_t, TunedConfig> by_version_ MPS_GUARDED_BY(mutex_);
+  std::uint64_t tunes_ MPS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace parsssp

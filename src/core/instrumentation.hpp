@@ -50,9 +50,13 @@ struct SsspStats {
   /// Relax operations of the asynchronous engine (docs/ASYNC.md); its
   /// speculative re-relaxations are real work and count individually.
   std::uint64_t async_relaxations = 0;
+  /// Relax operations of the stepping-family engines (docs/STEPPING.md);
+  /// in-step speculative re-relaxations count individually.
+  std::uint64_t stepping_relaxations = 0;
   std::uint64_t total_relaxations() const {
     return short_relaxations + long_push_relaxations + pull_requests +
-           pull_responses + bf_relaxations + async_relaxations;
+           pull_responses + bf_relaxations + async_relaxations +
+           stepping_relaxations;
   }
 
   // Structure.
@@ -110,6 +114,7 @@ struct RankCounters {
   std::uint64_t pull_responses = 0;
   std::uint64_t bf_relaxations = 0;
   std::uint64_t async_relaxations = 0;
+  std::uint64_t stepping_relaxations = 0;
   /// Collective/barrier participations of this rank during the solve
   /// (deltas of the rank's TrafficCounters; see SsspStats::global_syncs).
   std::uint64_t allreduces = 0;

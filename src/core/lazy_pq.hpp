@@ -1,10 +1,11 @@
-// Lazy-batched bucket priority queue for the asynchronous engine
-// (docs/ASYNC.md), after the lazy-batched structure of rho-stepping /
-// Delta*-stepping: insertions are O(1) appends into Delta-wide buckets,
-// deletions are lazy (an entry whose recorded distance no longer matches
-// the vertex's tentative distance is skipped at pop time), and extraction
-// returns the *entire* lowest non-empty bucket as one batch — the unit of
-// speculative relaxation work between inbox drains.
+// Lazy-batched bucket priority queue for the asynchronous and stepping
+// engines (docs/ASYNC.md, docs/STEPPING.md), after the lazy-batched
+// structure of rho-stepping / Delta*-stepping: insertions are O(1)
+// appends into Delta-wide buckets, deletions are lazy (an entry whose
+// recorded distance no longer matches the vertex's tentative distance is
+// skipped at pop time), and extraction returns the *entire* lowest
+// non-empty bucket as one batch — the unit of speculative relaxation
+// work between inbox drains.
 //
 // Laziness is what keeps speculation cheap: a re-relaxation that improves
 // a queued vertex just pushes a second, lower entry; the stale one costs
@@ -14,10 +15,18 @@
 // come out in push order (determinism of the local relax order — not
 // load-bearing for results, which monotone re-relaxation makes exact
 // under any order, but it keeps single-rank runs reproducible).
+//
+// Memory safety: the dense bucket array is capped at kMaxDenseBuckets.
+// Entries whose bucket index is at or beyond the cap — speculative
+// long-tail distances near kInfDist at small Delta — land in one sparse
+// overflow bucket instead of resizing the dense array toward billions of
+// empty slots. The overflow bucket is a correctness safety valve, not a
+// fast path: popping it rescans the (typically tiny) overflow vector.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -27,6 +36,13 @@ namespace parsssp {
 
 class LazyBucketQueue {
  public:
+  using Entry = std::pair<vid_t, dist_t>;
+
+  /// Dense-array cap: buckets with index >= this spill to the sparse
+  /// overflow bucket. 1M empty vectors is the worst-case dense footprint
+  /// (~24 MB), reached only if distances actually grow that far.
+  static constexpr std::size_t kMaxDenseBuckets = std::size_t{1} << 20;
+
   /// `delta` is the bucket width (SsspOptions::kInfDelta degenerates to a
   /// single bucket, the Bellman-Ford regime).
   explicit LazyBucketQueue(std::uint32_t delta) : delta_(delta) {}
@@ -34,11 +50,19 @@ class LazyBucketQueue {
   /// Queues (vertex, tentative distance). Lazy: does not remove any
   /// previous entry for `v`.
   void push(vid_t v, dist_t d) {
-    const std::size_t b = static_cast<std::size_t>(bucket_of(d, delta_));
-    if (b >= buckets_.size()) buckets_.resize(b + 1);
-    buckets_[b].push_back({v, d});
+    const std::uint64_t b = bucket_of(d, delta_);
+    if (b >= kMaxDenseBuckets) {
+      overflow_.push_back({v, d});
+      if (b < overflow_min_) overflow_min_ = b;
+      ++entries_;
+      return;
+    }
+    const std::size_t db = static_cast<std::size_t>(b);
+    if (db >= buckets_.size()) buckets_.resize(db + 1);
+    buckets_[db].push_back({v, d});
     ++entries_;
-    if (b < cursor_) cursor_ = b;
+    ++dense_entries_;
+    if (db < cursor_) cursor_ = db;
   }
 
   /// Entries currently queued, stale ones included (an upper bound on
@@ -48,33 +72,94 @@ class LazyBucketQueue {
 
   /// Lowest non-empty bucket index without popping, kInfBucket when empty.
   /// (The bucket may hold only stale entries — the engine treats a pop
-  /// that yields no live work as a no-op, so the peek stays O(1) amortized
-  /// rather than chasing staleness here.)
-  std::uint64_t min_bucket() const {
-    if (entries_ == 0) return kInfBucket;
-    std::size_t b = cursor_;
-    while (buckets_[b].empty()) ++b;
-    return b;
+  /// that yields no live work as a no-op.) Amortized O(1): the scan
+  /// advances cursor_ past drained buckets so repeated peeks never rescan
+  /// them; a push below the cursor rewinds it (the memoization-
+  /// invalidation path). Each emptiness probe counts one scan step.
+  std::uint64_t min_bucket() {
+    if (dense_entries_ == 0) {
+      return overflow_.empty() ? kInfBucket : overflow_min_;
+    }
+    advance_cursor();
+    return cursor_;
   }
 
   /// Moves the lowest non-empty bucket's entries into `out` (cleared
   /// first) and returns its bucket index, or kInfBucket when the queue is
-  /// empty. The popped bucket keeps its capacity for future pushes.
-  std::uint64_t pop_batch(std::vector<std::pair<vid_t, dist_t>>& out) {
+  /// empty. The popped dense bucket keeps its capacity for future pushes.
+  std::uint64_t pop_batch(std::vector<Entry>& out) {
     out.clear();
     if (entries_ == 0) return kInfBucket;
-    while (buckets_[cursor_].empty()) ++cursor_;
+    if (dense_entries_ == 0) return pop_overflow(out);
+    advance_cursor();
     std::swap(out, buckets_[cursor_]);
     buckets_[cursor_].clear();
     entries_ -= out.size();
+    dense_entries_ -= out.size();
     return cursor_;
   }
 
+  /// Entries queued in dense bucket `b`, stale included. 0 for indices
+  /// past the dense range (overflow contents are opaque to callers).
+  std::size_t bucket_size(std::uint64_t b) const {
+    return b < buckets_.size() ? buckets_[b].size() : 0;
+  }
+
+  /// Read-only view of dense bucket `b` (empty span past the dense
+  /// range). Step rules scan these to compute thresholds without popping.
+  std::span<const Entry> entries_of(std::uint64_t b) const {
+    if (b >= buckets_.size()) return {};
+    return {buckets_[b].data(), buckets_[b].size()};
+  }
+
+  /// Dense buckets currently allocated — bounded by kMaxDenseBuckets.
+  std::size_t dense_buckets() const { return buckets_.size(); }
+  /// Entries currently parked in the sparse overflow bucket.
+  std::size_t overflow_entries() const { return overflow_.size(); }
+  /// Cumulative emptiness probes across min_bucket/pop_batch cursor
+  /// scans plus overflow rescans — the amortized-behavior observable.
+  std::uint64_t scan_steps() const { return scan_steps_; }
+
  private:
+  void advance_cursor() {
+    // Caller guarantees dense_entries_ > 0, so the scan terminates inside
+    // the allocated range.
+    while (buckets_[cursor_].empty()) {
+      ++cursor_;
+      ++scan_steps_;
+    }
+  }
+
+  /// Extracts every overflow entry in the minimum overflow bucket,
+  /// compacting the rest in place and recomputing the overflow minimum.
+  std::uint64_t pop_overflow(std::vector<Entry>& out) {
+    const std::uint64_t b = overflow_min_;
+    std::uint64_t next_min = kInfBucket;
+    std::size_t kept = 0;
+    for (const Entry& e : overflow_) {
+      ++scan_steps_;
+      const std::uint64_t eb = bucket_of(e.second, delta_);
+      if (eb == b) {
+        out.push_back(e);
+      } else {
+        overflow_[kept++] = e;
+        if (eb < next_min) next_min = eb;
+      }
+    }
+    overflow_.resize(kept);
+    overflow_min_ = next_min;
+    entries_ -= out.size();
+    return b;
+  }
+
   std::uint32_t delta_;
-  std::vector<std::vector<std::pair<vid_t, dist_t>>> buckets_;
-  std::size_t cursor_ = 0;  ///< no non-empty bucket below this index
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<Entry> overflow_;            ///< entries past the dense cap
+  std::uint64_t overflow_min_ = kInfBucket;
+  std::size_t cursor_ = 0;  ///< no non-empty dense bucket below this index
   std::size_t entries_ = 0;
+  std::size_t dense_entries_ = 0;
+  std::uint64_t scan_steps_ = 0;
 };
 
 }  // namespace parsssp

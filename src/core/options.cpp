@@ -66,4 +66,40 @@ SsspOptions SsspOptions::async_opt(std::uint32_t delta) {
   return o;
 }
 
+namespace {
+
+// Shared base for the stepping family: the bucket-synchronous
+// work-shaping knobs are inert under the stepping engines; keep them
+// neutral so the signature reads honestly (same policy as async_opt).
+SsspOptions stepping_base(SsspAlgo algo, std::uint32_t delta) {
+  SsspOptions o;
+  o.algo = algo;
+  o.delta = delta;
+  o.edge_classification = false;
+  o.ios = false;
+  o.pruning = false;
+  o.hybrid_tau = -1.0;
+  return o;
+}
+
+}  // namespace
+
+SsspOptions SsspOptions::rho_stepping(std::uint32_t rho,
+                                      std::uint32_t delta) {
+  SsspOptions o = stepping_base(SsspAlgo::kRho, delta);
+  o.rho = rho;
+  return o;
+}
+
+SsspOptions SsspOptions::delta_star(std::uint32_t delta) {
+  return stepping_base(SsspAlgo::kDeltaStar, delta);
+}
+
+SsspOptions SsspOptions::radius_stepping(std::uint32_t k,
+                                        std::uint32_t delta) {
+  SsspOptions o = stepping_base(SsspAlgo::kRadius, delta);
+  o.radius_k = k;
+  return o;
+}
+
 }  // namespace parsssp

@@ -47,7 +47,31 @@ enum class SsspAlgo : std::uint8_t {
   /// canonicalized (core/parent_canon.hpp) so they stay a pure function
   /// of graph + dist.
   kAsync,
+  /// rho-stepping (arXiv 2105.06145): each step settles the front buckets
+  /// of the lazy queue until roughly `rho` queued entries are covered,
+  /// then runs relax/exchange rounds to a fixpoint below that threshold.
+  /// delta is the priority granularity of the queue, `rho` the batch
+  /// target. Step-synchronous; honors data_path and track_parents;
+  /// parents always canonicalized (docs/STEPPING.md).
+  kRho,
+  /// Delta*-stepping (arXiv 2105.06145): plain bucket steps of width
+  /// delta with NO light/heavy edge split — every arc of a settled vertex
+  /// is relaxed once per round. The lazy queue replaces the
+  /// classification machinery of the bucket-synchronous family.
+  kDeltaStar,
+  /// Radius Stepping (arXiv 1602.03881): the step threshold is
+  /// min over the frontier bucket of dist(v) + r(v), where r(v) is the
+  /// vertex radius — here the `radius_k`-th smallest incident arc weight
+  /// (the 1-hop approximation of the paper's k-ball radius; any positive
+  /// r is exact because each step relaxes to a fixpoint).
+  kRadius,
 };
+
+/// True for the stepping-family engines (core/stepping_engine.hpp).
+constexpr bool is_stepping_algo(SsspAlgo algo) {
+  return algo == SsspAlgo::kRho || algo == SsspAlgo::kDeltaStar ||
+         algo == SsspAlgo::kRadius;
+}
 
 /// How the pull-request volume is estimated by the decision heuristic.
 /// The paper discusses all three: binary search over weight-sorted lists,
@@ -109,6 +133,16 @@ struct SsspOptions {
   /// have their adjacency relaxed cooperatively by all lanes. 0 disables.
   std::size_t heavy_degree_threshold = 0;
 
+  // --- Stepping-family step parameters (docs/STEPPING.md) ---------------
+
+  /// kRho only: target number of queued entries settled per step. Larger
+  /// values trade extra speculative relax work for fewer global steps.
+  std::uint32_t rho = 2048;
+  /// kRadius only: k of the vertex-radius rule — r(v) is the k-th
+  /// smallest incident arc weight (clamped to the degree). Larger k means
+  /// larger steps and more in-step speculation.
+  std::uint32_t radius_k = 4;
+
   /// Also build the shortest-path tree (Graph 500 SSSP output): relax
   /// messages carry their source vertex and SsspResult::parent is filled.
   bool track_parents = false;
@@ -168,6 +202,15 @@ struct SsspOptions {
   /// ASYNC-D: the barrier-free engine (SsspAlgo::kAsync) at priority
   /// granularity Delta. Distances bit-identical to opt(delta).
   static SsspOptions async_opt(std::uint32_t delta);
+  /// RHO: rho-stepping at batch target `rho`, queue granularity Delta.
+  static SsspOptions rho_stepping(std::uint32_t rho = 2048,
+                                  std::uint32_t delta = 25);
+  /// DSTAR-D: Delta*-stepping at bucket width Delta.
+  static SsspOptions delta_star(std::uint32_t delta);
+  /// RADIUS-k: Radius Stepping with the k-th-incident-weight vertex
+  /// radius, queue granularity Delta.
+  static SsspOptions radius_stepping(std::uint32_t k = 4,
+                                     std::uint32_t delta = 25);
 };
 
 }  // namespace parsssp

@@ -10,6 +10,7 @@
 #include "core/async_engine.hpp"
 #include "core/delta_engine.hpp"
 #include "core/parent_canon.hpp"
+#include "core/stepping_engine.hpp"
 
 namespace parsssp {
 
@@ -45,6 +46,12 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
   if (options.delta == 0) {
     throw std::invalid_argument("Solver::solve: delta must be >= 1");
   }
+  if (options.algo == SsspAlgo::kRho && options.rho == 0) {
+    throw std::invalid_argument("Solver::solve: rho must be >= 1");
+  }
+  if (options.algo == SsspAlgo::kRadius && options.radius_k == 0) {
+    throw std::invalid_argument("Solver::solve: radius_k must be >= 1");
+  }
   ensure_views(options.delta);
 
   SsspResult result;
@@ -72,6 +79,20 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
 
     machine_.run(
         [&shared](RankCtx& ctx) { run_async_sssp_job(ctx, shared); });
+  } else if (is_stepping_algo(options.algo)) {
+    SteppingEngineShared shared;
+    shared.graph = &graph_;
+    shared.part = part_;
+    shared.views = &views_;
+    shared.dist = &result.dist;
+    shared.parent = options.track_parents ? &result.parent : nullptr;
+    shared.root = root;
+    shared.options = &options;
+    shared.rank_counters = &rank_counters;
+    shared.stats = &result.stats;
+
+    machine_.run(
+        [&shared](RankCtx& ctx) { run_stepping_sssp_job(ctx, shared); });
   } else {
     EngineShared shared;
     shared.graph = &graph_;
@@ -88,9 +109,11 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
   }
 
   if (options.track_parents &&
-      (options.canonical_parents || options.algo == SsspAlgo::kAsync)) {
-    // Async parent trees depend on the message schedule; canonicalizing
-    // makes them a pure function of (graph, dist) — see docs/ASYNC.md.
+      (options.canonical_parents || options.algo == SsspAlgo::kAsync ||
+       is_stepping_algo(options.algo))) {
+    // Async and stepping parent trees depend on the message schedule;
+    // canonicalizing makes them a pure function of (graph, dist) — see
+    // docs/ASYNC.md and docs/STEPPING.md.
     canonicalize_parents(graph_, root, result.dist, result.parent);
   }
 
@@ -101,6 +124,7 @@ SsspResult Solver::solve(vid_t root, const SsspOptions& options) {
     result.stats.pull_responses += c.pull_responses;
     result.stats.bf_relaxations += c.bf_relaxations;
     result.stats.async_relaxations += c.async_relaxations;
+    result.stats.stepping_relaxations += c.stepping_relaxations;
   }
   return result;
 }
@@ -171,10 +195,11 @@ MultiRootResult Solver::solve_multi(std::span<const vid_t> roots,
   if (options.delta == 0) {
     throw std::invalid_argument("Solver::solve_multi: delta must be >= 1");
   }
-  if (options.algo == SsspAlgo::kAsync) {
+  if (options.algo == SsspAlgo::kAsync || is_stepping_algo(options.algo)) {
     throw std::invalid_argument(
-        "Solver::solve_multi: the asynchronous engine is single-root only "
-        "(use solve/solve_batch, or SsspAlgo::kBucketSync for multi-root)");
+        "Solver::solve_multi: the asynchronous and stepping engines are "
+        "single-root only (use solve/solve_batch, or SsspAlgo::kBucketSync "
+        "for multi-root)");
   }
   MultiRootResult result;
   result.roots.assign(roots.begin(), roots.end());

@@ -1,0 +1,41 @@
+#include "core/stepping_solve.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/parent_canon.hpp"
+#include "core/stepping_engine.hpp"
+
+namespace parsssp {
+
+void run_stepping_solve(MachineSession& session, const SteppingSolveJob& job,
+                        const SsspOptions& options,
+                        std::shared_ptr<void> keepalive) {
+  if (!is_stepping_algo(options.algo)) {
+    throw std::invalid_argument(
+        "run_stepping_solve: options.algo must be kRho, kDeltaStar or "
+        "kRadius");
+  }
+  SteppingEngineShared shared;
+  shared.graph = job.graph;
+  shared.part = job.part;
+  shared.views = job.views;
+  shared.dist = job.dist;
+  shared.parent = job.parent;
+  shared.root = job.root;
+  shared.options = &options;
+  shared.rank_counters = job.rank_counters;
+  shared.stats = job.stats;
+  session
+      .submit([&shared](RankCtx& ctx) { run_stepping_sssp_job(ctx, shared); },
+              std::move(keepalive))
+      .get();
+  if (job.parent != nullptr) {
+    // Always canonical: the in-step relax order is round-dependent, so the
+    // raw predecessor tree is not reproducible — re-deriving parents from
+    // (graph, dist) is what makes them bit-comparable across engines.
+    canonicalize_parents(*job.graph, job.root, *job.dist, *job.parent);
+  }
+}
+
+}  // namespace parsssp

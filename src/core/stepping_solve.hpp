@@ -1,0 +1,46 @@
+// Facade over the stepping-family engines, for layers that may not drive
+// SteppingEngine directly (the serve/update isolation rules in
+// scripts/analysis/layers.toml: src/serve/ and src/update/ reach the
+// engines only through the solver/session facades).
+//
+// One call runs one cold single-root solve on a MachineSession under an
+// SsspAlgo::{kRho, kDeltaStar, kRadius} option set, then canonicalizes
+// the parent tree (core/parent_canon.hpp) so parents are a pure function
+// of graph + dist — the bit-identity contract with the bucket-synchronous
+// OPT engine (docs/STEPPING.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dist_graph.hpp"
+#include "core/instrumentation.hpp"
+#include "core/options.hpp"
+#include "core/types.hpp"
+#include "runtime/machine_session.hpp"
+#include "runtime/partition.hpp"
+
+namespace parsssp {
+
+/// Inputs of one stepping solve. All pointers must outlive the call;
+/// `dist` and `parent` (optional) are sized by the caller and overwritten.
+struct SteppingSolveJob {
+  const CsrGraph* graph = nullptr;
+  BlockPartition part;
+  const std::vector<LocalEdgeView>* views = nullptr;
+  std::vector<dist_t>* dist = nullptr;
+  std::vector<vid_t>* parent = nullptr;  ///< null disables tracking
+  vid_t root = 0;
+  std::vector<RankCounters>* rank_counters = nullptr;
+  SsspStats* stats = nullptr;
+};
+
+/// Runs the stepping solve collectively on `session`. Blocks until done.
+/// Throws std::invalid_argument unless is_stepping_algo(options.algo).
+/// `keepalive` is pinned for the job's lifetime (the serving layer passes
+/// its GraphSnapshot, same contract as MachineSession::submit).
+void run_stepping_solve(MachineSession& session, const SteppingSolveJob& job,
+                        const SsspOptions& options,
+                        std::shared_ptr<void> keepalive = nullptr);
+
+}  // namespace parsssp

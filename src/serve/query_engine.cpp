@@ -3,6 +3,7 @@
 #include "core/async_solve.hpp"
 #include "core/delta_engine.hpp"
 #include "core/multi_engine.hpp"
+#include "core/stepping_solve.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -37,7 +38,8 @@ QueryEngine::QueryEngine(const CsrGraph* graph, DynamicGraph* dynamic,
                                         : static_graph_->num_vertices()),
       part_(num_vertices_, config_.machine.num_ranks),
       cache_(config_.cache_capacity),
-      session_(config_.machine) {
+      session_(config_.machine),
+      tuner_(config_.metrics) {
   if (dynamic_ != nullptr) {
     if (manager_ == nullptr) {
       throw std::invalid_argument(
@@ -120,6 +122,13 @@ std::future<QueryResult> QueryEngine::submit(vid_t root,
   }
   if (options.delta == 0) {
     throw std::invalid_argument("QueryEngine::submit: delta must be >= 1");
+  }
+  if (options.algo == SsspAlgo::kRho && options.rho == 0) {
+    throw std::invalid_argument("QueryEngine::submit: rho must be >= 1");
+  }
+  if (options.algo == SsspAlgo::kRadius && options.radius_k == 0) {
+    throw std::invalid_argument(
+        "QueryEngine::submit: radius_k must be >= 1");
   }
   Pending p;
   p.root = root;
@@ -445,6 +454,52 @@ void QueryEngine::refresh_snapshot_metrics() {
   g_retire_latency_->set(s.retire_latency_last_s);
 }
 
+SsspStats QueryEngine::probe_solve(vid_t root, const SsspOptions& options,
+                                   const CsrGraph* graph,
+                                   const SnapshotRef& snap,
+                                   const std::shared_ptr<void>& keepalive) {
+  ensure_views(options.delta, snap);
+  SsspStats stats;
+  std::vector<dist_t> dist(num_vertices_, kInfDist);
+  std::vector<RankCounters> rank_counters(session_.num_ranks());
+  if (is_stepping_algo(options.algo)) {
+    SteppingSolveJob job;
+    job.graph = graph;
+    job.part = part_;
+    job.views = &views_;
+    job.dist = &dist;
+    job.root = root;
+    job.rank_counters = &rank_counters;
+    job.stats = &stats;
+    run_stepping_solve(session_, job, options, keepalive);
+  } else {
+    EngineShared shared;
+    shared.graph = graph;
+    shared.part = part_;
+    shared.views = &views_;
+    shared.dist = &dist;
+    shared.root = root;
+    shared.options = &options;
+    shared.rank_counters = &rank_counters;
+    shared.stats = &stats;
+    if (snap) shared.max_weight = snap->max_weight();
+    session_
+        .submit([&shared](RankCtx& ctx) { run_sssp_job(ctx, shared); },
+                keepalive)
+        .get();
+  }
+  for (const RankCounters& c : rank_counters) {
+    stats.short_relaxations += c.short_relaxations;
+    stats.long_push_relaxations += c.long_push_relaxations;
+    stats.pull_requests += c.pull_requests;
+    stats.pull_responses += c.pull_responses;
+    stats.bf_relaxations += c.bf_relaxations;
+    stats.async_relaxations += c.async_relaxations;
+    stats.stepping_relaxations += c.stepping_relaxations;
+  }
+  return stats;
+}
+
 std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
     const std::vector<vid_t>& roots, const SsspOptions& opts_in,
     const SnapshotRef& snap) {
@@ -453,7 +508,6 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   // put in its options (trace is excluded from the batch signature).
   SsspOptions options = opts_in;
   options.trace = config_.trace;
-  ensure_views(options.delta, snap);
   // The graph the engines see: the snapshot's base CSR (its arcs may lag
   // the logical graph — engines read adjacency through the views, which
   // ensure_views synced to the snapshot) or the static graph. The session
@@ -462,6 +516,24 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   const CsrGraph* graph = snap ? &snap->base() : static_graph_;
   const std::shared_ptr<void> keepalive =
       snap ? std::make_shared<SnapshotRef>(snap) : nullptr;
+
+  // Auto-tune rewrite (docs/STEPPING.md): a cold single-root query on the
+  // default algorithm runs on this version's learned engine config. The
+  // first such query per version triggers the probe pass, right here on
+  // the dispatcher. Answers are bit-identical across the candidate space,
+  // so the rewrite never changes what gets cached — only its cost.
+  if (config_.auto_tune && roots.size() == 1 &&
+      options.algo == SsspAlgo::kBucketSync &&
+      (!options.track_parents || options.canonical_parents)) {
+    const std::uint64_t version = snap ? snap->version() : 0;
+    const vid_t probe_root = roots[0];
+    const TunedConfig tuned = tuner_.tune(
+        version, *graph, options, [&](const SsspOptions& candidate) {
+          return probe_solve(probe_root, candidate, graph, snap, keepalive);
+        });
+    options = tuned.apply(options);
+  }
+  ensure_views(options.delta, snap);
   std::vector<std::shared_ptr<const QueryAnswer>> answers;
   answers.reserve(roots.size());
 
@@ -470,15 +542,19 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
   // single queries skip the batched engine's slot overhead. The async
   // engine is single-root by construction, so it rides this path too.
   if (options.track_parents || roots.size() == 1 ||
-      options.algo == SsspAlgo::kAsync) {
+      options.algo == SsspAlgo::kAsync || is_stepping_algo(options.algo)) {
+    // The stepping engines (explicit client choice, or the auto-tune
+    // rewrite above) are single-root by construction, like async.
+    const bool serve_stepping = is_stepping_algo(options.algo);
     // Cold single-root queries run barrier-free when the engine is
     // configured for it (compute() only sees cache misses); parents must
     // be canonical for the answers to stay interchangeable. Explicit
     // SsspAlgo::kAsync requests are honored unconditionally.
     const bool serve_async =
-        options.algo == SsspAlgo::kAsync ||
-        (config_.async_cold_queries && roots.size() == 1 &&
-         (!options.track_parents || options.canonical_parents));
+        !serve_stepping &&
+        (options.algo == SsspAlgo::kAsync ||
+         (config_.async_cold_queries && roots.size() == 1 &&
+          (!options.track_parents || options.canonical_parents)));
     SsspOptions async_options = options;
     async_options.algo = SsspAlgo::kAsync;
     for (const vid_t root : roots) {
@@ -490,7 +566,18 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
       }
       std::vector<RankCounters> rank_counters(session_.num_ranks());
 
-      if (serve_async) {
+      if (serve_stepping) {
+        SteppingSolveJob job;
+        job.graph = graph;
+        job.part = part_;
+        job.views = &views_;
+        job.dist = &answer->dist;
+        job.parent = options.track_parents ? &answer->parent : nullptr;
+        job.root = root;
+        job.rank_counters = &rank_counters;
+        job.stats = &answer->stats;
+        run_stepping_solve(session_, job, options, keepalive);
+      } else if (serve_async) {
         AsyncSolveJob job;
         job.graph = graph;
         job.part = part_;
@@ -531,6 +618,7 @@ std::vector<std::shared_ptr<const QueryAnswer>> QueryEngine::compute(
         answer->stats.pull_responses += c.pull_responses;
         answer->stats.bf_relaxations += c.bf_relaxations;
         answer->stats.async_relaxations += c.async_relaxations;
+        answer->stats.stepping_relaxations += c.stepping_relaxations;
       }
       if (m_barriers_ != nullptr) {
         m_barriers_->inc(answer->stats.global_syncs());

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "core/auto_tune.hpp"
 #include "core/dist_graph.hpp"
 #include "core/options.hpp"
 #include "core/sync.hpp"
@@ -93,6 +94,16 @@ struct ServeConfig {
   /// async engine always canonicalizes). Clients can also opt in per query
   /// via SsspOptions::algo, whatever this flag says.
   bool async_cold_queries = false;
+  /// Auto-tune cold single-root queries (docs/STEPPING.md): the first
+  /// eligible cache miss per graph version pays a short probe pass
+  /// (core/auto_tune.hpp) and every later one runs on the engine + step
+  /// parameter the tuner learned for that version. Only queries on the
+  /// default algorithm are rewritten (an explicit SsspAlgo choice is
+  /// always honored), and — as with async_cold_queries — queries tracking
+  /// non-canonical parents are exempt. Distances are bit-identical across
+  /// the whole candidate space, so answers are cached under the client's
+  /// own option signature.
+  bool auto_tune = false;
 
   // --- Observability (docs/OBSERVABILITY.md) ----------------------------
 
@@ -256,6 +267,11 @@ class QueryEngine {
   std::vector<std::shared_ptr<const QueryAnswer>> compute(
       const std::vector<vid_t>& roots, const SsspOptions& options,
       const SnapshotRef& snap);
+  /// Dispatcher-thread-only: one throwaway solve for the auto-tuner's
+  /// probe pass — answers are discarded, only the statistics come back.
+  SsspStats probe_solve(vid_t root, const SsspOptions& options,
+                        const CsrGraph* graph, const SnapshotRef& snap,
+                        const std::shared_ptr<void>& keepalive);
   /// Dispatcher-thread-only: sync the per-rank edge views to (`delta`,
   /// `snap`) — patched forward through the manager's patch log when
   /// possible, rebuilt otherwise.
@@ -274,6 +290,9 @@ class QueryEngine {
   BlockPartition part_;
   ResultCache cache_;
   MachineSession session_;
+  /// Per-version learned engine configs (config_.auto_tune); probed and
+  /// read on the dispatcher thread only, but internally thread-safe.
+  AutoTuner tuner_;
   /// Mirror of the latest published version for lock-free reads.
   std::atomic<std::uint64_t> version_{0};
 

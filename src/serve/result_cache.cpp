@@ -41,6 +41,8 @@ std::string options_signature(const SsspOptions& options) {
       << ";lambda=" << canonical(options.load_lambda, "load_lambda")
       << ";tau=" << canonical(options.hybrid_tau, "hybrid_tau")
       << ";heavy=" << options.heavy_degree_threshold
+      << ";rho=" << options.rho
+      << ";rk=" << options.radius_k
       << ";parents=" << options.track_parents
       << ";canon=" << options.canonical_parents
       << ";dp=" << static_cast<int>(options.data_path)

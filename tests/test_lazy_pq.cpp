@@ -1,0 +1,118 @@
+// Hardening regressions for LazyBucketQueue (core/lazy_pq.hpp): the
+// dense-array cap with sparse overflow spill (bounded memory when a
+// near-kInf speculative distance meets Delta=1), and the amortized
+// cursor peek (min_bucket() used to be const, so it rescanned every
+// drained bucket below the true minimum on each call).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lazy_pq.hpp"
+#include "core/types.hpp"
+
+namespace parsssp {
+namespace {
+
+using Entry = LazyBucketQueue::Entry;
+
+TEST(LazyBucketQueueOverflow, HugeDistanceAtDeltaOneStaysBounded) {
+  // Delta=1 with a weight near kInfDist used to resize the dense array to
+  // d/1 buckets — billions of empty vectors from one push.
+  LazyBucketQueue q(1);
+  const dist_t huge = kInfDist - 2;
+  q.push(7, huge);
+  q.push(8, huge - 1);
+  q.push(9, 3);
+  EXPECT_LE(q.dense_buckets(), LazyBucketQueue::kMaxDenseBuckets);
+  EXPECT_EQ(q.overflow_entries(), 2u);
+  EXPECT_EQ(q.size(), 3u);
+
+  std::vector<Entry> out;
+  EXPECT_EQ(q.pop_batch(out), 3u);  // dense entries drain first
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 9u);
+  EXPECT_EQ(q.pop_batch(out), bucket_of(huge - 1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 8u);
+  EXPECT_EQ(q.pop_batch(out), bucket_of(huge, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LazyBucketQueueOverflow, OverflowBatchKeepsPushOrder) {
+  LazyBucketQueue q(1);
+  const dist_t far = dist_t{LazyBucketQueue::kMaxDenseBuckets} + 40;
+  q.push(1, far);
+  q.push(2, far);
+  q.push(3, far + 1);  // a different overflow bucket
+  std::vector<Entry> out;
+  EXPECT_EQ(q.pop_batch(out), bucket_of(far, 1));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 1u);
+  EXPECT_EQ(out[1].first, 2u);
+  EXPECT_EQ(q.min_bucket(), bucket_of(far + 1, 1));
+  EXPECT_EQ(q.pop_batch(out), bucket_of(far + 1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 3u);
+  EXPECT_EQ(q.pop_batch(out), kInfBucket);
+}
+
+TEST(LazyBucketQueueOverflow, DensePushAfterOverflowStillWinsThePop) {
+  LazyBucketQueue q(1);
+  const dist_t far = dist_t{LazyBucketQueue::kMaxDenseBuckets} * 2;
+  q.push(1, far);
+  EXPECT_EQ(q.min_bucket(), bucket_of(far, 1));
+  q.push(2, 11);  // dense entries sort below every overflow bucket
+  EXPECT_EQ(q.min_bucket(), 11u);
+  std::vector<Entry> out;
+  EXPECT_EQ(q.pop_batch(out), 11u);
+  EXPECT_EQ(q.pop_batch(out), bucket_of(far, 1));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LazyBucketQueueCursor, RepeatedPeeksDoNotRescanDrainedBuckets) {
+  LazyBucketQueue q(1);
+  const dist_t kGap = 1000;
+  q.push(1, 0);
+  q.push(2, kGap);
+  std::vector<Entry> out;
+  ASSERT_EQ(q.pop_batch(out), 0u);
+  // The first peek pays the gap scan once; the cursor memoizes it, so
+  // every later peek is O(1). The old const min_bucket() rescanned the
+  // full gap on all 100 calls below.
+  ASSERT_EQ(q.min_bucket(), kGap);
+  const std::uint64_t after_first = q.scan_steps();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(q.min_bucket(), kGap);
+  EXPECT_EQ(q.scan_steps(), after_first);
+}
+
+TEST(LazyBucketQueueCursor, PushBelowCursorInvalidatesTheMemoizedPeek) {
+  LazyBucketQueue q(1);
+  q.push(1, 500);
+  ASSERT_EQ(q.min_bucket(), 500u);
+  q.push(2, 5);  // rewinds the cursor — the invalidation path
+  EXPECT_EQ(q.min_bucket(), 5u);
+}
+
+TEST(LazyBucketQueueCursor, InterleavedPeekPopScansEachBucketOnce) {
+  LazyBucketQueue q(1);
+  const std::uint64_t kN = 512;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    q.push(static_cast<vid_t>(i), static_cast<dist_t>(i * 3));
+  }
+  std::vector<Entry> out;
+  while (!q.empty()) {
+    q.min_bucket();
+    q.min_bucket();  // the repeated peek must cost nothing extra
+    q.pop_batch(out);
+  }
+  // The cursor walks the dense range exactly once across the whole
+  // drain: total emptiness probes are bounded by the highest bucket
+  // index (3*kN), not peek-count x bucket-range (~quadratic before).
+  EXPECT_LE(q.scan_steps(), 3 * kN + 1);
+}
+
+}  // namespace
+}  // namespace parsssp

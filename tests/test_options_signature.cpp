@@ -42,6 +42,8 @@ const std::vector<FieldMutation>& mutations() {
       {"hybrid_tau", [](SsspOptions& o) { o.hybrid_tau = 0.4; }},
       {"heavy_degree_threshold",
        [](SsspOptions& o) { o.heavy_degree_threshold = 64; }},
+      {"rho", [](SsspOptions& o) { o.rho = 999; }},
+      {"radius_k", [](SsspOptions& o) { o.radius_k = 17; }},
       {"track_parents", [](SsspOptions& o) { o.track_parents = true; }},
       {"canonical_parents",
        [](SsspOptions& o) { o.canonical_parents = true; }},

@@ -5,9 +5,12 @@
 //     --scale N                 log2 vertices (default 12)
 //     --edge-factor N           undirected edges per vertex (default 16)
 //     --load PATH               load a SNAP edge list instead of generating
-//     --algo NAME               dijkstra|bf|del|prune|opt|lbopt|async
+//     --algo NAME               dijkstra|bf|del|prune|opt|lbopt|async|
+//                               rho|dstar|radius|auto
 //                               (default opt; async = barrier-free engine,
-//                               docs/ASYNC.md)
+//                               docs/ASYNC.md; rho/dstar/radius = stepping
+//                               family, docs/STEPPING.md; auto = probe the
+//                               graph once and pick an engine online)
 //     --delta N                 bucket width (default 25)
 //     --ranks N                 simulated ranks (default 8)
 //     --lanes N                 worker lanes per rank (default 1)
@@ -34,6 +37,7 @@
 #include "bench_util/runner.hpp"
 #include "bench_util/stats_io.hpp"
 #include "bench_util/table.hpp"
+#include "core/auto_tune.hpp"
 #include "core/solver.hpp"
 #include "core/split_solver.hpp"
 #include "core/validate.hpp"
@@ -145,6 +149,16 @@ SsspOptions make_options(const CliConfig& cfg) {
     o = SsspOptions::lb_opt(cfg.delta);
   } else if (cfg.algo == "async") {
     o = SsspOptions::async_opt(cfg.delta);
+  } else if (cfg.algo == "rho") {
+    o = SsspOptions::rho_stepping(2048, cfg.delta);
+  } else if (cfg.algo == "dstar") {
+    o = SsspOptions::delta_star(cfg.delta);
+  } else if (cfg.algo == "radius") {
+    o = SsspOptions::radius_stepping(4, cfg.delta);
+  } else if (cfg.algo == "auto") {
+    // Placeholder: main() runs the auto-tuner once the solver exists and
+    // rewrites these options with the learned config.
+    o = SsspOptions::opt(cfg.delta);
   } else {
     std::fprintf(stderr, "unknown --algo %s\n", cfg.algo.c_str());
     std::exit(2);
@@ -207,7 +221,23 @@ int main(int argc, char** argv) {
     plain_solver = std::make_unique<Solver>(graph, solver_cfg);
   }
 
-  TextTable table("per-root results (" + cfg.algo + ")");
+  std::string algo_label = cfg.algo;
+  if (cfg.algo == "auto") {
+    // One probe pass over the first root picks the engine for every root.
+    AutoTuner tuner;
+    const vid_t probe_root = roots.empty() ? vid_t{0} : roots[0];
+    const TunedConfig tuned = tuner.tune(
+        0, graph, options, [&](const SsspOptions& candidate) {
+          return (split_solver ? split_solver->solve(probe_root, candidate)
+                               : plain_solver->solve(probe_root, candidate))
+              .stats;
+        });
+    options = tuned.apply(options);
+    algo_label += " -> " + tuned.name();
+    std::printf("# auto-tune: picked %s\n", tuned.name().c_str());
+  }
+
+  TextTable table("per-root results (" + algo_label + ")");
   // "syncs" counts global synchronizations (allreduces + barriers) of the
   // solve — the --validate evidence that async really is barrier-free.
   table.set_header({"root", "reached", "relaxations", "phases", "buckets",
